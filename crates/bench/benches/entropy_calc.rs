@@ -1,0 +1,76 @@
+//! Criterion bench: exact entropy-vector calculation (Figure 5 /
+//! Table 3 timing side), plus the dense-vs-hashmap h1 ablation called
+//! out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iustitia::features::{FeatureExtractor, FeatureMode};
+use iustitia_corpus::{generate_file, FileClass};
+use iustitia_entropy::{entropy, FeatureWidths, GramHistogram};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_entropy_vector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy_vector_exact");
+    let mut rng = StdRng::seed_from_u64(1);
+    for b in [32usize, 256, 1024, 8192] {
+        let data = generate_file(FileClass::Binary, b, &mut rng);
+        let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
+        group.bench_with_input(BenchmarkId::new("svm_widths", b), &data, |bench, data| {
+            bench.iter(|| fx.extract(std::hint::black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy_hk");
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = generate_file(FileClass::Binary, 1024, &mut rng);
+    for k in [1usize, 2, 3, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("hk", k), &k, |bench, &k| {
+            bench.iter(|| entropy(std::hint::black_box(&data), k));
+        });
+    }
+    group.finish();
+}
+
+/// Dense 256-entry table for h1, the ablation baseline against the
+/// generic hashmap histogram.
+fn dense_h1(data: &[u8]) -> f64 {
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let m = data.len() as f64;
+    if data.len() <= 1 {
+        return 0.0;
+    }
+    let s: f64 = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let c = c as f64;
+            c * c.log2()
+        })
+        .sum();
+    ((m.log2() - s / m) / 8.0).clamp(0.0, 1.0)
+}
+
+fn bench_dense_vs_hashmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h1_dense_vs_hashmap");
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = generate_file(FileClass::Encrypted, 1024, &mut rng);
+    group.bench_function("dense_array", |bench| {
+        bench.iter(|| dense_h1(std::hint::black_box(&data)));
+    });
+    group.bench_function("hashmap_histogram", |bench| {
+        bench.iter(|| {
+            let h = GramHistogram::from_bytes(std::hint::black_box(&data), 1);
+            iustitia_entropy::vector::entropy_of_histogram(&h)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_entropy_vector, bench_single_widths, bench_dense_vs_hashmap);
+criterion_main!(benches);

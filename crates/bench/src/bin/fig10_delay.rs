@@ -1,0 +1,95 @@
+//! Figure 10: packets to fill the buffer (`c`) and total classifier
+//! delay (`τ`) for buffer sizes 32 / 1024 / 1500 / 2000.
+//!
+//! Paper: `c ≈ 1` for b=32 and 3–5 for larger buffers (up to 2000);
+//! total delay `τ` is dominated by the buffer fill time `τ_b` — ≈ 50 ms
+//! for small buffers, fluctuating around 1 s for the large ones. The
+//! 1500/2000 configurations model `T + b′` deployments that also skip a
+//! possible application header.
+//!
+//! Run: `cargo run --release -p iustitia-bench --bin fig10_delay`
+
+use iustitia::analysis::{run_over_trace, DelayComponents};
+use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::model::{train_from_corpus, ModelKind};
+use iustitia::pipeline::{HeaderPolicy, Iustitia, PipelineConfig};
+use iustitia_bench::{env_scale, print_series, print_table, standard_corpus};
+use iustitia_entropy::FeatureWidths;
+use iustitia_netsim::{TraceConfig, TraceGenerator};
+
+fn main() {
+    let scale = (0.02 * env_scale()).clamp(0.001, 1.0);
+    let trace_config = TraceConfig::umass_scaled(10, scale);
+    println!(
+        "Figure 10 — buffering delay at scale {scale} ({} flows over {:.1}s)",
+        trace_config.n_flows, trace_config.duration
+    );
+
+    let model = train_from_corpus(
+        &standard_corpus(10, 60),
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b: 32 },
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        10,
+    );
+
+    // b=32 and b=1024 for header-free systems; T+b' = 1500 and 2000 for
+    // systems that cut a possible application header first.
+    let configs: [(&str, usize, HeaderPolicy); 4] = [
+        ("b=32", 32, HeaderPolicy::None),
+        ("b=1024", 1024, HeaderPolicy::None),
+        ("T+b'=1500", 1024, HeaderPolicy::SkipThreshold { t: 476 }),
+        ("T+b'=2000", 1024, HeaderPolicy::SkipThreshold { t: 976 }),
+    ];
+
+    let mut summary_rows = Vec::new();
+    let mut series_per_config = Vec::new();
+    for (name, b, policy) in configs {
+        let pc = PipelineConfig {
+            buffer_size: b,
+            header_policy: policy,
+            idle_timeout: 3.0,
+            ..PipelineConfig::headline(3)
+        };
+        let mut pipeline = Iustitia::new(model.clone(), pc);
+        let packets = TraceGenerator::new(trace_config.clone());
+        let report =
+            run_over_trace(&mut pipeline, packets, trace_config.duration / 16.0, DelayComponents::default());
+        summary_rows.push(vec![
+            name.to_string(),
+            format!("{}", report.total_flows),
+            format!("{:.2}", report.mean_c()),
+            format!("{:.4}s", report.mean_tau()),
+            format!("{:.1}%", 100.0 * report.tau_cdf_at(0.05)),
+            format!("{:.1}%", 100.0 * report.tau_cdf_at(1.0)),
+        ]);
+        series_per_config.push((name, report));
+    }
+    print_table(
+        "Figure 10 summary (paper: c≈1 at b=32, 3–5 at ≥1024; τ ≈ 50ms small vs ≈1s large)",
+        &["config", "flows", "mean c", "mean tau", "tau<=50ms", "tau<=1s"],
+        &summary_rows,
+    );
+
+    // Per-time-unit series like the figure.
+    let n_ticks = series_per_config[0].1.series.len();
+    let mut c_points = Vec::new();
+    let mut tau_points = Vec::new();
+    for i in 0..n_ticks {
+        let t = series_per_config[0].1.series[i].t;
+        let cs: Vec<f64> = series_per_config
+            .iter()
+            .map(|(_, r)| r.series.get(i).and_then(|p| p.mean_c).unwrap_or(f64::NAN))
+            .collect();
+        let taus: Vec<f64> = series_per_config
+            .iter()
+            .map(|(_, r)| r.series.get(i).and_then(|p| p.mean_tau).unwrap_or(f64::NAN))
+            .collect();
+        c_points.push((format!("{t:.1}"), cs));
+        tau_points.push((format!("{t:.1}"), taus));
+    }
+    let labels: Vec<&str> = series_per_config.iter().map(|(n, _)| *n).collect();
+    print_series("Figure 10(a): mean packets to fill buffer, per time unit", "time (s)", &labels, &c_points);
+    print_series("Figure 10(b): mean total delay τ (s), per time unit", "time (s)", &labels, &tau_points);
+}

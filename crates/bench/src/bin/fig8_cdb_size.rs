@@ -1,0 +1,95 @@
+//! Figure 8: CDB size over time, with and without purging, against the
+//! totals of packets and flows.
+//!
+//! Paper (UMASS trace): FIN/RST purging alone removes up to 46% of
+//! flows; with inactivity purging (`n = 4`, sweep every 5000 flows) the
+//! CDB stays nearly constant at ≈ 29,713 records while total flows grow
+//! to ≈ 300k.
+//!
+//! Run: `cargo run --release -p iustitia-bench --bin fig8_cdb_size`
+//! (IUSTITIA_SCALE=1 runs the 12M-packet full-scale trace)
+
+use iustitia::analysis::{run_over_trace, DelayComponents};
+use iustitia::cdb::CdbConfig;
+use iustitia::model::{train_from_corpus, ModelKind};
+use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::pipeline::{Iustitia, PipelineConfig};
+use iustitia_bench::{env_scale, print_series, standard_corpus};
+use iustitia_entropy::FeatureWidths;
+use iustitia_netsim::{TraceConfig, TraceGenerator};
+
+fn main() {
+    // Default to 1/20 of the UMASS trace (≈ 15k flows, ≈ 600k packets).
+    let scale = (0.05 * env_scale()).clamp(0.001, 1.0);
+    let trace_config = TraceConfig::umass_scaled(1, scale);
+    println!(
+        "Figure 8 — CDB size over time; trace scale {scale} ({} flows over {:.1}s; paper: 299,564 over 81.6s)",
+        trace_config.n_flows, trace_config.duration
+    );
+
+    let model = train_from_corpus(
+        &standard_corpus(8, 60),
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b: 32 },
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        8,
+    );
+
+    let mut variants = Vec::new();
+    for (name, cdb) in [
+        ("with purging (n=4)", CdbConfig::default()),
+        ("w/o purging", CdbConfig { n: None, ..CdbConfig::default() }),
+    ] {
+        let config = PipelineConfig {
+            cdb,
+            idle_timeout: 2.0,
+            ..PipelineConfig::headline(2)
+        };
+        let mut pipeline = Iustitia::new(model.clone(), config);
+        let packets = TraceGenerator::new(trace_config.clone());
+        let report = run_over_trace(&mut pipeline, packets, trace_config.duration / 20.0, DelayComponents::default());
+        let closed = pipeline.cdb().stats().removed_by_close;
+        let timed_out = pipeline.cdb().stats().removed_by_timeout;
+        let inserted = pipeline.cdb().stats().inserted;
+        println!(
+            "  [{name}] inserted {inserted}, FIN/RST-removed {closed} ({:.1}%), timeout-removed {timed_out}, final size {}",
+            100.0 * closed as f64 / inserted.max(1) as f64,
+            pipeline.cdb().len()
+        );
+        variants.push((name, report));
+    }
+
+    let (_, with_purge) = &variants[0];
+    let (_, without) = &variants[1];
+    let points: Vec<(String, Vec<f64>)> = with_purge
+        .series
+        .iter()
+        .zip(&without.series)
+        .map(|(a, b)| {
+            (
+                format!("{:.1}", a.t),
+                vec![
+                    a.total_packets as f64,
+                    a.total_flows as f64,
+                    b.cdb_size as f64,
+                    a.cdb_size as f64,
+                ],
+            )
+        })
+        .collect();
+    print_series(
+        "Figure 8 series (paper shape: purged CDB plateaus; unpurged tracks total flows)",
+        "time (s)",
+        &["total_pkts", "total_flows", "cdb_no_purge", "cdb_purged"],
+        &points,
+    );
+
+    let final_purged = with_purge.series.last().map(|p| p.cdb_size).unwrap_or(0);
+    let final_unpurged = without.series.last().map(|p| p.cdb_size).unwrap_or(0);
+    println!(
+        "\nfinal CDB: purged {final_purged} vs unpurged {final_unpurged} (×{:.1} smaller; \
+         paper: ≈29.7k vs ≈160k+)",
+        final_unpurged as f64 / final_purged.max(1) as f64
+    );
+}

@@ -1,0 +1,272 @@
+//! Trace-driven analysis: the time series and delay quantities behind
+//! Figures 8 and 10 of the paper.
+//!
+//! §4.5 decomposes the classifier's buffering-stage delay as
+//! `τ = τ_hash + τ_CDBsearch + τ_b`, where `τ_hash ≈ 18 µs` (SHA-1 over
+//! the header), `τ_CDBsearch` is the flow-table lookup, and `τ_b` — the
+//! dominant term — is the time for `c` data packets to fill the `b`-byte
+//! buffer. [`run_over_trace`] drives a [`Iustitia`] pipeline over a
+//! packet stream and samples, at a fixed tick, the CDB size, cumulative
+//! totals, and windowed means of `c` and `τ`.
+
+use iustitia_netsim::Packet;
+
+use crate::pipeline::Iustitia;
+
+/// Fixed components of the buffering-stage delay, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DelayComponents {
+    /// Header hash time (paper: ≈ 18 µs for SHA-1).
+    pub tau_hash: f64,
+    /// CDB search time (paper: trivial next to `τ_b` once purged).
+    pub tau_cdb_search: f64,
+}
+
+impl Default for DelayComponents {
+    fn default() -> Self {
+        DelayComponents { tau_hash: 18e-6, tau_cdb_search: 2e-6 }
+    }
+}
+
+/// One sample of the per-tick time series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimePoint {
+    /// Sample time (seconds from trace start).
+    pub t: f64,
+    /// Cumulative packets processed.
+    pub total_packets: u64,
+    /// Cumulative distinct flows seen (classified).
+    pub total_flows: u64,
+    /// Live CDB size at this tick.
+    pub cdb_size: usize,
+    /// Flows still buffering at this tick.
+    pub pending_flows: usize,
+    /// Mean packets-to-fill-buffer `c` over flows classified in this
+    /// tick window (`None` if none were).
+    pub mean_c: Option<f64>,
+    /// Mean total delay `τ = τ_hash + τ_CDB + τ_b` over the same flows.
+    pub mean_tau: Option<f64>,
+}
+
+/// Result of driving a pipeline over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRunReport {
+    /// Per-tick samples.
+    pub series: Vec<TimePoint>,
+    /// All per-flow `c` values.
+    pub all_c: Vec<u32>,
+    /// All per-flow total delays `τ`.
+    pub all_tau: Vec<f64>,
+    /// Total packets processed.
+    pub total_packets: u64,
+    /// Total flows classified.
+    pub total_flows: u64,
+}
+
+impl TraceRunReport {
+    /// Mean of all per-flow `c`.
+    pub fn mean_c(&self) -> f64 {
+        if self.all_c.is_empty() {
+            return 0.0;
+        }
+        self.all_c.iter().map(|&c| c as f64).sum::<f64>() / self.all_c.len() as f64
+    }
+
+    /// Mean of all per-flow `τ`.
+    pub fn mean_tau(&self) -> f64 {
+        if self.all_tau.is_empty() {
+            return 0.0;
+        }
+        self.all_tau.iter().sum::<f64>() / self.all_tau.len() as f64
+    }
+
+    /// Fraction of flows whose delay is at most `threshold` seconds.
+    pub fn tau_cdf_at(&self, threshold: f64) -> f64 {
+        if self.all_tau.is_empty() {
+            return 0.0;
+        }
+        let n = self.all_tau.iter().filter(|&&t| t <= threshold).count();
+        n as f64 / self.all_tau.len() as f64
+    }
+}
+
+/// Drives `pipeline` over a time-ordered packet stream, sampling the
+/// series every `tick` seconds and flushing idle flows as time
+/// advances.
+///
+/// # Panics
+///
+/// Panics if `tick` is not positive.
+pub fn run_over_trace<I>(
+    pipeline: &mut Iustitia,
+    packets: I,
+    tick: f64,
+    delays: DelayComponents,
+) -> TraceRunReport
+where
+    I: IntoIterator<Item = Packet>,
+{
+    assert!(tick > 0.0, "tick must be positive");
+    let mut series = Vec::new();
+    let mut all_c = Vec::new();
+    let mut all_tau = Vec::new();
+    let mut next_tick = tick;
+    let mut total_packets = 0u64;
+    let mut total_flows = 0u64;
+    let mut window_c: Vec<f64> = Vec::new();
+    let mut window_tau: Vec<f64> = Vec::new();
+
+    let sample = |t: f64,
+                      pipeline: &Iustitia,
+                      total_packets: u64,
+                      total_flows: u64,
+                      window_c: &mut Vec<f64>,
+                      window_tau: &mut Vec<f64>,
+                      series: &mut Vec<TimePoint>| {
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        series.push(TimePoint {
+            t,
+            total_packets,
+            total_flows,
+            cdb_size: pipeline.cdb().len(),
+            pending_flows: pipeline.pending_flows(),
+            mean_c: mean(window_c),
+            mean_tau: mean(window_tau),
+        });
+        window_c.clear();
+        window_tau.clear();
+    };
+
+    for packet in packets {
+        while packet.timestamp >= next_tick {
+            pipeline.flush_idle(next_tick);
+            for f in pipeline.take_log() {
+                let tau = delays.tau_hash + delays.tau_cdb_search + f.fill_time;
+                window_c.push(f.packets as f64);
+                window_tau.push(tau);
+                all_c.push(f.packets);
+                all_tau.push(tau);
+                total_flows += 1;
+            }
+            sample(
+                next_tick,
+                pipeline,
+                total_packets,
+                total_flows,
+                &mut window_c,
+                &mut window_tau,
+                &mut series,
+            );
+            next_tick += tick;
+        }
+        total_packets += 1;
+        pipeline.process_packet(&packet);
+        for f in pipeline.take_log() {
+            let tau = delays.tau_hash + delays.tau_cdb_search + f.fill_time;
+            window_c.push(f.packets as f64);
+            window_tau.push(tau);
+            all_c.push(f.packets);
+            all_tau.push(tau);
+            total_flows += 1;
+        }
+    }
+    // Final partial tick.
+    sample(
+        next_tick,
+        pipeline,
+        total_packets,
+        total_flows,
+        &mut window_c,
+        &mut window_tau,
+        &mut series,
+    );
+
+    TraceRunReport { series, all_c, all_tau, total_packets, total_flows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelKind, NatureModel};
+    use crate::pipeline::PipelineConfig;
+    use iustitia_corpus::FileClass;
+    use iustitia_ml::Dataset;
+    use iustitia_netsim::{ContentMode, TraceConfig, TraceGenerator};
+
+    fn toy_model() -> NatureModel {
+        let mut ds = Dataset::new(4, FileClass::names());
+        for i in 0..20 {
+            let j = i as f64 / 200.0;
+            ds.push(vec![0.45 + j, 0.3, 0.2, 0.15], 0);
+            ds.push(vec![0.72 + j, 0.45, 0.35, 0.25], 1);
+            ds.push(vec![0.98 + j / 20.0, 0.6, 0.45, 0.35], 2);
+        }
+        NatureModel::train(&ds, &ModelKind::paper_cart())
+    }
+
+    #[test]
+    fn report_series_and_totals() {
+        let mut config = TraceConfig::small_test(11);
+        config.content = ContentMode::SizesOnly;
+        config.n_flows = 150;
+        let packets = TraceGenerator::new(config);
+        let mut pipeline = Iustitia::new(toy_model(), PipelineConfig::headline(1));
+        let report = run_over_trace(&mut pipeline, packets, 1.0, DelayComponents::default());
+        assert!(report.total_packets > 150);
+        assert!(report.total_flows > 0);
+        assert!(!report.series.is_empty());
+        // Series is time-ordered with cumulative totals non-decreasing.
+        for w in report.series.windows(2) {
+            assert!(w[1].t > w[0].t);
+            assert!(w[1].total_packets >= w[0].total_packets);
+            assert!(w[1].total_flows >= w[0].total_flows);
+        }
+        assert_eq!(report.all_c.len(), report.total_flows as usize);
+        assert!(report.mean_c() >= 1.0);
+        assert!(report.mean_tau() > 0.0);
+        assert!(report.tau_cdf_at(f64::INFINITY) > 0.999);
+    }
+
+    #[test]
+    fn small_buffer_fills_in_one_packet_mostly() {
+        // Paper: for b = 32, c ≈ 1 (50% of payloads < 140 B but ≥ 1 B...
+        // strictly, most payloads ≥ 32 B).
+        let mut config = TraceConfig::small_test(12);
+        config.content = ContentMode::SizesOnly;
+        config.n_flows = 200;
+        let packets = TraceGenerator::new(config);
+        let mut pipeline = Iustitia::new(toy_model(), PipelineConfig::headline(2));
+        let report = run_over_trace(&mut pipeline, packets, 1.0, DelayComponents::default());
+        assert!(report.mean_c() < 2.5, "mean c = {}", report.mean_c());
+    }
+
+    #[test]
+    fn bigger_buffers_need_more_packets() {
+        let mk_report = |b: usize| {
+            let mut config = TraceConfig::small_test(13);
+            config.content = ContentMode::SizesOnly;
+            config.n_flows = 200;
+            let packets = TraceGenerator::new(config);
+            let pc = PipelineConfig { buffer_size: b, ..PipelineConfig::headline(3) };
+            let mut pipeline = Iustitia::new(toy_model(), pc);
+            run_over_trace(&mut pipeline, packets, 1.0, DelayComponents::default())
+        };
+        let small = mk_report(32);
+        let big = mk_report(2000);
+        assert!(big.mean_c() > small.mean_c(), "{} vs {}", big.mean_c(), small.mean_c());
+        assert!(big.mean_tau() > small.mean_tau());
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn zero_tick_panics() {
+        let mut pipeline = Iustitia::new(toy_model(), PipelineConfig::headline(4));
+        run_over_trace(&mut pipeline, Vec::new(), 0.0, DelayComponents::default());
+    }
+}

@@ -1,0 +1,247 @@
+//! `iustitia` — command-line interface to the flow-nature classifier.
+//!
+//! ```text
+//! iustitia train    [--model cart|svm] [--buffer B] [--per-class N] [--seed S] --out PATH
+//! iustitia classify --model PATH [--buffer B] FILE...
+//! iustitia entropy  FILE...
+//! iustitia simulate --model PATH [--flows N] [--buffer B] [--seed S]
+//! ```
+//!
+//! `train` synthesizes a labeled corpus and fits a model on `H_b`
+//! prefix vectors; `classify` labels on-disk files from their first `B`
+//! bytes; `entropy` prints the full `h1..h10` entropy vector of each
+//! file; `simulate` drives a synthetic gateway trace through the online
+//! pipeline and reports CDB/queue statistics.
+
+use std::process::ExitCode;
+
+use iustitia::features::{FeatureExtractor, FeatureMode, TrainingMethod};
+use iustitia::model::{train_from_corpus, ModelKind, NatureModel};
+use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+use iustitia_corpus::CorpusBuilder;
+use iustitia_entropy::{entropy_vector, FeatureWidths};
+use iustitia_netsim::{ContentMode, TraceConfig, TraceGenerator};
+
+const USAGE: &str = "\
+usage:
+  iustitia train    [--model cart|svm] [--buffer B] [--per-class N] [--seed S] --out PATH
+  iustitia classify --model PATH [--buffer B] FILE...
+  iustitia entropy  FILE...
+  iustitia simulate --model PATH [--flows N] [--buffer B] [--seed S]
+";
+
+/// Tiny flag parser: collects `--key value` pairs and positionals.
+struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value =
+                    it.next().ok_or_else(|| format!("flag --{key} needs a value"))?.clone();
+                flags.push((key.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "train" => cmd_train(&args),
+        "classify" => cmd_classify(&args),
+        "entropy" => cmd_entropy(&args),
+        "simulate" => cmd_simulate(&args),
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.get("out").ok_or("train requires --out PATH")?;
+    let b: usize = args.get_parsed("buffer", 32)?;
+    let per_class: usize = args.get_parsed("per-class", 150)?;
+    let seed: u64 = args.get_parsed("seed", 42u64)?;
+    let kind = match args.get("model").unwrap_or("svm") {
+        "cart" => ModelKind::paper_cart(),
+        "svm" => ModelKind::paper_svm(),
+        other => return Err(format!("unknown model kind: {other} (use cart|svm)")),
+    };
+
+    eprintln!("synthesizing corpus ({per_class} files/class) and training at b={b}...");
+    let corpus = CorpusBuilder::new(seed).files_per_class(per_class).size_range(1024, 16384).build();
+    let model = train_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        &kind,
+        seed,
+    );
+
+    // Hold-out estimate so the user knows what they got.
+    let test = CorpusBuilder::new(seed ^ 0xA5A5)
+        .files_per_class(per_class / 3 + 1)
+        .size_range(1024, 16384)
+        .build();
+    let test_ds = iustitia::features::dataset_from_corpus(
+        &test,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        seed ^ 1,
+    );
+    eprintln!("hold-out accuracy: {:.1}%", 100.0 * model.accuracy_on(&test_ds));
+
+    model.save(out).map_err(|e| e.to_string())?;
+    eprintln!("model written to {out}");
+    Ok(())
+}
+
+fn cmd_classify(args: &Args) -> Result<(), String> {
+    let model_path = args.get("model").ok_or("classify requires --model PATH")?;
+    let b: usize = args.get_parsed("buffer", 32)?;
+    if args.positional.is_empty() {
+        return Err("classify requires at least one FILE".into());
+    }
+    let model = NatureModel::load(model_path).map_err(|e| e.to_string())?;
+    let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
+    for path in &args.positional {
+        let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let prefix = &data[..b.min(data.len())];
+        let label = model.predict(&fx.extract(prefix));
+        println!("{label}\t{path}");
+    }
+    Ok(())
+}
+
+fn cmd_entropy(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("entropy requires at least one FILE".into());
+    }
+    println!("file\t{}", (1..=10).map(|k| format!("h{k}")).collect::<Vec<_>>().join("\t"));
+    for path in &args.positional {
+        let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let v = entropy_vector(&data, &iustitia_entropy::vector::FULL_WIDTHS);
+        let cells: Vec<String> = v.iter().map(|h| format!("{h:.4}")).collect();
+        println!("{path}\t{}", cells.join("\t"));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let model_path = args.get("model").ok_or("simulate requires --model PATH")?;
+    let b: usize = args.get_parsed("buffer", 32)?;
+    let flows: usize = args.get_parsed("flows", 500)?;
+    let seed: u64 = args.get_parsed("seed", 7u64)?;
+    let model = NatureModel::load(model_path).map_err(|e| e.to_string())?;
+
+    let mut config = TraceConfig::small_test(seed);
+    config.n_flows = flows;
+    config.content = ContentMode::Realistic;
+    let mut pipeline = Iustitia::new(
+        model,
+        PipelineConfig { buffer_size: b, ..PipelineConfig::headline(seed) },
+    );
+
+    let mut hits = 0u64;
+    let mut classified = 0u64;
+    let mut packets = 0u64;
+    for packet in TraceGenerator::new(config) {
+        packets += 1;
+        match pipeline.process_packet(&packet) {
+            Verdict::Hit(_) => hits += 1,
+            Verdict::Classified(_) => classified += 1,
+            _ => {}
+        }
+    }
+    println!("packets:            {packets}");
+    println!("flows classified:   {classified}");
+    println!("cdb hits:           {hits}");
+    println!("live cdb records:   {}", pipeline.cdb().len());
+    println!("queues (t/b/e):     {:?}", pipeline.queues().forwarded);
+    let stats = pipeline.cdb().stats();
+    println!(
+        "cdb churn:          {} inserted, {} closed, {} timed out",
+        stats.inserted, stats.removed_by_close, stats.removed_by_timeout
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    fn args(raw: &[&str]) -> Result<Args, String> {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = args(&["--model", "m.json", "file1", "--buffer", "64", "file2"]).unwrap();
+        assert_eq!(a.get("model"), Some("m.json"));
+        assert_eq!(a.get_parsed("buffer", 0usize).unwrap(), 64);
+        assert_eq!(a.positional, vec!["file1", "file2"]);
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let a = args(&["--buffer", "32", "--buffer", "128"]).unwrap();
+        assert_eq!(a.get_parsed("buffer", 0usize).unwrap(), 128);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(args(&["--model"]).is_err());
+    }
+
+    #[test]
+    fn invalid_numeric_value_is_an_error() {
+        let a = args(&["--buffer", "not-a-number"]).unwrap();
+        assert!(a.get_parsed("buffer", 0usize).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let a = args(&[]).unwrap();
+        assert_eq!(a.get_parsed("buffer", 32usize).unwrap(), 32);
+        assert_eq!(a.get("model"), None);
+    }
+}

@@ -1,0 +1,331 @@
+//! The Classification Database (CDB): flow IDs → nature labels, with
+//! the purging policies of §4.5.
+//!
+//! Each record is 194 bits in the paper's accounting: a 160-bit SHA-1
+//! flow hash, 32 bits for the last inter-arrival time `λ′`, and 2 bits
+//! for the class label. Records are removed when
+//!
+//! 1. a FIN or RST packet closes the flow (≈ 46% of UMASS flows), or
+//! 2. the flow is *obsolete*: `t_now − t_last > n·λ′`, where `λ′` is
+//!    the inter-arrival of the flow's last two packets (default
+//!    `λ = 0.5 s` when only one packet was seen) and `n` is a tunable
+//!    coefficient (the paper finds `n = 4` optimal), or
+//! 3. optionally, after a fixed age — the periodic-reclassification
+//!    defense of §4.6.
+//!
+//! Obsolescence purges are triggered every `purge_trigger` insertions
+//! (the paper uses 5,000), which keeps the CDB near the number of
+//! genuinely concurrent flows (≈ 29,713 in Figure 8).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use iustitia_corpus::FileClass;
+use iustitia_netsim::FiveTuple;
+
+use crate::sha1::{sha1, Digest};
+
+/// A 160-bit flow identifier: SHA-1 of the canonical 5-tuple bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct FlowId(pub Digest);
+
+impl FlowId {
+    /// Hashes a 5-tuple into its flow ID.
+    pub fn of_tuple(tuple: &FiveTuple) -> FlowId {
+        FlowId(sha1(&tuple.as_bytes()))
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One CDB record (194 bits in the paper's layout).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CdbRecord {
+    /// The flow's classified nature.
+    pub label: FileClass,
+    /// Timestamp of the flow's last packet.
+    pub last_seen: f64,
+    /// Inter-arrival time of the flow's last two packets (`λ′`), or
+    /// `None` if only one packet has been seen since classification.
+    pub last_iat: Option<f64>,
+    /// When the flow was classified (drives the reclassification TTL).
+    pub classified_at: f64,
+}
+
+/// CDB policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CdbConfig {
+    /// Obsolescence coefficient `n` (paper optimum: 4). `None` disables
+    /// inactivity purging entirely (the "w/o purging" curve of Fig. 8
+    /// still removes FIN/RST flows).
+    pub n: Option<f64>,
+    /// Default `λ` when a flow's `λ′` is unknown (paper: 0.5 s).
+    pub default_lambda: f64,
+    /// Run an obsolescence sweep after this many insertions
+    /// (paper: 5,000).
+    pub purge_trigger: usize,
+    /// Forget classifications older than this, forcing reclassification
+    /// (the §4.6 defense). `None` disables.
+    pub reclassify_after: Option<f64>,
+}
+
+impl Default for CdbConfig {
+    /// The paper's deployment: `n = 4`, `λ = 0.5 s`, sweep every 5,000
+    /// flows, no reclassification TTL.
+    fn default() -> Self {
+        CdbConfig { n: Some(4.0), default_lambda: 0.5, purge_trigger: 5000, reclassify_after: None }
+    }
+}
+
+/// Counters describing CDB churn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CdbStats {
+    /// Records inserted.
+    pub inserted: u64,
+    /// Records removed by FIN/RST.
+    pub removed_by_close: u64,
+    /// Records removed by the `n·λ′` inactivity rule.
+    pub removed_by_timeout: u64,
+    /// Records expired by the reclassification TTL.
+    pub removed_by_ttl: u64,
+    /// Largest size ever reached.
+    pub peak_size: usize,
+}
+
+/// The Classification Database of Figure 1.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia::cdb::{CdbConfig, ClassificationDatabase, FlowId};
+/// use iustitia_corpus::FileClass;
+///
+/// let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+/// let id = FlowId([7u8; 20]);
+/// cdb.insert(id, FileClass::Encrypted, 0.0);
+/// assert_eq!(cdb.lookup(&id, 0.1), Some(FileClass::Encrypted));
+/// cdb.remove_on_close(&id);
+/// assert_eq!(cdb.lookup(&id, 0.2), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassificationDatabase {
+    config: CdbConfig,
+    records: HashMap<FlowId, CdbRecord>,
+    inserts_since_sweep: usize,
+    stats: CdbStats,
+}
+
+impl ClassificationDatabase {
+    /// Creates an empty CDB.
+    pub fn new(config: CdbConfig) -> Self {
+        ClassificationDatabase {
+            config,
+            records: HashMap::new(),
+            inserts_since_sweep: 0,
+            stats: CdbStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CdbConfig {
+        &self.config
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the CDB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Size in bits under the paper's 194-bit record layout.
+    pub fn size_bits(&self) -> u64 {
+        self.records.len() as u64 * 194
+    }
+
+    /// Churn counters.
+    pub fn stats(&self) -> &CdbStats {
+        &self.stats
+    }
+
+    /// Looks up a flow's label and refreshes its timing (`λ′`,
+    /// `last_seen`). Returns `None` for unknown flows and for records
+    /// expired by the reclassification TTL (which are removed).
+    pub fn lookup(&mut self, id: &FlowId, now: f64) -> Option<FileClass> {
+        if let Some(ttl) = self.config.reclassify_after {
+            if let Some(rec) = self.records.get(id) {
+                if now - rec.classified_at > ttl {
+                    self.records.remove(id);
+                    self.stats.removed_by_ttl += 1;
+                    return None;
+                }
+            }
+        }
+        let rec = self.records.get_mut(id)?;
+        let iat = (now - rec.last_seen).max(0.0);
+        rec.last_iat = Some(iat);
+        rec.last_seen = now;
+        Some(rec.label)
+    }
+
+    /// Inserts a freshly classified flow and runs the periodic
+    /// obsolescence sweep when due. Returns how many records the sweep
+    /// removed (0 when no sweep ran).
+    pub fn insert(&mut self, id: FlowId, label: FileClass, now: f64) -> usize {
+        self.records.insert(
+            id,
+            CdbRecord { label, last_seen: now, last_iat: None, classified_at: now },
+        );
+        self.stats.inserted += 1;
+        self.stats.peak_size = self.stats.peak_size.max(self.records.len());
+        self.inserts_since_sweep += 1;
+        if self.inserts_since_sweep >= self.config.purge_trigger {
+            self.inserts_since_sweep = 0;
+            self.purge_obsolete(now)
+        } else {
+            0
+        }
+    }
+
+    /// Removes the record for a flow that sent FIN or RST. Returns
+    /// whether a record existed.
+    pub fn remove_on_close(&mut self, id: &FlowId) -> bool {
+        let existed = self.records.remove(id).is_some();
+        if existed {
+            self.stats.removed_by_close += 1;
+        }
+        existed
+    }
+
+    /// Removes every obsolete flow: `now − last_seen > n·λ′` (with the
+    /// default `λ` for single-packet flows). Returns the number removed.
+    /// No-op when `config.n` is `None`.
+    pub fn purge_obsolete(&mut self, now: f64) -> usize {
+        let Some(n) = self.config.n else {
+            return 0;
+        };
+        let default_lambda = self.config.default_lambda;
+        let before = self.records.len();
+        self.records.retain(|_, rec| {
+            let lambda = rec.last_iat.unwrap_or(default_lambda);
+            now - rec.last_seen <= n * lambda.max(1e-6)
+        });
+        let removed = before - self.records.len();
+        self.stats.removed_by_timeout += removed as u64;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(byte: u8) -> FlowId {
+        FlowId([byte; 20])
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        cdb.insert(id(1), FileClass::Text, 1.0);
+        assert_eq!(cdb.lookup(&id(1), 1.5), Some(FileClass::Text));
+        assert_eq!(cdb.lookup(&id(2), 1.5), None);
+        assert_eq!(cdb.len(), 1);
+        assert_eq!(cdb.size_bits(), 194);
+    }
+
+    #[test]
+    fn lookup_updates_lambda_prime() {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        cdb.insert(id(1), FileClass::Binary, 0.0);
+        cdb.lookup(&id(1), 0.25);
+        cdb.lookup(&id(1), 0.35);
+        // λ′ = 0.1 now; obsolete when idle > n·λ′ = 0.4
+        assert_eq!(cdb.purge_obsolete(0.70), 0);
+        assert_eq!(cdb.purge_obsolete(0.80), 1);
+        assert!(cdb.is_empty());
+        assert_eq!(cdb.stats().removed_by_timeout, 1);
+    }
+
+    #[test]
+    fn single_packet_flows_use_default_lambda() {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        cdb.insert(id(1), FileClass::Text, 0.0);
+        // default λ = 0.5, n = 4 → obsolete after 2 s idle
+        assert_eq!(cdb.purge_obsolete(1.9), 0);
+        assert_eq!(cdb.purge_obsolete(2.1), 1);
+    }
+
+    #[test]
+    fn close_removal_counts() {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        cdb.insert(id(1), FileClass::Text, 0.0);
+        assert!(cdb.remove_on_close(&id(1)));
+        assert!(!cdb.remove_on_close(&id(1)));
+        assert_eq!(cdb.stats().removed_by_close, 1);
+    }
+
+    #[test]
+    fn purge_disabled_keeps_records() {
+        let mut cdb =
+            ClassificationDatabase::new(CdbConfig { n: None, ..CdbConfig::default() });
+        cdb.insert(id(1), FileClass::Text, 0.0);
+        assert_eq!(cdb.purge_obsolete(1e9), 0);
+        assert_eq!(cdb.len(), 1);
+    }
+
+    #[test]
+    fn sweep_triggers_every_n_inserts() {
+        let config = CdbConfig { purge_trigger: 10, ..CdbConfig::default() };
+        let mut cdb = ClassificationDatabase::new(config);
+        // Insert 9 stale flows at t=0; the 10th insert at t=100 sweeps.
+        for b in 0..9u8 {
+            cdb.insert(id(b), FileClass::Text, 0.0);
+        }
+        assert_eq!(cdb.len(), 9);
+        let removed = cdb.insert(id(9), FileClass::Text, 100.0);
+        assert_eq!(removed, 9);
+        assert_eq!(cdb.len(), 1);
+    }
+
+    #[test]
+    fn reclassification_ttl_expires_records() {
+        let config = CdbConfig { reclassify_after: Some(5.0), ..CdbConfig::default() };
+        let mut cdb = ClassificationDatabase::new(config);
+        cdb.insert(id(1), FileClass::Encrypted, 0.0);
+        assert_eq!(cdb.lookup(&id(1), 4.0), Some(FileClass::Encrypted));
+        assert_eq!(cdb.lookup(&id(1), 6.0), None, "TTL expired → reclassify");
+        assert_eq!(cdb.stats().removed_by_ttl, 1);
+    }
+
+    #[test]
+    fn flow_id_of_tuple_is_stable_and_distinct() {
+        use std::net::Ipv4Addr;
+        let a = FiveTuple::tcp(Ipv4Addr::new(1, 2, 3, 4), 10, Ipv4Addr::new(5, 6, 7, 8), 80);
+        let b = FiveTuple::tcp(Ipv4Addr::new(1, 2, 3, 4), 11, Ipv4Addr::new(5, 6, 7, 8), 80);
+        assert_eq!(FlowId::of_tuple(&a), FlowId::of_tuple(&a));
+        assert_ne!(FlowId::of_tuple(&a), FlowId::of_tuple(&b));
+        assert_eq!(FlowId::of_tuple(&a).to_string().len(), 40);
+    }
+
+    #[test]
+    fn peak_size_tracked() {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        for b in 0..5u8 {
+            cdb.insert(id(b), FileClass::Binary, 0.0);
+        }
+        cdb.remove_on_close(&id(0));
+        assert_eq!(cdb.stats().peak_size, 5);
+        assert_eq!(cdb.len(), 4);
+    }
+}

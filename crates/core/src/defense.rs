@@ -1,0 +1,180 @@
+//! Adversarial padding and the two defenses of §4.6.
+//!
+//! An attacker who knows that Iustitia classifies the first `b` bytes of
+//! a flow can prepend "deceiving padding" — e.g. encrypted-looking bytes
+//! in front of a binary exploit payload — to land the flow in a queue
+//! with laxer inspection. The paper proposes two mitigations:
+//!
+//! 1. **Random skip** — buffer begins at a random offset in `[0, T]`
+//!    ([`crate::pipeline::HeaderPolicy::RandomSkip`]), so the attacker
+//!    cannot know which bytes are scored.
+//! 2. **Periodic reclassification** — CDB records expire after a TTL
+//!    ([`crate::cdb::CdbConfig::reclassify_after`]), so a long-lived
+//!    flow is eventually re-scored on its *current* content.
+//!
+//! This module provides the attacker side so the defenses can be
+//! evaluated end-to-end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use iustitia_corpus::FileClass;
+
+/// Builds an adversarial flow: `padding_len` bytes imitating
+/// `decoy_class`, followed by the true payload.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia::defense::pad_flow;
+/// use iustitia_corpus::FileClass;
+///
+/// let true_payload = vec![0x90u8; 100]; // NOP sled (binary)
+/// let flow = pad_flow(&true_payload, FileClass::Encrypted, 64, 1);
+/// assert_eq!(flow.len(), 164);
+/// assert_eq!(&flow[64..], &true_payload[..]);
+/// ```
+pub fn pad_flow(payload: &[u8], decoy_class: FileClass, padding_len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = iustitia_corpus::generate_file(decoy_class, padding_len, &mut rng);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Probability that a random-skip defense with threshold `t_max` starts
+/// the buffer beyond `padding_len` bytes of decoy padding (i.e. the
+/// classifier scores true content). Uniform skip in `[0, t_max]`.
+pub fn skip_evasion_probability(padding_len: usize, t_max: usize) -> f64 {
+    if t_max == 0 {
+        return if padding_len == 0 { 1.0 } else { 0.0 };
+    }
+    if padding_len > t_max {
+        // Skip can never clear the padding entirely; partial credit is
+        // ignored in this conservative bound.
+        return 0.0;
+    }
+    (t_max - padding_len + 1) as f64 / (t_max + 1) as f64
+}
+
+/// A simple padding attacker model for experiments: draws padding
+/// lengths and decoy classes.
+#[derive(Debug, Clone)]
+pub struct PaddingAttacker {
+    rng: StdRng,
+    /// Maximum padding the attacker is willing to waste per flow.
+    pub max_padding: usize,
+    /// The class the attacker imitates.
+    pub decoy: FileClass,
+}
+
+impl PaddingAttacker {
+    /// Creates an attacker imitating `decoy` with paddings up to
+    /// `max_padding` bytes.
+    pub fn new(decoy: FileClass, max_padding: usize, seed: u64) -> Self {
+        PaddingAttacker { rng: StdRng::seed_from_u64(seed), max_padding, decoy }
+    }
+
+    /// Produces one adversarial flow for the given true payload.
+    pub fn attack(&mut self, payload: &[u8]) -> Vec<u8> {
+        let len = self.rng.gen_range(0..=self.max_padding);
+        let seed = self.rng.gen();
+        pad_flow(payload, self.decoy, len, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelKind, NatureModel};
+    use crate::pipeline::{HeaderPolicy, Iustitia, PipelineConfig, Verdict};
+    #[allow(unused_imports)]
+    use iustitia_ml::Dataset;
+    use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn trained_model(b: usize) -> NatureModel {
+        let corpus = iustitia_corpus::CorpusBuilder::new(44)
+            .files_per_class(40)
+            .size_range(1024, 4096)
+            .build();
+        crate::model::train_from_corpus(
+            &corpus,
+            &iustitia_entropy::FeatureWidths::svm_selected(),
+            crate::features::TrainingMethod::Prefix { b },
+            crate::features::FeatureMode::Exact,
+            &ModelKind::paper_cart(),
+            44,
+        )
+    }
+
+    fn text_payload(n: usize) -> Vec<u8> {
+        b"dear sir, please find the attached invoice for your records. "
+            .iter()
+            .cycle()
+            .take(n)
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn padding_deceives_naive_pipeline() {
+        // Text flow fronted by encrypted padding → misclassified
+        // encrypted under HeaderPolicy::None.
+        let mut ius = Iustitia::new(trained_model(32), PipelineConfig::headline(1));
+        let adversarial = pad_flow(&text_payload(400), FileClass::Encrypted, 64, 9);
+        let p = Packet {
+            timestamp: 0.0,
+            tuple: FiveTuple::tcp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 80),
+            flags: TcpFlags::ACK,
+            payload: adversarial,
+        };
+        assert_eq!(ius.process_packet(&p), Verdict::Classified(FileClass::Encrypted));
+    }
+
+    #[test]
+    fn random_skip_defeats_short_padding_often() {
+        // With T = 512 and 64 bytes of padding, most skips land in true
+        // content: P = (512-64+1)/513 ≈ 0.875.
+        let mut defended = 0;
+        for seed in 0..40u64 {
+            let config = PipelineConfig {
+                buffer_size: 64,
+                header_policy: HeaderPolicy::RandomSkip { t_max: 512 },
+                ..PipelineConfig::headline(seed)
+            };
+            let mut ius = Iustitia::new(trained_model(64), config);
+            let adversarial = pad_flow(&text_payload(800), FileClass::Encrypted, 64, seed);
+            let p = Packet {
+                timestamp: 0.0,
+                tuple: FiveTuple::tcp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 80),
+                flags: TcpFlags::ACK,
+                payload: adversarial,
+            };
+            if ius.process_packet(&p) == Verdict::Classified(FileClass::Text) {
+                defended += 1;
+            }
+        }
+        assert!(defended >= 25, "defended {defended}/40");
+    }
+
+    #[test]
+    fn evasion_probability_formula() {
+        assert_eq!(skip_evasion_probability(0, 0), 1.0);
+        assert_eq!(skip_evasion_probability(10, 0), 0.0);
+        assert_eq!(skip_evasion_probability(600, 512), 0.0);
+        let p = skip_evasion_probability(64, 512);
+        assert!((p - 449.0 / 513.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attacker_varies_padding() {
+        let mut attacker = PaddingAttacker::new(FileClass::Encrypted, 128, 3);
+        let payload = text_payload(64);
+        let flows: Vec<Vec<u8>> = (0..10).map(|_| attacker.attack(&payload)).collect();
+        let lens: std::collections::HashSet<usize> = flows.iter().map(|f| f.len()).collect();
+        assert!(lens.len() > 3, "padding lengths should vary");
+        for f in &flows {
+            assert!(f.ends_with(&payload));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Feature extraction: turning payload bytes into entropy vectors, and
+//! building labeled datasets from a file corpus under the paper's three
+//! training regimes (§4.2–4.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use iustitia_corpus::LabeledFile;
+use iustitia_entropy::{
+    EntropyVector, EstimatorConfig, FeatureWidths, StreamingEntropyEstimator,
+};
+use iustitia_ml::Dataset;
+
+/// How entropy features are computed from a buffer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureMode {
+    /// Exact per-gram counting (Formula 1).
+    Exact,
+    /// `(δ,ε)`-approximate streaming estimation for `k ≥ 2`, exact
+    /// `h_1` (§4.4).
+    Estimated(EstimatorConfig),
+}
+
+/// Extracts entropy-vector features from payload buffers.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia::features::{FeatureExtractor, FeatureMode};
+/// use iustitia_entropy::FeatureWidths;
+///
+/// let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
+/// let features = fx.extract(b"GET /index.html HTTP/1.1 and some more text");
+/// assert_eq!(features.len(), 4);
+/// assert!(features.iter().all(|h| (0.0..=1.0).contains(h)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    widths: FeatureWidths,
+    mode: FeatureMode,
+    estimator: Option<StreamingEntropyEstimator>,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor. `seed` feeds the estimator's sampling RNG
+    /// (unused in [`FeatureMode::Exact`]).
+    pub fn new(widths: FeatureWidths, mode: FeatureMode, seed: u64) -> Self {
+        let estimator = match &mode {
+            FeatureMode::Exact => None,
+            FeatureMode::Estimated(cfg) => Some(StreamingEntropyEstimator::with_seed(*cfg, seed)),
+        };
+        FeatureExtractor { widths, mode, estimator }
+    }
+
+    /// The feature widths this extractor produces.
+    pub fn widths(&self) -> &FeatureWidths {
+        &self.widths
+    }
+
+    /// The feature mode.
+    pub fn mode(&self) -> &FeatureMode {
+        &self.mode
+    }
+
+    /// Computes the feature vector of `payload`.
+    pub fn extract(&mut self, payload: &[u8]) -> Vec<f64> {
+        match &mut self.estimator {
+            None => EntropyVector::compute(payload, &self.widths).into_values(),
+            Some(est) => est.estimate_vector(payload, &self.widths),
+        }
+    }
+
+    /// Counters used per flow: exact counting needs one counter per
+    /// distinct gram (reported per-buffer), the sketch needs the fixed
+    /// `g·z` budget (§4.4, Formula 3).
+    pub fn counters_for_buffer(&self, payload: &[u8]) -> usize {
+        match (&self.mode, &self.estimator) {
+            (FeatureMode::Exact, _) => self
+                .widths
+                .iter()
+                .map(|k| iustitia_entropy::GramHistogram::from_bytes(payload, k).counters_used())
+                .sum(),
+            (FeatureMode::Estimated(_), Some(est)) => {
+                // h1 is still counted exactly (256-counter dense table).
+                let h1 = if self.widths.iter().any(|k| k == 1) { 256 } else { 0 };
+                h1 + est.total_counters(&self.widths, payload.len())
+            }
+            (FeatureMode::Estimated(_), None) => unreachable!("estimator exists in Estimated mode"),
+        }
+    }
+}
+
+/// The three ways of deriving training vectors from a corpus file
+/// (§4.2–4.3).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TrainingMethod {
+    /// `H_F`: entropy vector of the *entire* file.
+    WholeFile,
+    /// `H_b`: entropy vector of the first `b` bytes.
+    Prefix {
+        /// Buffer size `b`.
+        b: usize,
+    },
+    /// `H_b′`: `b` consecutive bytes starting at a random offset in
+    /// `[0, T]` — models an unknown application header of length ≤ `T`.
+    RandomOffsetPrefix {
+        /// Buffer size `b`.
+        b: usize,
+        /// Maximum header length `T`.
+        t_max: usize,
+    },
+}
+
+/// Builds a labeled [`Dataset`] of entropy vectors from corpus files.
+///
+/// `seed` drives the random offsets of
+/// [`TrainingMethod::RandomOffsetPrefix`] and the estimator sampling if
+/// `mode` is estimated.
+pub fn dataset_from_corpus(
+    files: &[LabeledFile],
+    widths: &FeatureWidths,
+    method: TrainingMethod,
+    mode: FeatureMode,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fx = FeatureExtractor::new(widths.clone(), mode, seed ^ 0x0F1CE);
+    let mut ds = Dataset::new(widths.len(), iustitia_corpus::FileClass::names());
+    for file in files {
+        let slice: &[u8] = match method {
+            TrainingMethod::WholeFile => &file.data,
+            TrainingMethod::Prefix { b } => &file.data[..b.min(file.data.len())],
+            TrainingMethod::RandomOffsetPrefix { b, t_max } => {
+                let max_start = t_max.min(file.data.len().saturating_sub(1));
+                let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+                let end = (start + b).min(file.data.len());
+                &file.data[start..end]
+            }
+        };
+        ds.push(fx.extract(slice), file.class.index());
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iustitia_corpus::{CorpusBuilder, FileClass};
+
+    fn small_corpus() -> Vec<LabeledFile> {
+        CorpusBuilder::new(3).files_per_class(6).size_range(2048, 4096).build()
+    }
+
+    #[test]
+    fn exact_extractor_matches_entropy_vector() {
+        let widths = FeatureWidths::full();
+        let mut fx = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0);
+        let data = b"some sample payload with words and structure";
+        let got = fx.extract(data);
+        let want = iustitia_entropy::entropy_vector(data, widths.as_slice());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn estimated_extractor_within_tolerance() {
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::new(0.25, 0.25).expect("valid");
+        let mut exact = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0);
+        let mut est = FeatureExtractor::new(widths.clone(), FeatureMode::Estimated(cfg), 7);
+        let data: Vec<u8> = (0..2048u32).map(|i| (i.wrapping_mul(2654435761) >> 18) as u8).collect();
+        let e = exact.extract(&data);
+        let a = est.extract(&data);
+        // h1 is computed exactly in both modes, but HashMap iteration
+        // order perturbs float summation at the last ulp.
+        assert!((e[0] - a[0]).abs() < 1e-12, "h1 must be exact in both modes");
+        for (x, y) in e.iter().zip(&a).skip(1) {
+            assert!((x - y).abs() < 0.2, "exact={x} est={y}");
+        }
+    }
+
+    #[test]
+    fn estimated_mode_uses_fewer_counters_at_1k() {
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::svm_optimal();
+        let exact = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0);
+        let est = FeatureExtractor::new(widths.clone(), FeatureMode::Estimated(cfg), 0);
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(97)) as u8).collect();
+        let c_exact = exact.counters_for_buffer(&data);
+        let c_est = est.counters_for_buffer(&data);
+        assert!(c_est < c_exact, "est={c_est} exact={c_exact}");
+    }
+
+    #[test]
+    fn dataset_has_one_row_per_file() {
+        let corpus = small_corpus();
+        let ds = dataset_from_corpus(
+            &corpus,
+            &FeatureWidths::cart_selected(),
+            TrainingMethod::WholeFile,
+            FeatureMode::Exact,
+            1,
+        );
+        assert_eq!(ds.len(), corpus.len());
+        assert_eq!(ds.n_features(), 4);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn prefix_method_uses_only_first_b_bytes() {
+        let corpus = small_corpus();
+        let b = 64;
+        let ds = dataset_from_corpus(
+            &corpus,
+            &FeatureWidths::new(vec![1]),
+            TrainingMethod::Prefix { b },
+            FeatureMode::Exact,
+            1,
+        );
+        for (i, file) in corpus.iter().enumerate() {
+            let expect = iustitia_entropy::entropy(&file.data[..b.min(file.data.len())], 1);
+            assert_eq!(ds.features(i)[0], expect);
+        }
+    }
+
+    #[test]
+    fn random_offset_is_deterministic_per_seed() {
+        let corpus = small_corpus();
+        let method = TrainingMethod::RandomOffsetPrefix { b: 32, t_max: 512 };
+        let a = dataset_from_corpus(&corpus, &FeatureWidths::new(vec![1, 2]), method, FeatureMode::Exact, 5);
+        let b = dataset_from_corpus(&corpus, &FeatureWidths::new(vec![1, 2]), method, FeatureMode::Exact, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_offset_random_prefix_equals_plain_prefix() {
+        let corpus = small_corpus();
+        let widths = FeatureWidths::new(vec![1, 2]);
+        let a = dataset_from_corpus(
+            &corpus, &widths, TrainingMethod::RandomOffsetPrefix { b: 48, t_max: 0 },
+            FeatureMode::Exact, 3,
+        );
+        let b = dataset_from_corpus(
+            &corpus, &widths, TrainingMethod::Prefix { b: 48 }, FeatureMode::Exact, 3,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extractor_accessors() {
+        let fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
+        assert_eq!(fx.widths().len(), 4);
+        assert_eq!(*fx.mode(), FeatureMode::Exact);
+    }
+
+    #[test]
+    fn empty_payload_extracts_zero_vector() {
+        let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
+        assert_eq!(fx.extract(b""), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn classes_remain_separable_from_prefixes() {
+        // Hypothesis 2 consequence: even 64-byte prefixes should order
+        // text < encrypted on h1 for most files.
+        let corpus = CorpusBuilder::new(11).files_per_class(12).size_range(4096, 8192).build();
+        let ds = dataset_from_corpus(
+            &corpus,
+            &FeatureWidths::new(vec![1]),
+            TrainingMethod::Prefix { b: 64 },
+            FeatureMode::Exact,
+            2,
+        );
+        let mean = |class: FileClass| {
+            let rows: Vec<f64> = ds
+                .iter()
+                .filter(|(_, y)| *y == class.index())
+                .map(|(x, _)| x[0])
+                .collect();
+            rows.iter().sum::<f64>() / rows.len() as f64
+        };
+        assert!(mean(FileClass::Text) < mean(FileClass::Encrypted));
+    }
+}

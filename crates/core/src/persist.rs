@@ -1,0 +1,175 @@
+//! Trained-model persistence.
+//!
+//! Training the paper's SVM takes minutes of CPU at full corpus scale;
+//! a deployment (Figure 1's *online process*) should load the finished
+//! model in milliseconds instead. Models serialize to JSON — large for
+//! an SVM with many support vectors, but auditable and stable across
+//! versions of this crate's internals that keep the same shape.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::model::NatureModel;
+
+/// Errors from saving or loading a model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The file exists but does not parse as a model.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file i/o failed: {e}"),
+            PersistError::Format(e) => write!(f, "model file is not a valid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+impl NatureModel {
+    /// Serializes the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Format`] if serialization fails (which
+    /// only happens on pathological float values).
+    pub fn to_json(&self) -> Result<String, PersistError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Deserializes a model from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Format`] on malformed input.
+    pub fn from_json(json: &str) -> Result<NatureModel, PersistError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failures.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// # use iustitia::model::{ModelKind, NatureModel};
+    /// # use iustitia_ml::Dataset;
+    /// # let mut ds = Dataset::new(1, iustitia_corpus::FileClass::names());
+    /// # for i in 0..9 { ds.push(vec![i as f64], i % 3); }
+    /// # let model = NatureModel::train(&ds, &ModelKind::paper_cart());
+    /// model.save("iustitia-model.json")?;
+    /// let restored = NatureModel::load("iustitia-model.json")?;
+    /// # Ok::<(), iustitia::persist::PersistError>(())
+    /// ```
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads a model back from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the file cannot be read and
+    /// [`PersistError::Format`] if it does not contain a valid model.
+    pub fn load(path: impl AsRef<Path>) -> Result<NatureModel, PersistError> {
+        NatureModel::from_json(&fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use iustitia_corpus::FileClass;
+    use iustitia_ml::svm::{Kernel, SvmParams};
+    use iustitia_ml::Dataset;
+
+    fn toy_dataset() -> Dataset {
+        let mut ds = Dataset::new(2, FileClass::names());
+        for i in 0..30 {
+            let x = i as f64 / 30.0;
+            ds.push(vec![0.2 + x * 0.1, 0.1], 0);
+            ds.push(vec![0.5 + x * 0.1, 0.5], 1);
+            ds.push(vec![0.8 + x * 0.1, 0.9], 2);
+        }
+        ds
+    }
+
+    #[test]
+    fn cart_round_trips_through_json() {
+        let ds = toy_dataset();
+        let model = NatureModel::train(&ds, &ModelKind::paper_cart());
+        let json = model.to_json().expect("serializable");
+        let restored = NatureModel::from_json(&json).expect("parseable");
+        assert_eq!(model, restored);
+        for (x, _) in ds.iter() {
+            assert_eq!(model.predict(x), restored.predict(x));
+        }
+    }
+
+    #[test]
+    fn svm_round_trips_through_json() {
+        let ds = toy_dataset();
+        let params = SvmParams { c: 10.0, kernel: Kernel::Rbf { gamma: 5.0 }, ..Default::default() };
+        let model = NatureModel::train(&ds, &ModelKind::Svm(params));
+        let restored = NatureModel::from_json(&model.to_json().expect("ok")).expect("ok");
+        for (x, _) in ds.iter() {
+            assert_eq!(model.predict(x), restored.predict(x));
+        }
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join(format!("iustitia-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("model.json");
+        let model = NatureModel::train(&toy_dataset(), &ModelKind::paper_cart());
+        model.save(&path).expect("save");
+        let restored = NatureModel::load(&path).expect("load");
+        assert_eq!(model, restored);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = NatureModel::load("/definitely/not/here.json").expect_err("missing");
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn load_garbage_is_format_error() {
+        let err = NatureModel::from_json("{not json").expect_err("garbage");
+        assert!(matches!(err, PersistError::Format(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,587 @@
+//! The online classification pipeline of Figure 1.
+//!
+//! Per packet: hash the header into a flow ID, look the flow up in the
+//! [CDB](crate::cdb); on a hit, forward to the flow's output queue.
+//! Otherwise buffer the payload; once `b` bytes (plus any header
+//! allowance) have accumulated — or the flow goes idle — extract the
+//! entropy vector, classify, store the label in the CDB, and drain the
+//! buffer to the right queue. FIN/RST packets remove CDB records.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use iustitia_corpus::{strip_application_header, FileClass};
+use iustitia_netsim::Packet;
+
+use crate::cdb::{CdbConfig, ClassificationDatabase, FlowId};
+use crate::features::{FeatureExtractor, FeatureMode};
+use crate::model::NatureModel;
+use iustitia_entropy::FeatureWidths;
+
+/// How application-layer headers are handled before classification
+/// (§4.3 and the §4.6 padding defense).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum HeaderPolicy {
+    /// Classify from the first payload byte (header-free deployments:
+    /// FTP-data, most P2P transfer flows).
+    None,
+    /// Strip recognized HTTP/SMTP/POP3/IMAP headers by signature; for
+    /// unrecognized flows fall back to skipping `t` bytes (the paper's
+    /// threshold `T` policy for unknown headers).
+    StripKnown {
+        /// Fallback threshold `T` for unknown applications.
+        t: usize,
+    },
+    /// Always treat byte `t + 1` as the start of the flow.
+    SkipThreshold {
+        /// Threshold `T`.
+        t: usize,
+    },
+    /// Defense: skip a *random* number of bytes in `[0, t_max]` so an
+    /// attacker cannot know which bytes will be classified.
+    RandomSkip {
+        /// Maximum skip `T`.
+        t_max: usize,
+    },
+}
+
+impl HeaderPolicy {
+    /// Extra bytes that must be buffered beyond `b` to cover the
+    /// largest possible header/skip.
+    pub fn allowance(&self) -> usize {
+        match *self {
+            HeaderPolicy::None => 0,
+            HeaderPolicy::StripKnown { t } => t,
+            HeaderPolicy::SkipThreshold { t } => t,
+            HeaderPolicy::RandomSkip { t_max } => t_max,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PipelineConfig {
+    /// Classification buffer size `b` in bytes (paper: 32 for
+    /// header-free flows, 1024+ with header handling).
+    pub buffer_size: usize,
+    /// Entropy-vector feature widths (must match the trained model).
+    pub widths: FeatureWidths,
+    /// Exact or `(δ,ε)`-estimated features.
+    pub mode: FeatureMode,
+    /// Header handling.
+    pub header_policy: HeaderPolicy,
+    /// CDB policy.
+    pub cdb: CdbConfig,
+    /// Classify a partially filled buffer after this much idle time
+    /// (the paper classifies "when the buffer of a flow is full" or
+    /// "stops receiving packets for a certain period").
+    pub idle_timeout: f64,
+    /// RNG seed (random skip offsets, estimator sampling).
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The paper's headline operating point: `b = 32`, exact entropy
+    /// vectors over `φ′_SVM`, no header handling.
+    pub fn headline(seed: u64) -> Self {
+        PipelineConfig {
+            buffer_size: 32,
+            widths: FeatureWidths::svm_selected(),
+            mode: FeatureMode::Exact,
+            header_policy: HeaderPolicy::None,
+            cdb: CdbConfig::default(),
+            idle_timeout: 5.0,
+            seed,
+        }
+    }
+}
+
+/// What the pipeline did with one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// CDB hit — forwarded straight to the labeled queue.
+    Hit(FileClass),
+    /// Unknown flow, payload buffered, classification pending.
+    Buffering,
+    /// This packet completed the buffer; the flow was classified now.
+    Classified(FileClass),
+    /// Control packet (no payload) or close signal — passed through.
+    Ignored,
+}
+
+/// A completed per-flow classification, with the delay-analysis
+/// quantities of §4.5 (`c` packets to fill the buffer, `τ_b` fill
+/// time).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClassifiedFlow {
+    /// Flow ID.
+    pub id: FlowId,
+    /// Assigned label.
+    pub label: FileClass,
+    /// Number of data packets needed to fill the buffer (`c`).
+    pub packets: u32,
+    /// Buffer fill time `τ_b` (first data packet → classification).
+    pub fill_time: f64,
+    /// Bytes that were in the buffer when classified.
+    pub buffered_bytes: usize,
+}
+
+#[derive(Debug)]
+struct FlowBuffer {
+    data: Vec<u8>,
+    first_ts: f64,
+    last_ts: f64,
+    packets: u32,
+    skip: usize,
+}
+
+/// Throughput counters for the three output queues plus pass-through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QueueCounters {
+    /// Data packets forwarded per class queue `[text, binary, encrypted]`.
+    pub forwarded: [u64; 3],
+    /// Data packets held in flow buffers awaiting classification.
+    pub buffered: u64,
+    /// Control/close packets passed through unclassified.
+    pub passed_through: u64,
+}
+
+/// The Iustitia online classifier (Figure 1's left half).
+///
+/// # Examples
+///
+/// ```
+/// use iustitia::features::{FeatureMode, TrainingMethod};
+/// use iustitia::model::{train_from_corpus, ModelKind};
+/// use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+/// use iustitia_corpus::CorpusBuilder;
+/// use iustitia_entropy::FeatureWidths;
+/// use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
+/// use std::net::Ipv4Addr;
+///
+/// // Offline: train on 32-byte prefixes of a labeled corpus.
+/// let corpus = CorpusBuilder::new(1).files_per_class(20).size_range(512, 2048).build();
+/// let model = train_from_corpus(
+///     &corpus,
+///     &FeatureWidths::svm_selected(),
+///     TrainingMethod::Prefix { b: 32 },
+///     FeatureMode::Exact,
+///     &ModelKind::paper_cart(),
+///     1,
+/// );
+/// let mut iustitia = Iustitia::new(model, PipelineConfig::headline(1));
+///
+/// // Online: the first data packet already carries ≥ 32 bytes.
+/// let tuple = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), 9999, Ipv4Addr::new(10, 0, 0, 2), 443);
+/// let packet = Packet {
+///     timestamp: 0.0,
+///     tuple,
+///     flags: TcpFlags::ACK,
+///     payload: b"the cat sat on the mat and then sat again onward".to_vec(),
+/// };
+/// assert!(matches!(iustitia.process_packet(&packet), Verdict::Classified(_)));
+/// ```
+#[derive(Debug)]
+pub struct Iustitia {
+    config: PipelineConfig,
+    model: NatureModel,
+    cdb: ClassificationDatabase,
+    buffers: HashMap<FlowId, FlowBuffer>,
+    extractor: FeatureExtractor,
+    rng: StdRng,
+    queues: QueueCounters,
+    log: Vec<ClassifiedFlow>,
+}
+
+impl Iustitia {
+    /// Builds a pipeline around a trained model.
+    pub fn new(model: NatureModel, config: PipelineConfig) -> Self {
+        let extractor =
+            FeatureExtractor::new(config.widths.clone(), config.mode.clone(), config.seed);
+        let cdb = ClassificationDatabase::new(config.cdb);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xDEFE45E);
+        Iustitia {
+            config,
+            model,
+            cdb,
+            buffers: HashMap::new(),
+            extractor,
+            rng,
+            queues: QueueCounters::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The classification database (read access for monitoring).
+    pub fn cdb(&self) -> &ClassificationDatabase {
+        &self.cdb
+    }
+
+    /// Output-queue counters.
+    pub fn queues(&self) -> &QueueCounters {
+        &self.queues
+    }
+
+    /// Number of flows currently buffering (pre-classification).
+    pub fn pending_flows(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Drains the per-flow classification log (each entry carries the
+    /// `c` and `τ_b` quantities of the delay analysis).
+    pub fn take_log(&mut self) -> Vec<ClassifiedFlow> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Total bytes to buffer before classifying: `b` plus the header
+    /// allowance.
+    pub fn buffer_capacity(&self) -> usize {
+        self.config.buffer_size + self.config.header_policy.allowance()
+    }
+
+    /// Processes one packet, returning what happened to it.
+    pub fn process_packet(&mut self, packet: &Packet) -> Verdict {
+        let id = FlowId::of_tuple(&packet.tuple);
+        let now = packet.timestamp;
+
+        if packet.flags.closes_flow() {
+            self.cdb.remove_on_close(&id);
+            // A close while still buffering classifies what we have.
+            if self.buffers.contains_key(&id) {
+                self.classify_flow(id, now);
+            }
+            self.queues.passed_through += 1;
+            return Verdict::Ignored;
+        }
+        if !packet.is_data() {
+            self.queues.passed_through += 1;
+            return Verdict::Ignored;
+        }
+
+        if let Some(label) = self.cdb.lookup(&id, now) {
+            self.queues.forwarded[label.index()] += 1;
+            return Verdict::Hit(label);
+        }
+
+        // Buffer the payload.
+        let capacity = self.buffer_capacity();
+        let skip = match self.config.header_policy {
+            HeaderPolicy::RandomSkip { t_max } => self.rng.gen_range(0..=t_max),
+            _ => 0,
+        };
+        let buf = self.buffers.entry(id).or_insert_with(|| FlowBuffer {
+            data: Vec::with_capacity(capacity.min(4096)),
+            first_ts: now,
+            last_ts: now,
+            packets: 0,
+            skip,
+        });
+        let room = capacity.saturating_sub(buf.data.len());
+        buf.data.extend_from_slice(&packet.payload[..room.min(packet.payload.len())]);
+        buf.packets += 1;
+        buf.last_ts = now;
+        self.queues.buffered += 1;
+
+        if buf.data.len() >= capacity {
+            let label = self.classify_flow(id, now).expect("buffer exists");
+            Verdict::Classified(label)
+        } else {
+            Verdict::Buffering
+        }
+    }
+
+    /// Classifies every flow whose buffer has been idle longer than the
+    /// configured timeout (call periodically with the current time).
+    /// Returns the number of flows classified.
+    pub fn flush_idle(&mut self, now: f64) -> usize {
+        let idle: Vec<FlowId> = self
+            .buffers
+            .iter()
+            .filter(|(_, b)| now - b.last_ts > self.config.idle_timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let n = idle.len();
+        for id in idle {
+            self.classify_flow(id, now);
+        }
+        n
+    }
+
+    /// Classifies and evicts one buffered flow (used by full-buffer,
+    /// idle, and close paths).
+    fn classify_flow(&mut self, id: FlowId, now: f64) -> Option<FileClass> {
+        let buf = self.buffers.remove(&id)?;
+        let payload = self.effective_payload(&buf);
+        if payload.is_empty() {
+            return None;
+        }
+        let features = self.extractor.extract(payload);
+        let label = self.model.predict(&features);
+        self.cdb.insert(id, label, now);
+        self.queues.forwarded[label.index()] += buf.packets as u64;
+        self.log.push(ClassifiedFlow {
+            id,
+            label,
+            packets: buf.packets,
+            fill_time: buf.last_ts - buf.first_ts,
+            buffered_bytes: buf.data.len(),
+        });
+        Some(label)
+    }
+
+    /// Applies the header policy to a buffered prefix, yielding the `b`
+    /// bytes that the entropy vector is computed over.
+    fn effective_payload<'a>(&self, buf: &'a FlowBuffer) -> &'a [u8] {
+        let b = self.config.buffer_size;
+        let data = &buf.data[..];
+        let start = match self.config.header_policy {
+            HeaderPolicy::None => 0,
+            HeaderPolicy::SkipThreshold { t } => t.min(data.len()),
+            HeaderPolicy::RandomSkip { .. } => buf.skip.min(data.len()),
+            HeaderPolicy::StripKnown { t } => match strip_application_header(data) {
+                Some((_, offset)) => offset.min(data.len()),
+                None => t.min(data.len()),
+            },
+        };
+        let end = (start + b).min(data.len());
+        &data[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iustitia_netsim::{FiveTuple, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    /// A CART model trained on `b`-byte prefixes of a real synthetic
+    /// corpus, so its decision bands match what `b`-byte buffers can
+    /// actually produce (h1 of a 32-byte window is capped at
+    /// log2(32)/8 ≈ 0.625).
+    fn trained_model(b: usize) -> NatureModel {
+        let corpus =
+            iustitia_corpus::CorpusBuilder::new(33).files_per_class(40).size_range(1024, 4096).build();
+        crate::model::train_from_corpus(
+            &corpus,
+            &iustitia_entropy::FeatureWidths::svm_selected(),
+            crate::features::TrainingMethod::Prefix { b },
+            crate::features::FeatureMode::Exact,
+            &crate::model::ModelKind::paper_cart(),
+            33,
+        )
+    }
+
+    fn toy_model() -> NatureModel {
+        trained_model(32)
+    }
+
+    fn tuple(port: u16) -> FiveTuple {
+        FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), port, Ipv4Addr::new(10, 0, 0, 2), 443)
+    }
+
+    fn data_packet(port: u16, t: f64, payload: &[u8]) -> Packet {
+        Packet { timestamp: t, tuple: tuple(port), flags: TcpFlags::ACK, payload: payload.to_vec() }
+    }
+
+    fn text_payload(n: usize) -> Vec<u8> {
+        b"the cat sat on the mat and the dog ran off with the hat. "
+            .iter()
+            .cycle()
+            .take(n)
+            .copied()
+            .collect()
+    }
+
+    fn encrypted_payload(n: usize) -> Vec<u8> {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 40) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classifies_when_buffer_fills_then_hits_cdb() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(1));
+        let p1 = data_packet(1000, 0.0, &text_payload(16));
+        assert_eq!(ius.process_packet(&p1), Verdict::Buffering);
+        let p2 = data_packet(1000, 0.1, &text_payload(16));
+        assert_eq!(ius.process_packet(&p2), Verdict::Classified(FileClass::Text));
+        let p3 = data_packet(1000, 0.2, &text_payload(100));
+        assert_eq!(ius.process_packet(&p3), Verdict::Hit(FileClass::Text));
+        assert_eq!(ius.cdb().len(), 1);
+        assert_eq!(ius.pending_flows(), 0);
+        let log = ius.take_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].packets, 2);
+        assert!((log[0].fill_time - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encrypted_flow_labeled_encrypted() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(2));
+        let p = data_packet(2000, 0.0, &encrypted_payload(64));
+        assert_eq!(ius.process_packet(&p), Verdict::Classified(FileClass::Encrypted));
+    }
+
+    #[test]
+    fn control_packets_pass_through() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(3));
+        let syn = Packet { timestamp: 0.0, tuple: tuple(1), flags: TcpFlags::SYN, payload: vec![] };
+        assert_eq!(ius.process_packet(&syn), Verdict::Ignored);
+        assert_eq!(ius.queues().passed_through, 1);
+    }
+
+    #[test]
+    fn fin_removes_cdb_record() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(4));
+        ius.process_packet(&data_packet(1, 0.0, &text_payload(64)));
+        assert_eq!(ius.cdb().len(), 1);
+        let fin = Packet {
+            timestamp: 1.0,
+            tuple: tuple(1),
+            flags: TcpFlags::FIN | TcpFlags::ACK,
+            payload: vec![],
+        };
+        assert_eq!(ius.process_packet(&fin), Verdict::Ignored);
+        assert_eq!(ius.cdb().len(), 0);
+    }
+
+    #[test]
+    fn close_during_buffering_classifies_partial() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(5));
+        ius.process_packet(&data_packet(1, 0.0, &text_payload(16)));
+        assert_eq!(ius.pending_flows(), 1);
+        let rst = Packet { timestamp: 0.5, tuple: tuple(1), flags: TcpFlags::RST, payload: vec![] };
+        ius.process_packet(&rst);
+        assert_eq!(ius.pending_flows(), 0);
+        // Classified from the 16 bytes we had, then removed by the RST
+        // itself? No: close removes CDB record *before* classification
+        // of leftovers inserts it, so the record remains.
+        assert_eq!(ius.take_log().len(), 1);
+    }
+
+    #[test]
+    fn idle_flush_classifies_stalled_flows() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(6));
+        ius.process_packet(&data_packet(1, 0.0, &text_payload(8)));
+        assert_eq!(ius.flush_idle(1.0), 0, "not idle long enough");
+        assert_eq!(ius.flush_idle(10.0), 1);
+        assert_eq!(ius.pending_flows(), 0);
+        assert_eq!(ius.take_log().len(), 1);
+    }
+
+    #[test]
+    fn strip_known_header_classifies_payload_not_header() {
+        let model = trained_model(64);
+        let config = PipelineConfig {
+            buffer_size: 64,
+            header_policy: HeaderPolicy::StripKnown { t: 128 },
+            ..PipelineConfig::headline(7)
+        };
+        let mut ius = Iustitia::new(model, config);
+        // HTTP header (text) followed by ciphertext payload.
+        let mut payload = b"HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n\r\n".to_vec();
+        let header_len = payload.len();
+        payload.extend_from_slice(&encrypted_payload(ius.buffer_capacity()));
+        let verdict = ius.process_packet(&data_packet(1, 0.0, &payload));
+        assert_eq!(verdict, Verdict::Classified(FileClass::Encrypted), "header {header_len}B must be ignored");
+    }
+
+    #[test]
+    fn skip_threshold_ignores_prefix_padding() {
+        let config = PipelineConfig {
+            buffer_size: 64,
+            header_policy: HeaderPolicy::SkipThreshold { t: 100 },
+            ..PipelineConfig::headline(8)
+        };
+        let mut ius = Iustitia::new(trained_model(64), config);
+        // 100 bytes of text "padding", then ciphertext.
+        let mut payload = text_payload(100);
+        payload.extend_from_slice(&encrypted_payload(64));
+        let verdict = ius.process_packet(&data_packet(1, 0.0, &payload));
+        assert_eq!(verdict, Verdict::Classified(FileClass::Encrypted));
+    }
+
+    #[test]
+    fn buffer_capacity_includes_allowance() {
+        let config = PipelineConfig {
+            buffer_size: 32,
+            header_policy: HeaderPolicy::SkipThreshold { t: 1468 },
+            ..PipelineConfig::headline(9)
+        };
+        let ius = Iustitia::new(toy_model(), config);
+        assert_eq!(ius.buffer_capacity(), 1500);
+    }
+
+    #[test]
+    fn udp_flows_classify_like_tcp() {
+        use std::net::Ipv4Addr;
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(11));
+        let tuple =
+            iustitia_netsim::FiveTuple::udp(Ipv4Addr::new(1, 2, 3, 4), 53, Ipv4Addr::new(5, 6, 7, 8), 5060);
+        let p = Packet {
+            timestamp: 0.0,
+            tuple,
+            flags: TcpFlags::empty(),
+            payload: text_payload(64),
+        };
+        assert!(matches!(ius.process_packet(&p), Verdict::Classified(_)));
+        assert_eq!(ius.cdb().len(), 1);
+    }
+
+    #[test]
+    fn estimated_mode_pipeline_classifies() {
+        use iustitia_entropy::EstimatorConfig;
+        let config = PipelineConfig {
+            buffer_size: 1024,
+            mode: crate::features::FeatureMode::Estimated(EstimatorConfig::svm_optimal()),
+            ..PipelineConfig::headline(12)
+        };
+        // Model trained on exact features of 1024-byte prefixes;
+        // estimated features at matched parameters stay close.
+        let mut ius = Iustitia::new(trained_model(1024), config);
+        let p = data_packet(7, 0.0, &encrypted_payload(1024));
+        assert!(matches!(ius.process_packet(&p), Verdict::Classified(_)));
+    }
+
+    #[test]
+    fn random_skip_adds_allowance() {
+        let config = PipelineConfig {
+            buffer_size: 64,
+            header_policy: HeaderPolicy::RandomSkip { t_max: 256 },
+            ..PipelineConfig::headline(13)
+        };
+        let ius = Iustitia::new(toy_model(), config);
+        assert_eq!(ius.buffer_capacity(), 320);
+    }
+
+    #[test]
+    fn oversized_first_packet_is_truncated_to_capacity() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(14));
+        let p = data_packet(9, 0.0, &text_payload(5000));
+        assert!(matches!(ius.process_packet(&p), Verdict::Classified(_)));
+        let log = ius.take_log();
+        assert_eq!(log[0].buffered_bytes, 32);
+    }
+
+    #[test]
+    fn queue_counters_accumulate() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(10));
+        ius.process_packet(&data_packet(1, 0.0, &text_payload(64)));
+        ius.process_packet(&data_packet(1, 0.1, &text_payload(10)));
+        ius.process_packet(&data_packet(1, 0.2, &text_payload(10)));
+        assert_eq!(ius.queues().forwarded[FileClass::Text.index()], 3);
+    }
+}

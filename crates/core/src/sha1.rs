@@ -1,0 +1,134 @@
+//! SHA-1, implemented from scratch (FIPS 180-1).
+//!
+//! The paper identifies each flow by a 160-bit SHA-1 hash of its packet
+//! header fields ("We use SHA-1 to create 160 bit hash result for each
+//! flow", §4.5); CDB records store the full digest. SHA-1 is not
+//! collision-resistant by modern standards, but flow identification
+//! only needs second-preimage scarcity over 13-byte inputs, so we
+//! reproduce the paper's choice faithfully.
+
+/// A 160-bit SHA-1 digest.
+pub type Digest = [u8; 20];
+
+/// Computes the SHA-1 digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia::sha1::sha1;
+///
+/// let digest = sha1(b"abc");
+/// assert_eq!(
+///     hex(&digest),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d"
+/// );
+/// # fn hex(d: &[u8]) -> String {
+/// #     d.iter().map(|b| format!("{b:02x}")).collect()
+/// # }
+/// ```
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Message padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Inputs of exactly 55, 56, 63, 64 bytes exercise the padding
+        // edge cases (55 fits one block; 56+ spills to two).
+        for n in [55usize, 56, 63, 64, 119, 120] {
+            let data = vec![0x42u8; n];
+            let d1 = sha1(&data);
+            let d2 = sha1(&data);
+            assert_eq!(d1, d2);
+            assert_ne!(d1, [0u8; 20]);
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1(b"flow-a"), sha1(b"flow-b"));
+        assert_ne!(sha1(b"\x00"), sha1(b"\x00\x00"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Tunnel handling (§4.6).
+//!
+//! "A tunnel may contain multiple flows with different natures. If the
+//! tunnel is encrypted, we classify the tunnel as an encrypted flow. If
+//! the tunnel is not encrypted, we should distinguish every flow inside
+//! the tunnel and classify them separately."
+//!
+//! This module implements exactly that policy: classify the *outer*
+//! byte stream first; only when it is not encrypted, demultiplex the
+//! inner flows (by whatever inner key the encapsulation exposes — a
+//! GRE key, an inner 5-tuple hash, a VLAN tag) and classify each inner
+//! flow from its own first `b` bytes.
+
+use std::collections::HashMap;
+
+use iustitia_corpus::FileClass;
+
+use crate::features::FeatureExtractor;
+use crate::model::NatureModel;
+
+/// Identifier of one flow inside a tunnel (inner 5-tuple hash, GRE key,
+/// session ID — whatever the encapsulation exposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct InnerFlowKey(pub u32);
+
+/// One decapsulated segment of a tunnel: which inner flow it belongs to
+/// and its payload bytes, in tunnel order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TunnelSegment {
+    /// Inner flow this segment belongs to.
+    pub inner: InnerFlowKey,
+    /// Payload bytes of the segment.
+    pub payload: Vec<u8>,
+}
+
+/// The §4.6 tunnel policy outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TunnelVerdict {
+    /// The outer stream is encrypted; inner flows are opaque and the
+    /// tunnel is classified as one encrypted flow.
+    EncryptedTunnel,
+    /// The outer stream is cleartext; every inner flow got its own
+    /// label.
+    PerFlow(HashMap<InnerFlowKey, FileClass>),
+}
+
+/// Classifies a tunnel per §4.6: outer stream first, inner flows only
+/// when the tunnel is cleartext.
+///
+/// `b` is the buffer size used for both the outer and the per-inner-flow
+/// classifications; segments must be given in tunnel byte order.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia::features::{FeatureExtractor, FeatureMode, TrainingMethod};
+/// use iustitia::model::{train_from_corpus, ModelKind};
+/// use iustitia::tunnel::{classify_tunnel, InnerFlowKey, TunnelSegment, TunnelVerdict};
+/// use iustitia_corpus::{CorpusBuilder, FileClass};
+/// use iustitia_entropy::FeatureWidths;
+///
+/// let corpus = CorpusBuilder::new(1).files_per_class(20).size_range(512, 2048).build();
+/// let widths = FeatureWidths::svm_selected();
+/// let model = train_from_corpus(
+///     &corpus, &widths, TrainingMethod::Prefix { b: 64 }, FeatureMode::Exact,
+///     &ModelKind::paper_cart(), 1,
+/// );
+/// let mut fx = FeatureExtractor::new(widths, FeatureMode::Exact, 1);
+///
+/// // A cleartext tunnel carrying one text flow.
+/// let segments = vec![TunnelSegment {
+///     inner: InnerFlowKey(1),
+///     payload: b"the quick brown fox jumps over the lazy dog again and again".to_vec(),
+/// }];
+/// match classify_tunnel(&segments, &model, &mut fx, 64) {
+///     TunnelVerdict::PerFlow(map) => assert_eq!(map[&InnerFlowKey(1)], FileClass::Text),
+///     TunnelVerdict::EncryptedTunnel => panic!("cleartext tunnel"),
+/// }
+/// ```
+pub fn classify_tunnel(
+    segments: &[TunnelSegment],
+    model: &NatureModel,
+    extractor: &mut FeatureExtractor,
+    b: usize,
+) -> TunnelVerdict {
+    // 1. Outer stream: the first b bytes of the tunnel as carried on
+    //    the wire.
+    let mut outer = Vec::with_capacity(b);
+    for seg in segments {
+        let take = (b - outer.len()).min(seg.payload.len());
+        outer.extend_from_slice(&seg.payload[..take]);
+        if outer.len() >= b {
+            break;
+        }
+    }
+    let outer_label = model.predict(&extractor.extract(&outer));
+    if outer_label == FileClass::Encrypted {
+        return TunnelVerdict::EncryptedTunnel;
+    }
+
+    // 2. Cleartext tunnel: demultiplex and classify each inner flow
+    //    from its own first b bytes.
+    let mut inner_buffers: HashMap<InnerFlowKey, Vec<u8>> = HashMap::new();
+    for seg in segments {
+        let buf = inner_buffers.entry(seg.inner).or_default();
+        if buf.len() < b {
+            let take = (b - buf.len()).min(seg.payload.len());
+            buf.extend_from_slice(&seg.payload[..take]);
+        }
+    }
+    let labels = inner_buffers
+        .into_iter()
+        .map(|(key, buf)| (key, model.predict(&extractor.extract(&buf))))
+        .collect();
+    TunnelVerdict::PerFlow(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureMode, TrainingMethod};
+    use crate::model::{train_from_corpus, ModelKind};
+    use iustitia_corpus::{CorpusBuilder, Rc4};
+    use iustitia_entropy::FeatureWidths;
+
+    fn setup(b: usize) -> (NatureModel, FeatureExtractor) {
+        let corpus = CorpusBuilder::new(9).files_per_class(40).size_range(1024, 4096).build();
+        let widths = FeatureWidths::svm_selected();
+        let model = train_from_corpus(
+            &corpus,
+            &widths,
+            TrainingMethod::Prefix { b },
+            FeatureMode::Exact,
+            &ModelKind::paper_cart(),
+            9,
+        );
+        (model, FeatureExtractor::new(widths, FeatureMode::Exact, 9))
+    }
+
+    fn text_bytes(n: usize) -> Vec<u8> {
+        b"please review the attached report and send your comments by friday. "
+            .iter()
+            .cycle()
+            .take(n)
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn encrypted_tunnel_short_circuits() {
+        let (model, mut fx) = setup(64);
+        // Inner content is text, but the tunnel encrypts everything.
+        let mut rc4 = Rc4::new(b"tunnel-key");
+        let segments: Vec<TunnelSegment> = (0..4)
+            .map(|i| TunnelSegment { inner: InnerFlowKey(i), payload: rc4.process(&text_bytes(100)) })
+            .collect();
+        assert_eq!(
+            classify_tunnel(&segments, &model, &mut fx, 64),
+            TunnelVerdict::EncryptedTunnel
+        );
+    }
+
+    #[test]
+    fn cleartext_tunnel_classifies_each_inner_flow() {
+        let (model, mut fx) = setup(64);
+        let mut rc4 = Rc4::new(b"inner-secret");
+        let segments = vec![
+            TunnelSegment { inner: InnerFlowKey(1), payload: text_bytes(120) },
+            TunnelSegment { inner: InnerFlowKey(2), payload: rc4.keystream(120) },
+            TunnelSegment { inner: InnerFlowKey(1), payload: text_bytes(120) },
+        ];
+        match classify_tunnel(&segments, &model, &mut fx, 64) {
+            TunnelVerdict::PerFlow(map) => {
+                assert_eq!(map.len(), 2);
+                assert_eq!(map[&InnerFlowKey(1)], FileClass::Text);
+                assert_eq!(map[&InnerFlowKey(2)], FileClass::Encrypted);
+            }
+            TunnelVerdict::EncryptedTunnel => panic!("tunnel is cleartext"),
+        }
+    }
+
+    #[test]
+    fn inner_buffers_accumulate_across_segments() {
+        let (model, mut fx) = setup(64);
+        // Each segment alone is below b; together they fill the buffer.
+        let chunks = text_bytes(64);
+        let segments: Vec<TunnelSegment> = chunks
+            .chunks(16)
+            .map(|c| TunnelSegment { inner: InnerFlowKey(7), payload: c.to_vec() })
+            .collect();
+        match classify_tunnel(&segments, &model, &mut fx, 64) {
+            TunnelVerdict::PerFlow(map) => assert_eq!(map[&InnerFlowKey(7)], FileClass::Text),
+            TunnelVerdict::EncryptedTunnel => panic!("cleartext"),
+        }
+    }
+
+    #[test]
+    fn empty_tunnel_yields_empty_per_flow_map() {
+        let (model, mut fx) = setup(32);
+        match classify_tunnel(&[], &model, &mut fx, 32) {
+            TunnelVerdict::PerFlow(map) => assert!(map.is_empty()),
+            TunnelVerdict::EncryptedTunnel => panic!("empty outer stream is all-zero entropy"),
+        }
+    }
+}

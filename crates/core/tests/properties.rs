@@ -1,0 +1,142 @@
+//! Property-based tests for the core pipeline and SHA-1.
+
+use iustitia::cdb::{CdbConfig, ClassificationDatabase, FlowId};
+use iustitia::features::{FeatureExtractor, FeatureMode};
+use iustitia::model::{ModelKind, NatureModel};
+use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+use iustitia::sha1::sha1;
+use iustitia_corpus::FileClass;
+use iustitia_entropy::FeatureWidths;
+use iustitia_ml::Dataset;
+use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// A trivial always-valid model for structural pipeline properties.
+fn any_model() -> NatureModel {
+    let mut ds = Dataset::new(4, FileClass::names());
+    for i in 0..12 {
+        let x = i as f64 / 20.0;
+        ds.push(vec![x, 0.1, 0.1, 0.1], i % 3);
+    }
+    NatureModel::train(&ds, &ModelKind::paper_cart())
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        0.0f64..100.0,
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+        0u8..16,
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(t, ip, sp, dp, is_tcp, flag_bits, payload)| {
+            let src = Ipv4Addr::from(ip);
+            let dst = Ipv4Addr::new(192, 168, 1, 1);
+            let tuple = if is_tcp {
+                FiveTuple::tcp(src, sp, dst, dp)
+            } else {
+                FiveTuple::udp(src, sp, dst, dp)
+            };
+            let mut flags = TcpFlags::empty();
+            if is_tcp {
+                if flag_bits & 1 != 0 {
+                    flags = flags | TcpFlags::SYN;
+                }
+                if flag_bits & 2 != 0 {
+                    flags = flags | TcpFlags::ACK;
+                }
+                if flag_bits & 4 != 0 {
+                    flags = flags | TcpFlags::FIN;
+                }
+                if flag_bits & 8 != 0 {
+                    flags = flags | TcpFlags::RST;
+                }
+            }
+            Packet { timestamp: t, tuple, flags, payload }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sha1_is_deterministic_and_20_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let a = sha1(&data);
+        let b = sha1(&data);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn sha1_differs_on_appended_byte(data in proptest::collection::vec(any::<u8>(), 0..256), extra in any::<u8>()) {
+        let mut longer = data.clone();
+        longer.push(extra);
+        prop_assert_ne!(sha1(&data), sha1(&longer));
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_arbitrary_packets(
+        packets in proptest::collection::vec(arb_packet(), 0..80),
+    ) {
+        let mut pipeline = Iustitia::new(any_model(), PipelineConfig::headline(1));
+        for p in &packets {
+            let verdict = pipeline.process_packet(p);
+            // Structural invariants hold after every packet.
+            match verdict {
+                Verdict::Hit(_) | Verdict::Classified(_) | Verdict::Buffering | Verdict::Ignored => {}
+            }
+            prop_assert!(pipeline.cdb().len() <= pipeline.cdb().stats().inserted as usize);
+        }
+        pipeline.flush_idle(f64::INFINITY);
+        prop_assert_eq!(pipeline.pending_flows(), 0);
+    }
+
+    #[test]
+    fn feature_extractor_never_panics(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        exact in any::<bool>(),
+    ) {
+        let mode = if exact {
+            FeatureMode::Exact
+        } else {
+            FeatureMode::Estimated(iustitia_entropy::EstimatorConfig::new(0.5, 0.5).expect("valid"))
+        };
+        let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), mode, 1);
+        let v = fx.extract(&payload);
+        prop_assert_eq!(v.len(), 4);
+        prop_assert!(v.iter().all(|h| (0.0..=1.0).contains(h)));
+    }
+
+    #[test]
+    fn cdb_purge_is_idempotent(
+        inserts in proptest::collection::vec((any::<u8>(), 0.0f64..10.0), 1..50),
+        now in 10.0f64..100.0,
+    ) {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        for &(b, t) in &inserts {
+            cdb.insert(FlowId([b; 20]), FileClass::Text, t);
+        }
+        let first = cdb.purge_obsolete(now);
+        let second = cdb.purge_obsolete(now);
+        prop_assert_eq!(second, 0, "second purge at same time removed {} after {}", second, first);
+    }
+
+    #[test]
+    fn cdb_len_tracks_inserts_and_removals(bytes in proptest::collection::vec(any::<u8>(), 1..60)) {
+        let mut cdb = ClassificationDatabase::new(CdbConfig { n: None, ..CdbConfig::default() });
+        let mut distinct = std::collections::HashSet::new();
+        for &b in &bytes {
+            cdb.insert(FlowId([b; 20]), FileClass::Binary, 0.0);
+            distinct.insert(b);
+        }
+        prop_assert_eq!(cdb.len(), distinct.len());
+        for &b in &bytes {
+            cdb.remove_on_close(&FlowId([b; 20]));
+        }
+        prop_assert!(cdb.is_empty());
+        prop_assert_eq!(cdb.stats().removed_by_close, distinct.len() as u64);
+    }
+}

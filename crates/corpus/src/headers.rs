@@ -1,0 +1,325 @@
+//! Application-layer headers: synthesis and signature-based stripping
+//! (§4.3 of the paper).
+//!
+//! Many flows begin with a textual application header even when their
+//! payload is binary (e.g. an image fetched over HTTP), which would fool
+//! a classifier reading only the first `b` bytes. For well-known
+//! protocols the paper strips headers with signature-based detection;
+//! for unknown protocols it skips a threshold of `T` bytes. This module
+//! provides both the generator used to build realistic test flows and
+//! the detector/stripper used by the online pipeline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Well-known application protocols with recognizable header formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AppProtocol {
+    /// HTTP request or response.
+    Http,
+    /// SMTP server banner + envelope.
+    Smtp,
+    /// POP3 greeting + transaction.
+    Pop3,
+    /// IMAP greeting + tagged commands.
+    Imap,
+}
+
+impl AppProtocol {
+    /// All supported protocols.
+    pub const ALL: [AppProtocol; 4] =
+        [AppProtocol::Http, AppProtocol::Smtp, AppProtocol::Pop3, AppProtocol::Imap];
+}
+
+/// Generates synthetic application-layer headers.
+#[derive(Debug, Clone)]
+pub struct HeaderGenerator {
+    protocol: AppProtocol,
+}
+
+impl HeaderGenerator {
+    /// Creates a generator for one protocol.
+    pub fn new(protocol: AppProtocol) -> Self {
+        HeaderGenerator { protocol }
+    }
+
+    /// The protocol this generator emits.
+    pub fn protocol(&self) -> AppProtocol {
+        self.protocol
+    }
+
+    /// Generates one header block, terminated the way the protocol
+    /// terminates its preamble (`\r\n\r\n` for HTTP, `\r\n` lines for
+    /// the mail protocols followed by a blank line marker).
+    pub fn generate(&self, rng: &mut StdRng) -> Vec<u8> {
+        match self.protocol {
+            AppProtocol::Http => self.http(rng),
+            AppProtocol::Smtp => self.smtp(rng),
+            AppProtocol::Pop3 => self.pop3(rng),
+            AppProtocol::Imap => self.imap(rng),
+        }
+    }
+
+    fn http(&self, rng: &mut StdRng) -> Vec<u8> {
+        let mut h = Vec::new();
+        if rng.gen_bool(0.5) {
+            h.extend_from_slice(
+                format!(
+                    "GET /assets/img/{:x}.jpg HTTP/1.1\r\nHost: www.example{}.com\r\nUser-Agent: Mozilla/4.0\r\nAccept: */*\r\n",
+                    rng.gen::<u32>(),
+                    rng.gen_range(1..100)
+                )
+                .as_bytes(),
+            );
+        } else {
+            h.extend_from_slice(
+                format!(
+                    "HTTP/1.1 200 OK\r\nServer: Apache/2.0.{}\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\n",
+                    rng.gen_range(40..64),
+                    rng.gen_range(1000..5_000_000)
+                )
+                .as_bytes(),
+            );
+        }
+        if rng.gen_bool(0.6) {
+            h.extend_from_slice(b"Cache-Control: no-cache\r\n");
+        }
+        h.extend_from_slice(b"\r\n");
+        h
+    }
+
+    fn smtp(&self, rng: &mut StdRng) -> Vec<u8> {
+        format!(
+            "220 mail{}.example.org ESMTP ready\r\nEHLO client{}.example.net\r\n250-mail.example.org\r\n250 8BITMIME\r\nMAIL FROM:<a{}@example.org>\r\nRCPT TO:<b{}@example.net>\r\nDATA\r\n",
+            rng.gen_range(1..10),
+            rng.gen_range(1..10),
+            rng.gen_range(1..1000),
+            rng.gen_range(1..1000)
+        )
+        .into_bytes()
+    }
+
+    fn pop3(&self, rng: &mut StdRng) -> Vec<u8> {
+        format!(
+            "+OK POP3 server ready <{}@pop.example.org>\r\nUSER user{}\r\n+OK\r\nPASS hunter2\r\n+OK user{} has {} messages\r\nRETR 1\r\n+OK {} octets\r\n",
+            rng.gen::<u32>(),
+            rng.gen_range(1..100),
+            rng.gen_range(1..100),
+            rng.gen_range(1..40),
+            rng.gen_range(500..20_000)
+        )
+        .into_bytes()
+    }
+
+    fn imap(&self, rng: &mut StdRng) -> Vec<u8> {
+        format!(
+            "* OK IMAP4rev1 Service Ready\r\na{:03} LOGIN user{} pass\r\na{:03} OK LOGIN completed\r\na{:03} FETCH 1 BODY[]\r\n",
+            rng.gen_range(1..999),
+            rng.gen_range(1..100),
+            rng.gen_range(1..999),
+            rng.gen_range(1..999)
+        )
+        .into_bytes()
+    }
+}
+
+/// Byte-prefix signatures for the well-known protocols of §4.3.
+const SIGNATURES: &[(&[u8], AppProtocol)] = &[
+    (b"GET ", AppProtocol::Http),
+    (b"POST ", AppProtocol::Http),
+    (b"HEAD ", AppProtocol::Http),
+    (b"PUT ", AppProtocol::Http),
+    (b"HTTP/1.", AppProtocol::Http),
+    (b"220 ", AppProtocol::Smtp),
+    (b"EHLO", AppProtocol::Smtp),
+    (b"HELO", AppProtocol::Smtp),
+    (b"+OK", AppProtocol::Pop3),
+    (b"* OK", AppProtocol::Imap),
+];
+
+/// Detects a well-known application header at the start of `data` and
+/// returns `(protocol, payload_offset)`; `None` when no signature
+/// matches (an *unknown* application, handled by the threshold-`T`
+/// policy instead).
+///
+/// For HTTP the header ends at the first `\r\n\r\n`. For the
+/// line-oriented mail protocols the header ends after the last
+/// greeting/command line that matches the protocol's line grammar
+/// (`NNN `-coded, `+OK`/`-ERR`, tagged, or verb lines); the payload
+/// begins at the first line that does not.
+pub fn strip_application_header(data: &[u8]) -> Option<(AppProtocol, usize)> {
+    let (&(_, protocol), _) = SIGNATURES
+        .iter()
+        .map(|sig| (sig, ()))
+        .find(|((prefix, _), ())| data.starts_with(prefix))?;
+    match protocol {
+        AppProtocol::Http => {
+            // Header ends at the blank line.
+            let end = find_subslice(data, b"\r\n\r\n").map(|i| i + 4).unwrap_or(data.len());
+            Some((protocol, end))
+        }
+        AppProtocol::Smtp | AppProtocol::Pop3 | AppProtocol::Imap => {
+            let mut offset = 0usize;
+            while offset < data.len() {
+                let line_end = match find_subslice(&data[offset..], b"\r\n") {
+                    Some(i) => offset + i + 2,
+                    None => break,
+                };
+                if !is_protocol_line(&data[offset..line_end]) {
+                    break;
+                }
+                offset = line_end;
+            }
+            Some((protocol, offset))
+        }
+    }
+}
+
+/// Whether a line looks like protocol chatter (ASCII, command-ish)
+/// rather than message payload.
+fn is_protocol_line(raw: &[u8]) -> bool {
+    // Drop the CRLF terminator before applying the grammar.
+    let mut line = raw;
+    while let Some((&last, rest)) = line.split_last() {
+        if last == b'\r' || last == b'\n' {
+            line = rest;
+        } else {
+            break;
+        }
+    }
+    if line.len() < 3 || line.len() > 512 {
+        return false;
+    }
+    // All-printable-ASCII is necessary...
+    if !line.iter().all(|&b| (0x20..0x7F).contains(&b)) {
+        return false;
+    }
+    // ...and the line must start like a reply code, status, tag, or verb.
+    let starts_with_code = line.len() >= 4
+        && line[..3].iter().all(u8::is_ascii_digit)
+        && (line[3] == b' ' || line[3] == b'-');
+    let starts_with_status = line.starts_with(b"+OK") || line.starts_with(b"-ERR") || line.starts_with(b"* ");
+    let starts_with_tag = line.first().is_some_and(|&b| b == b'a')
+        && line.iter().position(|&b| b == b' ').is_some_and(|i| i <= 6);
+    let starts_with_verb = line
+        .split(|&b| b == b' ')
+        .next()
+        .is_some_and(|w| w.len() >= 3 && w.len() <= 8 && w.iter().all(u8::is_ascii_uppercase));
+    starts_with_code || starts_with_status || starts_with_tag || starts_with_verb
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn http_header_detected_and_stripped() {
+        let mut r = rng(1);
+        let gen = HeaderGenerator::new(AppProtocol::Http);
+        for _ in 0..20 {
+            let mut flow = gen.generate(&mut r);
+            let header_len = flow.len();
+            flow.extend_from_slice(&[0xFF, 0xD8, 0xFF, 0xE0]); // JPEG payload
+            let (proto, offset) = strip_application_header(&flow).expect("detected");
+            assert_eq!(proto, AppProtocol::Http);
+            assert_eq!(offset, header_len);
+            assert_eq!(&flow[offset..offset + 2], &[0xFF, 0xD8]);
+        }
+    }
+
+    #[test]
+    fn smtp_header_detected() {
+        let mut r = rng(2);
+        let gen = HeaderGenerator::new(AppProtocol::Smtp);
+        let mut flow = gen.generate(&mut r);
+        let header_len = flow.len();
+        flow.extend_from_slice(b"The actual message body follows here, which is prose.\r\n");
+        let (proto, offset) = strip_application_header(&flow).expect("detected");
+        assert_eq!(proto, AppProtocol::Smtp);
+        assert_eq!(offset, header_len);
+    }
+
+    #[test]
+    fn pop3_and_imap_detected() {
+        let mut r = rng(3);
+        for proto in [AppProtocol::Pop3, AppProtocol::Imap] {
+            let gen = HeaderGenerator::new(proto);
+            let mut flow = gen.generate(&mut r);
+            flow.extend_from_slice(&[0u8, 1, 2, 200, 220, 255]); // binary body
+            let (found, offset) = strip_application_header(&flow).expect("detected");
+            assert_eq!(found, proto);
+            assert!(offset > 0 && offset <= flow.len() - 6);
+        }
+    }
+
+    #[test]
+    fn unknown_protocol_is_none() {
+        assert!(strip_application_header(b"\x7FELF binary payload").is_none());
+        assert!(strip_application_header(b"random text that is not a protocol").is_none());
+        assert!(strip_application_header(b"").is_none());
+    }
+
+    #[test]
+    fn http_without_terminator_consumes_all() {
+        let data = b"GET /x HTTP/1.1\r\nHost: h\r\n"; // truncated header
+        let (_, offset) = strip_application_header(data).expect("detected");
+        assert_eq!(offset, data.len());
+    }
+
+    #[test]
+    fn protocol_line_grammar() {
+        assert!(is_protocol_line(b"250 OK\r\n"));
+        assert!(is_protocol_line(b"250-mail.example.org\r\n"));
+        assert!(is_protocol_line(b"+OK ready\r\n"));
+        assert!(is_protocol_line(b"a001 LOGIN user pass\r\n"));
+        assert!(is_protocol_line(b"MAIL FROM:<x@y>\r\n"));
+        assert!(!is_protocol_line(b"hello world this is body text\r\n"));
+        assert!(!is_protocol_line(b"\xFF\xD8\xFF\xE0\r\n"));
+        assert!(!is_protocol_line(b"x\r\n"));
+    }
+
+    #[test]
+    fn every_protocol_generates_crlf_terminated_headers() {
+        let mut r = rng(9);
+        for proto in AppProtocol::ALL {
+            let h = HeaderGenerator::new(proto).generate(&mut r);
+            assert!(h.len() > 16, "{proto:?} header too short");
+            assert!(h.ends_with(b"\r\n"), "{proto:?} must end a line");
+            assert!(h.iter().all(|&b| (0x20..0x7F).contains(&b) || b == b'\r' || b == b'\n'));
+        }
+    }
+
+    #[test]
+    fn http_get_and_response_both_detected() {
+        let mut r = rng(10);
+        let gen = HeaderGenerator::new(AppProtocol::Http);
+        let mut saw_request = false;
+        let mut saw_response = false;
+        for _ in 0..30 {
+            let h = gen.generate(&mut r);
+            if h.starts_with(b"GET ") {
+                saw_request = true;
+            }
+            if h.starts_with(b"HTTP/1.1") {
+                saw_response = true;
+            }
+            assert!(strip_application_header(&h).is_some());
+        }
+        assert!(saw_request && saw_response);
+    }
+
+    #[test]
+    fn generator_protocol_accessor() {
+        assert_eq!(HeaderGenerator::new(AppProtocol::Imap).protocol(), AppProtocol::Imap);
+        assert_eq!(AppProtocol::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the synthetic corpus generators.
+
+use iustitia_corpus::encrypted::base64_encode;
+use iustitia_corpus::{generate_file, strip_application_header, AppProtocol, FileClass, HeaderGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn class_strategy() -> impl Strategy<Value = FileClass> {
+    prop_oneof![
+        Just(FileClass::Text),
+        Just(FileClass::Binary),
+        Just(FileClass::Encrypted),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_files_have_exact_size(
+        class in class_strategy(),
+        size in 1usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = generate_file(class, size, &mut rng);
+        prop_assert_eq!(data.len(), size);
+    }
+
+    #[test]
+    fn generation_is_deterministic(
+        class in class_strategy(),
+        size in 1usize..4096,
+        seed in any::<u64>(),
+    ) {
+        let a = generate_file(class, size, &mut StdRng::seed_from_u64(seed));
+        let b = generate_file(class, size, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn text_is_printable(size in 64usize..8192, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = generate_file(FileClass::Text, size, &mut rng);
+        let printable = data
+            .iter()
+            .filter(|&&b| (0x20..0x7F).contains(&b) || b == b'\n' || b == b'\r' || b == b'\t')
+            .count();
+        prop_assert!(printable as f64 / data.len() as f64 > 0.98);
+    }
+
+    #[test]
+    fn header_stripping_offset_is_in_bounds(
+        proto_idx in 0usize..4,
+        seed in any::<u64>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let proto = AppProtocol::ALL[proto_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flow = HeaderGenerator::new(proto).generate(&mut rng);
+        let header_len = flow.len();
+        flow.extend_from_slice(&tail);
+        let (found, offset) = strip_application_header(&flow).expect("known header");
+        prop_assert_eq!(found, proto);
+        prop_assert!(offset <= flow.len());
+        prop_assert!(offset <= header_len, "offset {offset} must not eat payload (header {header_len})");
+    }
+
+    #[test]
+    fn stripping_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Some((_, offset)) = strip_application_header(&data) {
+            prop_assert!(offset <= data.len());
+        }
+    }
+
+    #[test]
+    fn base64_length_and_alphabet(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let enc = base64_encode(&data);
+        prop_assert_eq!(enc.len(), data.len().div_ceil(3) * 4);
+        prop_assert!(enc.iter().all(|&b| b.is_ascii_alphanumeric() || b == b'+' || b == b'/' || b == b'='));
+    }
+
+    #[test]
+    fn rc4_round_trips(key in proptest::collection::vec(any::<u8>(), 1..64), msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut enc = iustitia_corpus::Rc4::new(&key);
+        let mut dec = iustitia_corpus::Rc4::new(&key);
+        let ct = enc.process(&msg);
+        prop_assert_eq!(dec.process(&ct), msg);
+    }
+}

@@ -1,0 +1,308 @@
+//! Kullback–Leibler and Jensen–Shannon divergence (Formula 2).
+//!
+//! Section 3.2 of the paper validates *hypothesis 2* — "the randomness of
+//! the beginning portion of a file represents the randomness of the entire
+//! file" — by measuring the Jensen–Shannon divergence between the k-gram
+//! distribution of the first `b` bytes of a file and that of the whole
+//! file (Figure 3). JSD is computed as
+//!
+//! ```text
+//! JSD(P‖Q) = H(M) − ½·H(P) − ½·H(Q),   M = (P + Q) / 2
+//! ```
+//!
+//! With base-2 logarithms JSD is smooth, symmetric, and bounded in
+//! `[0, 1]`; `JSD(P‖Q) = 0` iff `P = Q`.
+
+use std::collections::HashMap;
+
+use crate::histogram::GramHistogram;
+
+/// A probability distribution over `k`-byte grams, derived from a
+/// [`GramHistogram`].
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_entropy::{jensen_shannon_divergence, ByteDistribution};
+///
+/// let p = ByteDistribution::from_bytes(b"aaaabbbb", 1);
+/// let q = ByteDistribution::from_bytes(b"bbbbaaaa", 1);
+/// assert!(jensen_shannon_divergence(&p, &q) < 1e-12); // same histogram
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteDistribution {
+    k: usize,
+    probs: HashMap<u128, f64>,
+}
+
+impl ByteDistribution {
+    /// Builds the `k`-gram probability distribution of `data`.
+    ///
+    /// Returns an empty distribution when `data` has fewer than `k` bytes.
+    pub fn from_bytes(data: &[u8], k: usize) -> Self {
+        Self::from_histogram(&GramHistogram::from_bytes(data, k))
+    }
+
+    /// Converts a histogram of counts into a probability distribution.
+    pub fn from_histogram(hist: &GramHistogram) -> Self {
+        let total = hist.window_count() as f64;
+        let mut probs = HashMap::with_capacity(hist.distinct());
+        if total > 0.0 {
+            for (gram, count) in hist.iter() {
+                probs.insert(gram, count as f64 / total);
+            }
+        }
+        ByteDistribution { k: hist.k(), probs }
+    }
+
+    /// The gram width.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of grams with non-zero probability.
+    pub fn support_size(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Probability of a packed gram (0 if outside the support).
+    pub fn prob(&self, gram: u128) -> f64 {
+        self.probs.get(&gram).copied().unwrap_or(0.0)
+    }
+
+    /// Shannon entropy of the distribution in bits.
+    ///
+    /// Terms are summed in gram order so the result is bit-for-bit
+    /// reproducible across runs.
+    pub fn entropy_bits(&self) -> f64 {
+        let mut entries: Vec<(u128, f64)> = self.probs.iter().map(|(&g, &p)| (g, p)).collect();
+        entries.sort_unstable_by_key(|&(g, _)| g);
+        -entries
+            .into_iter()
+            .filter(|&(_, p)| p > 0.0)
+            .map(|(_, p)| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Whether the distribution is empty (input shorter than `k`).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    fn keys(&self) -> impl Iterator<Item = u128> + '_ {
+        self.probs.keys().copied()
+    }
+}
+
+/// Kullback–Leibler divergence `KLD(P‖Q) = Σᵢ pᵢ·log2(pᵢ/qᵢ)` in bits.
+///
+/// Returns `f64::INFINITY` when the support of `P` is not contained in
+/// the support of `Q` (the standard convention), and 0 for two empty
+/// distributions.
+///
+/// # Panics
+///
+/// Panics if the two distributions have different gram widths.
+pub fn kl_divergence(p: &ByteDistribution, q: &ByteDistribution) -> f64 {
+    assert_eq!(p.k(), q.k(), "KLD requires equal gram widths");
+    let mut d = 0.0;
+    for gram in p.keys() {
+        let pi = p.prob(gram);
+        if pi == 0.0 {
+            continue;
+        }
+        let qi = q.prob(gram);
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        d += pi * (pi / qi).log2();
+    }
+    d.max(0.0)
+}
+
+/// Jensen–Shannon divergence `JSD(P‖Q) = H(M) − ½H(P) − ½H(Q)` in bits,
+/// where `M = (P+Q)/2` (Formula 2). Bounded in `[0, 1]`, symmetric,
+/// and 0 iff `P = Q`.
+///
+/// # Panics
+///
+/// Panics if the two distributions have different gram widths.
+pub fn jensen_shannon_divergence(p: &ByteDistribution, q: &ByteDistribution) -> f64 {
+    assert_eq!(p.k(), q.k(), "JSD requires equal gram widths");
+    if p.is_empty() && q.is_empty() {
+        return 0.0;
+    }
+    // H(M) computed over the union support, in gram order for
+    // reproducible summation.
+    let mut union: Vec<u128> = p.keys().chain(q.keys()).collect();
+    union.sort_unstable();
+    union.dedup();
+    let mut h_m = 0.0;
+    for gram in union {
+        let m = 0.5 * (p.prob(gram) + q.prob(gram));
+        if m > 0.0 {
+            h_m -= m * m.log2();
+        }
+    }
+    let jsd = h_m - 0.5 * p.entropy_bits() - 0.5 * q.entropy_bits();
+    jsd.clamp(0.0, 1.0)
+}
+
+/// JSD between the first `portion` of `data` and the whole of `data`,
+/// over `k`-grams — the quantity plotted in Figure 3.
+///
+/// `portion` is clamped to `(0, 1]`; a prefix shorter than `k` bytes
+/// yields JSD against an empty distribution, reported as the maximal
+/// divergence 1.0 (nothing of the file has been seen).
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_entropy::prefix_jsd;
+///
+/// let data: Vec<u8> = (0..200u8).cycle().take(10_000).collect();
+/// // Seeing the full file is zero divergence.
+/// assert!(prefix_jsd(&data, 1.0, 1) < 1e-9);
+/// // Seeing a fifth of a stationary stream is already close.
+/// assert!(prefix_jsd(&data, 0.2, 1) < 0.05);
+/// ```
+pub fn prefix_jsd(data: &[u8], portion: f64, k: usize) -> f64 {
+    let portion = portion.clamp(f64::MIN_POSITIVE, 1.0);
+    let b = ((data.len() as f64) * portion).round() as usize;
+    let b = b.min(data.len());
+    let p = ByteDistribution::from_bytes(&data[..b], k);
+    let q = ByteDistribution::from_bytes(data, k);
+    if p.is_empty() && !q.is_empty() {
+        return 1.0;
+    }
+    jensen_shannon_divergence(&p, &q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(data: &[u8], k: usize) -> ByteDistribution {
+        ByteDistribution::from_bytes(data, k)
+    }
+
+    #[test]
+    fn kld_of_identical_is_zero() {
+        let p = dist(b"abcabcabc", 1);
+        assert!(kl_divergence(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn kld_infinite_outside_support() {
+        let p = dist(b"abc", 1);
+        let q = dist(b"ab", 1);
+        assert!(kl_divergence(&p, &q).is_infinite());
+        // The reverse is finite: support(q) ⊆ support(p).
+        assert!(kl_divergence(&q, &p).is_finite());
+    }
+
+    #[test]
+    fn kld_manual_value() {
+        // p = (1/2, 1/2) over {a,b}; q = (3/4, 1/4).
+        let p = dist(b"ab", 1);
+        let q = dist(b"aaab", 1);
+        let expected = 0.5 * (0.5f64 / 0.75).log2() + 0.5 * (0.5f64 / 0.25).log2();
+        assert!((kl_divergence(&p, &q) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_zero_iff_equal() {
+        let p = dist(b"hello world", 1);
+        let q = dist(b"hello world", 1);
+        assert!(jensen_shannon_divergence(&p, &q) < 1e-12);
+    }
+
+    #[test]
+    fn jsd_symmetric() {
+        let p = dist(b"aaaaabbbcc", 1);
+        let q = dist(b"abcabcabcz", 1);
+        let d1 = jensen_shannon_divergence(&p, &q);
+        let d2 = jensen_shannon_divergence(&q, &p);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn jsd_of_disjoint_supports_is_one() {
+        let p = dist(b"aaaa", 1);
+        let q = dist(b"bbbb", 1);
+        assert!((jensen_shannon_divergence(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_is_average_of_klds_to_mean() {
+        // Cross-check Formula 2's two forms on a non-trivial pair.
+        let p = dist(b"aabbbbcc", 1);
+        let q = dist(b"abcddddd", 1);
+        let jsd = jensen_shannon_divergence(&p, &q);
+        // Build M explicitly and average KLDs.
+        let mut h_m = 0.0;
+        for g in [b'a', b'b', b'c', b'd'] {
+            let m = 0.5 * (p.prob(g as u128) + q.prob(g as u128));
+            if m > 0.0 {
+                h_m -= m * m.log2();
+            }
+        }
+        let expected = h_m - 0.5 * p.entropy_bits() - 0.5 * q.entropy_bits();
+        assert!((jsd - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_jsd_decreases_with_portion_for_stationary_data() {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .cycle()
+            .take(8192)
+            .copied()
+            .collect();
+        let d20 = prefix_jsd(&data, 0.2, 1);
+        let d80 = prefix_jsd(&data, 0.8, 1);
+        let d100 = prefix_jsd(&data, 1.0, 1);
+        assert!(d20 >= d80, "d20={d20} d80={d80}");
+        assert!(d80 >= d100);
+        assert!(d100 < 1e-9);
+    }
+
+    #[test]
+    fn prefix_jsd_two_gram_larger_than_one_gram() {
+        // Figure 3(b): f2 divergence is larger than f1 at the same portion
+        // (sparser distributions are harder to learn from a prefix).
+        let data: Vec<u8> = b"entropy vectors classify flows into classes. "
+            .iter()
+            .cycle()
+            .take(4096)
+            .copied()
+            .collect();
+        let d1 = prefix_jsd(&data, 0.1, 1);
+        let d2 = prefix_jsd(&data, 0.1, 2);
+        assert!(d2 >= d1, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn prefix_jsd_tiny_prefix_is_max() {
+        let data = vec![1u8; 100];
+        assert_eq!(prefix_jsd(&data, 0.001, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal gram widths")]
+    fn mismatched_widths_panic() {
+        let p = dist(b"abc", 1);
+        let q = dist(b"abc", 2);
+        jensen_shannon_divergence(&p, &q);
+    }
+
+    #[test]
+    fn empty_distributions() {
+        let p = dist(b"", 1);
+        let q = dist(b"", 1);
+        assert_eq!(jensen_shannon_divergence(&p, &q), 0.0);
+        assert_eq!(kl_divergence(&p, &q), 0.0);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! Streaming `(δ,ε)`-approximate entropy estimation (§4.4 of the paper).
+//!
+//! Calculating exact entropy vectors for every flow costs one counter per
+//! distinct gram. Iustitia instead adapts the streaming entropy estimator
+//! of Lall et al. (SIGMETRICS 2006), which builds on the
+//! Alon–Matias–Szegedy frequency-moment sketch: estimate
+//! `S_k = Σᵢ m_ik·log(m_ik)` by sampling random stream positions and
+//! counting suffix occurrences, then plug `S_k` into Formula 1.
+//!
+//! For an error bound `ε` with failure probability `δ`, feature `h_k`
+//! needs `g·z_k` counters with
+//!
+//! ```text
+//! z_k = ⌈32·log_{|f_k|}(b) / ε²⌉      g = ⌈2·log₂(1/δ)⌉
+//! ```
+//!
+//! The sketch requires `|f_k| ≫ b`, which fails for `h_1`
+//! (`|f_1| = 256`), so — exactly as the paper prescribes — `h_1` is always
+//! computed exactly and only `k ≥ 2` features are estimated.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vector::FeatureWidths;
+use crate::BITS_PER_BYTE;
+
+/// Errors from the `(δ,ε)` estimation configuration or invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// `ε` must be strictly positive.
+    InvalidEpsilon(f64),
+    /// `δ` must be inside `(0, 1)`.
+    InvalidDelta(f64),
+    /// Estimation is undefined for `h_1` because `|f_1| = 256` violates
+    /// the sketch's `|f_k| ≫ b` assumption; compute `h_1` exactly.
+    UnsupportedWidth(usize),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive, got {e}")
+            }
+            EstimateError::InvalidDelta(d) => {
+                write!(f, "delta must be in (0, 1), got {d}")
+            }
+            EstimateError::UnsupportedWidth(k) => {
+                write!(f, "streaming estimation unsupported for feature width {k}; h_1 must be computed exactly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Configuration of the `(δ,ε)`-approximation: relative error at most `ε`
+/// with probability at least `1 − δ`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EstimatorConfig {
+    /// Relative error bound `ε > 0`.
+    pub epsilon: f64,
+    /// Failure probability `δ ∈ (0, 1)`.
+    pub delta: f64,
+}
+
+impl EstimatorConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::InvalidEpsilon`] or
+    /// [`EstimateError::InvalidDelta`] on out-of-range parameters.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, EstimateError> {
+        if epsilon <= 0.0 || epsilon.is_nan() {
+            return Err(EstimateError::InvalidEpsilon(epsilon));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(EstimateError::InvalidDelta(delta));
+        }
+        Ok(EstimatorConfig { epsilon, delta })
+    }
+
+    /// The paper's best SVM operating point for `b′ = 1024`
+    /// (§4.4.2: `ε = 0.25`, `δ = 0.75`).
+    pub fn svm_optimal() -> Self {
+        EstimatorConfig { epsilon: 0.25, delta: 0.75 }
+    }
+
+    /// The paper's best CART operating point for `b′ = 1024`
+    /// (§4.4.2: `ε = 0.5`, `δ = 0.1`).
+    pub fn cart_optimal() -> Self {
+        EstimatorConfig { epsilon: 0.5, delta: 0.1 }
+    }
+
+    /// Number of estimator groups `g = ⌈2·log₂(1/δ)⌉` (at least 1).
+    pub fn groups(&self) -> usize {
+        ((2.0 * (1.0 / self.delta).log2()).ceil() as usize).max(1)
+    }
+
+    /// Number of estimators per group for feature width `k` and buffer
+    /// size `b`: `z_k = ⌈32·log_{|f_k|}(b) / ε²⌉` (at least 1).
+    pub fn estimators_per_group(&self, k: usize, b: usize) -> usize {
+        let log_fk_b = (b.max(2) as f64).log2() / (BITS_PER_BYTE * k as f64);
+        ((32.0 * log_fk_b / (self.epsilon * self.epsilon)).ceil() as usize).max(1)
+    }
+}
+
+/// Total counters `g·z_k` required to estimate `h_k` on a `b`-byte buffer
+/// (the left side of Formula 3 for one feature).
+///
+/// # Errors
+///
+/// Returns [`EstimateError::UnsupportedWidth`] for `k < 2`.
+pub fn counters_required(config: &EstimatorConfig, k: usize, b: usize) -> Result<usize, EstimateError> {
+    if k < 2 {
+        return Err(EstimateError::UnsupportedWidth(k));
+    }
+    Ok(config.groups() * config.estimators_per_group(k, b))
+}
+
+/// The lower bound on `ε` from Formula 4:
+/// `ε > sqrt(K_φ · (log₂ b / α) · log₂(1/δ))`
+/// where `K_φ = 8·Σ_{i ∈ φ, i ≠ 1} 1/i` is the feature-set coefficient and
+/// `α` is the counter budget of the exact calculation.
+///
+/// For the paper's feature sets: `K_φSVM = 8·(1/2+1/3+1/5) ≈ 8.26`,
+/// `K_φCART = 8·(1/3+1/4+1/5) ≈ 6.27`.
+pub fn min_epsilon(widths: &FeatureWidths, b: usize, alpha: usize, delta: f64) -> f64 {
+    let k_phi: f64 = widths.iter().filter(|&k| k != 1).map(|k| 8.0 / k as f64).sum();
+    let log2_b = (b.max(2) as f64).log2();
+    (k_phi * (log2_b / alpha.max(1) as f64) * (1.0 / delta).log2()).sqrt()
+}
+
+/// The streaming entropy estimator of §4.4.1.
+///
+/// Holds the `(δ,ε)` configuration and a seeded RNG so experiments are
+/// reproducible. Each [`estimate`](Self::estimate_hk) call runs the
+/// six-step sampling procedure of the paper on a full buffer.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_entropy::{entropy, EstimatorConfig, StreamingEntropyEstimator};
+///
+/// let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 16) as u8).collect();
+/// let cfg = EstimatorConfig::new(0.25, 0.25)?;
+/// let mut est = StreamingEntropyEstimator::with_seed(cfg, 42);
+/// let approx = est.estimate_hk(&data, 3)?;
+/// let exact = entropy(&data, 3);
+/// assert!((approx - exact).abs() < 0.25, "approx={approx} exact={exact}");
+/// # Ok::<(), iustitia_entropy::EstimateError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEntropyEstimator {
+    config: EstimatorConfig,
+    rng: StdRng,
+}
+
+impl StreamingEntropyEstimator {
+    /// Creates an estimator with an OS-seeded RNG.
+    pub fn new(config: EstimatorConfig) -> Self {
+        StreamingEntropyEstimator { config, rng: StdRng::from_entropy() }
+    }
+
+    /// Creates an estimator with a deterministic seed (for experiments).
+    pub fn with_seed(config: EstimatorConfig, seed: u64) -> Self {
+        StreamingEntropyEstimator { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Estimates `S_k = Σᵢ m_ik·log₂(m_ik)` over the `k`-grams of `data`
+    /// using the sampling procedure of §4.4.1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnsupportedWidth`] for `k < 2`.
+    pub fn estimate_sk(&mut self, data: &[u8], k: usize) -> Result<f64, EstimateError> {
+        if k < 2 {
+            return Err(EstimateError::UnsupportedWidth(k));
+        }
+        if data.len() < k + 1 {
+            return Ok(0.0);
+        }
+        let m = data.len() - k + 1; // number of windows
+        let g = self.config.groups();
+        let z = self.config.estimators_per_group(k, data.len());
+
+        let mut group_means = Vec::with_capacity(g);
+        for _ in 0..g {
+            let mut sum = 0.0;
+            for _ in 0..z {
+                // Steps 1-2: random location, count suffix occurrences of
+                // the gram found there.
+                let j = self.rng.gen_range(0..m);
+                let gram = &data[j..j + k];
+                let mut r: u64 = 0;
+                for w in j..m {
+                    if &data[w..w + k] == gram {
+                        r += 1;
+                    }
+                }
+                // Step 4: unbiased estimator m·(r·log r − (r−1)·log(r−1)).
+                let rf = r as f64;
+                let x = if r <= 1 {
+                    0.0
+                } else {
+                    (m as f64) * (rf * rf.log2() - (rf - 1.0) * (rf - 1.0).log2())
+                };
+                sum += x;
+            }
+            // Step 5: group average.
+            group_means.push(sum / z as f64);
+        }
+        // Step 6: median of group averages.
+        group_means.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        let med = if group_means.len() % 2 == 1 {
+            group_means[group_means.len() / 2]
+        } else {
+            let hi = group_means.len() / 2;
+            0.5 * (group_means[hi - 1] + group_means[hi])
+        };
+        Ok(med.max(0.0))
+    }
+
+    /// Estimates the normalized entropy `h_k` of `data` by plugging the
+    /// estimated `S_k` into Formula 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnsupportedWidth`] for `k < 2` — the
+    /// caller must compute `h_1` exactly (see
+    /// [`estimate_vector`](Self::estimate_vector), which does this
+    /// automatically).
+    pub fn estimate_hk(&mut self, data: &[u8], k: usize) -> Result<f64, EstimateError> {
+        if k < 2 {
+            return Err(EstimateError::UnsupportedWidth(k));
+        }
+        if data.len() < k + 1 {
+            return Ok(0.0);
+        }
+        let m = (data.len() - k + 1) as f64;
+        let sk = self.estimate_sk(data, k)?;
+        let bits = m.log2() - sk / m;
+        Ok((bits / (BITS_PER_BYTE * k as f64)).clamp(0.0, 1.0))
+    }
+
+    /// Estimates a full entropy vector: `h_1` exactly, every `k ≥ 2`
+    /// feature via the streaming sketch — the hybrid Iustitia deploys.
+    pub fn estimate_vector(&mut self, data: &[u8], widths: &FeatureWidths) -> Vec<f64> {
+        widths
+            .iter()
+            .map(|k| {
+                if k == 1 {
+                    crate::vector::entropy(data, 1)
+                } else {
+                    self.estimate_hk(data, k).expect("k >= 2 is always supported")
+                }
+            })
+            .collect()
+    }
+
+    /// Total counters this estimator uses for the feature set on a
+    /// `b`-byte buffer (`h_1`'s exact counters excluded, per the paper's
+    /// Formula 3 which sums over `φᵢ ≠ h_1`).
+    pub fn total_counters(&self, widths: &FeatureWidths, b: usize) -> usize {
+        widths
+            .iter()
+            .filter(|&k| k >= 2)
+            .map(|k| self.config.groups() * self.config.estimators_per_group(k, b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::entropy;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EstimatorConfig::new(0.25, 0.5).is_ok());
+        assert_eq!(
+            EstimatorConfig::new(0.0, 0.5),
+            Err(EstimateError::InvalidEpsilon(0.0))
+        );
+        assert_eq!(EstimatorConfig::new(0.5, 0.0), Err(EstimateError::InvalidDelta(0.0)));
+        assert_eq!(EstimatorConfig::new(0.5, 1.0), Err(EstimateError::InvalidDelta(1.0)));
+    }
+
+    #[test]
+    fn paper_operating_points() {
+        let svm = EstimatorConfig::svm_optimal();
+        assert_eq!((svm.epsilon, svm.delta), (0.25, 0.75));
+        let cart = EstimatorConfig::cart_optimal();
+        assert_eq!((cart.epsilon, cart.delta), (0.5, 0.1));
+    }
+
+    #[test]
+    fn group_and_z_formulas() {
+        let cfg = EstimatorConfig::new(0.5, 0.25).unwrap();
+        // g = ceil(2*log2(4)) = 4
+        assert_eq!(cfg.groups(), 4);
+        // z_2 = ceil(32 * (log2(1024)/16) / 0.25) = ceil(32*0.625/0.25) = 80
+        assert_eq!(cfg.estimators_per_group(2, 1024), 80);
+        // z_5 = ceil(32 * (10/40) / 0.25) = 32
+        assert_eq!(cfg.estimators_per_group(5, 1024), 32);
+    }
+
+    #[test]
+    fn counters_required_rejects_h1() {
+        let cfg = EstimatorConfig::new(0.25, 0.25).unwrap();
+        assert!(matches!(counters_required(&cfg, 1, 1024), Err(EstimateError::UnsupportedWidth(1))));
+        assert!(counters_required(&cfg, 2, 1024).unwrap() > 0);
+    }
+
+    #[test]
+    fn min_epsilon_matches_paper_constants() {
+        // Paper: K_φSVM = 8.26..., K_φCART = 6.26..., and with b=1024,
+        // α≈1911: ε > 0.18·sqrt(log2(1/δ)).
+        let svm = FeatureWidths::svm_selected();
+        let cart = FeatureWidths::cart_selected();
+        let k_svm: f64 = 8.0 * (0.5 + 1.0 / 3.0 + 0.2);
+        assert!((k_svm - 8.266).abs() < 0.01);
+        let eps_at_half = min_epsilon(&svm, 1024, 1911, 0.5);
+        // sqrt(8.266 * 10/1911 * 1) ≈ 0.208
+        assert!((eps_at_half - (k_svm * 10.0 / 1911.0f64).sqrt()).abs() < 1e-9);
+        assert!(min_epsilon(&cart, 1024, 1911, 0.5) < eps_at_half);
+    }
+
+    #[test]
+    fn estimate_constant_data_is_zero() {
+        let cfg = EstimatorConfig::new(0.3, 0.3).unwrap();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 1);
+        let h = est.estimate_hk(&[9u8; 2048], 2).unwrap();
+        assert!(h.abs() < 1e-9, "h={h}");
+    }
+
+    #[test]
+    fn estimate_tracks_exact_on_random_data() {
+        let data = pseudo_random(4096, 7);
+        let cfg = EstimatorConfig::new(0.2, 0.2).unwrap();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 11);
+        for k in [2usize, 3, 5] {
+            let exact = entropy(&data, k);
+            let approx = est.estimate_hk(&data, k).unwrap();
+            assert!(
+                (approx - exact).abs() <= 0.2 * exact.max(0.05) + 0.05,
+                "k={k} exact={exact} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_exact_on_textlike_data() {
+        let data: Vec<u8> = b"flow nature identification at high speed using entropy. "
+            .iter()
+            .cycle()
+            .take(2048)
+            .copied()
+            .collect();
+        let cfg = EstimatorConfig::new(0.25, 0.25).unwrap();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 3);
+        let exact = entropy(&data, 2);
+        let approx = est.estimate_hk(&data, 2).unwrap();
+        assert!((approx - exact).abs() < 0.15, "exact={exact} approx={approx}");
+    }
+
+    #[test]
+    fn estimate_vector_mixes_exact_h1() {
+        let data = pseudo_random(1024, 5);
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::svm_optimal();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 21);
+        let v = est.estimate_vector(&data, &widths);
+        assert_eq!(v.len(), 4);
+        // h1 is the exact computation (up to float summation order).
+        assert!((v[0] - entropy(&data, 1)).abs() < 1e-12);
+        assert!(v.iter().all(|h| (0.0..=1.0).contains(h)));
+    }
+
+    #[test]
+    fn short_input_estimates_zero() {
+        let cfg = EstimatorConfig::new(0.25, 0.25).unwrap();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 2);
+        assert_eq!(est.estimate_hk(b"ab", 2).unwrap(), 0.0);
+        assert_eq!(est.estimate_sk(b"", 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn total_counters_excludes_h1_and_shrinks_with_epsilon() {
+        let widths = FeatureWidths::svm_selected();
+        let loose = StreamingEntropyEstimator::with_seed(EstimatorConfig::new(0.5, 0.5).unwrap(), 0);
+        let tight = StreamingEntropyEstimator::with_seed(EstimatorConfig::new(0.1, 0.5).unwrap(), 0);
+        let c_loose = loose.total_counters(&widths, 1024);
+        let c_tight = tight.total_counters(&widths, 1024);
+        assert!(c_loose < c_tight);
+        // h1 contributes nothing: {1} alone would be zero counters.
+        let only_h1 = FeatureWidths::new(vec![1]);
+        assert_eq!(loose.total_counters(&only_h1, 1024), 0);
+    }
+
+    #[test]
+    fn groups_is_at_least_one_even_for_large_delta() {
+        // δ → 1 drives 2·log2(1/δ) → 0; the group count must clamp at 1.
+        let cfg = EstimatorConfig::new(0.5, 0.99).unwrap();
+        assert_eq!(cfg.groups(), 1);
+    }
+
+    #[test]
+    fn minimal_length_input_estimates_without_panic() {
+        let cfg = EstimatorConfig::new(0.5, 0.5).unwrap();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 1);
+        // Exactly k+1 bytes: two windows.
+        let h = est.estimate_hk(&[1, 2, 3], 2).unwrap();
+        assert!((0.0..=1.0).contains(&h));
+    }
+
+    #[test]
+    fn cart_widths_estimate_vector_shape() {
+        let data = pseudo_random(512, 3);
+        let widths = FeatureWidths::cart_selected();
+        let mut est = StreamingEntropyEstimator::with_seed(EstimatorConfig::cart_optimal(), 5);
+        let v = est.estimate_vector(&data, &widths);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|h| (0.0..=1.0).contains(h)));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EstimateError::UnsupportedWidth(1);
+        assert!(e.to_string().contains("unsupported"));
+        assert!(EstimateError::InvalidEpsilon(-1.0).to_string().contains("positive"));
+        assert!(EstimateError::InvalidDelta(2.0).to_string().contains("(0, 1)"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Frequency histograms over k-byte grams.
+//!
+//! The paper treats every consecutive `k` bytes of a file (or flow buffer)
+//! as one element of the alphabet `f_k` of all possible `k`-byte strings,
+//! so a sequence of `m` bytes yields `m - k + 1` elements. This module
+//! provides the counting structure shared by exact entropy calculation
+//! ([`crate::vector`]) and the divergence measures ([`crate::divergence`]).
+
+use std::collections::HashMap;
+
+/// A frequency histogram of the `k`-byte grams of a byte sequence.
+///
+/// Grams are packed into a `u128` (big-endian within the low `8k` bits),
+/// which supports every feature width used by the paper (`k ≤ 10`) and
+/// anything up to `k = 16`.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_entropy::GramHistogram;
+///
+/// let h = GramHistogram::from_bytes(b"abab", 2);
+/// // windows: "ab", "ba", "ab"
+/// assert_eq!(h.window_count(), 3);
+/// assert_eq!(h.count_of(b"ab"), 2);
+/// assert_eq!(h.count_of(b"ba"), 1);
+/// assert_eq!(h.distinct(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GramHistogram {
+    k: usize,
+    counts: HashMap<u128, u64>,
+    windows: u64,
+}
+
+/// Packs up to 16 bytes into a `u128` key.
+///
+/// # Panics
+///
+/// Panics if `gram.len() > 16`.
+#[inline]
+pub(crate) fn pack_gram(gram: &[u8]) -> u128 {
+    assert!(gram.len() <= 16, "grams longer than 16 bytes are unsupported");
+    let mut key: u128 = 0;
+    for &b in gram {
+        key = (key << 8) | u128::from(b);
+    }
+    key
+}
+
+impl GramHistogram {
+    /// Creates an empty histogram for `k`-byte grams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 16`.
+    pub fn new(k: usize) -> Self {
+        assert!((1..=16).contains(&k), "feature width k must be in 1..=16, got {k}");
+        GramHistogram { k, counts: HashMap::new(), windows: 0 }
+    }
+
+    /// Builds the histogram of all `k`-grams of `data`.
+    ///
+    /// If `data.len() < k` the histogram is empty.
+    pub fn from_bytes(data: &[u8], k: usize) -> Self {
+        let mut h = Self::new(k);
+        h.extend_from_bytes(data);
+        h
+    }
+
+    /// Counts all `k`-grams of `data` into this histogram.
+    ///
+    /// Note that calling this twice with two halves of a buffer is *not*
+    /// equivalent to one call with the whole buffer: the grams spanning
+    /// the boundary are not counted. The flow pipeline therefore buffers
+    /// `b` contiguous payload bytes before computing features.
+    pub fn extend_from_bytes(&mut self, data: &[u8]) {
+        if data.len() < self.k {
+            return;
+        }
+        if self.k == 1 {
+            // Fast path: dense iteration without window packing.
+            for &b in data {
+                *self.counts.entry(u128::from(b)).or_insert(0) += 1;
+            }
+            self.windows += data.len() as u64;
+            return;
+        }
+        let mask: u128 = if self.k == 16 { u128::MAX } else { (1u128 << (8 * self.k)) - 1 };
+        let mut key = pack_gram(&data[..self.k - 1]);
+        for &b in &data[self.k - 1..] {
+            key = ((key << 8) | u128::from(b)) & mask;
+            *self.counts.entry(key).or_insert(0) += 1;
+        }
+        self.windows += (data.len() - self.k + 1) as u64;
+    }
+
+    /// The gram width `k` this histogram counts.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of windows counted (`m - k + 1` for a single
+    /// `m`-byte input).
+    pub fn window_count(&self) -> u64 {
+        self.windows
+    }
+
+    /// Number of distinct grams observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count of one specific gram (0 if never seen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gram.len() != k`.
+    pub fn count_of(&self, gram: &[u8]) -> u64 {
+        assert_eq!(gram.len(), self.k, "gram length must equal k");
+        self.counts.get(&pack_gram(gram)).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(packed_gram, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, u64)> + '_ {
+        self.counts.iter().map(|(&g, &c)| (g, c))
+    }
+
+    /// Iterates over the raw counts in arbitrary order.
+    pub fn counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.counts.values().copied()
+    }
+
+    /// Σ mᵢ·log2(mᵢ) over all gram counts mᵢ — the quantity `S_k`
+    /// that the streaming sketch of [`crate::estimate`] approximates.
+    ///
+    /// Counts are summed in sorted order so the result is bit-for-bit
+    /// reproducible (HashMap iteration order would otherwise perturb
+    /// the floating-point sum across runs).
+    pub fn sum_m_log_m(&self) -> f64 {
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable();
+        counts
+            .into_iter()
+            .map(|c| {
+                let c = c as f64;
+                c * c.log2()
+            })
+            .sum()
+    }
+
+    /// Number of counters an exact implementation needs for this input —
+    /// used to size the `(δ,ε)` estimation budget `α` (Formula 3).
+    pub fn counters_used(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl Extend<u8> for GramHistogram {
+    /// Extends from an iterator of bytes. Equivalent to collecting the
+    /// bytes and calling [`GramHistogram::extend_from_bytes`] once.
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        let buf: Vec<u8> = iter.into_iter().collect();
+        self.extend_from_bytes(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_empty() {
+        let h = GramHistogram::from_bytes(b"", 1);
+        assert_eq!(h.window_count(), 0);
+        assert_eq!(h.distinct(), 0);
+    }
+
+    #[test]
+    fn input_shorter_than_k_is_empty() {
+        let h = GramHistogram::from_bytes(b"ab", 3);
+        assert_eq!(h.window_count(), 0);
+    }
+
+    #[test]
+    fn single_byte_grams() {
+        let h = GramHistogram::from_bytes(b"aabbbc", 1);
+        assert_eq!(h.window_count(), 6);
+        assert_eq!(h.count_of(b"a"), 2);
+        assert_eq!(h.count_of(b"b"), 3);
+        assert_eq!(h.count_of(b"c"), 1);
+        assert_eq!(h.count_of(b"z"), 0);
+        assert_eq!(h.distinct(), 3);
+    }
+
+    #[test]
+    fn overlapping_windows_match_paper_example() {
+        // Paper §3.1: F = <a,b,c,d> as 2-grams is <ab, bc, cd>.
+        let h = GramHistogram::from_bytes(b"abcd", 2);
+        assert_eq!(h.window_count(), 3);
+        assert_eq!(h.count_of(b"ab"), 1);
+        assert_eq!(h.count_of(b"bc"), 1);
+        assert_eq!(h.count_of(b"cd"), 1);
+    }
+
+    #[test]
+    fn window_count_is_m_minus_k_plus_1() {
+        for k in 1..=10 {
+            let data = vec![7u8; 100];
+            let h = GramHistogram::from_bytes(&data, k);
+            assert_eq!(h.window_count(), (100 - k + 1) as u64, "k={k}");
+            assert_eq!(h.distinct(), 1);
+        }
+    }
+
+    #[test]
+    fn wide_grams_pack_correctly() {
+        let data: Vec<u8> = (0u8..32).collect();
+        let h = GramHistogram::from_bytes(&data, 10);
+        assert_eq!(h.window_count(), 23);
+        assert_eq!(h.distinct(), 23);
+        assert_eq!(h.count_of(&data[0..10]), 1);
+        assert_eq!(h.count_of(&data[22..32]), 1);
+    }
+
+    #[test]
+    fn k16_mask_does_not_overflow() {
+        let data: Vec<u8> = (0u8..64).map(|i| i.wrapping_mul(37)).collect();
+        let h = GramHistogram::from_bytes(&data, 16);
+        assert_eq!(h.window_count(), 49);
+        assert_eq!(h.count_of(&data[0..16]), 1);
+    }
+
+    #[test]
+    fn sum_m_log_m_matches_manual() {
+        let h = GramHistogram::from_bytes(b"aabb", 1);
+        // counts: a=2, b=2 → 2*log2(2) + 2*log2(2) = 4
+        assert!((h.sum_m_log_m() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width k")]
+    fn zero_k_panics() {
+        GramHistogram::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gram length")]
+    fn count_of_wrong_len_panics() {
+        GramHistogram::from_bytes(b"abc", 2).count_of(b"abc");
+    }
+
+    #[test]
+    fn extend_trait_counts_like_slice() {
+        let mut h = GramHistogram::new(2);
+        h.extend(b"abcd".iter().copied());
+        assert_eq!(h.window_count(), 3);
+    }
+}

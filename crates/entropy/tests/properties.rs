@@ -1,0 +1,119 @@
+//! Property-based tests for the information-theory substrate.
+
+use iustitia_entropy::{
+    entropy, entropy_vector, jensen_shannon_divergence, kl_divergence, prefix_jsd,
+    ByteDistribution, EstimatorConfig, GramHistogram, StreamingEntropyEstimator,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn entropy_is_always_in_unit_interval(data in proptest::collection::vec(any::<u8>(), 0..2048), k in 1usize..=10) {
+        let h = entropy(&data, k);
+        prop_assert!((0.0..=1.0).contains(&h), "h_{k} = {h}");
+    }
+
+    #[test]
+    fn constant_data_has_zero_entropy(byte in any::<u8>(), len in 0usize..1024, k in 1usize..=8) {
+        let data = vec![byte; len];
+        prop_assert_eq!(entropy(&data, k), 0.0);
+    }
+
+    #[test]
+    fn h1_is_permutation_invariant(mut data in proptest::collection::vec(any::<u8>(), 2..512)) {
+        let before = entropy(&data, 1);
+        data.sort_unstable();
+        let after = entropy(&data, 1);
+        prop_assert!((before - after).abs() < 1e-12, "{before} vs {after}");
+    }
+
+    #[test]
+    fn h1_is_invariant_under_self_concatenation(data in proptest::collection::vec(any::<u8>(), 2..512)) {
+        // Doubling the data leaves the byte distribution unchanged.
+        let single = entropy(&data, 1);
+        let mut doubled = data.clone();
+        doubled.extend_from_slice(&data);
+        let double = entropy(&doubled, 1);
+        prop_assert!((single - double).abs() < 1e-9, "{single} vs {double}");
+    }
+
+    #[test]
+    fn entropy_vector_matches_individual_calls(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let widths = [1usize, 2, 3, 5];
+        let v = entropy_vector(&data, &widths);
+        for (i, &k) in widths.iter().enumerate() {
+            prop_assert_eq!(v[i], entropy(&data, k));
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_window_count(data in proptest::collection::vec(any::<u8>(), 0..1024), k in 1usize..=8) {
+        let h = GramHistogram::from_bytes(&data, k);
+        let expected = data.len().saturating_sub(k.saturating_sub(1)) as u64;
+        let expected = if data.len() < k { 0 } else { expected };
+        prop_assert_eq!(h.window_count(), expected);
+        prop_assert_eq!(h.counts().sum::<u64>(), expected);
+        prop_assert!(h.distinct() as u64 <= expected);
+    }
+
+    #[test]
+    fn jsd_is_symmetric_and_bounded(
+        a in proptest::collection::vec(any::<u8>(), 1..512),
+        b in proptest::collection::vec(any::<u8>(), 1..512),
+        k in 1usize..=3,
+    ) {
+        let p = ByteDistribution::from_bytes(&a, k);
+        let q = ByteDistribution::from_bytes(&b, k);
+        let d1 = jensen_shannon_divergence(&p, &q);
+        let d2 = jensen_shannon_divergence(&q, &p);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d1), "jsd = {d1}");
+    }
+
+    #[test]
+    fn jsd_of_distribution_with_itself_is_zero(a in proptest::collection::vec(any::<u8>(), 1..512), k in 1usize..=3) {
+        let p = ByteDistribution::from_bytes(&a, k);
+        prop_assert!(jensen_shannon_divergence(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn kld_is_nonnegative_when_finite(
+        a in proptest::collection::vec(0u8..4, 1..256),
+        b in proptest::collection::vec(0u8..4, 1..256),
+    ) {
+        // Small alphabet makes shared support likely; KLD ≥ 0 always.
+        let p = ByteDistribution::from_bytes(&a, 1);
+        let q = ByteDistribution::from_bytes(&b, 1);
+        let d = kl_divergence(&p, &q);
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn prefix_jsd_at_full_portion_is_zero(data in proptest::collection::vec(any::<u8>(), 8..512), k in 1usize..=2) {
+        prop_assert!(prefix_jsd(&data, 1.0, k) < 1e-9);
+    }
+
+    #[test]
+    fn estimator_output_is_bounded(
+        data in proptest::collection::vec(any::<u8>(), 16..768),
+        k in 2usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = EstimatorConfig::new(0.5, 0.5).expect("valid");
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, seed);
+        let h = est.estimate_hk(&data, k).expect("k >= 2");
+        prop_assert!((0.0..=1.0).contains(&h), "estimated h_{k} = {h}");
+    }
+
+    #[test]
+    fn estimator_counter_budget_is_monotone_in_epsilon(
+        b in 64usize..8192,
+        k in 2usize..=8,
+    ) {
+        let loose = EstimatorConfig::new(0.8, 0.5).expect("valid");
+        let tight = EstimatorConfig::new(0.2, 0.5).expect("valid");
+        let c_loose = iustitia_entropy::counters_required(&loose, k, b).expect("k >= 2");
+        let c_tight = iustitia_entropy::counters_required(&tight, k, b).expect("k >= 2");
+        prop_assert!(c_loose <= c_tight);
+    }
+}

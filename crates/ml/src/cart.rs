@@ -1,0 +1,505 @@
+//! CART decision trees (Breiman, Friedman, Olshen & Stone 1984).
+//!
+//! Binary trees over continuous features, grown greedily by minimizing
+//! Gini impurity, with minimal cost-complexity ("weakest link") pruning.
+//! This is the decision-tree classifier the paper evaluates against the
+//! SVM (Figures 2(b), 4, 6, 7(ii); Tables 1–3) and the engine behind the
+//! pruning-vote feature selection of §4.1.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// Growth parameters for [`DecisionTree::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CartParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples a node must hold to be split further.
+    pub min_samples_split: usize,
+    /// Minimum weighted Gini decrease required to accept a split.
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for CartParams {
+    /// Defaults tuned for the paper's 10-feature entropy vectors:
+    /// depth ≤ 12, split nodes with ≥ 4 samples, any positive gain.
+    fn default() -> Self {
+        CartParams { max_depth: 12, min_samples_split: 4, min_impurity_decrease: 1e-7 }
+    }
+}
+
+/// One node of the tree, stored in an arena indexed by `usize`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+enum NodeKind {
+    Leaf,
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Node {
+    /// Training class counts that reached this node (kept on internal
+    /// nodes too, so pruning can collapse them into leaves).
+    counts: Vec<u32>,
+    kind: NodeKind,
+}
+
+impl Node {
+    fn majority(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of training errors if this node were a leaf.
+    fn leaf_errors(&self) -> u32 {
+        self.total() - self.counts.iter().max().copied().unwrap_or(0)
+    }
+}
+
+/// A trained CART decision tree.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_ml::cart::{CartParams, DecisionTree};
+/// use iustitia_ml::dataset::Dataset;
+/// use iustitia_ml::Classifier;
+///
+/// let mut ds = Dataset::new(1, vec!["no".into(), "yes".into()]);
+/// for i in 0..20 {
+///     ds.push(vec![i as f64], usize::from(i >= 10));
+/// }
+/// let tree = DecisionTree::fit(&ds, &CartParams::default());
+/// assert_eq!(tree.predict(&[3.0]), 0);
+/// assert_eq!(tree.predict(&[15.0]), 1);
+/// assert!(tree.n_leaves() >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    root: usize,
+    n_classes: usize,
+    n_features: usize,
+}
+
+fn gini(counts: &[u32]) -> f64 {
+    let total: u32 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    left_idx: Vec<usize>,
+    right_idx: Vec<usize>,
+}
+
+impl DecisionTree {
+    /// Grows a tree on `data` with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset, params: &CartParams) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            root: 0,
+            n_classes: data.n_classes(),
+            n_features: data.n_features(),
+        };
+        let all: Vec<usize> = (0..data.len()).collect();
+        tree.root = tree.grow(data, &all, 0, params);
+        tree
+    }
+
+    fn class_counts(&self, data: &Dataset, idx: &[usize]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_classes];
+        for &i in idx {
+            counts[data.label(i)] += 1;
+        }
+        counts
+    }
+
+    fn grow(&mut self, data: &Dataset, idx: &[usize], depth: usize, params: &CartParams) -> usize {
+        let counts = self.class_counts(data, idx);
+        let node_gini = gini(&counts);
+        let stop = depth >= params.max_depth
+            || idx.len() < params.min_samples_split
+            || node_gini == 0.0;
+        if !stop {
+            if let Some(split) = self.best_split(data, idx, node_gini, params) {
+                let left = self.grow(data, &split.left_idx, depth + 1, params);
+                let right = self.grow(data, &split.right_idx, depth + 1, params);
+                self.nodes.push(Node {
+                    counts,
+                    kind: NodeKind::Split {
+                        feature: split.feature,
+                        threshold: split.threshold,
+                        left,
+                        right,
+                    },
+                });
+                return self.nodes.len() - 1;
+            }
+        }
+        self.nodes.push(Node { counts, kind: NodeKind::Leaf });
+        self.nodes.len() - 1
+    }
+
+    fn best_split(
+        &self,
+        data: &Dataset,
+        idx: &[usize],
+        parent_gini: f64,
+        params: &CartParams,
+    ) -> Option<BestSplit> {
+        let n = idx.len() as f64;
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
+        for feature in 0..self.n_features {
+            pairs.clear();
+            pairs.extend(idx.iter().map(|&i| (data.features(i)[feature], data.label(i))));
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+
+            let mut left_counts = vec![0u32; self.n_classes];
+            let mut right_counts = self.class_counts(data, idx);
+            let mut n_left = 0f64;
+            for w in 0..pairs.len() - 1 {
+                let (v, l) = pairs[w];
+                left_counts[l] += 1;
+                right_counts[l] -= 1;
+                n_left += 1.0;
+                let v_next = pairs[w + 1].0;
+                if v_next <= v {
+                    continue; // not a valid split point
+                }
+                let n_right = n - n_left;
+                let weighted =
+                    (n_left / n) * gini(&left_counts) + (n_right / n) * gini(&right_counts);
+                let gain = parent_gini - weighted;
+                if gain > params.min_impurity_decrease
+                    && best.is_none_or(|(_, _, g)| gain > g)
+                {
+                    best = Some((feature, 0.5 * (v + v_next), gain));
+                }
+            }
+        }
+        best.map(|(feature, threshold, _gain)| {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| data.features(i)[feature] <= threshold);
+            BestSplit { feature, threshold, left_idx, right_idx }
+        })
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.count_reachable(self.root)
+    }
+
+    fn count_reachable(&self, node: usize) -> usize {
+        match self.nodes[node].kind {
+            NodeKind::Leaf => 1,
+            NodeKind::Split { left, right, .. } => {
+                1 + self.count_reachable(left) + self.count_reachable(right)
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves_under(self.root)
+    }
+
+    fn leaves_under(&self, node: usize) -> usize {
+        match self.nodes[node].kind {
+            NodeKind::Leaf => 1,
+            NodeKind::Split { left, right, .. } => {
+                self.leaves_under(left) + self.leaves_under(right)
+            }
+        }
+    }
+
+    /// Tree depth (a single-leaf tree has depth 0).
+    pub fn depth(&self) -> usize {
+        self.depth_under(self.root)
+    }
+
+    fn depth_under(&self, node: usize) -> usize {
+        match self.nodes[node].kind {
+            NodeKind::Leaf => 0,
+            NodeKind::Split { left, right, .. } => {
+                1 + self.depth_under(left).max(self.depth_under(right))
+            }
+        }
+    }
+
+    /// The distinct features tested anywhere in the tree, ascending.
+    pub fn features_used(&self) -> Vec<usize> {
+        let mut used = vec![false; self.n_features];
+        self.mark_features(self.root, &mut used);
+        used.iter().enumerate().filter(|(_, &u)| u).map(|(i, _)| i).collect()
+    }
+
+    fn mark_features(&self, node: usize, used: &mut [bool]) {
+        if let NodeKind::Split { feature, left, right, .. } = self.nodes[node].kind {
+            used[feature] = true;
+            self.mark_features(left, used);
+            self.mark_features(right, used);
+        }
+    }
+
+    /// Importance weight per feature: each split contributes
+    /// `1 / (depth + 1)` to its feature, reflecting the paper's "the
+    /// higher a feature is in a tree, the more effective it is".
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        self.accumulate_importance(self.root, 0, &mut imp);
+        imp
+    }
+
+    fn accumulate_importance(&self, node: usize, depth: usize, imp: &mut [f64]) {
+        if let NodeKind::Split { feature, left, right, .. } = self.nodes[node].kind {
+            imp[feature] += 1.0 / (depth as f64 + 1.0);
+            self.accumulate_importance(left, depth + 1, imp);
+            self.accumulate_importance(right, depth + 1, imp);
+        }
+    }
+
+    /// Evaluates accuracy on a dataset.
+    pub fn accuracy_on(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data.iter().filter(|(x, y)| self.predict(x) == *y).count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Produces the minimal cost-complexity pruning sequence
+    /// `T_0 ⊃ T_1 ⊃ … ⊃ {root}`: each step collapses the internal node
+    /// with the weakest link value
+    /// `g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1)`.
+    ///
+    /// `T_0` (the unpruned tree) is included as the first element.
+    pub fn pruning_sequence(&self) -> Vec<DecisionTree> {
+        let mut seq = vec![self.clone()];
+        let mut current = self.clone();
+        while matches!(current.nodes[current.root].kind, NodeKind::Split { .. }) {
+            current = current.collapse_weakest_link();
+            seq.push(current.clone());
+        }
+        seq
+    }
+
+    /// Collapses the single internal node with minimal `g(t)` into a leaf.
+    fn collapse_weakest_link(&self) -> DecisionTree {
+        let mut best: Option<(usize, f64)> = None;
+        self.find_weakest(self.root, &mut best);
+        let mut out = self.clone();
+        if let Some((node, _)) = best {
+            out.nodes[node].kind = NodeKind::Leaf;
+        }
+        out
+    }
+
+    fn subtree_errors(&self, node: usize) -> u32 {
+        match self.nodes[node].kind {
+            NodeKind::Leaf => self.nodes[node].leaf_errors(),
+            NodeKind::Split { left, right, .. } => {
+                self.subtree_errors(left) + self.subtree_errors(right)
+            }
+        }
+    }
+
+    fn find_weakest(&self, node: usize, best: &mut Option<(usize, f64)>) {
+        if let NodeKind::Split { left, right, .. } = self.nodes[node].kind {
+            let r_t = self.nodes[node].leaf_errors() as f64;
+            let r_subtree = self.subtree_errors(node) as f64;
+            let leaves = self.leaves_under(node) as f64;
+            let g = (r_t - r_subtree) / (leaves - 1.0).max(1.0);
+            if best.is_none_or(|(_, bg)| g < bg) {
+                *best = Some((node, g));
+            }
+            self.find_weakest(left, best);
+            self.find_weakest(right, best);
+        }
+    }
+
+    /// Prunes for feature selection (§4.1): walks the pruning sequence
+    /// and returns the *smallest* tree whose accuracy on `validation`
+    /// stays within `max_accuracy_drop` of the unpruned tree's.
+    pub fn pruned_within(&self, validation: &Dataset, max_accuracy_drop: f64) -> DecisionTree {
+        let baseline = self.accuracy_on(validation);
+        let mut chosen = self.clone();
+        for t in self.pruning_sequence() {
+            if t.accuracy_on(validation) >= baseline - max_accuracy_drop {
+                chosen = t;
+            } else {
+                break;
+            }
+        }
+        chosen
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, features: &[f64]) -> usize {
+        assert_eq!(features.len(), self.n_features, "feature dimensionality mismatch");
+        let mut node = self.root;
+        loop {
+            match self.nodes[node].kind {
+                NodeKind::Leaf => return self.nodes[node].majority(),
+                NodeKind::Split { feature, threshold, left, right } => {
+                    node = if features[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes(n: usize) -> Dataset {
+        // Three horizontal stripes in 2-D: y < 0.33 → 0, < 0.66 → 1, else 2.
+        let mut ds = Dataset::new(2, vec!["t".into(), "b".into(), "e".into()]);
+        let mut v = 0.123f64;
+        for _ in 0..n {
+            v = (v * 997.13).fract();
+            let x = v;
+            v = (v * 613.57).fract();
+            let y = v;
+            let label = if y < 0.33 {
+                0
+            } else if y < 0.66 {
+                1
+            } else {
+                2
+            };
+            ds.push(vec![x, y], label);
+        }
+        ds
+    }
+
+    #[test]
+    fn gini_values() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!((gini(&[1, 1, 1]) - (1.0 - 3.0 * (1.0f64 / 9.0))).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let ds = stripes(600);
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        assert!(tree.accuracy_on(&ds) > 0.99);
+        // Only feature 1 (y) matters.
+        assert_eq!(tree.features_used(), vec![1]);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let ds = stripes(500);
+        let tree = DecisionTree::fit(&ds, &CartParams { max_depth: 1, ..CartParams::default() });
+        assert!(tree.depth() <= 1);
+        assert!(tree.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let mut ds = Dataset::new(1, vec!["only".into()]);
+        for i in 0..10 {
+            ds.push(vec![i as f64], 0);
+        }
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[100.0]), 0);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let mut ds = Dataset::new(2, vec!["a".into(), "b".into()]);
+        for i in 0..10 {
+            ds.push(vec![1.0, 2.0], i % 2);
+        }
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        assert_eq!(tree.n_nodes(), 1, "no valid split points exist");
+    }
+
+    #[test]
+    fn pruning_sequence_shrinks_to_root() {
+        let ds = stripes(400);
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        let seq = tree.pruning_sequence();
+        assert!(seq.len() >= 2);
+        // strictly decreasing leaf counts, ending in a single leaf
+        for w in seq.windows(2) {
+            assert!(w[1].n_leaves() < w[0].n_leaves());
+        }
+        assert_eq!(seq.last().unwrap().n_leaves(), 1);
+    }
+
+    #[test]
+    fn pruned_within_keeps_accuracy() {
+        let ds = stripes(800);
+        let (train, val) = ds.train_test_split(0.3, 1);
+        let tree = DecisionTree::fit(&train, &CartParams::default());
+        let pruned = tree.pruned_within(&val, 0.02);
+        assert!(pruned.n_nodes() <= tree.n_nodes());
+        assert!(pruned.accuracy_on(&val) >= tree.accuracy_on(&val) - 0.02 - 1e-12);
+    }
+
+    #[test]
+    fn feature_importance_prefers_informative_feature() {
+        let ds = stripes(600);
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        let imp = tree.feature_importance();
+        assert!(imp[1] > imp[0]);
+    }
+
+    #[test]
+    fn predict_on_noisy_overlapping_data_is_reasonable() {
+        // add label noise; tree should still beat chance comfortably
+        let mut ds = stripes(900);
+        let noisy = stripes(90);
+        for (x, y) in noisy.iter() {
+            ds.push(x.to_vec(), (y + 1) % 3);
+        }
+        let (train, test) = ds.train_test_split(0.25, 5);
+        let tree = DecisionTree::fit(&train, &CartParams::default());
+        assert!(tree.accuracy_on(&test) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        let ds = Dataset::new(1, vec!["x".into()]);
+        DecisionTree::fit(&ds, &CartParams::default());
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let ds = stripes(200);
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        let clone = tree.clone();
+        assert_eq!(clone, tree);
+        assert_eq!(clone.n_leaves(), tree.n_leaves());
+    }
+}

@@ -1,0 +1,134 @@
+//! k-fold cross-validation (the paper's "10 times cross-validation").
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::Classifier;
+
+/// The result of a cross-validation run: one confusion matrix per fold.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CrossValReport {
+    folds: Vec<ConfusionMatrix>,
+}
+
+impl CrossValReport {
+    /// Per-fold confusion matrices, in fold order.
+    pub fn folds(&self) -> &[ConfusionMatrix] {
+        &self.folds
+    }
+
+    /// Per-fold overall accuracies (the series plotted in Fig. 2(b,c)).
+    pub fn fold_accuracies(&self) -> Vec<f64> {
+        self.folds.iter().map(|m| m.accuracy()).collect()
+    }
+
+    /// Per-fold accuracy for one class.
+    pub fn fold_class_accuracies(&self, class: usize) -> Vec<f64> {
+        self.folds.iter().map(|m| m.class_accuracy(class)).collect()
+    }
+
+    /// Confusion matrix summed over all folds.
+    pub fn total(&self) -> ConfusionMatrix {
+        let mut sum = ConfusionMatrix::new(self.folds[0].n_classes());
+        for m in &self.folds {
+            sum.merge(m);
+        }
+        sum
+    }
+
+    /// Mean of the per-fold accuracies.
+    pub fn mean_accuracy(&self) -> f64 {
+        let a = self.fold_accuracies();
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Runs stratified k-fold cross-validation: for each fold, trains with
+/// `train` on the remaining k−1 folds and tests on the held-out fold.
+///
+/// `train` receives the training subset and returns any [`Classifier`].
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `data` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_ml::cart::{CartParams, DecisionTree};
+/// use iustitia_ml::crossval::cross_validate;
+/// use iustitia_ml::dataset::Dataset;
+///
+/// let mut ds = Dataset::new(1, vec!["lo".into(), "hi".into()]);
+/// for i in 0..60 {
+///     ds.push(vec![i as f64], usize::from(i >= 30));
+/// }
+/// let report = cross_validate(&ds, 5, 42, |train| {
+///     DecisionTree::fit(train, &CartParams::default())
+/// });
+/// assert!(report.mean_accuracy() > 0.9);
+/// ```
+pub fn cross_validate<C, F>(data: &Dataset, k: usize, seed: u64, mut train: F) -> CrossValReport
+where
+    C: Classifier,
+    F: FnMut(&Dataset) -> C,
+{
+    let folds = data.stratified_folds(k, seed);
+    let mut reports = Vec::with_capacity(k);
+    for held_out in 0..k {
+        let test_idx = &folds[held_out];
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(f, _)| f != held_out)
+            .flat_map(|(_, idx)| idx.iter().copied())
+            .collect();
+        let model = train(&data.subset(&train_idx));
+        let test = data.subset(test_idx);
+        let mut cm = ConfusionMatrix::new(data.n_classes());
+        for (x, y) in test.iter() {
+            cm.record(y, model.predict(x));
+        }
+        reports.push(cm);
+    }
+    CrossValReport { folds: reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cart::{CartParams, DecisionTree};
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(1, vec!["a".into(), "b".into()]);
+        for i in 0..100 {
+            ds.push(vec![i as f64 + (i % 3) as f64 * 0.1], usize::from(i >= 50));
+        }
+        ds
+    }
+
+    #[test]
+    fn runs_k_folds() {
+        let ds = toy();
+        let report = cross_validate(&ds, 10, 1, |t| DecisionTree::fit(t, &CartParams::default()));
+        assert_eq!(report.folds().len(), 10);
+        assert_eq!(report.fold_accuracies().len(), 10);
+        assert!(report.mean_accuracy() > 0.9);
+        assert_eq!(report.total().total(), 100);
+    }
+
+    #[test]
+    fn class_accuracies_exposed() {
+        let ds = toy();
+        let report = cross_validate(&ds, 5, 2, |t| DecisionTree::fit(t, &CartParams::default()));
+        let a0 = report.fold_class_accuracies(0);
+        assert_eq!(a0.len(), 5);
+        assert!(a0.iter().all(|&a| a > 0.8));
+    }
+
+    #[test]
+    fn total_matrix_covers_every_sample_once() {
+        let ds = toy();
+        let report = cross_validate(&ds, 4, 7, |t| DecisionTree::fit(t, &CartParams::default()));
+        assert_eq!(report.total().total(), ds.len() as u64);
+    }
+}

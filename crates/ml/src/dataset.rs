@@ -1,0 +1,312 @@
+//! Labeled datasets and stratified splitting.
+//!
+//! The paper's evaluation uses 10-times cross-validation where each fold
+//! draws 6000 files *equally from each class* (§3.2); [`Dataset`] supports
+//! exactly that: stratified k-fold splits and balanced subsampling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labeled dataset of fixed-dimension `f64` feature vectors.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Dataset {
+    n_features: usize,
+    class_names: Vec<String>,
+    samples: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with `n_features` features and the given
+    /// class names (class index = position in `class_names`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0` or `class_names` is empty.
+    pub fn new(n_features: usize, class_names: Vec<String>) -> Self {
+        assert!(n_features > 0, "datasets need at least one feature");
+        assert!(!class_names.is_empty(), "datasets need at least one class");
+        Dataset { n_features, class_names, samples: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Adds one labeled sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature vector has the wrong length or the label is
+    /// out of range.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert_eq!(features.len(), self.n_features, "feature dimensionality mismatch");
+        assert!(label < self.class_names.len(), "label {label} out of range");
+        self.samples.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Class names, indexed by label.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The feature vector of sample `i`.
+    pub fn features(&self, i: usize) -> &[f64] {
+        &self.samples[i]
+    }
+
+    /// The label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], usize)> + '_ {
+        self.samples.iter().map(|s| s.as_slice()).zip(self.labels.iter().copied())
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing the samples at `indices` (cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.n_features, self.class_names.clone());
+        for &i in indices {
+            out.push(self.samples[i].clone(), self.labels[i]);
+        }
+        out
+    }
+
+    /// A new dataset keeping only the feature columns in `columns`
+    /// (in the given order) — used by feature selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or contains an out-of-range column.
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        assert!(!columns.is_empty(), "must keep at least one feature");
+        for &c in columns {
+            assert!(c < self.n_features, "column {c} out of range");
+        }
+        let mut out = Dataset::new(columns.len(), self.class_names.clone());
+        for (s, &l) in self.samples.iter().zip(&self.labels) {
+            out.push(columns.iter().map(|&c| s[c]).collect(), l);
+        }
+        out
+    }
+
+    /// Draws (up to) `per_class` samples of every class, uniformly without
+    /// replacement — the paper's "6000 files equally drawn from each
+    /// class" sampling.
+    pub fn balanced_subsample(&self, per_class: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut chosen = Vec::new();
+        for idxs in &mut by_class {
+            idxs.shuffle(&mut rng);
+            chosen.extend(idxs.iter().take(per_class).copied());
+        }
+        chosen.shuffle(&mut rng);
+        self.subset(&chosen)
+    }
+
+    /// Stratified k-fold split: returns `k` disjoint index sets, each with
+    /// (approximately) the same class proportions as the whole dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > len()`.
+    pub fn stratified_folds(&self, k: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(k <= self.len(), "more folds than samples");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for idxs in &mut by_class {
+            idxs.shuffle(&mut rng);
+            for (j, &i) in idxs.iter().enumerate() {
+                folds[j % k].push(i);
+            }
+        }
+        folds
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of samples held
+    /// out, stratified by class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is not in `(0, 1)`.
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            by_class[l].push(i);
+        }
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for idxs in &mut by_class {
+            idxs.shuffle(&mut rng);
+            let n_test = ((idxs.len() as f64) * test_fraction).round() as usize;
+            test.extend(idxs.iter().take(n_test).copied());
+            train.extend(idxs.iter().skip(n_test).copied());
+        }
+        (self.subset(&train), self.subset(&test))
+    }
+
+    /// Merges another dataset with identical schema into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if schemas (feature count, class names) differ.
+    pub fn merge(&mut self, other: &Dataset) {
+        assert_eq!(self.n_features, other.n_features, "feature count mismatch");
+        assert_eq!(self.class_names, other.class_names, "class name mismatch");
+        self.samples.extend(other.samples.iter().cloned());
+        self.labels.extend_from_slice(&other.labels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_per_class: usize) -> Dataset {
+        let mut ds = Dataset::new(2, vec!["a".into(), "b".into(), "c".into()]);
+        for i in 0..n_per_class {
+            let x = i as f64 / n_per_class as f64;
+            ds.push(vec![x, 0.0], 0);
+            ds.push(vec![x, 0.5], 1);
+            ds.push(vec![x, 1.0], 2);
+        }
+        ds
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let ds = toy(10);
+        assert_eq!(ds.len(), 30);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![10, 10, 10]);
+        assert_eq!(ds.features(0).len(), 2);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_dims_panic() {
+        let mut ds = Dataset::new(2, vec!["a".into()]);
+        ds.push(vec![1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let mut ds = Dataset::new(1, vec!["a".into()]);
+        ds.push(vec![1.0], 1);
+    }
+
+    #[test]
+    fn stratified_folds_cover_everything_disjointly() {
+        let ds = toy(20);
+        let folds = ds.stratified_folds(5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..60).collect();
+        assert_eq!(all, expect);
+        // Each fold is class-balanced for this balanced input.
+        for f in &folds {
+            let sub = ds.subset(f);
+            assert_eq!(sub.class_counts(), vec![4, 4, 4]);
+        }
+    }
+
+    #[test]
+    fn balanced_subsample_counts() {
+        let mut ds = toy(50);
+        // unbalance it
+        for i in 0..37 {
+            ds.push(vec![i as f64, 2.0], 0);
+        }
+        let sub = ds.balanced_subsample(30, 7);
+        assert_eq!(sub.class_counts(), vec![30, 30, 30]);
+        // asking for more than available caps at the class size
+        let sub2 = ds.balanced_subsample(1000, 7);
+        assert_eq!(sub2.class_counts(), vec![87, 50, 50]);
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let ds = toy(5);
+        let proj = ds.select_features(&[1]);
+        assert_eq!(proj.n_features(), 1);
+        assert_eq!(proj.len(), ds.len());
+        assert_eq!(proj.features(0), &[ds.features(0)[1]]);
+    }
+
+    #[test]
+    fn train_test_split_is_stratified() {
+        let ds = toy(100);
+        let (train, test) = ds.train_test_split(0.25, 3);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(test.class_counts(), vec![25, 25, 25]);
+    }
+
+    #[test]
+    fn merge_appends() {
+        let mut a = toy(3);
+        let b = toy(2);
+        a.merge(&b);
+        assert_eq!(a.len(), 15);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_per_seed() {
+        let ds = toy(40);
+        let s1 = ds.balanced_subsample(10, 9);
+        let s2 = ds.balanced_subsample(10, 9);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,207 @@
+//! The two feature-selection procedures of §4.1.
+//!
+//! * **CART pruning-vote** ([`cart_vote_selection`]): on each of `k`
+//!   cross-validation splits, grow a tree, prune it until just before a
+//!   2% validation-accuracy decrease, and record which features the
+//!   pruned tree still uses (weighted by height — "the higher a feature
+//!   is in a tree, the more effective it is"). Features with the most
+//!   votes are selected. On the paper's data this yields
+//!   `φ_CART = {h1, h3, h4, h10}`.
+//! * **Sequential Forward Search** ([`sequential_forward_search`],
+//!   Somol et al. 1999): start from the empty feature set; each round,
+//!   add the single feature that maximizes cross-validated accuracy of
+//!   the wrapped classifier; stop after `n'` features. On the paper's
+//!   data with an SVM wrapper this yields `φ_SVM = {h1, h2, h3, h9}`.
+
+use crate::cart::{CartParams, DecisionTree};
+use crate::crossval::cross_validate;
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// Result of a feature-selection run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SelectionResult {
+    /// Selected feature column indices, ascending.
+    pub selected: Vec<usize>,
+    /// The vote/score each feature accumulated (indexed by column).
+    pub scores: Vec<f64>,
+}
+
+/// CART pruning-vote feature selection over `k` cross-validation splits.
+///
+/// Returns the `n_select` features with the highest accumulated
+/// importance across the pruned per-fold trees.
+///
+/// # Panics
+///
+/// Panics if `n_select` is 0 or exceeds the feature count, or if
+/// `k < 2`.
+pub fn cart_vote_selection(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    params: &CartParams,
+    max_accuracy_drop: f64,
+    n_select: usize,
+) -> SelectionResult {
+    assert!(n_select >= 1 && n_select <= data.n_features(), "invalid n_select");
+    let folds = data.stratified_folds(k, seed);
+    let mut scores = vec![0.0f64; data.n_features()];
+    for held_out in 0..k {
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(f, _)| f != held_out)
+            .flat_map(|(_, idx)| idx.iter().copied())
+            .collect();
+        let train = data.subset(&train_idx);
+        let val = data.subset(&folds[held_out]);
+        let tree = DecisionTree::fit(&train, params);
+        let pruned = tree.pruned_within(&val, max_accuracy_drop);
+        for (f, imp) in pruned.feature_importance().iter().enumerate() {
+            scores[f] += imp;
+        }
+    }
+    let selected = top_n(&scores, n_select);
+    SelectionResult { selected, scores }
+}
+
+/// Sequential Forward Search wrapping an arbitrary classifier trainer.
+///
+/// `train` builds a classifier from a dataset already projected onto the
+/// candidate feature subset; each candidate subset is scored by
+/// `k`-fold cross-validated accuracy.
+///
+/// # Panics
+///
+/// Panics if `n_select` is 0 or exceeds the feature count, or if
+/// `k < 2`.
+pub fn sequential_forward_search<C, F>(
+    data: &Dataset,
+    n_select: usize,
+    k: usize,
+    seed: u64,
+    mut train: F,
+) -> SelectionResult
+where
+    C: Classifier,
+    F: FnMut(&Dataset) -> C,
+{
+    assert!(n_select >= 1 && n_select <= data.n_features(), "invalid n_select");
+    let mut selected: Vec<usize> = Vec::new();
+    let mut scores = vec![0.0f64; data.n_features()];
+    while selected.len() < n_select {
+        let mut best: Option<(usize, f64)> = None;
+        for cand in 0..data.n_features() {
+            if selected.contains(&cand) {
+                continue;
+            }
+            let mut cols = selected.clone();
+            cols.push(cand);
+            cols.sort_unstable();
+            let projected = data.select_features(&cols);
+            let acc = cross_validate(&projected, k, seed, &mut train).mean_accuracy();
+            if best.is_none_or(|(_, b)| acc > b) {
+                best = Some((cand, acc));
+            }
+        }
+        let (chosen, acc) = best.expect("at least one candidate remains");
+        scores[chosen] = acc;
+        selected.push(chosen);
+    }
+    selected.sort_unstable();
+    SelectionResult { selected, scores }
+}
+
+/// Indices of the `n` largest scores, ascending by index.
+fn top_n(scores: &[f64], n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut sel: Vec<usize> = idx.into_iter().take(n).collect();
+    sel.sort_unstable();
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cart::CartParams;
+
+    /// 4 features; only features 0 and 2 carry signal.
+    fn signal_dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(4, vec!["a".into(), "b".into()]);
+        let mut v = 0.17f64;
+        for _ in 0..n {
+            let mut row = [0.0f64; 4];
+            for r in &mut row {
+                v = (v * 733.21).fract();
+                *r = v;
+            }
+            let label = usize::from(row[0] + row[2] > 1.0);
+            ds.push(row.to_vec(), label);
+        }
+        ds
+    }
+
+    #[test]
+    fn top_n_orders_by_score() {
+        assert_eq!(top_n(&[0.1, 0.9, 0.5, 0.7], 2), vec![1, 3]);
+        assert_eq!(top_n(&[1.0, 0.0], 1), vec![0]);
+    }
+
+    #[test]
+    fn cart_vote_finds_signal_features() {
+        let ds = signal_dataset(600);
+        let res = cart_vote_selection(&ds, 5, 3, &CartParams::default(), 0.02, 2);
+        assert_eq!(res.selected, vec![0, 2], "scores={:?}", res.scores);
+        assert!(res.scores[0] > res.scores[1]);
+        assert!(res.scores[2] > res.scores[3]);
+    }
+
+    #[test]
+    fn sfs_finds_signal_features() {
+        let ds = signal_dataset(400);
+        let res = sequential_forward_search(&ds, 2, 4, 5, |train| {
+            DecisionTree::fit(train, &CartParams::default())
+        });
+        assert_eq!(res.selected, vec![0, 2], "scores={:?}", res.scores);
+    }
+
+    #[test]
+    fn sfs_selects_requested_count() {
+        let ds = signal_dataset(200);
+        let res = sequential_forward_search(&ds, 3, 3, 9, |train| {
+            DecisionTree::fit(train, &CartParams::default())
+        });
+        assert_eq!(res.selected.len(), 3);
+        // ascending order
+        assert!(res.selected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn selecting_all_features_returns_all() {
+        let ds = signal_dataset(150);
+        let res = sequential_forward_search(&ds, 4, 3, 1, |train| {
+            DecisionTree::fit(train, &CartParams::default())
+        });
+        assert_eq!(res.selected, vec![0, 1, 2, 3]);
+        let res = cart_vote_selection(&ds, 3, 1, &CartParams::default(), 0.02, 4);
+        assert_eq!(res.selected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_feature_selection_picks_a_signal_column() {
+        let ds = signal_dataset(400);
+        let res = sequential_forward_search(&ds, 1, 3, 2, |train| {
+            DecisionTree::fit(train, &CartParams::default())
+        });
+        assert!(res.selected == vec![0] || res.selected == vec![2], "got {:?}", res.selected);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n_select")]
+    fn zero_select_panics() {
+        let ds = signal_dataset(50);
+        cart_vote_selection(&ds, 3, 0, &CartParams::default(), 0.02, 0);
+    }
+}

@@ -1,0 +1,744 @@
+//! Synthetic gateway-trace generation calibrated to the UMASS trace.
+//!
+//! [`TraceGenerator`] is a streaming iterator of time-ordered
+//! [`Packet`]s. It is event-driven: flows arrive over the trace
+//! duration, each flow emits data packets with per-flow inter-arrival
+//! times, TCP data is echoed by pure-ACK control packets (so the global
+//! *data-packet fraction* matches the trace's 41.16%), and a
+//! configurable fraction of flows terminates with FIN/RST (the ≈ 46%
+//! the paper observes being purged from the CDB by close signals).
+//!
+//! Calibration targets, from §4.5 of the paper:
+//!
+//! | statistic | UMASS value | knob |
+//! |---|---|---|
+//! | packets | 11,976,410 | `n_flows × mean_data_packets ÷ data_packet_fraction` |
+//! | data packets | 41.16% | [`TraceConfig::data_packet_fraction`] |
+//! | data flows | 299,564 | [`TraceConfig::n_flows`] |
+//! | packet rate | 146,714.38 pkt/s | `duration` ≈ 81.6 s |
+//! | payload sizes | ≈20% at 1480 B, >50% < 140 B | bimodal sampler |
+//! | FIN/RST closes | ≈46% of flows | [`TraceConfig::proper_close_fraction`] |
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use iustitia_corpus::{generate_file, FileClass};
+
+use crate::packet::{FiveTuple, Packet, Protocol, TcpFlags};
+
+/// How packet payloads are filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ContentMode {
+    /// Payload bytes come from the corpus generator for the flow's
+    /// class — required for classification experiments.
+    Realistic,
+    /// Payloads are zero-filled but correctly sized — much faster, for
+    /// delay/CDB experiments that only consume sizes and timestamps.
+    SizesOnly,
+}
+
+/// Configuration of the synthetic trace.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of data flows in the trace.
+    pub n_flows: usize,
+    /// Trace duration in seconds (flows arrive uniformly over the
+    /// first 90%).
+    pub duration: f64,
+    /// Mean number of data packets per flow (geometric-ish).
+    pub mean_data_packets: f64,
+    /// Target fraction of packets that carry payload (UMASS: 0.4116).
+    pub data_packet_fraction: f64,
+    /// Fraction of flows closed by FIN/RST (UMASS: ≈ 0.46).
+    pub proper_close_fraction: f64,
+    /// Fraction of flows carried by TCP (the rest are UDP).
+    pub tcp_fraction: f64,
+    /// Payload content mode.
+    pub content: ContentMode,
+    /// Class mix of flow contents `[text, binary, encrypted]`;
+    /// must sum to ≈ 1. The paper's Internet statistics put encrypted
+    /// around 10%.
+    pub class_mix: [f64; 3],
+    /// Bytes of realistic content synthesized per flow before the
+    /// payload stream cycles (only the first `b ≤ 2000` bytes matter to
+    /// the classifier).
+    pub content_budget: usize,
+}
+
+impl TraceConfig {
+    /// Full-scale configuration matching every reported UMASS statistic
+    /// (≈ 12 M packets — use in release-mode benches only).
+    pub fn umass_like(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            n_flows: 299_564,
+            duration: 81.6,
+            mean_data_packets: 16.4,
+            data_packet_fraction: 0.4116,
+            proper_close_fraction: 0.46,
+            tcp_fraction: 0.8,
+            content: ContentMode::SizesOnly,
+            class_mix: [0.35, 0.55, 0.10],
+            content_budget: 4096,
+        }
+    }
+
+    /// A proportionally scaled-down trace: same rates and shapes,
+    /// `scale` times fewer flows over `scale`-shorter duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn umass_scaled(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+        let mut c = Self::umass_like(seed);
+        c.n_flows = ((c.n_flows as f64 * scale).round() as usize).max(1);
+        c.duration *= scale;
+        c
+    }
+
+    /// A tiny, fast configuration for unit tests.
+    pub fn small_test(seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            n_flows: 120,
+            duration: 10.0,
+            mean_data_packets: 8.0,
+            data_packet_fraction: 0.4116,
+            proper_close_fraction: 0.46,
+            tcp_fraction: 0.8,
+            content: ContentMode::Realistic,
+            class_mix: [0.34, 0.33, 0.33],
+            content_budget: 2048,
+        }
+    }
+}
+
+/// Samples a data-packet payload size from the bimodal UMASS
+/// distribution: ≈ 20% full-MTU (1480 B), ≈ 52% short (< 140 B), the
+/// rest uniform in between (Figure 9(a)).
+pub fn sample_payload_size(rng: &mut StdRng) -> usize {
+    let r: f64 = rng.gen();
+    if r < 0.20 {
+        1480
+    } else if r < 0.72 {
+        rng.gen_range(1..140)
+    } else {
+        rng.gen_range(140..1480)
+    }
+}
+
+/// Totally-ordered f64 key for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap event (BinaryHeap is a max-heap, so order is reversed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: TimeKey,
+    flow: u64,
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.time.cmp(&self.time).then_with(|| other.flow.cmp(&self.flow))
+    }
+}
+
+/// Min-heap entry for packets awaiting emission, ordered by timestamp
+/// with an insertion sequence for stability.
+#[derive(Debug)]
+struct ReadyPacket {
+    time: TimeKey,
+    seq: u64,
+    packet: Packet,
+}
+
+impl PartialEq for ReadyPacket {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for ReadyPacket {}
+
+impl PartialOrd for ReadyPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyPacket {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    tuple: FiveTuple,
+    remaining_data: usize,
+    mean_iat: f64,
+    proper_close: bool,
+    sent_syn: bool,
+    content: Vec<u8>,
+    cursor: usize,
+}
+
+/// Streaming generator of a time-ordered synthetic packet trace.
+///
+/// See the [module docs](self) for the calibration targets and the
+/// [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+    rng: StdRng,
+    /// Flow arrival times, ascending; `next_arrival` indexes into it.
+    arrivals: Vec<f64>,
+    next_arrival: usize,
+    events: BinaryHeap<Event>,
+    flows: HashMap<u64, FlowState>,
+    next_flow_id: u64,
+    ready: BinaryHeap<ReadyPacket>,
+    ready_seq: u64,
+    truth: HashMap<FiveTuple, FileClass>,
+    /// Expected control packets per data packet, derived from
+    /// `data_packet_fraction`.
+    acks_per_data: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for the given configuration.
+    pub fn new(config: TraceConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut arrivals: Vec<f64> =
+            (0..config.n_flows).map(|_| rng.gen::<f64>() * config.duration * 0.9).collect();
+        arrivals.sort_by(|a, b| a.total_cmp(b));
+        let f = config.data_packet_fraction.clamp(0.05, 1.0);
+        let acks_per_data = (1.0 - f) / f;
+        TraceGenerator {
+            config,
+            rng,
+            arrivals,
+            next_arrival: 0,
+            events: BinaryHeap::new(),
+            flows: HashMap::new(),
+            next_flow_id: 0,
+            ready: BinaryHeap::new(),
+            ready_seq: 0,
+            truth: HashMap::new(),
+            acks_per_data,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Ground-truth content class per flow tuple, for every flow that
+    /// has arrived so far. Complete once the iterator is exhausted —
+    /// use it to score a classifier against the trace.
+    pub fn ground_truth(&self) -> &HashMap<FiveTuple, FileClass> {
+        &self.truth
+    }
+
+    fn sample_class(&mut self) -> FileClass {
+        let r: f64 = self.rng.gen();
+        let [t, b, _] = self.config.class_mix;
+        if r < t {
+            FileClass::Text
+        } else if r < t + b {
+            FileClass::Binary
+        } else {
+            FileClass::Encrypted
+        }
+    }
+
+    fn random_tuple(&mut self) -> FiveTuple {
+        let src = Ipv4Addr::new(10, self.rng.gen(), self.rng.gen(), self.rng.gen());
+        let dst = Ipv4Addr::new(192, 168, self.rng.gen(), self.rng.gen());
+        let sport = self.rng.gen_range(1024..65535);
+        let dport = *[80u16, 443, 25, 110, 143, 8080, 6881, 5060]
+            .get(self.rng.gen_range(0..8))
+            .expect("index in range");
+        if self.rng.gen_bool(self.config.tcp_fraction) {
+            FiveTuple::tcp(src, sport, dst, dport)
+        } else {
+            FiveTuple::udp(src, sport, dst, dport)
+        }
+    }
+
+    fn spawn_flow(&mut self, at: f64) {
+        let tuple = self.random_tuple();
+        let class = self.sample_class();
+        // Geometric-ish packet count with the configured mean.
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        let n_data =
+            1 + (-(u.ln()) * (self.config.mean_data_packets - 1.0).max(0.0)).floor() as usize;
+        // Per-flow mean inter-arrival: lognormal around ~80 ms, capped
+        // so the CDF resembles Figure 9(b).
+        let z: f64 = {
+            let u1: f64 = self.rng.gen_range(1e-12..1.0);
+            let u2: f64 = self.rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let mean_iat = (0.08 * (z * 1.0).exp()).clamp(0.001, 2.0);
+        let content = match self.config.content {
+            ContentMode::Realistic => {
+                generate_file(class, self.config.content_budget, &mut self.rng)
+            }
+            ContentMode::SizesOnly => Vec::new(),
+        };
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        let is_tcp = tuple.protocol == Protocol::Tcp;
+        let proper_close = is_tcp && self.rng.gen_bool(self.config.proper_close_fraction);
+        self.truth.insert(tuple, class);
+        self.flows.insert(
+            id,
+            FlowState {
+                tuple,
+                remaining_data: n_data,
+                mean_iat,
+                proper_close,
+                sent_syn: !is_tcp,
+                content,
+                cursor: 0,
+            },
+        );
+        self.events.push(Event { time: TimeKey(at), flow: id });
+    }
+
+    fn emit(&mut self, packet: Packet) {
+        let time = TimeKey(packet.timestamp);
+        let seq = self.ready_seq;
+        self.ready_seq += 1;
+        self.ready.push(ReadyPacket { time, seq, packet });
+    }
+
+    fn exponential_iat(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        -mean * u.ln()
+    }
+
+    fn payload_for(&mut self, id: u64, n: usize) -> Vec<u8> {
+        match self.config.content {
+            ContentMode::SizesOnly => vec![0u8; n],
+            ContentMode::Realistic => {
+                let flow = self.flows.get_mut(&id).expect("flow exists");
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    if flow.cursor >= flow.content.len() {
+                        flow.cursor = 0; // cycle beyond the budget
+                    }
+                    let take = (n - out.len()).min(flow.content.len() - flow.cursor);
+                    out.extend_from_slice(&flow.content[flow.cursor..flow.cursor + take]);
+                    flow.cursor += take;
+                }
+                out
+            }
+        }
+    }
+
+    /// Fires the next event for flow `id` at time `t`, enqueueing the
+    /// packets it produces and scheduling the following event.
+    fn fire(&mut self, id: u64, t: f64) {
+        // The capture window ends at `duration`: flows still active then
+        // are simply cut off, exactly like a real gateway trace.
+        if t > self.config.duration {
+            self.flows.remove(&id);
+            return;
+        }
+        let (tuple, is_tcp, sent_syn, remaining, mean_iat, proper_close) = {
+            let f = self.flows.get(&id).expect("flow exists");
+            (
+                f.tuple,
+                f.tuple.protocol == Protocol::Tcp,
+                f.sent_syn,
+                f.remaining_data,
+                f.mean_iat,
+                f.proper_close,
+            )
+        };
+
+        if is_tcp && !sent_syn {
+            // Handshake first; first data follows shortly.
+            self.emit(Packet { timestamp: t, tuple, flags: TcpFlags::SYN, payload: Vec::new() });
+            self.emit(Packet {
+                timestamp: t + 0.0002,
+                tuple,
+                flags: TcpFlags::SYN | TcpFlags::ACK,
+                payload: Vec::new(),
+            });
+            self.flows.get_mut(&id).expect("flow exists").sent_syn = true;
+            let dt = self.exponential_iat(mean_iat * 0.2).min(0.05);
+            self.events.push(Event { time: TimeKey(t + 0.0004 + dt), flow: id });
+            return;
+        }
+
+        if remaining == 0 {
+            // Termination: FIN (80%) or RST (20%) when closing properly.
+            if proper_close {
+                let flags = if self.rng.gen_bool(0.8) {
+                    TcpFlags::FIN | TcpFlags::ACK
+                } else {
+                    TcpFlags::RST
+                };
+                self.emit(Packet { timestamp: t, tuple, flags, payload: Vec::new() });
+            }
+            self.flows.remove(&id);
+            return;
+        }
+
+        // One data packet.
+        let size = sample_payload_size(&mut self.rng);
+        let payload = self.payload_for(id, size);
+        let flags = if is_tcp { TcpFlags::ACK } else { TcpFlags::empty() };
+        self.emit(Packet { timestamp: t, tuple, flags, payload });
+
+        // Control echo to hit the global data-packet fraction.
+        if is_tcp {
+            let mut n_acks = self.acks_per_data.floor() as usize;
+            if self.rng.gen_bool(self.acks_per_data.fract()) {
+                n_acks += 1;
+            }
+            for a in 0..n_acks {
+                self.emit(Packet {
+                    timestamp: t + 0.0001 * (a as f64 + 1.0),
+                    tuple,
+                    flags: TcpFlags::ACK,
+                    payload: Vec::new(),
+                });
+            }
+        }
+
+        let f = self.flows.get_mut(&id).expect("flow exists");
+        f.remaining_data -= 1;
+        let next = t + self.exponential_iat(mean_iat);
+        self.events.push(Event { time: TimeKey(next), flow: id });
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        loop {
+            // Pull in every flow arrival that precedes the next event.
+            let next_event_time = self.events.peek().map(|e| e.time.0);
+            while self.next_arrival < self.arrivals.len()
+                && next_event_time.is_none_or(|t| self.arrivals[self.next_arrival] <= t)
+            {
+                let at = self.arrivals[self.next_arrival];
+                self.next_arrival += 1;
+                self.spawn_flow(at);
+            }
+            // Emit the earliest pending packet unless an un-fired event
+            // precedes it (firing events never produces packets earlier
+            // than the event time, so this keeps output sorted).
+            let ready_time = self.ready.peek().map(|r| r.time.0);
+            let event_time = self.events.peek().map(|e| e.time.0);
+            match (ready_time, event_time) {
+                (Some(rt), Some(et)) if rt <= et => {
+                    return Some(self.ready.pop().expect("peeked").packet)
+                }
+                (Some(_), None) => return Some(self.ready.pop().expect("peeked").packet),
+                (_, Some(_)) => {
+                    let event = self.events.pop().expect("peeked");
+                    self.fire(event.flow, event.time.0);
+                }
+                (None, None) => return None,
+            }
+        }
+    }
+}
+
+/// Aggregate statistics of a packet stream — the quantities Figures 8–10
+/// are computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total packet count.
+    pub total_packets: u64,
+    /// Packets with payload.
+    pub data_packets: u64,
+    /// Distinct 5-tuples that carried data.
+    pub data_flows: usize,
+    /// Last packet timestamp.
+    pub duration: f64,
+    /// Sorted sample of data-packet payload sizes (capped reservoir).
+    pub payload_sizes: Vec<usize>,
+    /// Sorted sample of aggregate packet inter-arrival times (seconds).
+    pub interarrivals: Vec<f64>,
+}
+
+impl TraceStats {
+    /// Computes statistics from a packet stream. Samples of payload
+    /// sizes and inter-arrivals are capped at `max_samples` via
+    /// reservoir sampling so full-scale traces stay in memory bounds.
+    pub fn from_packets<I: IntoIterator<Item = Packet>>(packets: I, max_samples: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(0xCDF);
+        let mut total = 0u64;
+        let mut data = 0u64;
+        let mut flows = std::collections::HashSet::new();
+        let mut last_t: Option<f64> = None;
+        let mut duration = 0.0f64;
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut iats: Vec<f64> = Vec::new();
+        let mut size_seen = 0usize;
+        let mut iat_seen = 0usize;
+        for p in packets {
+            total += 1;
+            duration = duration.max(p.timestamp);
+            if let Some(prev) = last_t {
+                let iat = (p.timestamp - prev).max(0.0);
+                reservoir_push(&mut iats, iat, &mut iat_seen, max_samples, &mut rng);
+            }
+            last_t = Some(p.timestamp);
+            if p.is_data() {
+                data += 1;
+                flows.insert(p.tuple);
+                reservoir_push(&mut sizes, p.payload.len(), &mut size_seen, max_samples, &mut rng);
+            }
+        }
+        sizes.sort_unstable();
+        iats.sort_by(|a, b| a.total_cmp(b));
+        TraceStats {
+            total_packets: total,
+            data_packets: data,
+            data_flows: flows.len(),
+            duration,
+            payload_sizes: sizes,
+            interarrivals: iats,
+        }
+    }
+
+    /// Fraction of packets carrying payload.
+    pub fn data_fraction(&self) -> f64 {
+        if self.total_packets == 0 {
+            return 0.0;
+        }
+        self.data_packets as f64 / self.total_packets as f64
+    }
+
+    /// Mean aggregate packet rate (packets per second).
+    pub fn packet_rate(&self) -> f64 {
+        if self.duration <= 0.0 {
+            return 0.0;
+        }
+        self.total_packets as f64 / self.duration
+    }
+
+    /// Empirical CDF of payload sizes at a byte threshold.
+    pub fn payload_cdf_at(&self, bytes: usize) -> f64 {
+        cdf_at(&self.payload_sizes, &bytes)
+    }
+
+    /// Empirical CDF of aggregate inter-arrival time at a threshold.
+    pub fn interarrival_cdf_at(&self, secs: f64) -> f64 {
+        if self.interarrivals.is_empty() {
+            return 0.0;
+        }
+        let n = self.interarrivals.iter().filter(|&&x| x <= secs).count();
+        n as f64 / self.interarrivals.len() as f64
+    }
+}
+
+fn reservoir_push<T>(buf: &mut Vec<T>, item: T, seen: &mut usize, cap: usize, rng: &mut StdRng) {
+    *seen += 1;
+    if buf.len() < cap {
+        buf.push(item);
+    } else {
+        let j = rng.gen_range(0..*seen);
+        if j < cap {
+            buf[j] = item;
+        }
+    }
+}
+
+fn cdf_at<T: Ord>(sorted: &[T], x: &T) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.partition_point(|v| v <= x);
+    n as f64 / sorted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(config: TraceConfig) -> Vec<Packet> {
+        TraceGenerator::new(config).collect()
+    }
+
+    #[test]
+    fn trace_is_strictly_time_ordered() {
+        let packets = collect(TraceConfig::small_test(1));
+        for w in packets.windows(2) {
+            assert!(w[1].timestamp >= w[0].timestamp, "{} then {}", w[0].timestamp, w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn flow_count_matches_config() {
+        let config = TraceConfig::small_test(2);
+        let n = config.n_flows;
+        let stats = TraceStats::from_packets(TraceGenerator::new(config), 100_000);
+        assert_eq!(stats.data_flows, n);
+    }
+
+    #[test]
+    fn data_fraction_near_target() {
+        let mut config = TraceConfig::small_test(3);
+        config.n_flows = 600;
+        config.content = ContentMode::SizesOnly;
+        let stats = TraceStats::from_packets(TraceGenerator::new(config), 100_000);
+        let f = stats.data_fraction();
+        assert!((0.30..0.55).contains(&f), "data fraction {f}");
+    }
+
+    #[test]
+    fn payload_sizes_are_bimodal() {
+        let mut config = TraceConfig::small_test(4);
+        config.n_flows = 400;
+        config.content = ContentMode::SizesOnly;
+        let stats = TraceStats::from_packets(TraceGenerator::new(config), 200_000);
+        // > 50% below 140 bytes (paper: "more than 50%")
+        assert!(stats.payload_cdf_at(139) > 0.45, "cdf(140)={}", stats.payload_cdf_at(139));
+        // ≈ 20% at exactly 1480
+        let at_mtu = stats.payload_sizes.iter().filter(|&&s| s == 1480).count() as f64
+            / stats.payload_sizes.len() as f64;
+        assert!((0.12..0.28).contains(&at_mtu), "MTU fraction {at_mtu}");
+    }
+
+    #[test]
+    fn proper_close_fraction_respected() {
+        let mut config = TraceConfig::small_test(5);
+        config.n_flows = 500;
+        config.content = ContentMode::SizesOnly;
+        config.tcp_fraction = 1.0;
+        let packets = collect(config);
+        let closes = packets.iter().filter(|p| p.flags.closes_flow()).count();
+        let frac = closes as f64 / 500.0;
+        assert!((0.35..0.60).contains(&frac), "close fraction {frac}");
+    }
+
+    #[test]
+    fn realistic_content_has_class_signal() {
+        use iustitia_entropy::entropy;
+        let mut config = TraceConfig::small_test(6);
+        config.n_flows = 60;
+        config.class_mix = [0.0, 0.0, 1.0]; // all encrypted
+        let packets = collect(config);
+        // Reassemble the first KB of one flow and check entropy ≈ 1.
+        let tuple = packets.iter().find(|p| p.is_data()).expect("data exists").tuple;
+        let mut buf = Vec::new();
+        for p in packets.iter().filter(|p| p.tuple == tuple && p.is_data()) {
+            buf.extend_from_slice(&p.payload);
+            if buf.len() >= 1024 {
+                break;
+            }
+        }
+        if buf.len() >= 256 {
+            assert!(entropy(&buf, 1) > 0.9, "h1={}", entropy(&buf, 1));
+        }
+    }
+
+    #[test]
+    fn udp_flows_have_no_flags() {
+        let mut config = TraceConfig::small_test(7);
+        config.tcp_fraction = 0.0;
+        config.content = ContentMode::SizesOnly;
+        let packets = collect(config);
+        assert!(!packets.is_empty());
+        assert!(packets.iter().all(|p| p.flags == TcpFlags::empty()));
+        assert!(packets.iter().all(|p| p.is_data()));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = collect(TraceConfig::small_test(8));
+        let b = collect(TraceConfig::small_test(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn umass_scaled_panics_on_bad_scale() {
+        let r = std::panic::catch_unwind(|| TraceConfig::umass_scaled(0, 0.0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scaled_config_keeps_rates() {
+        let full = TraceConfig::umass_like(1);
+        let tenth = TraceConfig::umass_scaled(1, 0.1);
+        let full_rate = full.n_flows as f64 / full.duration;
+        let tenth_rate = tenth.n_flows as f64 / tenth.duration;
+        assert!((full_rate - tenth_rate).abs() / full_rate < 0.01);
+    }
+
+    #[test]
+    fn stats_reservoir_caps_memory() {
+        let mut config = TraceConfig::small_test(9);
+        config.n_flows = 300;
+        config.content = ContentMode::SizesOnly;
+        let stats = TraceStats::from_packets(TraceGenerator::new(config), 64);
+        assert!(stats.payload_sizes.len() <= 64);
+        assert!(stats.interarrivals.len() <= 64);
+        assert!(stats.total_packets > 64);
+    }
+
+    #[test]
+    fn no_packet_outlives_the_capture_window() {
+        let config = TraceConfig::small_test(30);
+        let duration = config.duration;
+        let packets = collect(config);
+        assert!(packets.iter().all(|p| p.timestamp <= duration + 1e-3));
+    }
+
+    #[test]
+    fn ground_truth_covers_all_flows() {
+        let config = TraceConfig::small_test(21);
+        let n = config.n_flows;
+        let mut gen = TraceGenerator::new(config);
+        assert!(gen.ground_truth().is_empty());
+        for _ in gen.by_ref() {}
+        assert_eq!(gen.ground_truth().len(), n);
+    }
+
+    #[test]
+    fn sample_payload_size_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = sample_payload_size(&mut rng);
+            assert!((1..=1480).contains(&s));
+        }
+    }
+}

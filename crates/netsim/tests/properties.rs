@@ -1,0 +1,83 @@
+//! Property-based tests for the trace generator.
+
+use iustitia_netsim::{ContentMode, TraceConfig, TraceGenerator};
+use proptest::prelude::*;
+
+fn small_config(seed: u64, n_flows: usize, tcp_fraction: f64) -> TraceConfig {
+    let mut c = TraceConfig::small_test(seed);
+    c.n_flows = n_flows;
+    c.tcp_fraction = tcp_fraction;
+    c.content = ContentMode::SizesOnly;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn packets_are_time_ordered_and_in_window(
+        seed in any::<u64>(),
+        n_flows in 1usize..80,
+        tcp in 0.0f64..=1.0,
+    ) {
+        let config = small_config(seed, n_flows, tcp);
+        let duration = config.duration;
+        let packets: Vec<_> = TraceGenerator::new(config).collect();
+        prop_assert!(!packets.is_empty());
+        for w in packets.windows(2) {
+            prop_assert!(w[1].timestamp >= w[0].timestamp);
+        }
+        // Control-echo packets trail their data packet by < 1 ms, so the
+        // last ones can land just past the capture cutoff.
+        prop_assert!(packets.iter().all(|p| p.timestamp >= 0.0 && p.timestamp <= duration + 1e-3));
+    }
+
+    #[test]
+    fn payload_sizes_within_mtu(seed in any::<u64>(), n_flows in 1usize..50) {
+        let config = small_config(seed, n_flows, 0.7);
+        for p in TraceGenerator::new(config) {
+            prop_assert!(p.payload.len() <= 1480);
+        }
+    }
+
+    #[test]
+    fn every_flow_appears_in_ground_truth(seed in any::<u64>(), n_flows in 1usize..60) {
+        let config = small_config(seed, n_flows, 0.5);
+        let mut generator = TraceGenerator::new(config);
+        for _ in generator.by_ref() {}
+        prop_assert_eq!(generator.ground_truth().len(), n_flows);
+    }
+
+    #[test]
+    fn data_flows_are_a_subset_of_ground_truth(seed in any::<u64>(), n_flows in 1usize..60) {
+        let config = small_config(seed, n_flows, 0.5);
+        let mut generator = TraceGenerator::new(config);
+        let mut tuples = std::collections::HashSet::new();
+        for p in generator.by_ref() {
+            if p.is_data() {
+                tuples.insert(p.tuple);
+            }
+        }
+        for t in &tuples {
+            prop_assert!(generator.ground_truth().contains_key(t));
+        }
+    }
+
+    #[test]
+    fn udp_only_traces_have_no_tcp_flags(seed in any::<u64>(), n_flows in 1usize..40) {
+        let config = small_config(seed, n_flows, 0.0);
+        for p in TraceGenerator::new(config) {
+            prop_assert_eq!(p.flags, iustitia_netsim::TcpFlags::empty());
+        }
+    }
+
+    #[test]
+    fn close_packets_only_on_tcp(seed in any::<u64>(), n_flows in 1usize..40, tcp in 0.0f64..=1.0) {
+        let config = small_config(seed, n_flows, tcp);
+        for p in TraceGenerator::new(config) {
+            if p.flags.closes_flow() {
+                prop_assert_eq!(p.tuple.protocol, iustitia_netsim::Protocol::Tcp);
+            }
+        }
+    }
+}

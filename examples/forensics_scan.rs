@@ -1,0 +1,109 @@
+//! Forensics & law enforcement — the paper's logging scenario, plus the
+//! §4.6 adversarial-padding defense.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p iustitia --example forensics_scan
+//! ```
+//!
+//! "Identifying binary flows may help copyright enforcement as they may
+//! carry copyrighted software and multimedia. Identifying text flows
+//! may allow law enforcement to perform complex keyword searching."
+//! (§1.1)
+//!
+//! Part 1 routes a mixed trace into per-nature logs. Part 2 shows an
+//! attacker defeating the naive classifier with encrypted-looking
+//! padding, and the random-skip defense recovering most of the loss.
+
+use iustitia::defense::{pad_flow, skip_evasion_probability};
+use iustitia::prelude::*;
+use iustitia_netsim::{FiveTuple, TcpFlags};
+use std::net::Ipv4Addr;
+
+fn model_at(b: usize, seed: u64) -> NatureModel {
+    let corpus = CorpusBuilder::new(seed).files_per_class(120).size_range(1024, 8192).build();
+    iustitia::model::train_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        seed,
+    )
+}
+
+fn main() {
+    // ── Part 1: routed logging ───────────────────────────────────────
+    let b = 64;
+    let model = model_at(b, 11);
+    let mut iustitia = Iustitia::new(
+        model.clone(),
+        PipelineConfig { buffer_size: b, ..PipelineConfig::headline(11) },
+    );
+
+    let mut config = TraceConfig::small_test(31);
+    config.n_flows = 300;
+    config.content = ContentMode::Realistic;
+
+    let mut flows_per_log = [0u64; 3];
+    for packet in TraceGenerator::new(config) {
+        if let Verdict::Classified(label) = iustitia.process_packet(&packet) {
+            flows_per_log[label.index()] += 1;
+        }
+    }
+    println!("forensic log routing ({} flows classified):", flows_per_log.iter().sum::<u64>());
+    println!("  keyword-search queue (text):      {:>5} flows", flows_per_log[0]);
+    println!("  copyright-audit queue (binary):   {:>5} flows", flows_per_log[1]);
+    println!("  metadata-only queue (encrypted):  {:>5} flows", flows_per_log[2]);
+
+    // ── Part 2: padding attack vs random-skip defense ────────────────
+    println!("\nadversarial padding (§4.6): 64 B of ciphertext-like padding on text flows");
+    let trials = 200u64;
+    let padding = 64usize;
+    let t_max = 512usize;
+
+    let run = |policy: HeaderPolicy, seed: u64| -> u64 {
+        let model = model_at(b, 11);
+        let mut evaded = 0u64;
+        for i in 0..trials {
+            let config = PipelineConfig {
+                buffer_size: b,
+                header_policy: policy,
+                ..PipelineConfig::headline(seed + i)
+            };
+            let mut ius = Iustitia::new(model.clone(), config);
+            let payload = pad_flow(
+                &b"confidential: meet at the usual place, bring the documents. "
+                    .repeat(20),
+                FileClass::Encrypted,
+                padding,
+                seed + i,
+            );
+            let packet = Packet {
+                timestamp: 0.0,
+                tuple: FiveTuple::tcp(
+                    Ipv4Addr::new(10, 9, 8, 7),
+                    (1000 + i) as u16,
+                    Ipv4Addr::new(172, 16, 0, 1),
+                    8080,
+                ),
+                flags: TcpFlags::ACK,
+                payload,
+            };
+            if ius.process_packet(&packet) != Verdict::Classified(FileClass::Text) {
+                evaded += 1;
+            }
+        }
+        evaded
+    };
+
+    let naive = run(HeaderPolicy::None, 100);
+    let defended = run(HeaderPolicy::RandomSkip { t_max }, 200);
+    println!("  naive pipeline:        {naive}/{trials} text flows evaded keyword logging");
+    println!("  random-skip (T={t_max}): {defended}/{trials} evaded");
+    println!(
+        "  analytic bound: skip clears the padding with p = {:.2}",
+        skip_evasion_probability(padding, t_max)
+    );
+}

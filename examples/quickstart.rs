@@ -1,0 +1,88 @@
+//! Quickstart: train a flow-nature classifier and use it online.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p iustitia --example quickstart
+//! ```
+//!
+//! Walks the full Iustitia loop: synthesize a labeled corpus, train on
+//! the entropy vectors of 32-byte prefixes (the paper's headline
+//! configuration), then classify live packets through the pipeline.
+
+use iustitia::prelude::*;
+use iustitia_netsim::{FiveTuple, TcpFlags};
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+fn main() {
+    // ── 1. Offline: corpus → entropy vectors → model ────────────────
+    println!("synthesizing labeled corpus (text / binary / encrypted)...");
+    let corpus = CorpusBuilder::new(42).files_per_class(150).size_range(1024, 16384).build();
+
+    let widths = FeatureWidths::svm_selected(); // φ'_SVM = {h1, h2, h3, h5}
+    let b = 32; // classify from the first 32 bytes, as in §1.3
+
+    println!("training CART on H_b vectors (b = {b})...");
+    let train = dataset_from_corpus(
+        &corpus,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        7,
+    );
+    let model = NatureModel::train(&train, &ModelKind::paper_cart());
+
+    // Hold-out sanity check.
+    let test_corpus = CorpusBuilder::new(1042).files_per_class(60).size_range(1024, 16384).build();
+    let test = dataset_from_corpus(
+        &test_corpus,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        8,
+    );
+    println!("hold-out accuracy: {:.1}%", 100.0 * model.accuracy_on(&test));
+    println!("{}", model.confusion_on(&test));
+
+    // ── 2. Online: packets → CDB → classification ───────────────────
+    let mut iustitia = Iustitia::new(model, PipelineConfig::headline(7));
+    let flows: [(&str, Vec<u8>); 3] = [
+        (
+            "chat session",
+            b"hey, are we still meeting for lunch today at noon? ".repeat(4),
+        ),
+        ("file download", {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            iustitia_corpus::generate_file(FileClass::Binary, 256, &mut rng)
+        }),
+        ("tls transfer", {
+            let mut rc4 = iustitia_corpus::Rc4::new(b"session-key");
+            rc4.keystream(256)
+        }),
+    ];
+
+    println!("classifying three live flows from their first {b} bytes:");
+    for (i, (name, payload)) in flows.iter().enumerate() {
+        let packet = Packet {
+            timestamp: i as f64 * 0.01,
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                40000 + i as u16,
+                Ipv4Addr::new(192, 168, 0, 1),
+                443,
+            ),
+            flags: TcpFlags::ACK,
+            payload: payload.clone(),
+        };
+        match iustitia.process_packet(&packet) {
+            Verdict::Classified(label) => println!("  {name:>14} -> {label}"),
+            other => println!("  {name:>14} -> {other:?}"),
+        }
+    }
+    println!(
+        "CDB now holds {} flows ({} bits under the paper's 194-bit records)",
+        iustitia.cdb().len(),
+        iustitia.cdb().size_bits()
+    );
+}

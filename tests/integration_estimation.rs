@@ -1,0 +1,112 @@
+//! Cross-crate integration: `(δ,ε)` streaming estimation end to end —
+//! estimated feature vectors feed the same classifiers with a bounded
+//! accuracy drop, at a fraction of the counter budget (§4.4).
+
+use iustitia::features::{dataset_from_corpus, FeatureExtractor, FeatureMode, TrainingMethod};
+use iustitia::model::{ModelKind, NatureModel};
+use iustitia_corpus::{generate_file, CorpusBuilder, FileClass};
+use iustitia_entropy::{counters_required, min_epsilon, EstimatorConfig, FeatureWidths};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn estimated_vectors_classify_with_bounded_drop() {
+    let corpus = CorpusBuilder::new(11).files_per_class(40).size_range(2048, 8192).build();
+    let widths = FeatureWidths::svm_selected();
+    let b = 1024;
+
+    let exact_train = dataset_from_corpus(
+        &corpus,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        1,
+    );
+    let cfg = EstimatorConfig::new(0.25, 0.25).expect("valid");
+    let est_train = dataset_from_corpus(
+        &corpus,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Estimated(cfg),
+        1,
+    );
+
+    let test_corpus = CorpusBuilder::new(12).files_per_class(20).size_range(2048, 8192).build();
+    let exact_test = dataset_from_corpus(
+        &test_corpus,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        2,
+    );
+    let est_test = dataset_from_corpus(
+        &test_corpus,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Estimated(cfg),
+        2,
+    );
+
+    let exact_model = NatureModel::train(&exact_train, &ModelKind::paper_cart());
+    let est_model = NatureModel::train(&est_train, &ModelKind::paper_cart());
+    let exact_acc = exact_model.accuracy_on(&exact_test);
+    let est_acc = est_model.accuracy_on(&est_test);
+    // Paper: exact ~80% at b'=1024 with headers; estimated 76–83%.
+    assert!(exact_acc > 0.7, "exact accuracy {exact_acc}");
+    assert!(
+        est_acc > exact_acc - 0.2,
+        "estimated accuracy {est_acc} dropped too far from exact {exact_acc}"
+    );
+}
+
+#[test]
+fn estimation_saves_counters_at_1k_buffer() {
+    let widths = FeatureWidths::svm_selected();
+    let cfg = EstimatorConfig::svm_optimal();
+    let mut rng = StdRng::seed_from_u64(4);
+    let data = generate_file(FileClass::Binary, 1024, &mut rng);
+
+    let exact = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0);
+    let est = FeatureExtractor::new(widths.clone(), FeatureMode::Estimated(cfg), 0);
+    let c_exact = exact.counters_for_buffer(&data);
+    let c_est = est.counters_for_buffer(&data);
+    // Paper Table 3: ≈ 3× space saving at b=1024.
+    assert!(
+        (c_est as f64) < 0.7 * c_exact as f64,
+        "estimated counters {c_est} should be well below exact {c_exact}"
+    );
+}
+
+#[test]
+fn formula_4_bound_is_respected_by_counter_budget() {
+    // If ε is chosen above the Formula-4 lower bound computed from the
+    // exact counter budget α, the sketch uses fewer than α counters.
+    let widths = FeatureWidths::svm_selected();
+    let b = 1024usize;
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = generate_file(FileClass::Binary, b, &mut rng);
+    let alpha = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0)
+        .counters_for_buffer(&data)
+        .saturating_sub(256); // Formula 3 excludes h1's counters
+    let delta = 0.5;
+    let eps_min = min_epsilon(&widths, b, alpha, delta);
+    let eps = eps_min * 1.3;
+    let cfg = EstimatorConfig::new(eps, delta).expect("valid");
+    let total: usize = widths
+        .iter()
+        .filter(|&k| k >= 2)
+        .map(|k| counters_required(&cfg, k, b).expect("k >= 2"))
+        .sum();
+    assert!(
+        total < alpha,
+        "sketch budget {total} must undercut exact budget {alpha} at ε={eps:.3}"
+    );
+}
+
+#[test]
+fn estimation_rejected_for_h1_everywhere() {
+    let cfg = EstimatorConfig::svm_optimal();
+    assert!(counters_required(&cfg, 1, 1024).is_err());
+    let mut est = iustitia_entropy::StreamingEntropyEstimator::with_seed(cfg, 0);
+    assert!(est.estimate_hk(&[0u8; 128], 1).is_err());
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration: corpus → entropy features → classifiers.
+//!
+//! Exercises the full offline path of the paper (Section 3): synthesize
+//! labeled files, extract entropy vectors, train CART and SVM, and
+//! check the qualitative results the paper reports.
+
+use iustitia::features::{dataset_from_corpus, FeatureMode, TrainingMethod};
+use iustitia::model::{ModelKind, NatureModel};
+use iustitia_corpus::{CorpusBuilder, FileClass};
+use iustitia_entropy::FeatureWidths;
+use iustitia_ml::cross_validate;
+use iustitia_ml::svm::{Kernel, SvmParams};
+
+fn corpus(seed: u64, n: usize) -> Vec<iustitia_corpus::LabeledFile> {
+    CorpusBuilder::new(seed).files_per_class(n).size_range(1024, 16384).build()
+}
+
+#[test]
+fn cart_beats_chance_by_wide_margin_on_whole_files() {
+    let ds = dataset_from_corpus(
+        &corpus(1, 40),
+        &FeatureWidths::full(),
+        TrainingMethod::WholeFile,
+        FeatureMode::Exact,
+        1,
+    );
+    let report = cross_validate(&ds, 4, 1, |t| NatureModel::train(t, &ModelKind::paper_cart()));
+    let acc = report.total().accuracy();
+    assert!(acc > 0.75, "CV accuracy {acc} (paper: 0.79)");
+}
+
+#[test]
+fn svm_rbf_reaches_paper_band_on_whole_files() {
+    // Small C keeps the debug-mode SMO fast; the paper band is ~0.86.
+    let ds = dataset_from_corpus(
+        &corpus(2, 30),
+        &FeatureWidths::full(),
+        TrainingMethod::WholeFile,
+        FeatureMode::Exact,
+        2,
+    );
+    let (train, test) = ds.train_test_split(0.3, 1);
+    let params = SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 50.0 }, ..Default::default() };
+    let model = NatureModel::train(&train, &ModelKind::Svm(params));
+    let acc = model.accuracy_on(&test);
+    assert!(acc > 0.75, "SVM accuracy {acc}");
+}
+
+#[test]
+fn dominant_confusion_is_binary_vs_encrypted() {
+    // Table 1's structure: text is the easiest class; the binary and
+    // encrypted classes confuse into each other far more than either
+    // confuses with text.
+    let ds = dataset_from_corpus(
+        &corpus(3, 50),
+        &FeatureWidths::full(),
+        TrainingMethod::WholeFile,
+        FeatureMode::Exact,
+        3,
+    );
+    let report = cross_validate(&ds, 4, 2, |t| NatureModel::train(t, &ModelKind::paper_cart()));
+    let cm = report.total();
+    let t = FileClass::Text.index();
+    let b = FileClass::Binary.index();
+    let e = FileClass::Encrypted.index();
+    let cross = cm.misclassification_rate(b, e) + cm.misclassification_rate(e, b);
+    let with_text = cm.misclassification_rate(b, t) + cm.misclassification_rate(t, b);
+    assert!(
+        cross > with_text,
+        "binary<->encrypted ({cross:.3}) should dominate text confusion ({with_text:.3})"
+    );
+    assert!(cm.class_accuracy(t) > 0.9, "text should be the easiest class");
+}
+
+#[test]
+fn prefix_training_matches_paper_small_buffer_result() {
+    // Figure 4(b): training on the first b bytes keeps accuracy high
+    // even at b = 32.
+    let files = corpus(4, 50);
+    let ds32 = dataset_from_corpus(
+        &files,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b: 32 },
+        FeatureMode::Exact,
+        4,
+    );
+    let report = cross_validate(&ds32, 4, 3, |t| NatureModel::train(t, &ModelKind::paper_cart()));
+    let acc = report.total().accuracy();
+    assert!(acc > 0.7, "b=32 prefix-trained accuracy {acc} (paper: ~0.86)");
+}
+
+#[test]
+fn whole_file_training_degrades_on_small_buffers() {
+    // Figure 4(a) vs 4(b): classifying 32-byte prefixes with a model
+    // trained on whole files is much worse than prefix-training,
+    // because h_k of a 32-byte window lives in a compressed range.
+    let train_files = corpus(5, 50);
+    let test_files = corpus(6, 30);
+    let widths = FeatureWidths::svm_selected();
+    let mode = FeatureMode::Exact;
+
+    let train_whole =
+        dataset_from_corpus(&train_files, &widths, TrainingMethod::WholeFile, mode.clone(), 5);
+    let train_prefix =
+        dataset_from_corpus(&train_files, &widths, TrainingMethod::Prefix { b: 32 }, mode.clone(), 5);
+    let test =
+        dataset_from_corpus(&test_files, &widths, TrainingMethod::Prefix { b: 32 }, mode, 6);
+
+    let whole_model = NatureModel::train(&train_whole, &ModelKind::paper_cart());
+    let prefix_model = NatureModel::train(&train_prefix, &ModelKind::paper_cart());
+    let whole_acc = whole_model.accuracy_on(&test);
+    let prefix_acc = prefix_model.accuracy_on(&test);
+    assert!(
+        prefix_acc > whole_acc + 0.1,
+        "prefix-trained {prefix_acc} should clearly beat whole-file-trained {whole_acc} at b=32"
+    );
+}
+
+#[test]
+fn feature_selection_keeps_accuracy_within_band() {
+    // Table 2: dropping from 10 features to the 4 preferred ones
+    // changes accuracy only slightly.
+    let files = corpus(7, 50);
+    let full = dataset_from_corpus(
+        &files,
+        &FeatureWidths::full(),
+        TrainingMethod::WholeFile,
+        FeatureMode::Exact,
+        7,
+    );
+    let selected = full.select_features(&[0, 2, 3, 4]); // φ'_CART
+    let acc_full = cross_validate(&full, 4, 4, |t| NatureModel::train(t, &ModelKind::paper_cart()))
+        .total()
+        .accuracy();
+    let acc_sel =
+        cross_validate(&selected, 4, 4, |t| NatureModel::train(t, &ModelKind::paper_cart()))
+            .total()
+            .accuracy();
+    assert!(
+        (acc_full - acc_sel).abs() < 0.08,
+        "full {acc_full} vs selected {acc_sel} should be within a few points"
+    );
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: trace → pipeline → CDB dynamics (§4.5).
+
+use iustitia::analysis::{run_over_trace, DelayComponents};
+use iustitia::cdb::CdbConfig;
+use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::model::{train_from_corpus, ModelKind};
+use iustitia::pipeline::{Iustitia, PipelineConfig};
+use iustitia_corpus::CorpusBuilder;
+use iustitia_entropy::FeatureWidths;
+use iustitia_netsim::{ContentMode, TraceConfig, TraceGenerator};
+
+fn model() -> iustitia::model::NatureModel {
+    let corpus = CorpusBuilder::new(3).files_per_class(30).size_range(1024, 4096).build();
+    train_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b: 32 },
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        3,
+    )
+}
+
+fn trace(seed: u64, n_flows: usize) -> TraceConfig {
+    let mut config = TraceConfig::small_test(seed);
+    config.n_flows = n_flows;
+    config.content = ContentMode::SizesOnly;
+    config
+}
+
+#[test]
+fn purging_keeps_cdb_below_unpurged() {
+    let run = |cdb: CdbConfig| {
+        let config = PipelineConfig { cdb, idle_timeout: 1.0, ..PipelineConfig::headline(1) };
+        let mut pipeline = Iustitia::new(model(), config);
+        let packets = TraceGenerator::new(trace(42, 400));
+        let report = run_over_trace(&mut pipeline, packets, 1.0, DelayComponents::default());
+        (pipeline.cdb().len(), report.total_flows, *pipeline.cdb().stats())
+    };
+    let (purged_size, flows_a, stats_a) = run(CdbConfig { purge_trigger: 50, ..CdbConfig::default() });
+    let (unpurged_size, flows_b, _) = run(CdbConfig { n: None, ..CdbConfig::default() });
+    // Purging can evict still-active flows, which then get reclassified
+    // when their next packet arrives — the trade-off §4.5 tunes `n` for.
+    assert!(flows_a >= flows_b, "purged run reclassifies, never classifies less");
+    assert!(
+        purged_size < unpurged_size,
+        "purged {purged_size} must be below unpurged {unpurged_size}"
+    );
+    assert!(stats_a.removed_by_timeout > 0, "inactivity purging must fire");
+}
+
+#[test]
+fn fin_rst_removal_fraction_matches_trace() {
+    // Paper: up to 46% of flows are removed by FIN/RST alone.
+    let config = PipelineConfig {
+        cdb: CdbConfig { n: None, ..CdbConfig::default() },
+        idle_timeout: 0.5,
+        ..PipelineConfig::headline(2)
+    };
+    let mut pipeline = Iustitia::new(model(), config);
+    let mut tc = trace(7, 500);
+    tc.tcp_fraction = 1.0;
+    tc.proper_close_fraction = 0.46;
+    for packet in TraceGenerator::new(tc) {
+        pipeline.process_packet(&packet);
+    }
+    let stats = pipeline.cdb().stats();
+    let frac = stats.removed_by_close as f64 / stats.inserted.max(1) as f64;
+    assert!(
+        (0.25..=0.60).contains(&frac),
+        "FIN/RST removal fraction {frac} out of band (paper ~0.46)"
+    );
+}
+
+#[test]
+fn delay_grows_with_buffer_size() {
+    // Figure 10's shape: τ is dominated by buffer fill; bigger b means
+    // more packets and more wall-clock before classification.
+    let mean_tau = |b: usize| {
+        let config = PipelineConfig {
+            buffer_size: b,
+            idle_timeout: 5.0,
+            ..PipelineConfig::headline(3)
+        };
+        let mut pipeline = Iustitia::new(model(), config);
+        let packets = TraceGenerator::new(trace(11, 300));
+        run_over_trace(&mut pipeline, packets, 1.0, DelayComponents::default()).mean_tau()
+    };
+    let small = mean_tau(32);
+    let large = mean_tau(2000);
+    assert!(large > small, "tau(2000)={large} must exceed tau(32)={small}");
+    // Small-buffer delay is dominated by fixed costs (paper: ~tens of ms
+    // at trace timescales; here bounded by the first packet's size).
+    assert!(small < 0.5, "small-buffer delay unexpectedly large: {small}");
+}
+
+#[test]
+fn reclassification_ttl_forces_periodic_rework() {
+    let ttl = 0.5;
+    let config = PipelineConfig {
+        cdb: CdbConfig { reclassify_after: Some(ttl), ..CdbConfig::default() },
+        ..PipelineConfig::headline(4)
+    };
+    let mut with_ttl = Iustitia::new(model(), config);
+    let mut baseline = Iustitia::new(model(), PipelineConfig::headline(4));
+    let mut tc = trace(13, 150);
+    tc.mean_data_packets = 30.0;
+    for packet in TraceGenerator::new(tc.clone()) {
+        with_ttl.process_packet(&packet);
+    }
+    for packet in TraceGenerator::new(tc) {
+        baseline.process_packet(&packet);
+    }
+    let ttl_expired = with_ttl.cdb().stats().removed_by_ttl;
+    assert!(ttl_expired > 0, "TTL must expire some records");
+    assert!(
+        with_ttl.cdb().stats().inserted > baseline.cdb().stats().inserted,
+        "TTL expiry must force reclassification (more inserts)"
+    );
+}
