@@ -30,7 +30,9 @@ fn bench_estimate_vector(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimate_vector");
     let mut rng = StdRng::seed_from_u64(2);
     let data = generate_file(FileClass::Binary, 1024, &mut rng);
-    for (name, eps, delta) in [("loose", 1.0, 0.75), ("paper_svm", 0.25, 0.75), ("tight", 0.25, 0.1)] {
+    for (name, eps, delta) in
+        [("loose", 1.0, 0.75), ("paper_svm", 0.25, 0.75), ("tight", 0.25, 0.1)]
+    {
         let cfg = EstimatorConfig::new(eps, delta).expect("valid");
         let mut est = StreamingEntropyEstimator::with_seed(cfg, 3);
         let widths = FeatureWidths::svm_selected();

@@ -71,8 +71,10 @@ fn bench_packet_paths(c: &mut Criterion) {
     c.bench_function("process_packet_classify_b32", |b| {
         b.iter(|| {
             port = port.wrapping_add(1).max(1000);
-            let t = FiveTuple::tcp(Ipv4Addr::new(10, 1, 0, 1), port, Ipv4Addr::new(10, 0, 0, 2), 80);
-            let p = Packet { timestamp: 0.0, tuple: t, flags: TcpFlags::ACK, payload: payload.clone() };
+            let t =
+                FiveTuple::tcp(Ipv4Addr::new(10, 1, 0, 1), port, Ipv4Addr::new(10, 0, 0, 2), 80);
+            let p =
+                Packet { timestamp: 0.0, tuple: t, flags: TcpFlags::ACK, payload: payload.clone() };
             classify_pipeline.process_packet(std::hint::black_box(&p))
         });
     });

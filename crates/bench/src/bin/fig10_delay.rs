@@ -54,8 +54,12 @@ fn main() {
         };
         let mut pipeline = Iustitia::new(model.clone(), pc);
         let packets = TraceGenerator::new(trace_config.clone());
-        let report =
-            run_over_trace(&mut pipeline, packets, trace_config.duration / 16.0, DelayComponents::default());
+        let report = run_over_trace(
+            &mut pipeline,
+            packets,
+            trace_config.duration / 16.0,
+            DelayComponents::default(),
+        );
         summary_rows.push(vec![
             name.to_string(),
             format!("{}", report.total_flows),
@@ -90,6 +94,16 @@ fn main() {
         tau_points.push((format!("{t:.1}"), taus));
     }
     let labels: Vec<&str> = series_per_config.iter().map(|(n, _)| *n).collect();
-    print_series("Figure 10(a): mean packets to fill buffer, per time unit", "time (s)", &labels, &c_points);
-    print_series("Figure 10(b): mean total delay τ (s), per time unit", "time (s)", &labels, &tau_points);
+    print_series(
+        "Figure 10(a): mean packets to fill buffer, per time unit",
+        "time (s)",
+        &labels,
+        &c_points,
+    );
+    print_series(
+        "Figure 10(b): mean total delay τ (s), per time unit",
+        "time (s)",
+        &labels,
+        &tau_points,
+    );
 }

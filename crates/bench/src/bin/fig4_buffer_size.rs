@@ -8,23 +8,27 @@
 //!
 //! Run: `cargo run --release -p iustitia-bench --bin fig4_buffer_size`
 
-use iustitia::features::TrainingMethod;
 use iustitia::features::FeatureMode;
-use iustitia_bench::{corpus_train_eval, paper_cart, paper_svm, prefix_corpus, print_series, scaled};
+use iustitia::features::TrainingMethod;
+use iustitia_bench::{
+    corpus_train_eval, paper_cart, paper_svm, prefix_corpus, print_series, scaled,
+};
 use iustitia_entropy::FeatureWidths;
 
 fn main() {
     let per_class = scaled(150);
-    println!("Figure 4 — accuracy vs buffer size, {per_class} train + {} test files/class", per_class / 2);
+    println!(
+        "Figure 4 — accuracy vs buffer size, {per_class} train + {} test files/class",
+        per_class / 2
+    );
     let train_files = prefix_corpus(91, per_class, 32768);
     let test_files = prefix_corpus(92, per_class / 2, 32768);
     let widths = FeatureWidths::full();
     let buffer_sizes: [usize; 11] = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
-    for (fig, train_method_of) in [
-        ("4(a): train on entire file", None),
-        ("4(b): train on first b bytes", Some(())),
-    ] {
+    for (fig, train_method_of) in
+        [("4(a): train on entire file", None), ("4(b): train on first b bytes", Some(()))]
+    {
         let mut points = Vec::new();
         for &b in &buffer_sizes {
             let train_method = match train_method_of {

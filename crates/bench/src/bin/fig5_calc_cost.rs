@@ -38,7 +38,8 @@ fn main() {
         let counters: usize =
             widths.iter().map(|k| GramHistogram::from_bytes(&data, k).counters_used()).sum();
         time_points.push((format!("{b}"), vec![us]));
-        space_points.push((format!("{b}"), vec![counters as f64, (counters * BYTES_PER_COUNTER) as f64]));
+        space_points
+            .push((format!("{b}"), vec![counters as f64, (counters * BYTES_PER_COUNTER) as f64]));
     }
     print_series(
         "Figure 5(a): calculation time (µs; paper shape: linear in b, ~10x from 32→1024)",

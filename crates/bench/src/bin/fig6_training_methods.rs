@@ -11,7 +11,9 @@
 //! Run: `cargo run --release -p iustitia-bench --bin fig6_training_methods`
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia_bench::{corpus_train_eval, paper_cart, paper_svm, prefix_corpus, print_series, scaled};
+use iustitia_bench::{
+    corpus_train_eval, paper_cart, paper_svm, prefix_corpus, print_series, scaled,
+};
 use iustitia_entropy::FeatureWidths;
 
 fn main() {

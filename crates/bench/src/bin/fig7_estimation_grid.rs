@@ -10,7 +10,9 @@
 //! (the estimation sweep is the slowest repro — a few minutes at scale 1)
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia_bench::{corpus_train_eval, estimated_svm, paper_cart, prefix_corpus, print_table, scaled};
+use iustitia_bench::{
+    corpus_train_eval, estimated_svm, paper_cart, prefix_corpus, print_table, scaled,
+};
 use iustitia_corpus::FileClass;
 use iustitia_entropy::{EstimatorConfig, FeatureWidths};
 

@@ -11,8 +11,8 @@
 
 use iustitia::analysis::{run_over_trace, DelayComponents};
 use iustitia::cdb::CdbConfig;
-use iustitia::model::{train_from_corpus, ModelKind};
 use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::model::{train_from_corpus, ModelKind};
 use iustitia::pipeline::{Iustitia, PipelineConfig};
 use iustitia_bench::{env_scale, print_series, standard_corpus};
 use iustitia_entropy::FeatureWidths;
@@ -41,14 +41,15 @@ fn main() {
         ("with purging (n=4)", CdbConfig::default()),
         ("w/o purging", CdbConfig { n: None, ..CdbConfig::default() }),
     ] {
-        let config = PipelineConfig {
-            cdb,
-            idle_timeout: 2.0,
-            ..PipelineConfig::headline(2)
-        };
+        let config = PipelineConfig { cdb, idle_timeout: 2.0, ..PipelineConfig::headline(2) };
         let mut pipeline = Iustitia::new(model.clone(), config);
         let packets = TraceGenerator::new(trace_config.clone());
-        let report = run_over_trace(&mut pipeline, packets, trace_config.duration / 20.0, DelayComponents::default());
+        let report = run_over_trace(
+            &mut pipeline,
+            packets,
+            trace_config.duration / 20.0,
+            DelayComponents::default(),
+        );
         let closed = pipeline.cdb().stats().removed_by_close;
         let timed_out = pipeline.cdb().stats().removed_by_timeout;
         let inserted = pipeline.cdb().stats().inserted;

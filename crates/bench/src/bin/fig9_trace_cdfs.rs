@@ -31,10 +31,8 @@ fn main() {
 
     // ── 9(a) payload size CDF ──
     let thresholds = [20usize, 60, 100, 140, 300, 600, 900, 1200, 1479, 1480];
-    let points: Vec<(String, Vec<f64>)> = thresholds
-        .iter()
-        .map(|&b| (format!("{b}"), vec![stats.payload_cdf_at(b)]))
-        .collect();
+    let points: Vec<(String, Vec<f64>)> =
+        thresholds.iter().map(|&b| (format!("{b}"), vec![stats.payload_cdf_at(b)])).collect();
     print_series(
         "Figure 9(a): payload size CDF (paper: >50% below 140B, jump to 1.0 at 1480B)",
         "bytes",
@@ -49,10 +47,8 @@ fn main() {
 
     // ── 9(b) inter-arrival CDF ──
     let taus = [1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0];
-    let points: Vec<(String, Vec<f64>)> = taus
-        .iter()
-        .map(|&t| (format!("{t}"), vec![stats.interarrival_cdf_at(t)]))
-        .collect();
+    let points: Vec<(String, Vec<f64>)> =
+        taus.iter().map(|&t| (format!("{t}"), vec![stats.interarrival_cdf_at(t)])).collect();
     print_series(
         "Figure 9(b): aggregate packet inter-arrival CDF (paper: mass well below 0.5s)",
         "seconds",

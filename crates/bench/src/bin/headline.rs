@@ -30,8 +30,20 @@ fn main() {
     // ── accuracy at b = 32 (paper: 86%) ──
     let train_files = prefix_corpus(131, per_class, 16384);
     let test_files = prefix_corpus(132, per_class / 2, 16384);
-    let train = dataset_from_corpus(&train_files, &widths, TrainingMethod::Prefix { b }, FeatureMode::Exact, 1);
-    let test = dataset_from_corpus(&test_files, &widths, TrainingMethod::Prefix { b }, FeatureMode::Exact, 2);
+    let train = dataset_from_corpus(
+        &train_files,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        1,
+    );
+    let test = dataset_from_corpus(
+        &test_files,
+        &widths,
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        2,
+    );
     let model = NatureModel::train(&train, &paper_svm());
     let cm = model.confusion_on(&test);
     println!("accuracy at b=32:          {:.1}%  (paper: 86%)", 100.0 * cm.accuracy());
@@ -42,17 +54,25 @@ fn main() {
             FileClass::Binary => "12%",
             FileClass::Encrypted => "20%",
         };
-        println!(
-            "  misclassification {:>9}: {:.1}%  (paper: {paper})",
-            class.name(),
-            100.0 * mis
-        );
+        println!("  misclassification {:>9}: {:.1}%  (paper: {paper})", class.name(), 100.0 * mis);
     }
 
     // larger buffer → ≈ 90%
     let b_large = 256usize;
-    let train_l = dataset_from_corpus(&train_files, &widths, TrainingMethod::Prefix { b: b_large }, FeatureMode::Exact, 1);
-    let test_l = dataset_from_corpus(&test_files, &widths, TrainingMethod::Prefix { b: b_large }, FeatureMode::Exact, 2);
+    let train_l = dataset_from_corpus(
+        &train_files,
+        &widths,
+        TrainingMethod::Prefix { b: b_large },
+        FeatureMode::Exact,
+        1,
+    );
+    let test_l = dataset_from_corpus(
+        &test_files,
+        &widths,
+        TrainingMethod::Prefix { b: b_large },
+        FeatureMode::Exact,
+        2,
+    );
     let model_l = NatureModel::train(&train_l, &paper_svm());
     println!(
         "accuracy at b={b_large}:         {:.1}%  (paper: ~90% with larger buffers)",
@@ -100,7 +120,8 @@ fn main() {
     let mean_iat = 0.08;
     let ratios: Vec<f64> = report.all_tau.iter().map(|t| t / mean_iat).collect();
     let mean_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
-    let under_5pct = ratios.iter().filter(|&&r| r <= 0.05).count() as f64 / ratios.len().max(1) as f64;
+    let under_5pct =
+        ratios.iter().filter(|&&r| r <= 0.05).count() as f64 / ratios.len().max(1) as f64;
     println!(
         "\ndelay vs mean flow inter-arrival: mean {:.1}% (paper: 10%), {:.0}% of flows ≤ 5% \
          (paper: >70%)",

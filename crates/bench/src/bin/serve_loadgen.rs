@@ -1,0 +1,102 @@
+//! Loopback load generator for the `iustitia-serve` subsystem.
+//!
+//! Starts an in-process [`Server`] on `127.0.0.1:0`, trains a CART
+//! model on a synthetic corpus, streams a netsim trace through the
+//! client library, and reports throughput plus the server's per-stage
+//! latency histograms. Unlike the criterion benches, this is a plain
+//! binary: one run, human-readable numbers, no statistical harness.
+//!
+//! Run: `cargo run --release -p iustitia-bench --bin serve_loadgen`
+//!
+//! Environment knobs:
+//! - `IUSTITIA_BENCH_SCALE` — scales flow count (default 1.0).
+//! - `SERVE_SHARDS` — shard worker count (default 4).
+
+use std::time::Instant;
+
+use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::model::train_from_corpus;
+use iustitia_bench::{paper_cart, prefix_corpus, scaled};
+use iustitia_entropy::FeatureWidths;
+use iustitia_netsim::{ContentMode, Packet, TraceConfig, TraceGenerator};
+use iustitia_serve::{Client, ClientEvent, Server, ServerConfig, Stage};
+
+fn main() {
+    let shards: usize =
+        std::env::var("SERVE_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let n_flows = scaled(2000);
+
+    eprintln!("training model (CART, 32-byte prefixes)...");
+    let corpus = prefix_corpus(33, 80, 4096);
+    let widths = FeatureWidths::svm_selected();
+    let model = train_from_corpus(
+        &corpus,
+        &widths,
+        TrainingMethod::Prefix { b: 32 },
+        FeatureMode::Exact,
+        &paper_cart(),
+        33,
+    );
+
+    let mut config = ServerConfig::new(iustitia::pipeline::PipelineConfig::headline(33));
+    config.shards = shards;
+    config.queue_capacity = 1 << 14;
+    let server = Server::start("127.0.0.1:0", model, config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    eprintln!("generating {n_flows}-flow trace...");
+    let mut trace = TraceConfig::small_test(42);
+    trace.n_flows = n_flows;
+    trace.duration = 30.0;
+    trace.content = ContentMode::Realistic;
+    let packets: Vec<Packet> = TraceGenerator::new(trace).collect();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let mut verdicts = 0u64;
+    let mut busy = 0u64;
+
+    let start = Instant::now();
+    for packet in &packets {
+        client.submit_packet(packet).expect("submit");
+        for event in client.poll_events() {
+            match event {
+                ClientEvent::Verdict(_) => verdicts += 1,
+                ClientEvent::Busy(_) => busy += 1,
+            }
+        }
+    }
+    client.flush().expect("flush");
+    client.drain().expect("drain");
+    for event in client.poll_events() {
+        match event {
+            ClientEvent::Verdict(_) => verdicts += 1,
+            ClientEvent::Busy(_) => busy += 1,
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = client.stats().expect("stats");
+
+    println!("shards:           {shards}");
+    println!("packets sent:     {}", packets.len());
+    println!("wall time:        {elapsed:.3} s");
+    println!("throughput:       {:.0} packets/s", packets.len() as f64 / elapsed);
+    println!("verdicts:         {verdicts}");
+    println!("busy rejects:     {busy}");
+    println!("server packets:   {} (cdb hits {})", stats.packets, stats.hits);
+    println!("flows classified: {}", stats.flows_classified);
+    println!("stage latency (server-side ns):");
+    println!("  {:<12} {:>9}  {:>8}  {:>8}", "stage", "n", "p50", "p99");
+    for stage in Stage::ALL {
+        let h = stats.stage(stage);
+        println!(
+            "  {:<12} {:>9}  {:>8}  {:>8}",
+            stage.name(),
+            h.count(),
+            h.p50().map_or_else(|| "-".into(), |v| v.to_string()),
+            h.p99().map_or_else(|| "-".into(), |v| v.to_string()),
+        );
+    }
+
+    client.close().expect("close");
+    server.shutdown();
+}

@@ -8,7 +8,9 @@
 
 use iustitia::features::{dataset_from_corpus, FeatureMode, TrainingMethod};
 use iustitia::model::NatureModel;
-use iustitia_bench::{paper_cart, paper_svm, print_confusion_block, print_series, scaled, standard_corpus};
+use iustitia_bench::{
+    paper_cart, paper_svm, print_confusion_block, print_series, scaled, standard_corpus,
+};
 use iustitia_corpus::FileClass;
 use iustitia_entropy::FeatureWidths;
 use iustitia_ml::cross_validate;

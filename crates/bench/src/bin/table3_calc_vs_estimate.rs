@@ -66,7 +66,15 @@ fn main() {
     }
     print_table(
         "Table 3 (paper ratios at b=1024: time ×3 slower, space ×3 smaller)",
-        &["config", "calc time", "calc space", "est time", "est space", "time ratio", "space saving"],
+        &[
+            "config",
+            "calc time",
+            "calc space",
+            "est time",
+            "est space",
+            "time ratio",
+            "space saving",
+        ],
         &rows,
     );
 

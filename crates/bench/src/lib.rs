@@ -51,7 +51,11 @@ pub fn paper_svm() -> ModelKind {
 
 /// The §4.4.2 re-selected SVM for estimated vectors: RBF `γ=10, C=1000`.
 pub fn estimated_svm() -> ModelKind {
-    ModelKind::Svm(SvmParams { c: 1000.0, kernel: Kernel::Rbf { gamma: 10.0 }, ..SvmParams::default() })
+    ModelKind::Svm(SvmParams {
+        c: 1000.0,
+        kernel: Kernel::Rbf { gamma: 10.0 },
+        ..SvmParams::default()
+    })
 }
 
 /// The paper's CART configuration.
@@ -104,17 +108,19 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", padded.join(" | "));
     };
     fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         fmt_row(row);
     }
 }
 
 /// Prints an `(x, y...)` series with one line per x value.
-pub fn print_series(title: &str, x_label: &str, series_labels: &[&str], points: &[(String, Vec<f64>)]) {
+pub fn print_series(
+    title: &str,
+    x_label: &str,
+    series_labels: &[&str],
+    points: &[(String, Vec<f64>)],
+) {
     println!("\n## {title}\n");
     print!("{x_label:>12}");
     for l in series_labels {
@@ -152,10 +158,8 @@ pub fn print_confusion_block(name: &str, cm: &ConfusionMatrix) {
     println!("total accuracy: {}", pct(cm.accuracy()));
     let mut rows = Vec::new();
     for actual in FileClass::ALL {
-        let mut row = vec![
-            format!("{} file", actual.name()),
-            pct(cm.class_accuracy(actual.index())),
-        ];
+        let mut row =
+            vec![format!("{} file", actual.name()), pct(cm.class_accuracy(actual.index()))];
         for predicted in FileClass::ALL {
             if predicted == actual {
                 row.push("-".into());

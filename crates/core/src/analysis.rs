@@ -117,12 +117,12 @@ where
     let mut window_tau: Vec<f64> = Vec::new();
 
     let sample = |t: f64,
-                      pipeline: &Iustitia,
-                      total_packets: u64,
-                      total_flows: u64,
-                      window_c: &mut Vec<f64>,
-                      window_tau: &mut Vec<f64>,
-                      series: &mut Vec<TimePoint>| {
+                  pipeline: &Iustitia,
+                  total_packets: u64,
+                  total_flows: u64,
+                  window_c: &mut Vec<f64>,
+                  window_tau: &mut Vec<f64>,
+                  series: &mut Vec<TimePoint>| {
         let mean = |v: &[f64]| {
             if v.is_empty() {
                 None

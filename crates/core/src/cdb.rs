@@ -26,7 +26,9 @@ use iustitia_netsim::FiveTuple;
 use crate::sha1::{sha1, Digest};
 
 /// A 160-bit flow identifier: SHA-1 of the canonical 5-tuple bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct FlowId(pub Digest);
 
 impl FlowId {
@@ -182,10 +184,8 @@ impl ClassificationDatabase {
     /// obsolescence sweep when due. Returns how many records the sweep
     /// removed (0 when no sweep ran).
     pub fn insert(&mut self, id: FlowId, label: FileClass, now: f64) -> usize {
-        self.records.insert(
-            id,
-            CdbRecord { label, last_seen: now, last_iat: None, classified_at: now },
-        );
+        self.records
+            .insert(id, CdbRecord { label, last_seen: now, last_iat: None, classified_at: now });
         self.stats.inserted += 1;
         self.stats.peak_size = self.stats.peak_size.max(self.records.len());
         self.inserts_since_sweep += 1;
@@ -277,8 +277,7 @@ mod tests {
 
     #[test]
     fn purge_disabled_keeps_records() {
-        let mut cdb =
-            ClassificationDatabase::new(CdbConfig { n: None, ..CdbConfig::default() });
+        let mut cdb = ClassificationDatabase::new(CdbConfig { n: None, ..CdbConfig::default() });
         cdb.insert(id(1), FileClass::Text, 0.0);
         assert_eq!(cdb.purge_obsolete(1e9), 0);
         assert_eq!(cdb.len(), 1);
@@ -316,6 +315,61 @@ mod tests {
         assert_eq!(FlowId::of_tuple(&a), FlowId::of_tuple(&a));
         assert_ne!(FlowId::of_tuple(&a), FlowId::of_tuple(&b));
         assert_eq!(FlowId::of_tuple(&a).to_string().len(), 40);
+    }
+
+    fn id64(n: u64) -> FlowId {
+        let mut bytes = [0u8; 20];
+        bytes[..8].copy_from_slice(&n.to_be_bytes());
+        FlowId(bytes)
+    }
+
+    #[test]
+    fn sweep_fires_at_exactly_the_default_trigger() {
+        // Default trigger is the paper's 5,000 insertions: 4,999 stale
+        // inserts must not sweep, the 5,000th must.
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        assert_eq!(cdb.config().purge_trigger, 5000);
+        for n in 0..4999u64 {
+            assert_eq!(cdb.insert(id64(n), FileClass::Binary, 0.0), 0, "insert #{n} swept early");
+        }
+        assert_eq!(cdb.len(), 4999, "nothing purged below the trigger");
+        // t=100: every earlier record is long obsolete (default 2 s
+        // idle allowance); the trigger insert itself survives.
+        let removed = cdb.insert(id64(4999), FileClass::Binary, 100.0);
+        assert_eq!(removed, 4999);
+        assert_eq!(cdb.len(), 1);
+        assert_eq!(cdb.stats().removed_by_timeout, 4999);
+        // The counter reset: the next 4,999 inserts don't sweep either.
+        for n in 5000..9999u64 {
+            assert_eq!(cdb.insert(id64(n), FileClass::Binary, 100.0), 0);
+        }
+        assert!(cdb.insert(id64(9999), FileClass::Binary, 300.0) > 0, "second sweep fires");
+    }
+
+    #[test]
+    fn remove_on_close_of_unknown_flow_is_a_noop() {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        cdb.insert(id(1), FileClass::Text, 0.0);
+        assert!(!cdb.remove_on_close(&id(2)), "never-seen flow");
+        assert_eq!(cdb.stats().removed_by_close, 0, "no-op must not count");
+        assert_eq!(cdb.len(), 1, "unrelated records untouched");
+        assert_eq!(cdb.lookup(&id(1), 0.1), Some(FileClass::Text));
+    }
+
+    #[test]
+    fn lookup_after_purge_misses_the_evicted_record() {
+        let mut cdb = ClassificationDatabase::new(CdbConfig::default());
+        cdb.insert(id(1), FileClass::Encrypted, 0.0);
+        cdb.insert(id(2), FileClass::Text, 9.0);
+        // Single-packet flows: obsolete after n·λ = 2 s idle. At t=10
+        // flow 1 (idle 10 s) is evicted, flow 2 (idle 1 s) survives.
+        assert_eq!(cdb.purge_obsolete(10.0), 1);
+        assert_eq!(cdb.lookup(&id(1), 10.0), None, "evicted record must miss");
+        assert_eq!(cdb.lookup(&id(2), 10.0), Some(FileClass::Text));
+        // The miss neither resurrects the record nor perturbs counters.
+        assert_eq!(cdb.len(), 1);
+        assert_eq!(cdb.stats().removed_by_timeout, 1);
+        assert_eq!(cdb.stats().removed_by_ttl, 0);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! of `N` worker threads, each owning an independent pipeline (CDB +
 //! buffers). Because all per-flow state is partitioned by the same
 //! hash, no state is shared between workers and no locks sit on the
-//! packet path; a [`parking_lot`] mutex guards only the cold
-//! verdict-statistics aggregation.
+//! packet path; a mutex guards only the cold verdict-statistics
+//! aggregation.
 //!
 //! # Examples
 //!
@@ -39,10 +39,8 @@
 //! assert_eq!(report.shards, 4);
 //! ```
 
+use std::sync::{mpsc, Mutex};
 use std::thread;
-
-use crossbeam::channel;
-use parking_lot::Mutex;
 
 use crate::cdb::FlowId;
 use crate::model::NatureModel;
@@ -90,11 +88,9 @@ impl ShardedIustitia {
         self.shards
     }
 
-    /// The shard a flow lands on: the first bytes of its 160-bit flow
-    /// hash, reduced mod `shards` — the same uniform partitioning an
-    /// RSS-style NIC queue would apply.
+    /// The shard a flow lands on; see [`shard_index`].
     pub fn shard_of(&self, id: &FlowId) -> usize {
-        (u64::from_be_bytes(id.0[..8].try_into().expect("8 bytes")) % self.shards as u64) as usize
+        shard_index(id, self.shards)
     }
 
     /// Runs a packet stream through the sharded fleet and aggregates
@@ -113,7 +109,7 @@ impl ShardedIustitia {
         thread::scope(|scope| {
             let mut senders = Vec::with_capacity(self.shards);
             for shard in 0..self.shards {
-                let (tx, rx) = channel::bounded::<Packet>(1024);
+                let (tx, rx) = mpsc::sync_channel::<Packet>(1024);
                 senders.push(tx);
                 let results = &results;
                 let model = self.model.clone();
@@ -135,7 +131,7 @@ impl ShardedIustitia {
                     }
                     pipeline.flush_idle(last_t + pipeline.config().idle_timeout + 1.0);
                     let log = pipeline.take_log();
-                    let mut agg = results.lock();
+                    let mut agg = results.lock().expect("no panicked shard holds the lock");
                     agg.packets += packets;
                     agg.hits += hits;
                     agg.flows_classified += log.len() as u64;
@@ -151,8 +147,21 @@ impl ShardedIustitia {
             drop(senders); // close channels; workers drain and exit
         });
 
-        results.into_inner()
+        results.into_inner().expect("no panicked shard holds the lock")
     }
+}
+
+/// The shard a flow lands on: the first bytes of its 160-bit flow hash,
+/// reduced mod `shards` — the same uniform partitioning an RSS-style
+/// NIC queue would apply. Shared by [`ShardedIustitia`] and the
+/// `iustitia-serve` worker pool so both deployments agree on placement.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_index(id: &FlowId, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    (u64::from_be_bytes(id.0[..8].try_into().expect("8 bytes")) % shards as u64) as usize
 }
 
 #[cfg(test)]
@@ -201,8 +210,8 @@ mod tests {
         let packets: Vec<_> = TraceGenerator::new(trace(2, 100)).collect();
         let one = ShardedIustitia::new(model(), PipelineConfig::headline(2), 1)
             .process_stream(packets.clone());
-        let four = ShardedIustitia::new(model(), PipelineConfig::headline(2), 4)
-            .process_stream(packets);
+        let four =
+            ShardedIustitia::new(model(), PipelineConfig::headline(2), 4).process_stream(packets);
         assert_eq!(one.flows_classified, four.flows_classified);
         assert_eq!(one.hits, four.hits);
     }

@@ -6,9 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use iustitia_corpus::LabeledFile;
-use iustitia_entropy::{
-    EntropyVector, EstimatorConfig, FeatureWidths, StreamingEntropyEstimator,
-};
+use iustitia_entropy::{EntropyVector, EstimatorConfig, FeatureWidths, StreamingEntropyEstimator};
 use iustitia_ml::Dataset;
 
 /// How entropy features are computed from a buffer.
@@ -167,7 +165,8 @@ mod tests {
         let cfg = EstimatorConfig::new(0.25, 0.25).expect("valid");
         let mut exact = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0);
         let mut est = FeatureExtractor::new(widths.clone(), FeatureMode::Estimated(cfg), 7);
-        let data: Vec<u8> = (0..2048u32).map(|i| (i.wrapping_mul(2654435761) >> 18) as u8).collect();
+        let data: Vec<u8> =
+            (0..2048u32).map(|i| (i.wrapping_mul(2654435761) >> 18) as u8).collect();
         let e = exact.extract(&data);
         let a = est.extract(&data);
         // h1 is computed exactly in both modes, but HashMap iteration
@@ -227,8 +226,20 @@ mod tests {
     fn random_offset_is_deterministic_per_seed() {
         let corpus = small_corpus();
         let method = TrainingMethod::RandomOffsetPrefix { b: 32, t_max: 512 };
-        let a = dataset_from_corpus(&corpus, &FeatureWidths::new(vec![1, 2]), method, FeatureMode::Exact, 5);
-        let b = dataset_from_corpus(&corpus, &FeatureWidths::new(vec![1, 2]), method, FeatureMode::Exact, 5);
+        let a = dataset_from_corpus(
+            &corpus,
+            &FeatureWidths::new(vec![1, 2]),
+            method,
+            FeatureMode::Exact,
+            5,
+        );
+        let b = dataset_from_corpus(
+            &corpus,
+            &FeatureWidths::new(vec![1, 2]),
+            method,
+            FeatureMode::Exact,
+            5,
+        );
         assert_eq!(a, b);
     }
 
@@ -237,11 +248,18 @@ mod tests {
         let corpus = small_corpus();
         let widths = FeatureWidths::new(vec![1, 2]);
         let a = dataset_from_corpus(
-            &corpus, &widths, TrainingMethod::RandomOffsetPrefix { b: 48, t_max: 0 },
-            FeatureMode::Exact, 3,
+            &corpus,
+            &widths,
+            TrainingMethod::RandomOffsetPrefix { b: 48, t_max: 0 },
+            FeatureMode::Exact,
+            3,
         );
         let b = dataset_from_corpus(
-            &corpus, &widths, TrainingMethod::Prefix { b: 48 }, FeatureMode::Exact, 3,
+            &corpus,
+            &widths,
+            TrainingMethod::Prefix { b: 48 },
+            FeatureMode::Exact,
+            3,
         );
         assert_eq!(a, b);
     }
@@ -272,11 +290,8 @@ mod tests {
             2,
         );
         let mean = |class: FileClass| {
-            let rows: Vec<f64> = ds
-                .iter()
-                .filter(|(_, y)| *y == class.index())
-                .map(|(x, _)| x[0])
-                .collect();
+            let rows: Vec<f64> =
+                ds.iter().filter(|(_, y)| *y == class.index()).map(|(x, _)| x[0]).collect();
             rows.iter().sum::<f64>() / rows.len() as f64
         };
         assert!(mean(FileClass::Text) < mean(FileClass::Encrypted));

@@ -86,9 +86,7 @@ pub mod prelude {
     pub use crate::cdb::{CdbConfig, ClassificationDatabase, FlowId};
     pub use crate::concurrent::{ShardedIustitia, ShardedReport};
     pub use crate::defense::{pad_flow, PaddingAttacker};
-    pub use crate::features::{
-        dataset_from_corpus, FeatureExtractor, FeatureMode, TrainingMethod,
-    };
+    pub use crate::features::{dataset_from_corpus, FeatureExtractor, FeatureMode, TrainingMethod};
     pub use crate::model::{ModelKind, NatureModel};
     pub use crate::pipeline::{HeaderPolicy, Iustitia, PipelineConfig, Verdict};
     pub use crate::tunnel::{classify_tunnel, InnerFlowKey, TunnelSegment, TunnelVerdict};

@@ -193,7 +193,8 @@ mod tests {
     #[test]
     fn svm_model_trains_and_predicts() {
         let ds = band_dataset(60);
-        let params = SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 20.0 }, ..Default::default() };
+        let params =
+            SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 20.0 }, ..Default::default() };
         let m = NatureModel::train(&ds, &ModelKind::Svm(params));
         assert!(m.accuracy_on(&ds) > 0.9, "acc={}", m.accuracy_on(&ds));
         assert_eq!(m.predict(&[0.98, 0.8]), FileClass::Encrypted);
@@ -202,7 +203,8 @@ mod tests {
     #[test]
     fn vote_model_matches_dag_on_clear_data() {
         let ds = band_dataset(60);
-        let params = SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 20.0 }, ..Default::default() };
+        let params =
+            SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 20.0 }, ..Default::default() };
         let dag = NatureModel::train(&ds, &ModelKind::Svm(params));
         let vote = NatureModel::train(&ds, &ModelKind::SvmVote(params));
         let mut agree = 0;

@@ -139,7 +139,8 @@ mod tests {
     #[test]
     fn svm_round_trips_through_json() {
         let ds = toy_dataset();
-        let params = SvmParams { c: 10.0, kernel: Kernel::Rbf { gamma: 5.0 }, ..Default::default() };
+        let params =
+            SvmParams { c: 10.0, kernel: Kernel::Rbf { gamma: 5.0 }, ..Default::default() };
         let model = NatureModel::train(&ds, &ModelKind::Svm(params));
         let restored = NatureModel::from_json(&model.to_json().expect("ok")).expect("ok");
         for (x, _) in ds.iter() {

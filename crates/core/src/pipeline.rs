@@ -366,8 +366,10 @@ mod tests {
     /// actually produce (h1 of a 32-byte window is capped at
     /// log2(32)/8 ≈ 0.625).
     fn trained_model(b: usize) -> NatureModel {
-        let corpus =
-            iustitia_corpus::CorpusBuilder::new(33).files_per_class(40).size_range(1024, 4096).build();
+        let corpus = iustitia_corpus::CorpusBuilder::new(33)
+            .files_per_class(80)
+            .size_range(1024, 4096)
+            .build();
         crate::model::train_from_corpus(
             &corpus,
             &iustitia_entropy::FeatureWidths::svm_selected(),
@@ -492,11 +494,16 @@ mod tests {
         };
         let mut ius = Iustitia::new(model, config);
         // HTTP header (text) followed by ciphertext payload.
-        let mut payload = b"HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n\r\n".to_vec();
+        let mut payload =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n\r\n".to_vec();
         let header_len = payload.len();
         payload.extend_from_slice(&encrypted_payload(ius.buffer_capacity()));
         let verdict = ius.process_packet(&data_packet(1, 0.0, &payload));
-        assert_eq!(verdict, Verdict::Classified(FileClass::Encrypted), "header {header_len}B must be ignored");
+        assert_eq!(
+            verdict,
+            Verdict::Classified(FileClass::Encrypted),
+            "header {header_len}B must be ignored"
+        );
     }
 
     #[test]
@@ -529,14 +536,14 @@ mod tests {
     fn udp_flows_classify_like_tcp() {
         use std::net::Ipv4Addr;
         let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(11));
-        let tuple =
-            iustitia_netsim::FiveTuple::udp(Ipv4Addr::new(1, 2, 3, 4), 53, Ipv4Addr::new(5, 6, 7, 8), 5060);
-        let p = Packet {
-            timestamp: 0.0,
-            tuple,
-            flags: TcpFlags::empty(),
-            payload: text_payload(64),
-        };
+        let tuple = iustitia_netsim::FiveTuple::udp(
+            Ipv4Addr::new(1, 2, 3, 4),
+            53,
+            Ipv4Addr::new(5, 6, 7, 8),
+            5060,
+        );
+        let p =
+            Packet { timestamp: 0.0, tuple, flags: TcpFlags::empty(), payload: text_payload(64) };
         assert!(matches!(ius.process_packet(&p), Verdict::Classified(_)));
         assert_eq!(ius.cdb().len(), 1);
     }

@@ -20,7 +20,9 @@ use crate::model::NatureModel;
 
 /// Identifier of one flow inside a tunnel (inner 5-tuple hash, GRE key,
 /// session ID — whatever the encapsulation exposes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct InnerFlowKey(pub u32);
 
 /// One decapsulated segment of a tunnel: which inner flow it belongs to
@@ -152,12 +154,12 @@ mod tests {
         // Inner content is text, but the tunnel encrypts everything.
         let mut rc4 = Rc4::new(b"tunnel-key");
         let segments: Vec<TunnelSegment> = (0..4)
-            .map(|i| TunnelSegment { inner: InnerFlowKey(i), payload: rc4.process(&text_bytes(100)) })
+            .map(|i| TunnelSegment {
+                inner: InnerFlowKey(i),
+                payload: rc4.process(&text_bytes(100)),
+            })
             .collect();
-        assert_eq!(
-            classify_tunnel(&segments, &model, &mut fx, 64),
-            TunnelVerdict::EncryptedTunnel
-        );
+        assert_eq!(classify_tunnel(&segments, &model, &mut fx, 64), TunnelVerdict::EncryptedTunnel);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use rand::Rng;
 /// characteristic of executable sections (~5.5–6.5 bits/byte).
 fn code_byte(rng: &mut StdRng) -> u8 {
     const COMMON: [u8; 24] = [
-        0x8B, 0x89, 0xE8, 0xFF, 0x48, 0x4C, 0x0F, 0x83, 0xC3, 0x55, 0x5D, 0x74, 0x75, 0xEB,
-        0x85, 0x31, 0x50, 0x58, 0x01, 0x03, 0x41, 0x44, 0x66, 0x90,
+        0x8B, 0x89, 0xE8, 0xFF, 0x48, 0x4C, 0x0F, 0x83, 0xC3, 0x55, 0x5D, 0x74, 0x75, 0xEB, 0x85,
+        0x31, 0x50, 0x58, 0x01, 0x03, 0x41, 0x44, 0x66, 0x90,
     ];
     let r = rng.gen_range(0..100);
     if r < 55 {
@@ -184,8 +184,10 @@ fn pdf(size: usize, rng: &mut StdRng) -> Vec<u8> {
     let mut obj = 1;
     while out.len() + 32 < size {
         out.extend_from_slice(
-            format!("{obj} 0 obj\n<< /Length {} /Filter /FlateDecode >>\nstream\n",
-                rng.gen_range(128..1024))
+            format!(
+                "{obj} 0 obj\n<< /Length {} /Filter /FlateDecode >>\nstream\n",
+                rng.gen_range(128..1024)
+            )
             .as_bytes(),
         );
         obj += 1;

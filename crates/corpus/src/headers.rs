@@ -198,7 +198,8 @@ fn is_protocol_line(raw: &[u8]) -> bool {
     let starts_with_code = line.len() >= 4
         && line[..3].iter().all(u8::is_ascii_digit)
         && (line[3] == b' ' || line[3] == b'-');
-    let starts_with_status = line.starts_with(b"+OK") || line.starts_with(b"-ERR") || line.starts_with(b"* ");
+    let starts_with_status =
+        line.starts_with(b"+OK") || line.starts_with(b"-ERR") || line.starts_with(b"* ");
     let starts_with_tag = line.first().is_some_and(|&b| b == b'a')
         && line.iter().position(|&b| b == b' ').is_some_and(|i| i <= 6);
     let starts_with_verb = line

@@ -58,7 +58,9 @@ pub use headers::{strip_application_header, AppProtocol, HeaderGenerator};
 /// The numeric value is the class index used by datasets and confusion
 /// matrices throughout the workspace (`Text = 0`, `Binary = 1`,
 /// `Encrypted = 2`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum FileClass {
     /// Natural-language content: documents, HTML, logs, chat, email.
     Text,
@@ -235,11 +237,8 @@ mod tests {
             let files: Vec<_> = corpus.iter().filter(|f| f.class == class).collect();
             files.iter().map(|f| entropy(&f.data, 1)).sum::<f64>() / files.len() as f64
         };
-        let (t, b, e) = (
-            mean_h1(FileClass::Text),
-            mean_h1(FileClass::Binary),
-            mean_h1(FileClass::Encrypted),
-        );
+        let (t, b, e) =
+            (mean_h1(FileClass::Text), mean_h1(FileClass::Binary), mean_h1(FileClass::Encrypted));
         assert!(t < b && b < e, "t={t:.3} b={b:.3} e={e:.3}");
         assert!(t > 0.3 && t < 0.75, "text h1 out of plausible band: {t}");
         assert!(e > 0.9, "ciphertext h1 should be near 1: {e}");

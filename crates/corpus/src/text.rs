@@ -16,19 +16,18 @@ use rand::Rng;
 const VOCABULARY: &[&str] = &[
     "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
     "are", "as", "with", "his", "they", "i", "at", "be", "this", "have", "from", "or", "one",
-    "had", "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can",
-    "said", "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will",
-    "up", "other", "about", "out", "many", "then", "them", "these", "so", "some", "her",
-    "would", "make", "like", "him", "into", "time", "has", "look", "two", "more", "write",
-    "go", "see", "number", "no", "way", "could", "people", "my", "than", "first", "water",
-    "been", "call", "who", "oil", "its", "now", "find", "long", "down", "day", "did", "get",
-    "come", "made", "may", "part", "over", "new", "sound", "take", "only", "little", "work",
-    "know", "place", "year", "live", "me", "back", "give", "most", "very", "after", "thing",
-    "our", "just", "name", "good", "sentence", "man", "think", "say", "great", "where",
-    "help", "through", "much", "before", "line", "right", "too", "mean", "old", "any",
-    "same", "tell", "boy", "follow", "came", "want", "show", "also", "around", "form",
-    "three", "small", "set", "put", "end", "does", "another", "well", "large", "must",
-    "big", "even", "such", "because", "turn", "here",
+    "had", "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+    "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up",
+    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would", "make",
+    "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see", "number",
+    "no", "way", "could", "people", "my", "than", "first", "water", "been", "call", "who", "oil",
+    "its", "now", "find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+    "over", "new", "sound", "take", "only", "little", "work", "know", "place", "year", "live",
+    "me", "back", "give", "most", "very", "after", "thing", "our", "just", "name", "good",
+    "sentence", "man", "think", "say", "great", "where", "help", "through", "much", "before",
+    "line", "right", "too", "mean", "old", "any", "same", "tell", "boy", "follow", "came", "want",
+    "show", "also", "around", "form", "three", "small", "set", "put", "end", "does", "another",
+    "well", "large", "must", "big", "even", "such", "because", "turn", "here",
 ];
 
 /// Zipf-ish rank sampler: p(rank) ∝ 1/(rank+1).
@@ -47,13 +46,15 @@ fn fill_prose(out: &mut Vec<u8>, target: usize, rng: &mut StdRng) {
     while out.len() < target {
         let w = sample_word(rng);
         if sentence_cap {
-            out.extend(w.bytes().enumerate().map(|(i, b)| {
-                if i == 0 {
-                    b.to_ascii_uppercase()
-                } else {
-                    b
-                }
-            }));
+            out.extend(w.bytes().enumerate().map(
+                |(i, b)| {
+                    if i == 0 {
+                        b.to_ascii_uppercase()
+                    } else {
+                        b
+                    }
+                },
+            ));
             sentence_cap = false;
         } else {
             out.extend_from_slice(w.as_bytes());
@@ -119,9 +120,13 @@ fn log_file(size: usize, rng: &mut StdRng) -> Vec<u8> {
         let lvl = levels[rng.gen_range(0..levels.len())];
         let pid = rng.gen_range(100..32000);
         out.extend_from_slice(
-            format!("[{t}] {lvl} proc[{pid}]: request from 10.{}.{}.{} served in {} ms - ",
-                rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(0..256),
-                rng.gen_range(1..900))
+            format!(
+                "[{t}] {lvl} proc[{pid}]: request from 10.{}.{}.{} served in {} ms - ",
+                rng.gen_range(0..256),
+                rng.gen_range(0..256),
+                rng.gen_range(0..256),
+                rng.gen_range(1..900)
+            )
             .as_bytes(),
         );
         let tail = rng.gen_range(10..60).min(size.saturating_sub(out.len()));

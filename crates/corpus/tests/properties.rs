@@ -1,17 +1,15 @@
 //! Property-based tests for the synthetic corpus generators.
 
 use iustitia_corpus::encrypted::base64_encode;
-use iustitia_corpus::{generate_file, strip_application_header, AppProtocol, FileClass, HeaderGenerator};
+use iustitia_corpus::{
+    generate_file, strip_application_header, AppProtocol, FileClass, HeaderGenerator,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn class_strategy() -> impl Strategy<Value = FileClass> {
-    prop_oneof![
-        Just(FileClass::Text),
-        Just(FileClass::Binary),
-        Just(FileClass::Encrypted),
-    ]
+    prop_oneof![Just(FileClass::Text), Just(FileClass::Binary), Just(FileClass::Encrypted),]
 }
 
 proptest! {

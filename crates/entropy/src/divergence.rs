@@ -77,11 +77,7 @@ impl ByteDistribution {
     pub fn entropy_bits(&self) -> f64 {
         let mut entries: Vec<(u128, f64)> = self.probs.iter().map(|(&g, &p)| (g, p)).collect();
         entries.sort_unstable_by_key(|&(g, _)| g);
-        -entries
-            .into_iter()
-            .filter(|&(_, p)| p > 0.0)
-            .map(|(_, p)| p * p.log2())
-            .sum::<f64>()
+        -entries.into_iter().filter(|&(_, p)| p > 0.0).map(|(_, p)| p * p.log2()).sum::<f64>()
     }
 
     /// Whether the distribution is empty (input shorter than `k`).

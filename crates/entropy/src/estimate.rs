@@ -114,7 +114,11 @@ impl EstimatorConfig {
 /// # Errors
 ///
 /// Returns [`EstimateError::UnsupportedWidth`] for `k < 2`.
-pub fn counters_required(config: &EstimatorConfig, k: usize, b: usize) -> Result<usize, EstimateError> {
+pub fn counters_required(
+    config: &EstimatorConfig,
+    k: usize,
+    b: usize,
+) -> Result<usize, EstimateError> {
     if k < 2 {
         return Err(EstimateError::UnsupportedWidth(k));
     }
@@ -298,10 +302,7 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(EstimatorConfig::new(0.25, 0.5).is_ok());
-        assert_eq!(
-            EstimatorConfig::new(0.0, 0.5),
-            Err(EstimateError::InvalidEpsilon(0.0))
-        );
+        assert_eq!(EstimatorConfig::new(0.0, 0.5), Err(EstimateError::InvalidEpsilon(0.0)));
         assert_eq!(EstimatorConfig::new(0.5, 0.0), Err(EstimateError::InvalidDelta(0.0)));
         assert_eq!(EstimatorConfig::new(0.5, 1.0), Err(EstimateError::InvalidDelta(1.0)));
     }
@@ -328,7 +329,10 @@ mod tests {
     #[test]
     fn counters_required_rejects_h1() {
         let cfg = EstimatorConfig::new(0.25, 0.25).unwrap();
-        assert!(matches!(counters_required(&cfg, 1, 1024), Err(EstimateError::UnsupportedWidth(1))));
+        assert!(matches!(
+            counters_required(&cfg, 1, 1024),
+            Err(EstimateError::UnsupportedWidth(1))
+        ));
         assert!(counters_required(&cfg, 2, 1024).unwrap() > 0);
     }
 
@@ -408,8 +412,10 @@ mod tests {
     #[test]
     fn total_counters_excludes_h1_and_shrinks_with_epsilon() {
         let widths = FeatureWidths::svm_selected();
-        let loose = StreamingEntropyEstimator::with_seed(EstimatorConfig::new(0.5, 0.5).unwrap(), 0);
-        let tight = StreamingEntropyEstimator::with_seed(EstimatorConfig::new(0.1, 0.5).unwrap(), 0);
+        let loose =
+            StreamingEntropyEstimator::with_seed(EstimatorConfig::new(0.5, 0.5).unwrap(), 0);
+        let tight =
+            StreamingEntropyEstimator::with_seed(EstimatorConfig::new(0.1, 0.5).unwrap(), 0);
         let c_loose = loose.total_counters(&widths, 1024);
         let c_tight = tight.total_counters(&widths, 1024);
         assert!(c_loose < c_tight);

@@ -273,8 +273,12 @@ mod tests {
     #[test]
     fn text_binary_encrypted_ordering_on_toy_data() {
         // Hypothesis 1 on toy inputs: text < encrypted on h1.
-        let text: Vec<u8> =
-            b"the quick brown fox jumps over the lazy dog. ".iter().cycle().take(2048).copied().collect();
+        let text: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .cycle()
+            .take(2048)
+            .copied()
+            .collect();
         // xorshift pseudo-random bytes stand in for ciphertext
         let mut x = 0x9E3779B97F4A7C15u64;
         let enc: Vec<u8> = (0..2048)

@@ -45,12 +45,7 @@ struct Node {
 
 impl Node {
     fn majority(&self) -> usize {
-        self.counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
     }
 
     fn total(&self) -> u32 {
@@ -135,9 +130,8 @@ impl DecisionTree {
     fn grow(&mut self, data: &Dataset, idx: &[usize], depth: usize, params: &CartParams) -> usize {
         let counts = self.class_counts(data, idx);
         let node_gini = gini(&counts);
-        let stop = depth >= params.max_depth
-            || idx.len() < params.min_samples_split
-            || node_gini == 0.0;
+        let stop =
+            depth >= params.max_depth || idx.len() < params.min_samples_split || node_gini == 0.0;
         if !stop {
             if let Some(split) = self.best_split(data, idx, node_gini, params) {
                 let left = self.grow(data, &split.left_idx, depth + 1, params);
@@ -189,9 +183,7 @@ impl DecisionTree {
                 let weighted =
                     (n_left / n) * gini(&left_counts) + (n_right / n) * gini(&right_counts);
                 let gain = parent_gini - weighted;
-                if gain > params.min_impurity_decrease
-                    && best.is_none_or(|(_, _, g)| gain > g)
-                {
+                if gain > params.min_impurity_decrease && best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((feature, 0.5 * (v + v_next), gain));
                 }
             }

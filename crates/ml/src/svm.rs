@@ -194,10 +194,12 @@ impl BinarySvm {
             }
             let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
 
-            let b1 = *b - e_i
+            let b1 = *b
+                - e_i
                 - y[i] * (a_i - a_i_old) * kern(i, i)
                 - y[j] * (a_j - a_j_old) * kern(i, j);
-            let b2 = *b - e_j
+            let b2 = *b
+                - e_j
                 - y[i] * (a_i - a_i_old) * kern(i, j)
                 - y[j] * (a_j - a_j_old) * kern(j, j);
             let new_b = if a_i > 0.0 && a_i < c {
@@ -261,7 +263,9 @@ impl BinarySvm {
             let start = rng.gen_range(0..n);
             for off in 0..n {
                 let j = (start + off) % n;
-                if j != i && alpha[j] > 0.0 && alpha[j] < c
+                if j != i
+                    && alpha[j] > 0.0
+                    && alpha[j] < c
                     && smo_step(i, j, y, alpha, err, b, c, kern)
                 {
                     return true;
@@ -342,12 +346,10 @@ impl BinarySvm {
         // averaging their implied biases is far more robust than the
         // incremental estimate when most multipliers sit at the C bound
         // (common at large C on overlapping classes).
-        let margin: Vec<usize> = (0..n)
-            .filter(|&i| alpha[i] > 1e-9 && alpha[i] < params.c - 1e-9)
-            .collect();
+        let margin: Vec<usize> =
+            (0..n).filter(|&i| alpha[i] > 1e-9 && alpha[i] < params.c - 1e-9).collect();
         if !margin.is_empty() {
-            let correction: f64 =
-                margin.iter().map(|&i| err[i]).sum::<f64>() / margin.len() as f64;
+            let correction: f64 = margin.iter().map(|&i| err[i]).sum::<f64>() / margin.len() as f64;
             b -= correction;
         }
 
@@ -368,7 +370,12 @@ impl BinarySvm {
     /// # Panics
     ///
     /// Panics if either class has no samples.
-    pub fn fit_pair(data: &Dataset, pos_class: usize, neg_class: usize, params: &SvmParams) -> Self {
+    pub fn fit_pair(
+        data: &Dataset,
+        pos_class: usize,
+        neg_class: usize,
+        params: &SvmParams,
+    ) -> Self {
         let mut samples = Vec::new();
         let mut labels = Vec::new();
         for (x, y) in data.iter() {
@@ -464,7 +471,8 @@ mod tests {
             xs.push(vec![a, b]);
             ys.push(((a - 0.5).powi(2) + (b - 0.5).powi(2)).sqrt() < 0.35);
         }
-        let params = SvmParams { c: 50.0, kernel: Kernel::Rbf { gamma: 10.0 }, ..Default::default() };
+        let params =
+            SvmParams { c: 50.0, kernel: Kernel::Rbf { gamma: 10.0 }, ..Default::default() };
         let svm = BinarySvm::fit(&xs, &ys, &params);
         let acc = xs.iter().zip(&ys).filter(|(x, &y)| svm.predict(x) == y).count() as f64
             / xs.len() as f64;

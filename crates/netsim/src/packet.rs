@@ -4,7 +4,9 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Transport protocol of a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Protocol {
     /// TCP — flows terminate with FIN or RST when closed properly.
     Tcp,
@@ -16,7 +18,9 @@ pub enum Protocol {
 ///
 /// A thin bit-set newtype: build with [`TcpFlags::empty`] and the
 /// constants, query with [`contains`](TcpFlags::contains).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct TcpFlags(u8);
 
 impl TcpFlags {
@@ -32,6 +36,16 @@ impl TcpFlags {
     /// No flags set (also what UDP packets carry).
     pub const fn empty() -> TcpFlags {
         TcpFlags(0)
+    }
+
+    /// The raw bit representation, for wire encodings.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds flags from raw bits, ignoring unknown bits.
+    pub const fn from_bits_truncate(bits: u8) -> TcpFlags {
+        TcpFlags(bits & 0b1111)
     }
 
     /// Whether every flag in `other` is set in `self`.
@@ -81,7 +95,9 @@ impl fmt::Display for TcpFlags {
 /// Iustitia identifies a flow by a hash of these header fields
 /// ([`as_bytes`](FiveTuple::as_bytes) provides the canonical byte
 /// encoding fed to SHA-1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct FiveTuple {
     /// Source IPv4 address.
     pub src_ip: Ipv4Addr,

@@ -657,18 +657,22 @@ mod tests {
         config.n_flows = 60;
         config.class_mix = [0.0, 0.0, 1.0]; // all encrypted
         let packets = collect(config);
-        // Reassemble the first KB of one flow and check entropy ≈ 1.
-        let tuple = packets.iter().find(|p| p.is_data()).expect("data exists").tuple;
-        let mut buf = Vec::new();
-        for p in packets.iter().filter(|p| p.tuple == tuple && p.is_data()) {
-            buf.extend_from_slice(&p.payload);
-            if buf.len() >= 1024 {
-                break;
+        // Reassemble the first KB of each flow; most encrypted files
+        // are raw ciphertext with h1 ≈ 1 (a minority are ASCII-armored
+        // at h1 ≈ 0.75), so the best flow must show the class signal.
+        let mut flows: std::collections::HashMap<FiveTuple, Vec<u8>> = HashMap::new();
+        for p in packets.iter().filter(|p| p.is_data()) {
+            let buf = flows.entry(p.tuple).or_default();
+            if buf.len() < 1024 {
+                buf.extend_from_slice(&p.payload);
             }
         }
-        if buf.len() >= 256 {
-            assert!(entropy(&buf, 1) > 0.9, "h1={}", entropy(&buf, 1));
-        }
+        let best = flows
+            .values()
+            .filter(|buf| buf.len() >= 256)
+            .map(|buf| entropy(buf, 1))
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.9, "best h1 across flows = {best}");
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Blocking client library for the serve wire protocol.
+//!
+//! A [`Client`] owns one TCP connection. A background reader thread
+//! splits incoming frames into two streams:
+//!
+//! * **events** — server-initiated [`FlowVerdict`] and `Busy` frames,
+//!   which arrive whenever a shard worker finishes (or refuses) a flow.
+//!   Consume them with [`Client::poll_events`] or
+//!   [`Client::recv_event_timeout`].
+//! * **replies** — direct answers to `ClassifyBuffer`, `Stats`, and
+//!   `Drain` requests, consumed by the blocking request methods.
+//!
+//! Packet submission is pipelined: [`Client::submit_packet`] only
+//! appends to a write buffer; call [`Client::flush`] (or any blocking
+//! request, which flushes first) to push frames onto the wire.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use iustitia_corpus::FileClass;
+use iustitia_netsim::{FiveTuple, Packet};
+
+use crate::metrics::StatsSnapshot;
+use crate::proto::{read_frame, write_frame, FlowVerdict, ProtoError, Request, Response};
+
+/// Server-initiated notification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// A flow this connection submitted packets for was classified.
+    Verdict(FlowVerdict),
+    /// A packet was refused admission (server overloaded).
+    Busy(FiveTuple),
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something indecipherable or out of protocol.
+    Proto(String),
+    /// The server reported an error frame.
+    Server(String),
+    /// The connection closed before the expected reply arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Disconnected => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io) => ClientError::Io(io),
+            ProtoError::Malformed(msg) => ClientError::Proto(msg),
+        }
+    }
+}
+
+/// A blocking connection to an `iustitia-serve` server.
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    events: mpsc::Receiver<ClientEvent>,
+    replies: mpsc::Receiver<Response>,
+    reader_handle: Option<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Connects and spawns the background reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from establishing the connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let (event_tx, events) = mpsc::channel();
+        let (reply_tx, replies) = mpsc::channel();
+        let reader_handle = std::thread::Builder::new()
+            .name("iustitia-client-reader".into())
+            .spawn(move || reader_loop(read_half, &event_tx, &reply_tx))
+            .expect("spawn client reader");
+        Ok(Client {
+            writer: BufWriter::new(stream),
+            events,
+            replies,
+            reader_handle: Some(reader_handle),
+        })
+    }
+
+    /// Queues one packet for submission (buffered; see [`flush`](Self::flush)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a socket error if the write buffer cannot be extended.
+    pub fn submit_packet(&mut self, packet: &Packet) -> Result<(), ClientError> {
+        let (t, body) = Request::SubmitPacket(packet.clone()).encode();
+        write_frame(&mut self.writer, t, &body)?;
+        Ok(())
+    }
+
+    /// Pushes all buffered frames onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a socket error if the flush fails.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// One-shot classification of a buffer's first `b` bytes (no flow
+    /// state involved). Blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a server-reported error, or disconnect.
+    pub fn classify_buffer(&mut self, data: &[u8]) -> Result<FileClass, ClientError> {
+        match self.request(Request::ClassifyBuffer(data.to_vec()))? {
+            Response::ClassifyResult(label) => Ok(label),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a live metrics snapshot. Blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a server-reported error, or disconnect.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.request(Request::Stats)? {
+            Response::Stats(snapshot) => Ok(*snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs a drain barrier: every packet submitted before this call is
+    /// processed, all in-flight flows are classified from their
+    /// buffered bytes, and their verdicts are en route before this
+    /// returns. Returns how many of the flushed flows were this
+    /// connection's.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a server-reported error, or disconnect.
+    pub fn drain(&mut self) -> Result<u32, ClientError> {
+        match self.request(Request::Drain)? {
+            Response::DrainComplete(flushed) => Ok(flushed),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Collects all events received so far without blocking.
+    pub fn poll_events(&mut self) -> Vec<ClientEvent> {
+        self.events.try_iter().collect()
+    }
+
+    /// Waits up to `timeout` for the next event.
+    pub fn recv_event_timeout(&mut self, timeout: Duration) -> Option<ClientEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Flushes, closes the write half, and waits for the server to
+    /// finish. Remaining events are returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns a socket error if the final flush fails.
+    pub fn close(mut self) -> Result<Vec<ClientEvent>, ClientError> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(Shutdown::Write)?;
+        if let Some(handle) = self.reader_handle.take() {
+            let _ = handle.join();
+        }
+        Ok(self.events.try_iter().collect())
+    }
+
+    fn request(&mut self, request: Request) -> Result<Response, ClientError> {
+        let (t, body) = request.encode();
+        write_frame(&mut self.writer, t, &body)?;
+        self.writer.flush()?;
+        match self.replies.recv() {
+            Ok(Response::Error(msg)) => Err(ClientError::Server(msg)),
+            Ok(response) => Ok(response),
+            Err(_) => Err(ClientError::Disconnected),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+        let _ = self.writer.get_ref().shutdown(Shutdown::Both);
+        if let Some(handle) = self.reader_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    ClientError::Proto(format!("unexpected reply frame: {response:?}"))
+}
+
+/// Routes incoming frames: verdict/busy notifications to the event
+/// channel, everything else to the reply channel. Exits on EOF or
+/// error.
+fn reader_loop(
+    stream: TcpStream,
+    event_tx: &mpsc::Sender<ClientEvent>,
+    reply_tx: &mpsc::Sender<Response>,
+) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        let Ok(response) = Response::decode(frame.0, &frame.1) else {
+            return;
+        };
+        let ok = match response {
+            Response::FlowVerdict(v) => event_tx.send(ClientEvent::Verdict(v)).is_ok(),
+            Response::Busy(tuple) => event_tx.send(ClientEvent::Busy(tuple)).is_ok(),
+            other => reply_tx.send(other).is_ok(),
+        };
+        if !ok {
+            return;
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `iustitia-serve` — a networked classification service wrapping the
+//! [`iustitia`] pipeline.
+//!
+//! The offline crates answer *"what is the nature of this flow?"* for
+//! traces already on disk; this crate serves the same question over
+//! TCP at line rate. A [`Server`] partitions flow state across `N`
+//! shard workers (each owning a private pipeline + classification
+//! database), admits packets through bounded per-shard queues with a
+//! configurable [`AdmissionPolicy`], batches frame decoding on reader
+//! threads, and exports live counters and per-stage latency histograms
+//! through the `Stats` request.
+//!
+//! The matching [`Client`] speaks the length-prefixed binary protocol
+//! of [`proto`]: streamed [`SubmitPacket`](proto::Request::SubmitPacket)
+//! requests produce asynchronous flow verdicts, while
+//! [`ClassifyBuffer`](proto::Request::ClassifyBuffer) offers one-shot
+//! classification of a byte buffer's first *b* bytes.
+//!
+//! ```no_run
+//! use iustitia::features::{FeatureMode, TrainingMethod};
+//! use iustitia::model::{train_from_corpus, ModelKind};
+//! use iustitia::pipeline::PipelineConfig;
+//! use iustitia_entropy::FeatureWidths;
+//! use iustitia_serve::{Client, Server, ServerConfig};
+//!
+//! let corpus = iustitia_corpus::CorpusBuilder::new(7).build();
+//! let model = train_from_corpus(
+//!     &corpus,
+//!     &FeatureWidths::svm_selected(),
+//!     TrainingMethod::Prefix { b: 32 },
+//!     FeatureMode::Exact,
+//!     &ModelKind::paper_cart(),
+//!     7,
+//! );
+//! let server = Server::start("127.0.0.1:0", model, ServerConfig::new(PipelineConfig::headline(7)))?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! let label = client.classify_buffer(b"GET /index.html HTTP/1.1\r\n\r\n")?;
+//! println!("classified as {}", label.name());
+//!
+//! client.close()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientEvent};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, Stage, StatsSnapshot};
+pub use proto::{FlowVerdict, ProtoError, Request, Response};
+pub use queue::{AdmissionPolicy, BoundedQueue, PushOutcome};
+pub use server::{Server, ServerConfig};

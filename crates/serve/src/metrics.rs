@@ -1,0 +1,331 @@
+//! Live service metrics: atomic counters and per-stage latency
+//! histograms, snapshotted on demand by the `Stats` request.
+//!
+//! Latencies use power-of-two bucketed histograms (bucket `i` holds
+//! samples in `[2^i, 2^(i+1))` nanoseconds), so recording is a single
+//! relaxed atomic increment on the packet path and quantiles are
+//! reconstructed from bucket counts with at most 2× resolution error —
+//! the classic HdrHistogram-style tradeoff, reduced to its cheapest
+//! form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::proto::ProtoError;
+
+/// Number of power-of-two buckets: covers 1 ns .. ~585 years.
+pub const BUCKETS: usize = 64;
+
+/// Pipeline stages with dedicated latency histograms.
+///
+/// The packet path attributes each packet's processing time to the
+/// stage that *terminated* it: a CDB hit never reaches the buffer, a
+/// buffered packet never reaches the classifier. `Hash` is measured
+/// separately on the reader thread, where the flow ID is computed for
+/// shard routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// SHA-1 flow-ID computation (reader thread, every data packet).
+    Hash = 0,
+    /// CDB lookup resolving to a hit (worker thread).
+    CdbLookup = 1,
+    /// Payload appended to a partially filled buffer (worker thread).
+    BufferFill = 2,
+    /// Buffer completed: feature extraction + model inference + CDB
+    /// insert (worker thread).
+    Classify = 3,
+}
+
+impl Stage {
+    /// All stages, index order.
+    pub const ALL: [Stage; 4] = [Stage::Hash, Stage::CdbLookup, Stage::BufferFill, Stage::Classify];
+
+    /// Stable snake_case name, used in CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Hash => "hash",
+            Stage::CdbLookup => "cdb_lookup",
+            Stage::BufferFill => "buffer_fill",
+            Stage::Classify => "classify",
+        }
+    }
+}
+
+/// Lock-free latency histogram with power-of-two buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample of `nanos` nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        let idx = nanos.checked_ilog2().unwrap_or(0) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Immutable copy of a histogram's buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` ns.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (`q` in `[0, 1]`),
+    /// using each bucket's geometric-ish midpoint (`1.5 × 2^i`).
+    /// Returns `None` when the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let low = 1u64 << i;
+                return Some(low + low / 2);
+            }
+        }
+        None
+    }
+
+    /// Approximate median latency in ns.
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// Approximate 99th-percentile latency in ns.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
+
+/// Live counters and histograms for a running server.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Packets accepted into shard queues.
+    pub packets: AtomicU64,
+    /// CDB hits on the packet path.
+    pub hits: AtomicU64,
+    /// Flows classified (one verdict each).
+    pub flows_classified: AtomicU64,
+    /// Packets rejected with `Busy` (RejectBusy admission).
+    pub busy_rejects: AtomicU64,
+    /// Packets evicted from full queues (DropOldest admission).
+    pub dropped_oldest: AtomicU64,
+    /// One-shot `ClassifyBuffer` requests served.
+    pub classify_requests: AtomicU64,
+    /// `Drain` barriers completed.
+    pub drains: AtomicU64,
+    /// Connections accepted since start.
+    pub connections: AtomicU64,
+    /// Per-stage latency histograms, indexed by [`Stage`].
+    pub stages: [LatencyHistogram; 4],
+}
+
+impl ServeMetrics {
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a stage latency sample.
+    pub fn record(&self, stage: Stage, nanos: u64) {
+        self.stages[stage as usize].record(nanos);
+    }
+
+    /// Copies every counter and histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            packets: self.packets.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            flows_classified: self.flows_classified.load(Ordering::Relaxed),
+            busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
+            dropped_oldest: self.dropped_oldest.load(Ordering::Relaxed),
+            classify_requests: self.classify_requests.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+        }
+    }
+}
+
+/// Point-in-time copy of all server metrics, as returned by the
+/// `Stats` request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Packets accepted into shard queues.
+    pub packets: u64,
+    /// CDB hits on the packet path.
+    pub hits: u64,
+    /// Flows classified (one verdict each).
+    pub flows_classified: u64,
+    /// Packets rejected with `Busy`.
+    pub busy_rejects: u64,
+    /// Packets evicted from full queues.
+    pub dropped_oldest: u64,
+    /// One-shot classification requests served.
+    pub classify_requests: u64,
+    /// Drain barriers completed.
+    pub drains: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Per-stage histograms, indexed by [`Stage`].
+    pub stages: [HistogramSnapshot; 4],
+}
+
+impl StatsSnapshot {
+    /// Histogram for one stage.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.stages[stage as usize]
+    }
+
+    /// Wire encoding: the eight counters then the four histograms, all
+    /// as big-endian `u64`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.packets,
+            self.hits,
+            self.flows_classified,
+            self.busy_rejects,
+            self.dropped_oldest,
+            self.classify_requests,
+            self.drains,
+            self.connections,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        for stage in &self.stages {
+            for &bucket in &stage.buckets {
+                out.extend_from_slice(&bucket.to_be_bytes());
+            }
+        }
+    }
+
+    /// Inverse of [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if the body is truncated.
+    pub(crate) fn decode(r: &mut crate::proto::FieldReader<'_>) -> Result<Self, ProtoError> {
+        let mut snapshot = StatsSnapshot {
+            packets: r.u64()?,
+            hits: r.u64()?,
+            flows_classified: r.u64()?,
+            busy_rejects: r.u64()?,
+            dropped_oldest: r.u64()?,
+            classify_requests: r.u64()?,
+            drains: r.u64()?,
+            connections: r.u64()?,
+            stages: Default::default(),
+        };
+        for stage in &mut snapshot.stages {
+            for bucket in &mut stage.buckets {
+                *bucket = r.u64()?;
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 2, "0 and 1 land in bucket 0");
+        assert_eq!(s.buckets[1], 2, "2 and 3 land in bucket 1");
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_from_known_distribution() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1 << 20); // one outlier
+        let s = h.snapshot();
+        assert_eq!(s.p50(), Some(96), "1.5 * 64");
+        assert_eq!(s.p99(), Some(96));
+        assert_eq!(s.quantile(1.0), Some((1 << 20) + (1 << 19)));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(HistogramSnapshot::default().p50(), None);
+        assert_eq!(HistogramSnapshot::default().count(), 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_counters() {
+        let m = ServeMetrics::default();
+        ServeMetrics::add(&m.packets, 10);
+        ServeMetrics::add(&m.hits, 3);
+        m.record(Stage::Classify, 5000);
+        let s = m.snapshot();
+        assert_eq!(s.packets, 10);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.stage(Stage::Classify).count(), 1);
+        assert_eq!(s.stage(Stage::Hash).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_wire_round_trip() {
+        let m = ServeMetrics::default();
+        ServeMetrics::add(&m.packets, 12345);
+        ServeMetrics::add(&m.dropped_oldest, 7);
+        m.record(Stage::Hash, 250);
+        m.record(Stage::BufferFill, 999);
+        let snapshot = m.snapshot();
+        let mut body = Vec::new();
+        snapshot.encode_into(&mut body);
+        let mut reader = crate::proto::FieldReader::new(&body);
+        let back = StatsSnapshot::decode(&mut reader).unwrap();
+        reader.finish().unwrap();
+        assert_eq!(back, snapshot);
+    }
+}

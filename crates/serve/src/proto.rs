@@ -1,0 +1,496 @@
+//! Length-prefixed binary wire protocol for the classification service.
+//!
+//! # Framing
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! +-------------------+-----------+------------------+
+//! | length: u32 (BE)  | type: u8  | body: length - 1 |
+//! +-------------------+-----------+------------------+
+//! ```
+//!
+//! `length` counts the type byte plus the body and is capped at
+//! [`MAX_FRAME`]. Integers are big-endian; `f64` values travel as the
+//! big-endian bytes of their IEEE-754 bit pattern.
+//!
+//! # Requests (client → server)
+//!
+//! | type | message | body |
+//! |------|---------|------|
+//! | `0x01` | [`Request::SubmitPacket`] | `timestamp: f64`, `tuple: 13B`, `flags: u8`, `payload: u32 + bytes` |
+//! | `0x02` | [`Request::ClassifyBuffer`] | `payload: u32 + bytes` |
+//! | `0x03` | [`Request::Stats`] | empty |
+//! | `0x04` | [`Request::Drain`] | empty |
+//!
+//! The 13-byte tuple encoding is [`FiveTuple::as_bytes`]: source IP,
+//! destination IP, source port, destination port, IANA protocol number
+//! (6 = TCP, 17 = UDP).
+//!
+//! # Responses (server → client)
+//!
+//! | type | message | body |
+//! |------|---------|------|
+//! | `0x81` | [`Response::FlowVerdict`] | `tuple: 13B`, `label: u8`, `packets: u32`, `buffered_bytes: u32`, `fill_time: f64` |
+//! | `0x82` | [`Response::Busy`] | `tuple: 13B` |
+//! | `0x83` | [`Response::ClassifyResult`] | `label: u8` |
+//! | `0x84` | [`Response::Stats`] | see [`StatsSnapshot::encode_into`](crate::metrics::StatsSnapshot) |
+//! | `0x85` | [`Response::DrainComplete`] | `flows: u32` |
+//! | `0x86` | [`Response::Error`] | `message: u32 + UTF-8 bytes` |
+//!
+//! `SubmitPacket` is streaming: it has no immediate reply. The server
+//! pushes one `FlowVerdict` per *completed* flow (buffer filled, flow
+//! closed, idle-flushed, or drained) and `Busy` when admission control
+//! rejects a packet. `Drain` is a barrier: after all previously
+//! submitted packets are processed, every in-flight flow is classified
+//! from whatever bytes it has buffered, the verdicts are pushed, and
+//! `DrainComplete` reports how many flows this drain flushed for the
+//! requesting connection.
+
+use std::io::{BufReader, Read, Write};
+use std::net::Ipv4Addr;
+
+use iustitia_corpus::FileClass;
+use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
+
+use crate::metrics::StatsSnapshot;
+
+/// Maximum frame size (type byte + body) the peer will accept.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Protocol-level failure: transport error or a malformed frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket/stream error.
+    Io(std::io::Error),
+    /// Structurally invalid frame (bad length, unknown type or field).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed(msg.into())
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Stream one packet into the sharded pipeline.
+    SubmitPacket(Packet),
+    /// One-shot: classify the first `b` bytes of a byte buffer,
+    /// bypassing flow state and the CDB.
+    ClassifyBuffer(Vec<u8>),
+    /// Ask for a metrics snapshot.
+    Stats,
+    /// Barrier: classify all in-flight flows and report.
+    Drain,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A flow completed and was classified.
+    FlowVerdict(FlowVerdict),
+    /// Admission control rejected a packet for this flow.
+    Busy(FiveTuple),
+    /// Answer to [`Request::ClassifyBuffer`].
+    ClassifyResult(FileClass),
+    /// Answer to [`Request::Stats`].
+    ///
+    /// Boxed: a snapshot carries four histograms and is far larger
+    /// than every other variant.
+    Stats(Box<StatsSnapshot>),
+    /// Answer to [`Request::Drain`]: flows flushed for this connection.
+    DrainComplete(u32),
+    /// The request could not be honored.
+    Error(String),
+}
+
+/// The final classification of one flow, as sent over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowVerdict {
+    /// The flow's 5-tuple.
+    pub tuple: FiveTuple,
+    /// Assigned nature.
+    pub label: FileClass,
+    /// Data packets that contributed to the classification buffer.
+    pub packets: u32,
+    /// Bytes in the buffer when classified.
+    pub buffered_bytes: u32,
+    /// Seconds from the flow's first data packet to classification.
+    pub fill_time: f64,
+}
+
+// ------------------------------------------------------------ framing
+
+/// Writes one frame (`type_byte` + `body`).
+///
+/// # Errors
+///
+/// Returns any transport error from the writer.
+pub fn write_frame<W: Write>(w: &mut W, type_byte: u8, body: &[u8]) -> Result<(), ProtoError> {
+    let len = u32::try_from(body.len() + 1).map_err(|_| malformed("frame too large"))?;
+    if len as usize > MAX_FRAME {
+        return Err(malformed(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[type_byte])?;
+    w.write_all(body)?;
+    Ok(())
+}
+
+/// Reads one frame, returning `(type_byte, body)`; `None` on clean EOF
+/// at a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`ProtoError::Io`] on transport errors or truncated frames,
+/// [`ProtoError::Malformed`] on oversized or zero-length frames.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, ProtoError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len == 0 {
+        return Err(malformed("zero-length frame"));
+    }
+    if len > MAX_FRAME {
+        return Err(malformed(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    let body = frame.split_off(1);
+    Ok(Some((frame[0], body)))
+}
+
+/// Whether more buffered input is immediately available (without
+/// touching the socket). Lets readers batch frames that already
+/// arrived.
+pub fn has_buffered_input<R: Read>(r: &BufReader<R>) -> bool {
+    !r.buffer().is_empty()
+}
+
+// ----------------------------------------------------- field encoding
+
+fn put_tuple(out: &mut Vec<u8>, tuple: &FiveTuple) {
+    out.extend_from_slice(&tuple.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(data);
+}
+
+/// Cursor-style reader over a frame body.
+pub(crate) struct FieldReader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FieldReader<'a> {
+    pub(crate) fn new(body: &'a [u8]) -> Self {
+        FieldReader { body, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.body.len());
+        let end = end.ok_or_else(|| malformed("truncated frame body"))?;
+        let slice = &self.body[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], ProtoError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    pub(crate) fn tuple(&mut self) -> Result<FiveTuple, ProtoError> {
+        let b = self.take(13)?;
+        let src_ip = Ipv4Addr::new(b[0], b[1], b[2], b[3]);
+        let dst_ip = Ipv4Addr::new(b[4], b[5], b[6], b[7]);
+        let src_port = u16::from_be_bytes([b[8], b[9]]);
+        let dst_port = u16::from_be_bytes([b[10], b[11]]);
+        match b[12] {
+            6 => Ok(FiveTuple::tcp(src_ip, src_port, dst_ip, dst_port)),
+            17 => Ok(FiveTuple::udp(src_ip, src_port, dst_ip, dst_port)),
+            other => Err(malformed(format!("unknown protocol number {other}"))),
+        }
+    }
+
+    pub(crate) fn label(&mut self) -> Result<FileClass, ProtoError> {
+        let idx = self.u8()?;
+        if idx > 2 {
+            return Err(malformed(format!("unknown class index {idx}")));
+        }
+        Ok(FileClass::from_index(idx as usize))
+    }
+
+    pub(crate) fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.body.len() {
+            Ok(())
+        } else {
+            Err(malformed(format!("{} trailing bytes in frame body", self.body.len() - self.pos)))
+        }
+    }
+}
+
+// --------------------------------------------------- request encoding
+
+const REQ_SUBMIT_PACKET: u8 = 0x01;
+const REQ_CLASSIFY_BUFFER: u8 = 0x02;
+const REQ_STATS: u8 = 0x03;
+const REQ_DRAIN: u8 = 0x04;
+
+impl Request {
+    /// Serializes into `(type_byte, body)`.
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::SubmitPacket(p) => {
+                let mut body = Vec::with_capacity(30 + p.payload.len());
+                body.extend_from_slice(&p.timestamp.to_bits().to_be_bytes());
+                put_tuple(&mut body, &p.tuple);
+                body.push(p.flags.bits());
+                put_bytes(&mut body, &p.payload);
+                (REQ_SUBMIT_PACKET, body)
+            }
+            Request::ClassifyBuffer(payload) => {
+                let mut body = Vec::with_capacity(4 + payload.len());
+                put_bytes(&mut body, payload);
+                (REQ_CLASSIFY_BUFFER, body)
+            }
+            Request::Stats => (REQ_STATS, Vec::new()),
+            Request::Drain => (REQ_DRAIN, Vec::new()),
+        }
+    }
+
+    /// Parses a frame previously produced by [`Request::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] on unknown types or bad bodies.
+    pub fn decode(type_byte: u8, body: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = FieldReader::new(body);
+        let req = match type_byte {
+            REQ_SUBMIT_PACKET => {
+                let timestamp = r.f64()?;
+                let tuple = r.tuple()?;
+                let flags = TcpFlags::from_bits_truncate(r.u8()?);
+                let payload = r.bytes()?.to_vec();
+                Request::SubmitPacket(Packet { timestamp, tuple, flags, payload })
+            }
+            REQ_CLASSIFY_BUFFER => Request::ClassifyBuffer(r.bytes()?.to_vec()),
+            REQ_STATS => Request::Stats,
+            REQ_DRAIN => Request::Drain,
+            other => return Err(malformed(format!("unknown request type {other:#04x}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// -------------------------------------------------- response encoding
+
+const RESP_FLOW_VERDICT: u8 = 0x81;
+const RESP_BUSY: u8 = 0x82;
+const RESP_CLASSIFY_RESULT: u8 = 0x83;
+const RESP_STATS: u8 = 0x84;
+const RESP_DRAIN_COMPLETE: u8 = 0x85;
+const RESP_ERROR: u8 = 0x86;
+
+impl Response {
+    /// Serializes into `(type_byte, body)`.
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Response::FlowVerdict(v) => {
+                let mut body = Vec::with_capacity(30);
+                put_tuple(&mut body, &v.tuple);
+                body.push(v.label.index() as u8);
+                body.extend_from_slice(&v.packets.to_be_bytes());
+                body.extend_from_slice(&v.buffered_bytes.to_be_bytes());
+                body.extend_from_slice(&v.fill_time.to_bits().to_be_bytes());
+                (RESP_FLOW_VERDICT, body)
+            }
+            Response::Busy(tuple) => {
+                let mut body = Vec::with_capacity(13);
+                put_tuple(&mut body, tuple);
+                (RESP_BUSY, body)
+            }
+            Response::ClassifyResult(label) => (RESP_CLASSIFY_RESULT, vec![label.index() as u8]),
+            Response::Stats(snapshot) => {
+                let mut body = Vec::new();
+                snapshot.encode_into(&mut body);
+                (RESP_STATS, body)
+            }
+            Response::DrainComplete(flows) => (RESP_DRAIN_COMPLETE, flows.to_be_bytes().to_vec()),
+            Response::Error(msg) => {
+                let mut body = Vec::with_capacity(4 + msg.len());
+                put_bytes(&mut body, msg.as_bytes());
+                (RESP_ERROR, body)
+            }
+        }
+    }
+
+    /// Parses a frame previously produced by [`Response::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] on unknown types or bad bodies.
+    pub fn decode(type_byte: u8, body: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = FieldReader::new(body);
+        let resp = match type_byte {
+            RESP_FLOW_VERDICT => Response::FlowVerdict(FlowVerdict {
+                tuple: r.tuple()?,
+                label: r.label()?,
+                packets: r.u32()?,
+                buffered_bytes: r.u32()?,
+                fill_time: r.f64()?,
+            }),
+            RESP_BUSY => Response::Busy(r.tuple()?),
+            RESP_CLASSIFY_RESULT => Response::ClassifyResult(r.label()?),
+            RESP_STATS => Response::Stats(Box::new(StatsSnapshot::decode(&mut r)?)),
+            RESP_DRAIN_COMPLETE => Response::DrainComplete(r.u32()?),
+            RESP_ERROR => {
+                let msg = String::from_utf8(r.bytes()?.to_vec())
+                    .map_err(|_| malformed("error message is not UTF-8"))?;
+                Response::Error(msg)
+            }
+            other => return Err(malformed(format!("unknown response type {other:#04x}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple::tcp(Ipv4Addr::new(10, 1, 2, 3), 4321, Ipv4Addr::new(192, 168, 0, 9), 443)
+    }
+
+    fn round_trip_request(req: Request) {
+        let (t, body) = req.encode();
+        assert_eq!(Request::decode(t, &body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let (t, body) = resp.encode();
+        assert_eq!(Response::decode(t, &body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::SubmitPacket(Packet {
+            timestamp: 1.25,
+            tuple: tuple(),
+            flags: TcpFlags::ACK | TcpFlags::FIN,
+            payload: vec![1, 2, 3, 4, 5],
+        }));
+        round_trip_request(Request::ClassifyBuffer(vec![0; 64]));
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Drain);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::FlowVerdict(FlowVerdict {
+            tuple: tuple(),
+            label: FileClass::Encrypted,
+            packets: 3,
+            buffered_bytes: 32,
+            fill_time: 0.125,
+        }));
+        round_trip_response(Response::Busy(tuple()));
+        round_trip_response(Response::ClassifyResult(FileClass::Text));
+        round_trip_response(Response::DrainComplete(17));
+        round_trip_response(Response::Error("queue exploded".into()));
+    }
+
+    #[test]
+    fn udp_tuple_round_trips() {
+        let t = FiveTuple::udp(Ipv4Addr::new(1, 2, 3, 4), 53, Ipv4Addr::new(5, 6, 7, 8), 5060);
+        round_trip_response(Response::Busy(t));
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let mut buf = Vec::new();
+        let (t1, b1) = Request::Stats.encode();
+        let (t2, b2) = Request::ClassifyBuffer(vec![9; 10]).encode();
+        write_frame(&mut buf, t1, &b1).unwrap();
+        write_frame(&mut buf, t2, &b2).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (rt1, rb1) = read_frame(&mut cursor).unwrap().unwrap();
+        let (rt2, rb2) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(Request::decode(rt1, &rb1).unwrap(), Request::Stats);
+        assert_eq!(Request::decode(rt2, &rb2).unwrap(), Request::ClassifyBuffer(vec![9; 10]));
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let mut buf = Vec::new();
+        let (t, b) = Request::ClassifyBuffer(vec![1; 100]).encode();
+        write_frame(&mut buf, t, &b).unwrap();
+        buf.truncate(buf.len() - 10);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(ProtoError::Io(_))));
+    }
+
+    #[test]
+    fn unknown_types_and_trailing_bytes_are_malformed() {
+        assert!(matches!(Request::decode(0x7F, &[]), Err(ProtoError::Malformed(_))));
+        assert!(matches!(Response::decode(0x10, &[]), Err(ProtoError::Malformed(_))));
+        let (t, mut body) = Request::Stats.encode();
+        body.push(0);
+        assert!(matches!(Request::decode(t, &body), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        buf.push(REQ_STATS);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(ProtoError::Malformed(_))));
+    }
+}

@@ -1,0 +1,236 @@
+//! Bounded per-shard ingress queues with configurable admission
+//! control.
+//!
+//! `std::sync::mpsc` cannot evict from the head of a full channel, so
+//! backpressure policies are built on a plain `Mutex<VecDeque>` +
+//! `Condvar` pair. Producers (connection reader threads) push whole
+//! batches under one lock acquisition; the consumer (the shard worker)
+//! drains the entire queue per wakeup, so lock traffic amortizes to
+//! O(1) per batch on both sides.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What to do with new packets when a shard's ingress queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse the newcomer and tell the client `Busy` — a router
+    /// shedding load at the edge. Keeps already-buffered flows intact.
+    #[default]
+    RejectBusy,
+    /// Evict the oldest queued packet to admit the newcomer — favors
+    /// fresh traffic over a stale backlog.
+    DropOldest,
+}
+
+/// Outcome of a batched push.
+#[derive(Debug, Default)]
+pub struct PushOutcome<T> {
+    /// Items refused admission (RejectBusy only).
+    pub rejected: Vec<T>,
+    /// Items evicted from the head (DropOldest only).
+    pub dropped: Vec<T>,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with pluggable full-queue behavior.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+    policy: AdmissionPolicy,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, policy: AdmissionPolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+            policy,
+        }
+    }
+
+    /// The configured admission policy.
+    #[must_use]
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Pushes a batch under one lock acquisition, applying the
+    /// admission policy per item. Items pushed after the queue is
+    /// closed are returned as rejected.
+    pub fn push_batch(&self, batch: impl IntoIterator<Item = T>) -> PushOutcome<T> {
+        let mut outcome = PushOutcome { rejected: Vec::new(), dropped: Vec::new() };
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut pushed = false;
+        for item in batch {
+            if inner.closed {
+                outcome.rejected.push(item);
+                continue;
+            }
+            if inner.items.len() >= self.capacity {
+                match self.policy {
+                    AdmissionPolicy::RejectBusy => {
+                        outcome.rejected.push(item);
+                        continue;
+                    }
+                    AdmissionPolicy::DropOldest => {
+                        if let Some(evicted) = inner.items.pop_front() {
+                            outcome.dropped.push(evicted);
+                        }
+                    }
+                }
+            }
+            inner.items.push_back(item);
+            pushed = true;
+        }
+        drop(inner);
+        if pushed {
+            self.not_empty.notify_one();
+        }
+        outcome
+    }
+
+    /// Pushes a single control item, bypassing the capacity check (so
+    /// barriers like drain/stop can never be refused). Returns `false`
+    /// if the queue is closed.
+    pub fn push_control(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return false;
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks until items are available, then drains them all. Returns
+    /// `None` once the queue is closed *and* empty.
+    pub fn pop_all(&self) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                return Some(inner.items.drain(..).collect());
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes are rejected, and `pop_all`
+    /// returns `None` once the backlog is drained.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn reject_busy_refuses_overflow() {
+        let q = BoundedQueue::new(2, AdmissionPolicy::RejectBusy);
+        let outcome = q.push_batch([1, 2, 3, 4]);
+        assert_eq!(outcome.rejected, vec![3, 4]);
+        assert!(outcome.dropped.is_empty());
+        assert_eq!(q.pop_all(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let q = BoundedQueue::new(2, AdmissionPolicy::DropOldest);
+        let outcome = q.push_batch([1, 2, 3, 4]);
+        assert!(outcome.rejected.is_empty());
+        assert_eq!(outcome.dropped, vec![1, 2]);
+        assert_eq!(q.pop_all(), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn control_pushes_bypass_capacity() {
+        let q = BoundedQueue::new(1, AdmissionPolicy::RejectBusy);
+        q.push_batch([1]);
+        assert!(q.push_control(99));
+        assert_eq!(q.pop_all(), Some(vec![1, 99]));
+    }
+
+    #[test]
+    fn close_rejects_then_drains() {
+        let q = BoundedQueue::new(4, AdmissionPolicy::RejectBusy);
+        q.push_batch([1, 2]);
+        q.close();
+        assert!(!q.push_control(3));
+        assert_eq!(q.push_batch([4]).rejected, vec![4]);
+        assert_eq!(q.pop_all(), Some(vec![1, 2]));
+        assert_eq!(q.pop_all(), None);
+    }
+
+    #[test]
+    fn consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(8, AdmissionPolicy::RejectBusy));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(batch) = q.pop_all() {
+                    seen.extend(batch);
+                }
+                seen
+            })
+        };
+        for i in 0..100 {
+            let mut pending = vec![i];
+            while !pending.is_empty() {
+                pending = q.push_batch(pending).rejected;
+                if !pending.is_empty() {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        q.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,500 @@
+//! The multi-threaded classification server.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                      ┌────────────┐   per-shard bounded queues
+//!  client ── TCP ───►  │ reader thd │ ──┬──► [queue 0] ─► worker 0 (Iustitia + CDB)
+//!                      │  (batches) │   ├──► [queue 1] ─► worker 1 (Iustitia + CDB)
+//!  client ◄── TCP ───  │ writer thd │   ├──► [queue 2] ─► worker 2 (Iustitia + CDB)
+//!                      └────────────┘   └──► [queue 3] ─► worker 3 (Iustitia + CDB)
+//! ```
+//!
+//! Each accepted connection gets a *reader* thread (decodes frames,
+//! computes flow IDs, batches packets per shard) and a *writer* thread
+//! (serializes responses from an internal channel). Flow-affine work is
+//! routed by [`shard_index`] — the same partitioning as the offline
+//! [`ShardedIustitia`](iustitia::concurrent::ShardedIustitia) fleet —
+//! to one of `N` *shard workers*, each owning an independent
+//! [`Iustitia`] pipeline and CDB, so no classification state is ever
+//! shared and the packet path takes no locks beyond its own shard
+//! queue.
+//!
+//! Backpressure is per shard: bounded ingress queues with a
+//! configurable [`AdmissionPolicy`]. Reader threads batch every frame
+//! already buffered on the socket (up to [`ServerConfig::batch_limit`])
+//! and push each shard's share under a single lock acquisition.
+//!
+//! Shutdown is graceful: closing the queues lets every worker drain its
+//! backlog, classify all in-flight flows from the bytes they have
+//! buffered, and emit final verdicts before exiting. The `Drain`
+//! request offers the same barrier per connection at runtime.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use iustitia::cdb::FlowId;
+use iustitia::concurrent::shard_index;
+use iustitia::features::FeatureExtractor;
+use iustitia::model::NatureModel;
+use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+use iustitia_netsim::{FiveTuple, Packet};
+
+use crate::metrics::{ServeMetrics, Stage};
+use crate::proto::{
+    has_buffered_input, read_frame, write_frame, FlowVerdict, ProtoError, Request, Response,
+};
+use crate::queue::{AdmissionPolicy, BoundedQueue};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shard workers (each with its own pipeline + CDB).
+    pub shards: usize,
+    /// Per-shard ingress queue capacity, in packets.
+    pub queue_capacity: usize,
+    /// What to do when a shard queue is full.
+    pub admission: AdmissionPolicy,
+    /// Maximum frames a reader decodes per batch before dispatching.
+    pub batch_limit: usize,
+    /// Pipeline configuration replicated into every shard (each shard
+    /// gets a decorrelated RNG seed).
+    pub pipeline: PipelineConfig,
+}
+
+impl ServerConfig {
+    /// Defaults: 4 shards, 1024-packet queues, `RejectBusy`, 64-frame
+    /// batches.
+    #[must_use]
+    pub fn new(pipeline: PipelineConfig) -> Self {
+        ServerConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            admission: AdmissionPolicy::default(),
+            batch_limit: 64,
+            pipeline,
+        }
+    }
+}
+
+/// Work item on a shard queue.
+enum Job {
+    /// One packet to classify, with the reply channel of the
+    /// connection that submitted it.
+    Packet { packet: Packet, flow: FlowId, conn_id: u64, reply: mpsc::Sender<Response> },
+    /// Barrier: classify all in-flight flows now; ack with the number
+    /// of flushed flows that belonged to `conn_id`.
+    Drain { conn_id: u64, ack: mpsc::Sender<u32> },
+    /// The connection went away: forget its verdict routes (dropping
+    /// its reply senders, which lets its writer thread exit).
+    Disconnect { conn_id: u64 },
+}
+
+/// Where a pending flow's verdict must be delivered.
+struct Route {
+    tuple: FiveTuple,
+    conn_id: u64,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    config: ServerConfig,
+    model: Arc<NatureModel>,
+    metrics: ServeMetrics,
+    queues: Vec<BoundedQueue<Job>>,
+    stop: AtomicBool,
+    next_conn_id: AtomicU64,
+}
+
+/// A running classification server; dropping it (or calling
+/// [`shutdown`](Server::shutdown)) drains and joins all threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding the listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0` or `config.batch_limit == 0`.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        model: NatureModel,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.batch_limit > 0, "batch limit must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+
+        let queues = (0..config.shards)
+            .map(|_| BoundedQueue::new(config.queue_capacity, config.admission))
+            .collect();
+        let shared = Arc::new(Shared {
+            config,
+            model: Arc::new(model),
+            metrics: ServeMetrics::default(),
+            queues,
+            stop: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let worker_handles = (0..shared.config.shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("iustitia-shard-{shard}"))
+                    .spawn(move || shard_worker(&shared, shard))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("iustitia-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server { addr, shared, accept_handle: Some(accept_handle), worker_handles })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A metrics snapshot, equivalent to the `Stats` request.
+    #[must_use]
+    pub fn stats(&self) -> crate::metrics::StatsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stops accepting, closes the shard queues, and waits for every
+    /// worker to drain its backlog, classify in-flight flows, and emit
+    /// final verdicts to still-connected clients.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for queue in &self.shared.queues {
+            queue.close();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        ServeMetrics::add(&shared.metrics.connections, 1);
+        let _ =
+            std::thread::Builder::new().name(format!("iustitia-conn-{conn_id}")).spawn(move || {
+                let _ = handle_connection(stream, &shared, conn_id);
+            });
+    }
+}
+
+/// Serializes responses from the connection's internal channel onto the
+/// socket, flushing whenever the channel momentarily runs dry.
+fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Response>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(response) = rx.recv() {
+        let (t, body) = response.encode();
+        if write_frame(&mut writer, t, &body).is_err() {
+            return;
+        }
+        loop {
+            match rx.try_recv() {
+                Ok(next) => {
+                    let (t, body) = next.encode();
+                    if write_frame(&mut writer, t, &body).is_err() {
+                        return;
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    let _ = writer.flush();
+                    return;
+                }
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+    let _ = writer.flush();
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    conn_id: u64,
+) -> Result<(), ProtoError> {
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+    let writer_handle = std::thread::Builder::new()
+        .name(format!("iustitia-conn-{conn_id}-w"))
+        .spawn(move || writer_loop(write_half, &resp_rx))
+        .expect("spawn connection writer");
+
+    let result = reader_loop(&stream, shared, conn_id, &resp_tx);
+    if let Err(ProtoError::Malformed(msg)) = &result {
+        let _ = resp_tx.send(Response::Error(msg.clone()));
+    }
+    // Drop every reply sender the shards still hold for this
+    // connection, so the writer's channel can disconnect. (During
+    // server shutdown the queues are closed and workers drop their
+    // routes wholesale instead.)
+    for queue in &shared.queues {
+        queue.push_control(Job::Disconnect { conn_id });
+    }
+    drop(resp_tx); // writer drains remaining responses, then exits
+    let _ = writer_handle.join();
+    result
+}
+
+fn reader_loop(
+    stream: &TcpStream,
+    shared: &Arc<Shared>,
+    conn_id: u64,
+    resp_tx: &mpsc::Sender<Response>,
+) -> Result<(), ProtoError> {
+    let config = &shared.config;
+    let pipeline_config = &config.pipeline;
+    // One-shot ClassifyBuffer requests are served directly on the
+    // reader thread with a connection-local extractor.
+    let mut extractor = FeatureExtractor::new(
+        pipeline_config.widths.clone(),
+        pipeline_config.mode.clone(),
+        pipeline_config.seed ^ conn_id,
+    );
+    let mut reader = BufReader::new(stream);
+    // Reused per batch: jobs grouped by destination shard.
+    let mut per_shard: Vec<Vec<Job>> = (0..config.shards).map(|_| Vec::new()).collect();
+
+    'conn: loop {
+        let Some((type_byte, body)) = read_frame(&mut reader)? else {
+            break 'conn; // clean EOF
+        };
+        let mut batch = vec![Request::decode(type_byte, &body)?];
+        while batch.len() < config.batch_limit && has_buffered_input(&reader) {
+            match read_frame(&mut reader)? {
+                Some((t, b)) => batch.push(Request::decode(t, &b)?),
+                None => break,
+            }
+        }
+
+        for request in batch {
+            match request {
+                Request::SubmitPacket(packet) => {
+                    let t0 = Instant::now();
+                    let flow = FlowId::of_tuple(&packet.tuple);
+                    shared.metrics.record(Stage::Hash, t0.elapsed().as_nanos() as u64);
+                    let shard = shard_index(&flow, config.shards);
+                    per_shard[shard].push(Job::Packet {
+                        packet,
+                        flow,
+                        conn_id,
+                        reply: resp_tx.clone(),
+                    });
+                }
+                Request::ClassifyBuffer(data) => {
+                    let t0 = Instant::now();
+                    let prefix = &data[..data.len().min(pipeline_config.buffer_size)];
+                    let label = shared.model.predict(&extractor.extract(prefix));
+                    shared.metrics.record(Stage::Classify, t0.elapsed().as_nanos() as u64);
+                    ServeMetrics::add(&shared.metrics.classify_requests, 1);
+                    if resp_tx.send(Response::ClassifyResult(label)).is_err() {
+                        break 'conn;
+                    }
+                }
+                Request::Stats => {
+                    // Account for earlier submits in this batch first, so a
+                    // client's own submit→stats ordering is reflected.
+                    dispatch(shared, &mut per_shard);
+                    if resp_tx.send(Response::Stats(Box::new(shared.metrics.snapshot()))).is_err() {
+                        break 'conn;
+                    }
+                }
+                Request::Drain => {
+                    // Barrier semantics: everything submitted before the
+                    // drain must reach the shards before the drain job.
+                    dispatch(shared, &mut per_shard);
+                    let (ack_tx, ack_rx) = mpsc::channel::<u32>();
+                    for queue in &shared.queues {
+                        queue.push_control(Job::Drain { conn_id, ack: ack_tx.clone() });
+                    }
+                    drop(ack_tx);
+                    let flushed: u32 = ack_rx.iter().sum();
+                    ServeMetrics::add(&shared.metrics.drains, 1);
+                    if resp_tx.send(Response::DrainComplete(flushed)).is_err() {
+                        break 'conn;
+                    }
+                }
+            }
+        }
+        dispatch(shared, &mut per_shard);
+    }
+    dispatch(shared, &mut per_shard);
+    Ok(())
+}
+
+/// Pushes each shard's pending jobs under one lock acquisition and
+/// applies the admission outcome: `Busy` frames for rejected packets,
+/// drop counters for evictions.
+fn dispatch(shared: &Arc<Shared>, per_shard: &mut [Vec<Job>]) {
+    for (shard, jobs) in per_shard.iter_mut().enumerate() {
+        if jobs.is_empty() {
+            continue;
+        }
+        let submitted = jobs.len() as u64;
+        let outcome = shared.queues[shard].push_batch(jobs.drain(..));
+        let rejected = outcome.rejected.len() as u64;
+        ServeMetrics::add(&shared.metrics.packets, submitted - rejected);
+        ServeMetrics::add(&shared.metrics.busy_rejects, rejected);
+        ServeMetrics::add(&shared.metrics.dropped_oldest, outcome.dropped.len() as u64);
+        for job in outcome.rejected {
+            if let Job::Packet { packet, reply, .. } = job {
+                let _ = reply.send(Response::Busy(packet.tuple));
+            }
+        }
+    }
+}
+
+/// One shard worker: owns an [`Iustitia`] pipeline (with its own CDB)
+/// and processes its queue until the server shuts down, then drains.
+fn shard_worker(shared: &Arc<Shared>, shard: usize) {
+    let mut config = shared.config.pipeline.clone();
+    // Decorrelate per-shard RNG streams, as the offline fleet does.
+    config.seed = config.seed.wrapping_add(shard as u64);
+    let idle_timeout = config.idle_timeout;
+    let mut pipeline = Iustitia::new((*shared.model).clone(), config);
+    let mut routes: HashMap<FlowId, Route> = HashMap::new();
+    let mut last_t = 0.0f64;
+
+    while let Some(batch) = shared.queues[shard].pop_all() {
+        for job in batch {
+            match job {
+                Job::Packet { packet, flow, conn_id, reply } => {
+                    if packet.timestamp > last_t {
+                        last_t = packet.timestamp;
+                    }
+                    if packet.is_data() {
+                        routes.entry(flow).or_insert_with(|| Route {
+                            tuple: packet.tuple,
+                            conn_id,
+                            reply,
+                        });
+                    }
+                    let closes = packet.flags.closes_flow();
+                    let t0 = Instant::now();
+                    let verdict = pipeline.process_packet(&packet);
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    match verdict {
+                        Verdict::Hit(_) => {
+                            shared.metrics.record(Stage::CdbLookup, nanos);
+                            ServeMetrics::add(&shared.metrics.hits, 1);
+                            // Flow already classified; no verdict owed.
+                            routes.remove(&flow);
+                        }
+                        Verdict::Buffering => {
+                            shared.metrics.record(Stage::BufferFill, nanos);
+                        }
+                        Verdict::Classified(_) => {
+                            shared.metrics.record(Stage::Classify, nanos);
+                        }
+                        Verdict::Ignored => {}
+                    }
+                    emit_verdicts(&mut pipeline, &mut routes, shared, None);
+                    if closes {
+                        // Flow state is gone (partial leftovers were
+                        // classified and emitted above, if any).
+                        routes.remove(&flow);
+                    }
+                }
+                Job::Drain { conn_id, ack } => {
+                    pipeline.flush_idle(last_t + idle_timeout + 1.0);
+                    let flushed = emit_verdicts(&mut pipeline, &mut routes, shared, Some(conn_id));
+                    let _ = ack.send(flushed);
+                }
+                Job::Disconnect { conn_id } => {
+                    routes.retain(|_, route| route.conn_id != conn_id);
+                }
+            }
+        }
+    }
+
+    // Queue closed: graceful shutdown. Classify every in-flight flow
+    // from the bytes it has buffered and emit final verdicts.
+    pipeline.flush_idle(last_t + idle_timeout + 1.0);
+    emit_verdicts(&mut pipeline, &mut routes, shared, None);
+}
+
+/// Delivers every newly logged classification to the connection that
+/// owns the flow. Returns how many belonged to `count_conn`.
+fn emit_verdicts(
+    pipeline: &mut Iustitia,
+    routes: &mut HashMap<FlowId, Route>,
+    shared: &Arc<Shared>,
+    count_conn: Option<u64>,
+) -> u32 {
+    let log = pipeline.take_log();
+    if log.is_empty() {
+        return 0;
+    }
+    let mut matched = 0u32;
+    ServeMetrics::add(&shared.metrics.flows_classified, log.len() as u64);
+    for flow in log {
+        if let Some(route) = routes.remove(&flow.id) {
+            if count_conn == Some(route.conn_id) {
+                matched += 1;
+            }
+            let _ = route.reply.send(Response::FlowVerdict(FlowVerdict {
+                tuple: route.tuple,
+                label: flow.label,
+                packets: flow.packets,
+                buffered_bytes: flow.buffered_bytes as u32,
+                fill_time: flow.fill_time,
+            }));
+        }
+    }
+    matched
+}

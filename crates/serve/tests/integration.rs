@@ -1,0 +1,310 @@
+//! End-to-end tests: a real server on loopback, driven through the
+//! client library with synthetic iustitia-netsim traffic.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use iustitia::features::{FeatureExtractor, FeatureMode, TrainingMethod};
+use iustitia::model::{train_from_corpus, ModelKind, NatureModel};
+use iustitia::pipeline::PipelineConfig;
+use iustitia_entropy::FeatureWidths;
+use iustitia_netsim::trace::{ContentMode, TraceConfig, TraceGenerator};
+use iustitia_netsim::{FiveTuple, Packet, Protocol, TcpFlags};
+use iustitia_serve::{AdmissionPolicy, Client, ClientEvent, Server, ServerConfig, Stage};
+
+fn trained_model() -> NatureModel {
+    let corpus =
+        iustitia_corpus::CorpusBuilder::new(33).files_per_class(80).size_range(1024, 4096).build();
+    train_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b: 32 },
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        33,
+    )
+}
+
+fn server_config() -> ServerConfig {
+    let mut config = ServerConfig::new(PipelineConfig::headline(33));
+    config.shards = 4;
+    config.queue_capacity = 1 << 14; // ample: this test asserts zero rejects
+    config
+}
+
+/// The acceptance scenario: ≥ 4 shards, ≥ 10k synthetic packets pushed
+/// through the client library, one verdict per data flow, and stats
+/// consistent with what the client sent.
+#[test]
+fn serves_synthetic_trace_end_to_end() {
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+
+    let mut trace_config = TraceConfig::small_test(42);
+    trace_config.n_flows = 600;
+    trace_config.duration = 12.0;
+    trace_config.content = ContentMode::Realistic;
+    let mut generator = TraceGenerator::new(trace_config);
+    let packets: Vec<Packet> = generator.by_ref().collect();
+    assert!(packets.len() >= 10_000, "trace too small: {} packets", packets.len());
+
+    // Tuples that carried at least one data packet, ignoring those only
+    // seen on a closing packet (the pipeline drops a closing packet's
+    // payload, so such a flow never opens a buffer).
+    let mut data_tuples: HashSet<FiveTuple> = HashSet::new();
+    for p in &packets {
+        if p.is_data() && !p.flags.closes_flow() {
+            data_tuples.insert(p.tuple);
+        }
+    }
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut events = Vec::new();
+    for packet in &packets {
+        client.submit_packet(packet).unwrap();
+        events.extend(client.poll_events());
+    }
+    client.flush().unwrap();
+
+    // The drain barrier: all submitted packets processed, all in-flight
+    // flows classified, every verdict on the wire before the reply.
+    client.drain().unwrap();
+    events.extend(client.poll_events());
+
+    let mut verdicts: HashMap<FiveTuple, iustitia_corpus::FileClass> = HashMap::new();
+    let mut busy = 0u64;
+    for event in &events {
+        match event {
+            ClientEvent::Verdict(v) => {
+                let prev = verdicts.insert(v.tuple, v.label);
+                assert!(prev.is_none(), "duplicate verdict for {:?}", v.tuple);
+                assert!(v.packets > 0);
+                assert!(v.buffered_bytes > 0);
+                assert!(v.fill_time >= 0.0);
+            }
+            ClientEvent::Busy(_) => busy += 1,
+        }
+    }
+    assert_eq!(busy, 0, "queues were sized to never reject");
+
+    // Every completed flow got exactly one verdict.
+    let verdict_tuples: HashSet<FiveTuple> = verdicts.keys().copied().collect();
+    assert_eq!(verdict_tuples, data_tuples, "one verdict per data flow");
+
+    // The model should beat chance comfortably on realistic content.
+    let truth = generator.ground_truth();
+    let correct =
+        verdicts.iter().filter(|(tuple, &label)| truth.get(*tuple) == Some(&label)).count();
+    let accuracy = correct as f64 / verdicts.len() as f64;
+    assert!(accuracy > 0.5, "accuracy {accuracy:.2} suspiciously low");
+
+    // Stats agree with what this (only) client sent and received.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.packets, packets.len() as u64);
+    assert_eq!(stats.busy_rejects, 0);
+    assert_eq!(stats.dropped_oldest, 0);
+    assert_eq!(stats.flows_classified, verdicts.len() as u64);
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.drains, 1);
+    assert_eq!(stats.stage(Stage::Hash).count(), packets.len() as u64);
+    assert_eq!(stats.stage(Stage::CdbLookup).count(), stats.hits);
+    assert_eq!(
+        stats.stage(Stage::Classify).count() + stats.stage(Stage::BufferFill).count(),
+        stats.packets - stats.hits - ignored_count(&packets) as u64
+    );
+    assert!(stats.hits > 0, "repeat packets on classified flows must hit the CDB");
+    assert!(stats.stage(Stage::Hash).p99().is_some());
+
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// Packets the pipeline ignores outright: closing packets and empty
+/// (pure-ACK/handshake) packets.
+fn ignored_count(packets: &[Packet]) -> usize {
+    packets.iter().filter(|p| p.flags.closes_flow() || !p.is_data()).count()
+}
+
+/// Graceful shutdown classifies in-flight flows from the bytes they
+/// have buffered and pushes final verdicts to connected clients.
+#[test]
+fn shutdown_drains_in_flight_flows() {
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // 8 bytes buffered of a 32-byte target: flow stays in flight.
+    let tuple = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), 40000, Ipv4Addr::new(10, 0, 0, 2), 443);
+    let packet =
+        Packet { timestamp: 0.5, tuple, flags: TcpFlags::ACK, payload: b"partial!".to_vec() };
+    client.submit_packet(&packet).unwrap();
+    client.flush().unwrap();
+
+    // No verdict while the buffer is short of b bytes...
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.packets, 1);
+    assert!(client.poll_events().is_empty());
+
+    // ...until shutdown flushes it.
+    server.shutdown();
+    let event = client.recv_event_timeout(Duration::from_secs(10));
+    match event {
+        Some(ClientEvent::Verdict(v)) => {
+            assert_eq!(v.tuple, tuple);
+            assert_eq!(v.packets, 1);
+            assert_eq!(v.buffered_bytes, 8);
+        }
+        other => panic!("expected a shutdown verdict, got {other:?}"),
+    }
+}
+
+/// A drain barrier reports how many of the flushed flows belonged to
+/// the requesting connection.
+#[test]
+fn drain_flushes_and_counts_own_flows() {
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    for port in 0..5u16 {
+        let packet = Packet {
+            timestamp: 0.1,
+            tuple: FiveTuple::udp(
+                Ipv4Addr::new(172, 16, 0, 1),
+                9000 + port,
+                Ipv4Addr::new(172, 16, 0, 2),
+                53,
+            ),
+            flags: TcpFlags::empty(),
+            payload: vec![0x55; 4],
+        };
+        client.submit_packet(&packet).unwrap();
+    }
+    let flushed = client.drain().unwrap();
+    assert_eq!(flushed, 5, "all five short flows flushed for this connection");
+
+    let verdicts = client.poll_events();
+    assert_eq!(verdicts.len(), 5);
+
+    // A second drain has nothing left to flush.
+    assert_eq!(client.drain().unwrap(), 0);
+
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// RejectBusy admission: overload produces Busy events, and the
+/// accounting always balances.
+#[test]
+fn reject_busy_accounting_balances() {
+    let mut config = server_config();
+    config.shards = 1;
+    config.queue_capacity = 1;
+    config.admission = AdmissionPolicy::RejectBusy;
+    let server = Server::start("127.0.0.1:0", trained_model(), config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let tuple = FiveTuple::tcp(Ipv4Addr::new(10, 9, 8, 7), 1234, Ipv4Addr::new(10, 9, 8, 6), 80);
+    let n = 256u64;
+    for i in 0..n {
+        let packet = Packet {
+            timestamp: i as f64 * 1e-4,
+            tuple,
+            flags: TcpFlags::ACK,
+            payload: vec![0xAB], // 1-byte payloads: the buffer fills slowly
+        };
+        client.submit_packet(&packet).unwrap();
+    }
+    client.flush().unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.packets + stats.busy_rejects, n, "every packet admitted or rejected");
+    let busy = client
+        .poll_events()
+        .iter()
+        .filter(|e| matches!(e, ClientEvent::Busy(t) if *t == tuple))
+        .count() as u64;
+    assert_eq!(busy, stats.busy_rejects, "one Busy frame per reject");
+
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// One-shot ClassifyBuffer bypasses flow state and matches a local
+/// model run bit-for-bit (exact entropy features are deterministic).
+#[test]
+fn classify_buffer_matches_local_model() {
+    let model = trained_model();
+    let server = Server::start("127.0.0.1:0", model.clone(), server_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut extractor = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
+    let samples: [&[u8]; 3] = [
+        b"The quick brown fox jumps over the lazy dog, twice over.",
+        &[
+            0u8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
+            24, 25, 26, 27, 28, 29, 30, 31, 32, 33,
+        ],
+        &[
+            0xE7, 0x12, 0x9C, 0x44, 0xD0, 0x5B, 0xF3, 0x2E, 0x81, 0x6A, 0xC5, 0x0F, 0xB8, 0x93,
+            0x27, 0xDC, 0x4E, 0xA1, 0x78, 0x35, 0xEB, 0x52, 0x0D, 0xC6, 0x99, 0x3F, 0x84, 0x61,
+            0xF2, 0x1B, 0xAE, 0x47, 0x70, 0x8D,
+        ],
+    ];
+    for data in samples {
+        let remote = client.classify_buffer(data).unwrap();
+        let local = model.predict(&extractor.extract(&data[..data.len().min(32)]));
+        assert_eq!(remote, local);
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.classify_requests, samples.len() as u64);
+    assert_eq!(stats.packets, 0, "no flow state was touched");
+
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// Junk on the wire gets a descriptive Error frame back.
+#[test]
+fn malformed_frame_yields_error_response() {
+    use iustitia_serve::proto::{read_frame, write_frame};
+
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut stream, 0x7F, b"???").unwrap();
+    let (type_byte, _body) = read_frame(&mut stream).unwrap().expect("an error frame");
+    assert_eq!(type_byte, 0x86, "0x86 is the Error frame type");
+    server.shutdown();
+}
+
+/// UDP flows work exactly like TCP flows (no flags, no close).
+#[test]
+fn udp_flow_classifies_on_full_buffer() {
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let tuple =
+        FiveTuple::udp(Ipv4Addr::new(192, 168, 1, 5), 5353, Ipv4Addr::new(192, 168, 1, 9), 5353);
+    for i in 0..4 {
+        let packet = Packet {
+            timestamp: 0.1 * f64::from(i),
+            tuple,
+            flags: TcpFlags::empty(),
+            payload: vec![b'a' + i as u8; 16], // 4 × 16 = 64 ≥ b = 32
+        };
+        client.submit_packet(&packet).unwrap();
+    }
+    client.flush().unwrap();
+
+    let event = client.recv_event_timeout(Duration::from_secs(10));
+    match event {
+        Some(ClientEvent::Verdict(v)) => {
+            assert_eq!(v.tuple, tuple);
+            assert_eq!(v.tuple.protocol, Protocol::Udp);
+            assert_eq!(v.packets, 2, "32 bytes arrive with the second packet");
+        }
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+
+    client.close().unwrap();
+    server.shutdown();
+}

@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.packets, report.hits, report.flows_classified
     );
     println!("  per-shard CDB sizes: {:?}", report.cdb_sizes);
-    let mean_c = report.log.iter().map(|f| f.packets as f64).sum::<f64>()
-        / report.log.len().max(1) as f64;
+    let mean_c =
+        report.log.iter().map(|f| f.packets as f64).sum::<f64>() / report.log.len().max(1) as f64;
     println!("  mean packets-to-classify c = {mean_c:.2}");
 
     // ── 3. Tunnel policy (§4.6) ──────────────────────────────────────
@@ -62,10 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An IPsec-style tunnel: everything inside is ciphertext on the wire.
     let mut tunnel_cipher = Rc4::new(b"ipsec-session");
     let encrypted_tunnel: Vec<TunnelSegment> = (0..3)
-        .map(|i| TunnelSegment {
-            inner: InnerFlowKey(i),
-            payload: tunnel_cipher.keystream(200),
-        })
+        .map(|i| TunnelSegment { inner: InnerFlowKey(i), payload: tunnel_cipher.keystream(200) })
         .collect();
     match classify_tunnel(&encrypted_tunnel, &loaded, &mut fx, b) {
         TunnelVerdict::EncryptedTunnel => {

@@ -74,8 +74,7 @@ fn main() {
             };
             let mut ius = Iustitia::new(model.clone(), config);
             let payload = pad_flow(
-                &b"confidential: meet at the usual place, bring the documents. "
-                    .repeat(20),
+                &b"confidential: meet at the usual place, bring the documents. ".repeat(20),
                 FileClass::Encrypted,
                 padding,
                 seed + i,

@@ -24,13 +24,8 @@ fn main() {
     let b = 32; // classify from the first 32 bytes, as in §1.3
 
     println!("training CART on H_b vectors (b = {b})...");
-    let train = dataset_from_corpus(
-        &corpus,
-        &widths,
-        TrainingMethod::Prefix { b },
-        FeatureMode::Exact,
-        7,
-    );
+    let train =
+        dataset_from_corpus(&corpus, &widths, TrainingMethod::Prefix { b }, FeatureMode::Exact, 7);
     let model = NatureModel::train(&train, &ModelKind::paper_cart());
 
     // Hold-out sanity check.
@@ -48,10 +43,7 @@ fn main() {
     // ── 2. Online: packets → CDB → classification ───────────────────
     let mut iustitia = Iustitia::new(model, PipelineConfig::headline(7));
     let flows: [(&str, Vec<u8>); 3] = [
-        (
-            "chat session",
-            b"hey, are we still meeting for lunch today at noon? ".repeat(4),
-        ),
+        ("chat session", b"hey, are we still meeting for lunch today at noon? ".repeat(4)),
         ("file download", {
             let mut rng = rand::rngs::StdRng::seed_from_u64(5);
             iustitia_corpus::generate_file(FileClass::Binary, 256, &mut rng)

@@ -15,13 +15,8 @@ fn estimated_vectors_classify_with_bounded_drop() {
     let widths = FeatureWidths::svm_selected();
     let b = 1024;
 
-    let exact_train = dataset_from_corpus(
-        &corpus,
-        &widths,
-        TrainingMethod::Prefix { b },
-        FeatureMode::Exact,
-        1,
-    );
+    let exact_train =
+        dataset_from_corpus(&corpus, &widths, TrainingMethod::Prefix { b }, FeatureMode::Exact, 1);
     let cfg = EstimatorConfig::new(0.25, 0.25).expect("valid");
     let est_train = dataset_from_corpus(
         &corpus,

@@ -101,10 +101,14 @@ fn whole_file_training_degrades_on_small_buffers() {
 
     let train_whole =
         dataset_from_corpus(&train_files, &widths, TrainingMethod::WholeFile, mode.clone(), 5);
-    let train_prefix =
-        dataset_from_corpus(&train_files, &widths, TrainingMethod::Prefix { b: 32 }, mode.clone(), 5);
-    let test =
-        dataset_from_corpus(&test_files, &widths, TrainingMethod::Prefix { b: 32 }, mode, 6);
+    let train_prefix = dataset_from_corpus(
+        &train_files,
+        &widths,
+        TrainingMethod::Prefix { b: 32 },
+        mode.clone(),
+        5,
+    );
+    let test = dataset_from_corpus(&test_files, &widths, TrainingMethod::Prefix { b: 32 }, mode, 6);
 
     let whole_model = NatureModel::train(&train_whole, &ModelKind::paper_cart());
     let prefix_model = NatureModel::train(&train_prefix, &ModelKind::paper_cart());

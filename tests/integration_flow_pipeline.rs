@@ -44,8 +44,7 @@ fn pipeline_labels_match_trace_ground_truth() {
     let truth = generator.ground_truth();
     assert!(assigned.len() > 100, "most flows should get classified, got {}", assigned.len());
 
-    let correct =
-        assigned.iter().filter(|(tuple, label)| truth.get(tuple) == Some(label)).count();
+    let correct = assigned.iter().filter(|(tuple, label)| truth.get(tuple) == Some(label)).count();
     let acc = correct as f64 / assigned.len() as f64;
     assert!(acc > 0.6, "online accuracy vs ground truth {acc} (offline ~0.85+)");
 }

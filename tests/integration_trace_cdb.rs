@@ -37,7 +37,8 @@ fn purging_keeps_cdb_below_unpurged() {
         let report = run_over_trace(&mut pipeline, packets, 1.0, DelayComponents::default());
         (pipeline.cdb().len(), report.total_flows, *pipeline.cdb().stats())
     };
-    let (purged_size, flows_a, stats_a) = run(CdbConfig { purge_trigger: 50, ..CdbConfig::default() });
+    let (purged_size, flows_a, stats_a) =
+        run(CdbConfig { purge_trigger: 50, ..CdbConfig::default() });
     let (unpurged_size, flows_b, _) = run(CdbConfig { n: None, ..CdbConfig::default() });
     // Purging can evict still-active flows, which then get reclassified
     // when their next packet arrives — the trade-off §4.5 tunes `n` for.
@@ -77,11 +78,8 @@ fn delay_grows_with_buffer_size() {
     // Figure 10's shape: τ is dominated by buffer fill; bigger b means
     // more packets and more wall-clock before classification.
     let mean_tau = |b: usize| {
-        let config = PipelineConfig {
-            buffer_size: b,
-            idle_timeout: 5.0,
-            ..PipelineConfig::headline(3)
-        };
+        let config =
+            PipelineConfig { buffer_size: b, idle_timeout: 5.0, ..PipelineConfig::headline(3) };
         let mut pipeline = Iustitia::new(model(), config);
         let packets = TraceGenerator::new(trace(11, 300));
         run_over_trace(&mut pipeline, packets, 1.0, DelayComponents::default()).mean_tau()

@@ -1,0 +1,174 @@
+//! Vendored, std-only subset of the `criterion` API.
+//!
+//! Implements the harness surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `bench_function` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from upstream: a fixed-duration wall-clock measurement
+//! reporting mean ns/iter only — no warm-up tuning, outlier analysis,
+//! statistics, or HTML reports. Good enough to compare orders of
+//! magnitude; not a precision instrument.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(120);
+
+/// Identifier combining a function name and a parameter, used by
+/// [`BenchmarkGroup::bench_with_input`].
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into `name/param`.
+    #[must_use]
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { text: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a short warm-up, then a fixed-length
+    /// timed window; records mean wall-clock ns per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        // Batch iterations so Instant::now() overhead stays negligible
+        // for sub-microsecond routines.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((1e-5 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 20);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { nanos_per_iter: f64::NAN };
+    f(&mut bencher);
+    if bencher.nanos_per_iter.is_nan() {
+        println!("{label:<50} (no measurement)");
+    } else {
+        println!("{label:<50} {:>14.1} ns/iter", bencher.nanos_per_iter);
+    }
+}
+
+/// Named set of related benchmarks; prefixes each label.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        run_one(&format!("{}/{id}", self.name), f);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        run_one(&format!("{}/{id}", self.name), |b| f(b, input));
+    }
+
+    /// Ends the group (a no-op; upstream flushes reports here).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("hk", 3).to_string(), "hk/3");
+        assert_eq!(BenchmarkId::new("config", "svm").to_string(), "config/svm");
+    }
+
+    #[test]
+    fn bencher_measures_a_cheap_routine() {
+        let mut b = Bencher { nanos_per_iter: f64::NAN };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.nanos_per_iter.is_finite() && b.nanos_per_iter > 0.0);
+    }
+}

@@ -1,0 +1,424 @@
+//! Hand-rolled `Serialize`/`Deserialize` derive macros for the vendored
+//! serde shim. No syn/quote: the item is parsed by walking the raw
+//! token stream and the impls are emitted as source strings.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named-field structs, tuple structs, unit structs, and enums with
+//! unit / tuple / named-field variants. Generic types are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (shim data model: `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim data model: `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group (and `!` if inner).
+                match it.peek() {
+                    Some(TokenTree::Punct(q)) if q.as_char() == '!' => {
+                        it.next();
+                        it.next();
+                    }
+                    _ => {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                return match it.next() {
+                    None => Item::UnitStruct { name },
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+                    }
+                    other => {
+                        panic!("serde shim derive: unexpected token after struct {name}: {other:?}")
+                    }
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it);
+                reject_generics(&mut it, &name);
+                let body = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => panic!("serde shim derive: expected enum body for {name}: {other:?}"),
+                };
+                return Item::Enum { name, variants: parse_variants(body) };
+            }
+            Some(other) => panic!("serde shim derive: unexpected token {other:?}"),
+            None => panic!("serde shim derive: no struct/enum found"),
+        }
+    }
+}
+
+fn expect_ident(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type {name} is not supported");
+        }
+    }
+}
+
+/// Field names of a named-field body (struct or enum variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("serde shim derive: expected field name, got {tt:?}");
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected ':' after field, got {other:?}"),
+        }
+        fields.push(field.to_string());
+        // Skip the type: commas inside angle brackets are not separators.
+        let mut angle: i32 = 0;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body `(A, B<C, D>, E)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde shim derive: expected variant name, got {tt:?}");
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume up to and including the variant separator (skips
+        // explicit discriminants, which never occur on serde'd enums
+        // here but are cheap to tolerate).
+        for tt in it.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name: name.to_string(), shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Obj(vec![{}])\n}}\n}}",
+                pairs.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Arr(vec![{}])\n}}\n}}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), serde::Value::Arr(vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), serde::Value::Obj(vec![{}]))])",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{ {} }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::get_field(obj, \"{f}\").ok_or_else(|| serde::DeError::new(\"{name}: missing field {f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 let obj = v.as_obj().ok_or_else(|| serde::DeError::new(\"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 let arr = v.as_arr().ok_or_else(|| serde::DeError::new(\"{name}: expected array\"))?;\n\
+                 if arr.len() != {arity} {{ return ::std::result::Result::Err(serde::DeError::new(\"{name}: wrong arity\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn})")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let arr = inner.as_arr().ok_or_else(|| serde::DeError::new(\"{name}::{vn}: expected array\"))?;\n\
+                                 if arr.len() != {n} {{ return ::std::result::Result::Err(serde::DeError::new(\"{name}::{vn}: wrong arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::get_field(obj, \"{f}\").ok_or_else(|| serde::DeError::new(\"{name}::{vn}: missing field {f}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let obj = inner.as_obj().ok_or_else(|| serde::DeError::new(\"{name}::{vn}: expected object\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                 match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 _ => ::std::result::Result::Err(serde::DeError::new(\"{name}: unknown variant\")),\n\
+                 }},\n\
+                 serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {data}\n\
+                 _ => ::std::result::Result::Err(serde::DeError::new(\"{name}: unknown variant\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(serde::DeError::new(\"{name}: expected variant\")),\n\
+                 }}\n}}\n}}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(",\n"))
+                },
+            )
+        }
+    }
+}
