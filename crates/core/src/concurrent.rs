@@ -39,7 +39,7 @@
 //! assert_eq!(report.shards, 4);
 //! ```
 
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, PoisonError};
 use std::thread;
 
 use crate::cdb::FlowId;
@@ -131,7 +131,10 @@ impl ShardedIustitia {
                     }
                     pipeline.flush_idle(last_t + pipeline.config().idle_timeout + 1.0);
                     let log = pipeline.take_log();
-                    let mut agg = results.lock().expect("no panicked shard holds the lock");
+                    // A poisoned lock means a sibling shard panicked; its
+                    // partial report is still aggregable, and the panic
+                    // itself re-surfaces when thread::scope joins.
+                    let mut agg = results.lock().unwrap_or_else(PoisonError::into_inner);
                     agg.packets += packets;
                     agg.hits += hits;
                     agg.flows_classified += log.len() as u64;
@@ -142,12 +145,15 @@ impl ShardedIustitia {
 
             for packet in packets {
                 let shard = self.shard_of(&FlowId::of_tuple(&packet.tuple));
-                senders[shard].send(packet).expect("worker alive until senders drop");
+                // A send fails only if the worker panicked; that panic
+                // re-surfaces when thread::scope joins, so dropping the
+                // packet here never silently loses the failure.
+                let _ = senders[shard].send(packet);
             }
             drop(senders); // close channels; workers drain and exit
         });
 
-        results.into_inner().expect("no panicked shard holds the lock")
+        results.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -161,7 +167,9 @@ impl ShardedIustitia {
 /// Panics if `shards == 0`.
 pub fn shard_index(id: &FlowId, shards: usize) -> usize {
     assert!(shards > 0, "need at least one shard");
-    (u64::from_be_bytes(id.0[..8].try_into().expect("8 bytes")) % shards as u64) as usize
+    let mut prefix = [0u8; 8];
+    prefix.copy_from_slice(&id.0[..8]);
+    (u64::from_be_bytes(prefix) % shards as u64) as usize
 }
 
 #[cfg(test)]

@@ -290,8 +290,10 @@ impl Iustitia {
         self.queues.buffered += 1;
 
         if buf.data.len() >= capacity {
-            let label = self.classify_flow(id, now).expect("buffer exists");
-            Verdict::Classified(label)
+            match self.classify_flow(id, now) {
+                Some(label) => Verdict::Classified(label),
+                None => Verdict::Ignored,
+            }
         } else {
             Verdict::Buffering
         }

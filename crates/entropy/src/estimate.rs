@@ -223,7 +223,7 @@ impl StreamingEntropyEstimator {
             group_means.push(sum / z as f64);
         }
         // Step 6: median of group averages.
-        group_means.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        group_means.sort_by(f64::total_cmp);
         let med = if group_means.len() % 2 == 1 {
             group_means[group_means.len() / 2]
         } else {
@@ -264,7 +264,13 @@ impl StreamingEntropyEstimator {
                 if k == 1 {
                     crate::vector::entropy(data, 1)
                 } else {
-                    self.estimate_hk(data, k).expect("k >= 2 is always supported")
+                    // `k >= 2` here, so UnsupportedWidth is unreachable;
+                    // fall back to the exact computation rather than panic
+                    // if the estimator ever refuses a width.
+                    match self.estimate_hk(data, k) {
+                        Ok(h) => h,
+                        Err(_) => crate::vector::entropy(data, k),
+                    }
                 }
             })
             .collect()

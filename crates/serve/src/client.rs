@@ -72,6 +72,10 @@ impl From<ProtoError> for ClientError {
         match e {
             ProtoError::Io(io) => ClientError::Io(io),
             ProtoError::Malformed(msg) => ClientError::Proto(msg),
+            oversized @ ProtoError::FrameTooLarge { .. } => {
+                ClientError::Proto(oversized.to_string())
+            }
+            truncated @ ProtoError::Truncated { .. } => ClientError::Proto(truncated.to_string()),
         }
     }
 }
@@ -98,8 +102,7 @@ impl Client {
         let (reply_tx, replies) = mpsc::channel();
         let reader_handle = std::thread::Builder::new()
             .name("iustitia-client-reader".into())
-            .spawn(move || reader_loop(read_half, &event_tx, &reply_tx))
-            .expect("spawn client reader");
+            .spawn(move || reader_loop(read_half, &event_tx, &reply_tx))?;
         Ok(Client {
             writer: BufWriter::new(stream),
             events,
@@ -114,7 +117,7 @@ impl Client {
     ///
     /// Returns a socket error if the write buffer cannot be extended.
     pub fn submit_packet(&mut self, packet: &Packet) -> Result<(), ClientError> {
-        let (t, body) = Request::SubmitPacket(packet.clone()).encode();
+        let (t, body) = Request::SubmitPacket(packet.clone()).encode()?;
         write_frame(&mut self.writer, t, &body)?;
         Ok(())
     }
@@ -196,7 +199,7 @@ impl Client {
     }
 
     fn request(&mut self, request: Request) -> Result<Response, ClientError> {
-        let (t, body) = request.encode();
+        let (t, body) = request.encode()?;
         write_frame(&mut self.writer, t, &body)?;
         self.writer.flush()?;
         match self.replies.recv() {

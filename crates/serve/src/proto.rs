@@ -65,6 +65,20 @@ pub enum ProtoError {
     Io(std::io::Error),
     /// Structurally invalid frame (bad length, unknown type or field).
     Malformed(String),
+    /// The length prefix claims more than [`MAX_FRAME`] bytes. Typed so
+    /// servers can reject the frame before allocating anything.
+    FrameTooLarge {
+        /// Claimed frame length (type byte + body).
+        len: usize,
+    },
+    /// The stream ended mid-frame: the length prefix promised
+    /// `expected` bytes but only `got` arrived before EOF.
+    Truncated {
+        /// Bytes the frame (or its length prefix) should have had.
+        expected: usize,
+        /// Bytes actually read before the stream ended.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -72,6 +86,12 @@ impl std::fmt::Display for ProtoError {
         match self {
             ProtoError::Io(e) => write!(f, "i/o error: {e}"),
             ProtoError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            ProtoError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})")
+            }
+            ProtoError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
         }
     }
 }
@@ -145,10 +165,11 @@ pub struct FlowVerdict {
 ///
 /// Returns any transport error from the writer.
 pub fn write_frame<W: Write>(w: &mut W, type_byte: u8, body: &[u8]) -> Result<(), ProtoError> {
-    let len = u32::try_from(body.len() + 1).map_err(|_| malformed("frame too large"))?;
-    if len as usize > MAX_FRAME {
-        return Err(malformed(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    let frame_len = body.len() + 1;
+    if frame_len > MAX_FRAME {
+        return Err(ProtoError::FrameTooLarge { len: frame_len });
     }
+    let len = u32::try_from(frame_len).map_err(|_| ProtoError::FrameTooLarge { len: frame_len })?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(&[type_byte])?;
     w.write_all(body)?;
@@ -158,28 +179,51 @@ pub fn write_frame<W: Write>(w: &mut W, type_byte: u8, body: &[u8]) -> Result<()
 /// Reads one frame, returning `(type_byte, body)`; `None` on clean EOF
 /// at a frame boundary.
 ///
+/// The length prefix is validated *before* the body buffer is
+/// allocated, so a hostile peer cannot make the reader reserve more
+/// than [`MAX_FRAME`] bytes.
+///
 /// # Errors
 ///
-/// Returns [`ProtoError::Io`] on transport errors or truncated frames,
-/// [`ProtoError::Malformed`] on oversized or zero-length frames.
+/// Returns [`ProtoError::Io`] on transport errors,
+/// [`ProtoError::FrameTooLarge`] on oversized length prefixes,
+/// [`ProtoError::Truncated`] when the stream ends mid-frame, and
+/// [`ProtoError::Malformed`] on zero-length frames.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u8, Vec<u8>)>, ProtoError> {
     let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    match fill(r, &mut len_bytes)? {
+        0 => return Ok(None), // clean EOF at a frame boundary
+        4 => {}
+        got => return Err(ProtoError::Truncated { expected: 4, got }),
     }
     let len = u32::from_be_bytes(len_bytes) as usize;
     if len == 0 {
         return Err(malformed("zero-length frame"));
     }
     if len > MAX_FRAME {
-        return Err(malformed(format!("frame of {len} bytes exceeds MAX_FRAME")));
+        return Err(ProtoError::FrameTooLarge { len });
     }
     let mut frame = vec![0u8; len];
-    r.read_exact(&mut frame)?;
+    let got = fill(r, &mut frame)?;
+    if got < len {
+        return Err(ProtoError::Truncated { expected: len, got });
+    }
     let body = frame.split_off(1);
     Ok(Some((frame[0], body)))
+}
+
+/// Reads until `buf` is full or EOF; returns how many bytes landed.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
 }
 
 /// Whether more buffered input is immediately available (without
@@ -195,9 +239,18 @@ fn put_tuple(out: &mut Vec<u8>, tuple: &FiveTuple) {
     out.extend_from_slice(&tuple.as_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
-    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) -> Result<(), ProtoError> {
+    let len = u32::try_from(data.len())
+        .map_err(|_| malformed(format!("byte field of {} exceeds u32 range", data.len())))?;
+    out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(data);
+    Ok(())
+}
+
+/// A [`FileClass`] index as its one-byte wire form.
+fn class_byte(label: FileClass) -> Result<u8, ProtoError> {
+    u8::try_from(label.index())
+        .map_err(|_| malformed(format!("class index {} exceeds u8 range", label.index())))
 }
 
 /// Cursor-style reader over a frame body.
@@ -219,16 +272,23 @@ impl<'a> FieldReader<'a> {
         Ok(slice)
     }
 
+    /// A fixed-size array; infallible once `take` has sized the slice.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
         Ok(self.take(1)?[0])
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     pub(crate) fn f64(&mut self) -> Result<f64, ProtoError> {
@@ -279,24 +339,28 @@ const REQ_DRAIN: u8 = 0x04;
 
 impl Request {
     /// Serializes into `(type_byte, body)`.
-    #[must_use]
-    pub fn encode(&self) -> (u8, Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if a field cannot be
+    /// represented on the wire (e.g. a payload longer than `u32::MAX`).
+    pub fn encode(&self) -> Result<(u8, Vec<u8>), ProtoError> {
         match self {
             Request::SubmitPacket(p) => {
                 let mut body = Vec::with_capacity(30 + p.payload.len());
                 body.extend_from_slice(&p.timestamp.to_bits().to_be_bytes());
                 put_tuple(&mut body, &p.tuple);
                 body.push(p.flags.bits());
-                put_bytes(&mut body, &p.payload);
-                (REQ_SUBMIT_PACKET, body)
+                put_bytes(&mut body, &p.payload)?;
+                Ok((REQ_SUBMIT_PACKET, body))
             }
             Request::ClassifyBuffer(payload) => {
                 let mut body = Vec::with_capacity(4 + payload.len());
-                put_bytes(&mut body, payload);
-                (REQ_CLASSIFY_BUFFER, body)
+                put_bytes(&mut body, payload)?;
+                Ok((REQ_CLASSIFY_BUFFER, body))
             }
-            Request::Stats => (REQ_STATS, Vec::new()),
-            Request::Drain => (REQ_DRAIN, Vec::new()),
+            Request::Stats => Ok((REQ_STATS, Vec::new())),
+            Request::Drain => Ok((REQ_DRAIN, Vec::new())),
         }
     }
 
@@ -336,34 +400,42 @@ const RESP_ERROR: u8 = 0x86;
 
 impl Response {
     /// Serializes into `(type_byte, body)`.
-    #[must_use]
-    pub fn encode(&self) -> (u8, Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Malformed`] if a field cannot be
+    /// represented on the wire.
+    pub fn encode(&self) -> Result<(u8, Vec<u8>), ProtoError> {
         match self {
             Response::FlowVerdict(v) => {
                 let mut body = Vec::with_capacity(30);
                 put_tuple(&mut body, &v.tuple);
-                body.push(v.label.index() as u8);
+                body.push(class_byte(v.label)?);
                 body.extend_from_slice(&v.packets.to_be_bytes());
                 body.extend_from_slice(&v.buffered_bytes.to_be_bytes());
                 body.extend_from_slice(&v.fill_time.to_bits().to_be_bytes());
-                (RESP_FLOW_VERDICT, body)
+                Ok((RESP_FLOW_VERDICT, body))
             }
             Response::Busy(tuple) => {
                 let mut body = Vec::with_capacity(13);
                 put_tuple(&mut body, tuple);
-                (RESP_BUSY, body)
+                Ok((RESP_BUSY, body))
             }
-            Response::ClassifyResult(label) => (RESP_CLASSIFY_RESULT, vec![label.index() as u8]),
+            Response::ClassifyResult(label) => {
+                Ok((RESP_CLASSIFY_RESULT, vec![class_byte(*label)?]))
+            }
             Response::Stats(snapshot) => {
                 let mut body = Vec::new();
                 snapshot.encode_into(&mut body);
-                (RESP_STATS, body)
+                Ok((RESP_STATS, body))
             }
-            Response::DrainComplete(flows) => (RESP_DRAIN_COMPLETE, flows.to_be_bytes().to_vec()),
+            Response::DrainComplete(flows) => {
+                Ok((RESP_DRAIN_COMPLETE, flows.to_be_bytes().to_vec()))
+            }
             Response::Error(msg) => {
                 let mut body = Vec::with_capacity(4 + msg.len());
-                put_bytes(&mut body, msg.as_bytes());
-                (RESP_ERROR, body)
+                put_bytes(&mut body, msg.as_bytes())?;
+                Ok((RESP_ERROR, body))
             }
         }
     }
@@ -408,12 +480,12 @@ mod tests {
     }
 
     fn round_trip_request(req: Request) {
-        let (t, body) = req.encode();
+        let (t, body) = req.encode().unwrap();
         assert_eq!(Request::decode(t, &body).unwrap(), req);
     }
 
     fn round_trip_response(resp: Response) {
-        let (t, body) = resp.encode();
+        let (t, body) = resp.encode().unwrap();
         assert_eq!(Response::decode(t, &body).unwrap(), resp);
     }
 
@@ -454,8 +526,8 @@ mod tests {
     #[test]
     fn frames_round_trip_through_a_stream() {
         let mut buf = Vec::new();
-        let (t1, b1) = Request::Stats.encode();
-        let (t2, b2) = Request::ClassifyBuffer(vec![9; 10]).encode();
+        let (t1, b1) = Request::Stats.encode().unwrap();
+        let (t2, b2) = Request::ClassifyBuffer(vec![9; 10]).encode().unwrap();
         write_frame(&mut buf, t1, &b1).unwrap();
         write_frame(&mut buf, t2, &b2).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
@@ -467,20 +539,32 @@ mod tests {
     }
 
     #[test]
-    fn truncated_frame_is_an_io_error() {
+    fn truncated_frame_is_a_typed_error() {
         let mut buf = Vec::new();
-        let (t, b) = Request::ClassifyBuffer(vec![1; 100]).encode();
+        let (t, b) = Request::ClassifyBuffer(vec![1; 100]).encode().unwrap();
         write_frame(&mut buf, t, &b).unwrap();
         buf.truncate(buf.len() - 10);
         let mut cursor = std::io::Cursor::new(buf);
-        assert!(matches!(read_frame(&mut cursor), Err(ProtoError::Io(_))));
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtoError::Truncated { expected: 105, got: 95 })
+        ));
+    }
+
+    #[test]
+    fn partial_length_prefix_is_truncated_not_clean_eof() {
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtoError::Truncated { expected: 4, got: 2 })
+        ));
     }
 
     #[test]
     fn unknown_types_and_trailing_bytes_are_malformed() {
         assert!(matches!(Request::decode(0x7F, &[]), Err(ProtoError::Malformed(_))));
         assert!(matches!(Response::decode(0x10, &[]), Err(ProtoError::Malformed(_))));
-        let (t, mut body) = Request::Stats.encode();
+        let (t, mut body) = Request::Stats.encode().unwrap();
         body.push(0);
         assert!(matches!(Request::decode(t, &body), Err(ProtoError::Malformed(_))));
     }
@@ -491,6 +575,20 @@ mod tests {
         buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
         buf.push(REQ_STATS);
         let mut cursor = std::io::Cursor::new(buf);
-        assert!(matches!(read_frame(&mut cursor), Err(ProtoError::Malformed(_))));
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtoError::FrameTooLarge { len }) if len == MAX_FRAME + 1
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_on_write() {
+        let mut buf = Vec::new();
+        let body = vec![0u8; MAX_FRAME];
+        assert!(matches!(
+            write_frame(&mut buf, REQ_STATS, &body),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+        assert!(buf.is_empty(), "nothing written for a rejected frame");
     }
 }

@@ -9,7 +9,7 @@
 //! O(1) per batch on both sides.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// What to do with new packets when a shard's ingress queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,12 +68,23 @@ impl<T> BoundedQueue<T> {
         self.policy
     }
 
+    /// Locks the queue state, recovering from a poisoned mutex.
+    ///
+    /// A panicking producer (e.g. a batch iterator that panics
+    /// mid-push) poisons the lock, but the guarded state — a `VecDeque`
+    /// plus a closed flag — is consistent after every individual
+    /// mutation, so the guard is recovered via `into_inner` semantics
+    /// rather than wedging the whole shard behind the poison.
+    fn lock_state(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Pushes a batch under one lock acquisition, applying the
     /// admission policy per item. Items pushed after the queue is
     /// closed are returned as rejected.
     pub fn push_batch(&self, batch: impl IntoIterator<Item = T>) -> PushOutcome<T> {
         let mut outcome = PushOutcome { rejected: Vec::new(), dropped: Vec::new() };
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.lock_state();
         let mut pushed = false;
         for item in batch {
             if inner.closed {
@@ -107,7 +118,7 @@ impl<T> BoundedQueue<T> {
     /// barriers like drain/stop can never be refused). Returns `false`
     /// if the queue is closed.
     pub fn push_control(&self, item: T) -> bool {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.lock_state();
         if inner.closed {
             return false;
         }
@@ -120,7 +131,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until items are available, then drains them all. Returns
     /// `None` once the queue is closed *and* empty.
     pub fn pop_all(&self) -> Option<Vec<T>> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.lock_state();
         loop {
             if !inner.items.is_empty() {
                 return Some(inner.items.drain(..).collect());
@@ -128,14 +139,14 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner = self.not_empty.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Current queue depth.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        self.lock_state().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -147,7 +158,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: future pushes are rejected, and `pop_all`
     /// returns `None` once the backlog is drained.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.lock_state();
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -203,6 +214,28 @@ mod tests {
         assert!(!q.push_control(3));
         assert_eq!(q.push_batch([4]).rejected, vec![4]);
         assert_eq!(q.pop_all(), Some(vec![1, 2]));
+        assert_eq!(q.pop_all(), None);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_wedging_the_shard() {
+        let q = Arc::new(BoundedQueue::new(8, AdmissionPolicy::RejectBusy));
+        // A batch iterator that panics mid-iteration panics *while the
+        // queue mutex is held*, poisoning it.
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                q.push_batch((0..4).map(|i| if i == 2 { panic!("producer died") } else { i }));
+            })
+        };
+        assert!(poisoner.join().is_err(), "producer must have panicked");
+        // The queue must keep working: items pushed before the panic
+        // survive, and new pushes/pops go through.
+        let outcome = q.push_batch([10, 11]);
+        assert!(outcome.rejected.is_empty());
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_all(), Some(vec![0, 1, 10, 11]));
+        q.close();
         assert_eq!(q.pop_all(), None);
     }
 

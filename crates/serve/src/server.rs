@@ -153,22 +153,44 @@ impl Server {
             next_conn_id: AtomicU64::new(0),
         });
 
-        let worker_handles = (0..shared.config.shards)
-            .map(|shard| {
+        let mut worker_handles = Vec::with_capacity(shared.config.shards);
+        let mut spawn_error = None;
+        for shard in 0..shared.config.shards {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("iustitia-shard-{shard}"))
+                .spawn(move || shard_worker(&shared, shard))
+            {
+                Ok(handle) => worker_handles.push(handle),
+                Err(e) => {
+                    spawn_error = Some(e);
+                    break;
+                }
+            }
+        }
+        let accept_result = match spawn_error {
+            Some(e) => Err(e),
+            None => {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("iustitia-shard-{shard}"))
-                    .spawn(move || shard_worker(&shared, shard))
-                    .expect("spawn shard worker")
-            })
-            .collect();
-
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("iustitia-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn accept loop")
+                    .name("iustitia-accept".into())
+                    .spawn(move || accept_loop(&listener, &shared))
+            }
+        };
+        let accept_handle = match accept_result {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Unwind the partial start: close the queues so any
+                // already-running workers drain and exit, then report.
+                shared.stop.store(true, Ordering::SeqCst);
+                for queue in &shared.queues {
+                    queue.close();
+                }
+                for handle in worker_handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
         };
 
         Ok(Server { addr, shared, accept_handle: Some(accept_handle), worker_handles })
@@ -236,15 +258,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Response>) {
     let mut writer = BufWriter::new(stream);
     while let Ok(response) = rx.recv() {
-        let (t, body) = response.encode();
-        if write_frame(&mut writer, t, &body).is_err() {
+        if !write_response(&mut writer, &response) {
             return;
         }
         loop {
             match rx.try_recv() {
                 Ok(next) => {
-                    let (t, body) = next.encode();
-                    if write_frame(&mut writer, t, &body).is_err() {
+                    if !write_response(&mut writer, &next) {
                         return;
                     }
                 }
@@ -262,6 +282,21 @@ fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Response>) {
     let _ = writer.flush();
 }
 
+/// Encodes and writes one response frame; returns `false` when the
+/// connection should be torn down. An unencodable response (a server
+/// bug, not a peer failure) degrades to a protocol `Error` frame so the
+/// client learns something went wrong instead of losing a reply.
+fn write_response<W: Write>(writer: &mut W, response: &Response) -> bool {
+    let encoded = match response.encode() {
+        Ok(frame) => Ok(frame),
+        Err(e) => Response::Error(format!("unencodable response: {e}")).encode(),
+    };
+    match encoded {
+        Ok((t, body)) => write_frame(writer, t, &body).is_ok(),
+        Err(_) => false,
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     shared: &Arc<Shared>,
@@ -272,12 +307,20 @@ fn handle_connection(
     let (resp_tx, resp_rx) = mpsc::channel::<Response>();
     let writer_handle = std::thread::Builder::new()
         .name(format!("iustitia-conn-{conn_id}-w"))
-        .spawn(move || writer_loop(write_half, &resp_rx))
-        .expect("spawn connection writer");
+        .spawn(move || writer_loop(write_half, &resp_rx))?;
 
     let result = reader_loop(&stream, shared, conn_id, &resp_tx);
-    if let Err(ProtoError::Malformed(msg)) = &result {
-        let _ = resp_tx.send(Response::Error(msg.clone()));
+    match &result {
+        // Tell the peer why its connection is going away — unless the
+        // transport itself failed, in which case nothing can be sent.
+        Err(
+            e @ (ProtoError::Malformed(_)
+            | ProtoError::FrameTooLarge { .. }
+            | ProtoError::Truncated { .. }),
+        ) => {
+            let _ = resp_tx.send(Response::Error(e.to_string()));
+        }
+        Ok(()) | Err(ProtoError::Io(_)) => {}
     }
     // Drop every reply sender the shards still hold for this
     // connection, so the writer's channel can disconnect. (During

@@ -1,0 +1,69 @@
+//! Property-based robustness tests for the wire protocol.
+//!
+//! The decode path faces bytes straight off a TCP socket, so it must
+//! never panic on adversarial input — only return typed
+//! [`ProtoError`]s. These properties throw random frames at every
+//! decoder entry point and also pin down the encode/decode round trip.
+
+use std::io::Cursor;
+
+use iustitia_serve::proto::{read_frame, write_frame, Request, Response, MAX_FRAME};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn request_decode_never_panics(type_byte in any::<u8>(), body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Any Err is fine; a panic fails the test by unwinding.
+        let _ = Request::decode(type_byte, &body);
+    }
+
+    #[test]
+    fn response_decode_never_panics(type_byte in any::<u8>(), body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Response::decode(type_byte, &body);
+    }
+
+    #[test]
+    fn read_frame_never_panics_on_random_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let mut cursor = Cursor::new(bytes);
+        // Drain until EOF or error; decoding garbage lengths must not
+        // panic or allocate unboundedly.
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_lengths_without_allocating(len in (MAX_FRAME as u32 + 1)..=u32::MAX) {
+        // A hostile peer claims a huge frame; the reader must fail with
+        // a typed error before trusting the length.
+        let mut bytes = len.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut cursor = Cursor::new(bytes);
+        prop_assert!(matches!(
+            read_frame(&mut cursor),
+            Err(iustitia_serve::ProtoError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn classify_request_round_trips(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let req = Request::ClassifyBuffer(data);
+        let (t, body) = req.encode().expect("encode small request");
+        prop_assert_eq!(Request::decode(t, &body).expect("decode own encoding"), req);
+    }
+
+    #[test]
+    fn framed_round_trip_survives_the_wire(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let req = Request::ClassifyBuffer(data);
+        let (t, body) = req.encode().expect("encode small request");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, t, &body).expect("write to Vec");
+        let mut cursor = Cursor::new(wire);
+        let (rt, rbody) = read_frame(&mut cursor).expect("read back").expect("one frame present");
+        prop_assert_eq!(Request::decode(rt, &rbody).expect("decode framed"), req);
+        prop_assert!(read_frame(&mut cursor).expect("clean EOF").is_none());
+    }
+}

@@ -1,0 +1,406 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The build environment has no route to crates.io, so `syn` is off the
+//! table; the lints in this crate only need a token stream that is
+//! faithful about the things that confuse `grep`-style checks:
+//!
+//! * comments (line, nested block) — captured separately so suppression
+//!   directives can be found without polluting the token stream;
+//! * string/char/byte/raw-string literals — so an `unwrap()` inside a
+//!   string never triggers a lint;
+//! * lifetimes vs. char literals (`'a` vs `'a'`);
+//! * raw identifiers (`r#match`);
+//! * the multi-char operators the lints care about (`::`, `=>`, `->`).
+//!
+//! Everything else (numbers, idents, single-char punctuation) is lexed
+//! just precisely enough to carry a line number.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// Punctuation; `::`, `=>` and `->` are single tokens.
+    Punct,
+    /// String/char/byte/number literal (text is not preserved verbatim
+    /// for strings; lints never need literal contents).
+    Literal,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (empty for string-ish literals).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// One comment (`//` to end of line, or a whole `/* */` block).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text, including the leading `//` or `/*`.
+    pub text: String,
+}
+
+/// A lexed source file: code tokens plus comments, both line-stamped.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated literals/comments are tolerated (the rest
+/// of the file is swallowed into the open token) — the lint pass runs
+/// on code `rustc` already accepted, so this only matters for fixtures.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: impl Into<String>, line: u32) {
+        self.out.tokens.push(Token { kind, text: text.into(), line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if self.raw_string_ahead() {
+                self.raw_string();
+            } else if (c == 'b' && self.peek(1) == Some('"')) || c == '"' {
+                self.string(c == 'b');
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump();
+                self.char_literal();
+            } else if c == '\'' {
+                self.lifetime_or_char();
+            } else if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(ident_start)
+            {
+                // Raw identifier: r#match
+                let line = self.line;
+                self.bump();
+                self.bump();
+                let text = self.ident_text();
+                self.push(TokKind::Ident, text, line);
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if ident_start(c) {
+                let line = self.line;
+                let text = self.ident_text();
+                self.push(TokKind::Ident, text, line);
+            } else {
+                self.punct();
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// `r"`, `r#"`, `br"`, `br#"` (any number of hashes) ahead?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) != Some('r') {
+            return false;
+        }
+        i += 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(0) == Some('#') {
+                        matched += 1;
+                        self.bump();
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Literal, "", line);
+    }
+
+    fn string(&mut self, byte_prefix: bool) {
+        let line = self.line;
+        if byte_prefix {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None | Some('"') => break,
+                Some('\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Literal, "", line);
+    }
+
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None | Some('\'') => break,
+                Some('\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Literal, "", line);
+    }
+
+    fn lifetime_or_char(&mut self) {
+        // `'a` (lifetime, no closing quote) vs `'a'` / `'\n'` (char).
+        let is_lifetime = self.peek(1).is_some_and(ident_start) && self.peek(2) != Some('\'');
+        if is_lifetime {
+            let line = self.line;
+            self.bump(); // '
+            let mut text = String::from("'");
+            text.push_str(&self.ident_text());
+            self.push(TokKind::Punct, text, line);
+        } else {
+            self.char_literal();
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut prev = '\0';
+        while let Some(c) = self.peek(0) {
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && prev != '.')
+                || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E') && text.contains('.'));
+            if !take {
+                break;
+            }
+            text.push(c);
+            prev = c;
+            self.bump();
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn ident_text(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let c = self.peek(0).unwrap_or('\0');
+        let pair: Option<&str> = match (c, self.peek(1)) {
+            (':', Some(':')) => Some("::"),
+            ('=', Some('>')) => Some("=>"),
+            ('-', Some('>')) => Some("->"),
+            _ => None,
+        };
+        if let Some(p) = pair {
+            self.bump();
+            self.bump();
+            self.push(TokKind::Punct, p, line);
+        } else {
+            self.bump();
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+fn ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // unwrap() in a comment
+            /* .expect( in /* a nested */ block */
+            let s = "call .unwrap() here";
+            let r = r#"also .expect("x") here"#;
+            let b = b"bytes .unwrap()";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        // The char literal 'x' must end the token stream cleanly: the
+        // final token is the closing brace, not a swallowed remainder.
+        assert!(lexed.tokens.last().unwrap().is_punct("}"));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("'a")));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let src = r"let q = '\''; after();";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn multi_char_puncts_are_single_tokens() {
+        let lexed = lex("match x { A::B => 1, _ => 2 }");
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("::")));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("=>")));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert!(idents("let r#match = 1;").contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_methods() {
+        // `0..10` must not swallow the range dots; `1.max(2)` must not
+        // treat `.max` as a fraction.
+        let lexed = lex("let x = 0..10; let y = 1.max(2); let z = 1.5e-3;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("max")));
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"0"));
+        assert!(nums.contains(&"10"));
+        assert!(nums.contains(&"1.5e-3"));
+    }
+}

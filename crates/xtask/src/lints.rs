@@ -1,0 +1,754 @@
+//! The project-specific lints and the file-scoping rules that decide
+//! where each one applies.
+//!
+//! | id | check | scope |
+//! |------|-------|-------|
+//! | L001 | no `.unwrap()` / `.expect(` | `serve`/`core`/`entropy` library code |
+//! | L002 | no narrowing `as` casts (use `try_from`) | `serve/src/proto.rs` |
+//! | L003 | no `_ =>` arm in a `match` over `Request`/`Response` | `serve/src/{proto,server}.rs` |
+//! | L004 | no `println!` / `eprintln!` (metrics, not stdout) | `serve`/`core`/`entropy` library code |
+//! | L005 | every `AtomicU64` counter of `ServeMetrics` appears in `StatsSnapshot` | `serve/src/metrics.rs` |
+//!
+//! "Library code" excludes `src/bin/`, `tests/`, `benches/`, and
+//! `#[cfg(test)]` / `#[test]` regions inside library files.
+//!
+//! A violation is suppressed by an inline comment on the same or the
+//! preceding line:
+//!
+//! ```text
+//! // lint: allow(L001) — <mandatory justification>
+//! ```
+//!
+//! A suppression without a justification (or naming an unknown lint) is
+//! itself reported as `E000`.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+
+/// Every lint this pass implements: `(id, one-line description)`.
+pub const LINTS: &[(&str, &str)] = &[
+    ("L001", "no .unwrap()/.expect( in serve/core/entropy library code"),
+    ("L002", "no narrowing `as` casts in serve/src/proto.rs; use try_from"),
+    ("L003", "no `_ =>` wildcard arms in matches over Request/Response"),
+    ("L004", "no println!/eprintln! in library code (bins exempt)"),
+    ("L005", "every ServeMetrics counter must appear in StatsSnapshot"),
+];
+
+/// One diagnostic produced by the pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Lint id (`L001`..`L005`, or `E000` for a bad suppression).
+    pub lint: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// Lints one file. `rel_path` is the workspace-relative path (forward
+/// slashes), which selects the applicable lints.
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
+    let in_scope = is_panic_free_scope(rel_path)
+        || rel_path == "crates/serve/src/proto.rs"
+        || rel_path == "crates/serve/src/server.rs"
+        || rel_path == "crates/serve/src/metrics.rs";
+    if !in_scope {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let tests = test_line_ranges(&lexed.tokens);
+    let (supp, mut violations) = parse_suppressions(rel_path, &lexed.comments);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    if is_panic_free_scope(rel_path) {
+        raw.extend(l001_no_unwrap(rel_path, &lexed, &tests));
+        raw.extend(l004_no_println(rel_path, &lexed, &tests));
+    }
+    if rel_path == "crates/serve/src/proto.rs" {
+        raw.extend(l002_no_narrowing_casts(rel_path, &lexed, &tests));
+    }
+    if rel_path == "crates/serve/src/proto.rs" || rel_path == "crates/serve/src/server.rs" {
+        raw.extend(l003_no_protocol_wildcards(rel_path, &lexed, &tests));
+    }
+    if rel_path == "crates/serve/src/metrics.rs" {
+        raw.extend(l005_metrics_drift(rel_path, &lexed));
+    }
+
+    violations.extend(raw.into_iter().filter(|v| !supp.covers(v.lint, v.line)));
+    violations.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    violations
+}
+
+/// Walks `root` and lints every in-scope file; diagnostics are sorted
+/// by path and line.
+pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src_dir = entry?.path().join("src");
+        if src_dir.is_dir() {
+            collect_rs_files(&src_dir, &mut files)?;
+        }
+    }
+    files.sort();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let src = std::fs::read_to_string(&file)?;
+        violations.extend(check_file(&rel, &src));
+    }
+    Ok(violations)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The crates whose library code must be panic-free on the serving path.
+fn is_panic_free_scope(rel_path: &str) -> bool {
+    let in_crate = ["crates/serve/src/", "crates/core/src/", "crates/entropy/src/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p));
+    in_crate && !rel_path.contains("/bin/")
+}
+
+// -------------------------------------------------------- suppressions
+
+struct Suppressions {
+    /// `(lint id, line the suppression is written on)`.
+    entries: Vec<(String, u32)>,
+}
+
+impl Suppressions {
+    /// A suppression covers its own line and the next one, so it can sit
+    /// either inline after the code or on the line above it.
+    fn covers(&self, lint: &str, line: u32) -> bool {
+        self.entries.iter().any(|(id, l)| id == lint && (*l == line || l + 1 == line))
+    }
+}
+
+/// Extracts `// lint: allow(Lnnn) — reason` directives. Directives with
+/// no justification, or naming an unknown lint, become `E000`.
+fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Suppressions, Vec<Violation>) {
+    const MARKER: &str = "lint: allow(";
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for comment in comments {
+        let Some(start) = comment.text.find(MARKER) else { continue };
+        let after = &comment.text[start + MARKER.len()..];
+        let Some(close) = after.find(')') else {
+            bad.push(Violation {
+                file: rel_path.to_string(),
+                line: comment.line,
+                lint: "E000",
+                message: "unterminated lint suppression: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let id = after[..close].trim().to_string();
+        if !LINTS.iter().any(|(known, _)| *known == id) {
+            bad.push(Violation {
+                file: rel_path.to_string(),
+                line: comment.line,
+                lint: "E000",
+                message: format!("suppression names unknown lint `{id}`"),
+            });
+            continue;
+        }
+        let reason = after[close + 1..]
+            .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':'));
+        if reason.trim().is_empty() {
+            bad.push(Violation {
+                file: rel_path.to_string(),
+                line: comment.line,
+                lint: "E000",
+                message: format!(
+                    "suppression of {id} has no justification; write `// lint: allow({id}) — <reason>`"
+                ),
+            });
+            continue;
+        }
+        entries.push((id, comment.line));
+    }
+    (Suppressions { entries }, bad)
+}
+
+// -------------------------------------------------------- test regions
+
+/// Line ranges covered by `#[cfg(test)]` or `#[test]` items (attribute
+/// line through the closing brace of the annotated item).
+fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let cfg_test = matches(tokens, i, &["#", "[", "cfg", "(", "test", ")", "]"]);
+        let plain_test = matches(tokens, i, &["#", "[", "test", "]"]);
+        if !(cfg_test || plain_test) {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Find the item's opening brace, then its matching close.
+        let mut j = i + if cfg_test { 7 } else { 4 };
+        let mut depth = 0i32;
+        while j < tokens.len() && !(depth == 0 && tokens[j].is_punct("{")) {
+            depth += nesting_delta(&tokens[j]);
+            j += 1;
+        }
+        let Some(close) = matching_brace(tokens, j) else { break };
+        ranges.push((start_line, tokens[close].line));
+        i = close + 1;
+    }
+    ranges
+}
+
+fn in_test(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+fn matches(tokens: &[Token], at: usize, texts: &[&str]) -> bool {
+    texts.iter().enumerate().all(|(k, text)| tokens.get(at + k).is_some_and(|t| t.text == *text))
+}
+
+fn nesting_delta(token: &Token) -> i32 {
+    if token.kind != TokKind::Punct {
+        return 0;
+    }
+    match token.text.as_str() {
+        "(" | "[" | "{" => 1,
+        ")" | "]" | "}" => -1,
+        _ => 0,
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (which must be a `{`).
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, token) in tokens.iter().enumerate().skip(open) {
+        depth += nesting_delta(token);
+        if depth == 0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- L001
+
+fn l001_no_unwrap(rel_path: &str, lexed: &Lexed, tests: &[(u32, u32)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for w in lexed.tokens.windows(3) {
+        let method = &w[1];
+        if w[0].is_punct(".")
+            && (method.is_ident("unwrap") || method.is_ident("expect"))
+            && w[2].is_punct("(")
+            && !in_test(tests, method.line)
+        {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: method.line,
+                lint: "L001",
+                message: format!(
+                    ".{}() can panic on the serving path; propagate a Result or recover",
+                    method.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L002
+
+/// Cast targets that can silently truncate wire-relevant integers.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn l002_no_narrowing_casts(rel_path: &str, lexed: &Lexed, tests: &[(u32, u32)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for w in lexed.tokens.windows(2) {
+        if w[0].is_ident("as")
+            && w[1].kind == TokKind::Ident
+            && NARROW_TARGETS.contains(&w[1].text.as_str())
+            && !in_test(tests, w[0].line)
+        {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: w[0].line,
+                lint: "L002",
+                message: format!(
+                    "`as {}` can truncate on the encode/decode path; use `{}::try_from`",
+                    w[1].text, w[1].text
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L003
+
+fn l003_no_protocol_wildcards(
+    rel_path: &str,
+    lexed: &Lexed,
+    tests: &[(u32, u32)],
+) -> Vec<Violation> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("match") || in_test(tests, tokens[i].line) {
+            continue;
+        }
+        // Opening brace of the match body: first `{` at nesting 0 after
+        // the scrutinee (braces inside the scrutinee only occur nested
+        // in parens/brackets, e.g. closures).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < tokens.len() && !(depth == 0 && tokens[j].is_punct("{")) {
+            depth += nesting_delta(&tokens[j]);
+            j += 1;
+        }
+        let Some(close) = matching_brace(tokens, j) else { continue };
+        let mut protocol_match = false;
+        let mut wildcard_lines = Vec::new();
+        let mut k = j + 1;
+        while k < close {
+            // Pattern: tokens until `=>` at arm-relative nesting 0.
+            let pat_start = k;
+            let mut depth = 0i32;
+            while k < close && !(depth == 0 && tokens[k].is_punct("=>")) {
+                depth += nesting_delta(&tokens[k]);
+                k += 1;
+            }
+            if k >= close {
+                break;
+            }
+            let pattern = &tokens[pat_start..k];
+            if pattern.windows(2).any(|w| {
+                (w[0].is_ident("Request") || w[0].is_ident("Response")) && w[1].is_punct("::")
+            }) {
+                protocol_match = true;
+            }
+            let is_wildcard = pattern.first().is_some_and(|t| t.is_ident("_"))
+                && (pattern.len() == 1 || pattern[1].is_ident("if"));
+            if is_wildcard {
+                wildcard_lines.push(pattern[0].line);
+            }
+            k += 1; // consume `=>`
+                    // Arm body: a brace block, or an expression up to `,`.
+            if k < close && tokens[k].is_punct("{") {
+                let Some(body_close) = matching_brace(tokens, k) else { break };
+                k = body_close + 1;
+                if k < close && tokens[k].is_punct(",") {
+                    k += 1;
+                }
+            } else {
+                let mut depth = 0i32;
+                while k < close && !(depth == 0 && tokens[k].is_punct(",")) {
+                    depth += nesting_delta(&tokens[k]);
+                    k += 1;
+                }
+                k += 1; // consume `,` (or step past `close`)
+            }
+        }
+        if protocol_match {
+            for line in wildcard_lines {
+                out.push(Violation {
+                    file: rel_path.to_string(),
+                    line,
+                    lint: "L003",
+                    message: "wildcard `_ =>` arm in a match over Request/Response silently \
+                              drops new protocol variants; list every variant"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L004
+
+fn l004_no_println(rel_path: &str, lexed: &Lexed, tests: &[(u32, u32)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for w in lexed.tokens.windows(2) {
+        let mac = &w[0];
+        if (mac.is_ident("println") || mac.is_ident("eprintln"))
+            && w[1].is_punct("!")
+            && !in_test(tests, mac.line)
+        {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: mac.line,
+                lint: "L004",
+                message: format!(
+                    "{}! in library code; report through metrics (bins are exempt)",
+                    mac.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L005
+
+fn l005_metrics_drift(rel_path: &str, lexed: &Lexed) -> Vec<Violation> {
+    let counters = struct_fields(&lexed.tokens, "ServeMetrics");
+    let snapshot = struct_fields(&lexed.tokens, "StatsSnapshot");
+    let mut out = Vec::new();
+    if counters.is_empty() || snapshot.is_empty() {
+        // Renaming either struct without updating the lint would
+        // silently disable it; fail loudly instead.
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: 1,
+            lint: "L005",
+            message: "could not locate ServeMetrics/StatsSnapshot struct fields".to_string(),
+        });
+        return out;
+    }
+    for field in &counters {
+        if !field.type_text.contains("AtomicU64") {
+            continue;
+        }
+        if !snapshot.iter().any(|s| s.name == field.name) {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: field.line,
+                lint: "L005",
+                message: format!(
+                    "counter `{}` is declared in ServeMetrics but missing from StatsSnapshot; \
+                     metric drift",
+                    field.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+struct Field {
+    name: String,
+    type_text: String,
+    line: u32,
+}
+
+/// Parses `struct <name> { ... }` field names and (flattened) types.
+fn struct_fields(tokens: &[Token], name: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let Some(start) =
+        tokens.windows(2).position(|w| w[0].is_ident("struct") && w[1].is_ident(name))
+    else {
+        return fields;
+    };
+    let mut i = start + 2;
+    while i < tokens.len() && !tokens[i].is_punct("{") {
+        if tokens[i].is_punct(";") {
+            return fields; // unit or tuple struct
+        }
+        i += 1;
+    }
+    let Some(close) = matching_brace(tokens, i) else { return fields };
+    i += 1;
+    while i < close {
+        // Skip attributes.
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let mut depth = 0i32;
+            i += 1;
+            while i < close {
+                depth += nesting_delta(&tokens[i]);
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Skip visibility.
+        if tokens[i].is_ident("pub") {
+            i += 1;
+            if i < close && tokens[i].is_punct("(") {
+                let mut depth = 0i32;
+                while i < close {
+                    depth += nesting_delta(&tokens[i]);
+                    i += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        // Field name.
+        if tokens[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let field_name = tokens[i].text.clone();
+        let line = tokens[i].line;
+        i += 1;
+        if i >= close || !tokens[i].is_punct(":") {
+            continue;
+        }
+        i += 1;
+        let mut type_text = String::new();
+        let mut depth = 0i32;
+        while i < close && !(depth == 0 && tokens[i].is_punct(",")) {
+            depth += nesting_delta(&tokens[i]);
+            type_text.push_str(&tokens[i].text);
+            i += 1;
+        }
+        i += 1; // consume `,`
+        fields.push(Field { name: field_name, type_text, line });
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVE_LIB: &str = "crates/serve/src/server.rs";
+    const PROTO: &str = "crates/serve/src/proto.rs";
+    const METRICS: &str = "crates/serve/src/metrics.rs";
+
+    fn lints_of(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.lint).collect()
+    }
+
+    #[test]
+    fn l001_flags_unwrap_and_expect_in_lib_code() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }";
+        let v = check_file(SERVE_LIB, src);
+        assert_eq!(lints_of(&v), vec!["L001", "L001"]);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn l001_ignores_unwrap_or_else_and_test_code() {
+        let src = r#"
+fn f() { x.unwrap_or_else(g); y.unwrap_or(3); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+"#;
+        assert!(check_file(SERVE_LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l001_out_of_scope_paths_are_exempt() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(check_file("crates/serve/src/bin/iustitia.rs", src).is_empty());
+        assert!(check_file("crates/ml/src/svm.rs", src).is_empty());
+        assert!(check_file("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l001_suppression_with_reason_is_honored() {
+        let inline = "fn f() { x.unwrap(); } // lint: allow(L001) — invariant: x set above\n";
+        assert!(check_file(SERVE_LIB, inline).is_empty());
+        let preceding =
+            "// lint: allow(L001) — capacity asserted in new()\nfn f() { x.unwrap(); }\n";
+        assert!(check_file(SERVE_LIB, preceding).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_an_error() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(L001)\n";
+        let v = check_file(SERVE_LIB, src);
+        assert_eq!(lints_of(&v), vec!["E000", "L001"], "bad suppression reported AND lint kept");
+    }
+
+    #[test]
+    fn suppression_of_unknown_lint_is_an_error() {
+        let src = "fn f() {} // lint: allow(L999) — because\n";
+        assert_eq!(lints_of(&check_file(SERVE_LIB, src)), vec!["E000"]);
+    }
+
+    #[test]
+    fn suppression_only_covers_adjacent_line() {
+        let src = "// lint: allow(L001) — only for the next line\nfn f() { a.unwrap(); }\nfn g() { b.unwrap(); }\n";
+        let v = check_file(SERVE_LIB, src);
+        assert_eq!(lints_of(&v), vec!["L001"]);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn l002_flags_narrowing_casts_in_proto_only() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        let v = check_file(PROTO, src);
+        assert_eq!(lints_of(&v), vec!["L002"]);
+        assert!(v[0].message.contains("try_from"));
+        assert!(check_file(SERVE_LIB, src).is_empty(), "L002 scoped to proto.rs");
+    }
+
+    #[test]
+    fn l002_allows_widening_casts() {
+        let src = "fn f(n: u8) -> usize { let a = n as usize; let b = n as u64; a + b as usize }";
+        assert!(check_file(PROTO, src).is_empty());
+    }
+
+    #[test]
+    fn l003_flags_wildcard_over_protocol_enums() {
+        let src = r#"
+fn f(r: Request) {
+    match r {
+        Request::Stats => serve_stats(),
+        _ => {}
+    }
+}
+"#;
+        let v = check_file(PROTO, src);
+        assert_eq!(lints_of(&v), vec!["L003"]);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn l003_ignores_wildcards_over_other_types() {
+        let src = r#"
+fn f(v: Verdict) {
+    match v {
+        Verdict::Hit(label) => on_hit(label),
+        _ => {}
+    }
+}
+"#;
+        assert!(check_file(SERVE_LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l003_exhaustive_protocol_match_passes() {
+        let src = r#"
+fn f(r: Request) -> u8 {
+    match r {
+        Request::Stats => 1,
+        Request::Drain if now() > 0 => 2,
+        Request::SubmitPacket(p) => route(p),
+        Request::ClassifyBuffer(b) => classify(b),
+        Request::Drain => 3,
+    }
+}
+"#;
+        assert!(check_file(SERVE_LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l003_guarded_wildcard_is_still_a_wildcard() {
+        let src = "fn f(r: Response) -> u8 { match r { Response::Busy(t) => 1, _ if cheap() => 2, _ => 3 } }";
+        let v = check_file(SERVE_LIB, src);
+        assert_eq!(lints_of(&v), vec!["L003", "L003"]);
+    }
+
+    #[test]
+    fn l003_binding_patterns_are_not_wildcards() {
+        let src = "fn f(r: Request) { match r { Request::Stats => a(), other => keep(other), } }";
+        assert!(check_file(SERVE_LIB, src).is_empty());
+    }
+
+    #[test]
+    fn l004_flags_println_in_lib_not_bins() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }";
+        let v = check_file("crates/core/src/pipeline.rs", src);
+        assert_eq!(lints_of(&v), vec!["L004", "L004"]);
+        assert!(check_file("crates/serve/src/bin/iustitia.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l005_catches_counter_missing_from_snapshot() {
+        let src = r#"
+pub struct ServeMetrics {
+    pub packets: AtomicU64,
+    pub orphan_counter: AtomicU64,
+    pub stages: [LatencyHistogram; 4],
+}
+pub struct StatsSnapshot {
+    pub packets: u64,
+    pub stages: [HistogramSnapshot; 4],
+}
+"#;
+        let v = check_file(METRICS, src);
+        assert_eq!(lints_of(&v), vec!["L005"]);
+        assert!(v[0].message.contains("orphan_counter"));
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn l005_passes_when_all_counters_snapshotted() {
+        let src = r#"
+pub struct ServeMetrics {
+    /// Doc.
+    pub packets: AtomicU64,
+    pub hits: AtomicU64,
+}
+pub struct StatsSnapshot {
+    pub packets: u64,
+    pub hits: u64,
+}
+"#;
+        assert!(check_file(METRICS, src).is_empty());
+    }
+
+    #[test]
+    fn l005_fails_loudly_if_structs_vanish() {
+        let v = check_file(METRICS, "pub struct SomethingElse;");
+        assert_eq!(lints_of(&v), vec!["L005"]);
+    }
+
+    #[test]
+    fn violations_display_as_file_line_diagnostics() {
+        let v = check_file(SERVE_LIB, "fn f() { x.unwrap(); }");
+        assert_eq!(
+            v[0].to_string(),
+            "crates/serve/src/server.rs:1: [L001] .unwrap() can panic on the serving path; \
+             propagate a Result or recover"
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = r##"
+fn f() {
+    let s = "please .unwrap() me";
+    let r = r#"println!("hi") as u8"#;
+    // .expect("just a comment") and _ => also here
+}
+"##;
+        assert!(check_file(PROTO, src).is_empty());
+    }
+
+    #[test]
+    fn whole_workspace_is_lint_clean() {
+        // The acceptance criterion: the pass exits clean on this repo.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+        let violations = run(root).expect("walk workspace");
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
