@@ -8,16 +8,15 @@
 //!
 //! Run: `cargo run --release -p iustitia-bench --bin fig5_calc_cost`
 
-use iustitia::features::{FeatureExtractor, FeatureMode};
+use iustitia::features::{FeatureExtractor, FeatureMode, BYTES_PER_COUNTER};
 use iustitia_bench::{print_series, time_us};
 use iustitia_corpus::{generate_file, FileClass};
 use iustitia_entropy::{FeatureWidths, GramHistogram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Approximate bytes per counter: key (u128) + count (u64) + hashmap
-/// overhead ≈ 32 B. The paper counts raw counters; we report both.
-const BYTES_PER_COUNTER: usize = 32;
+/// Packet-sized chunks for the streaming-session comparison.
+const CHUNK: usize = 512;
 
 fn main() {
     println!("Figure 5 — entropy vector calculation cost (φ'_SVM features)");
@@ -27,6 +26,7 @@ fn main() {
 
     let mut time_points = Vec::new();
     let mut space_points = Vec::new();
+    let mut stream_points = Vec::new();
     for &b in &buffer_sizes {
         // Binary content is the middle case for distinct-gram counts.
         let data = generate_file(FileClass::Binary, b, &mut rng);
@@ -40,6 +40,23 @@ fn main() {
         time_points.push((format!("{b}"), vec![us]));
         space_points
             .push((format!("{b}"), vec![counters as f64, (counters * BYTES_PER_COUNTER) as f64]));
+
+        // The same vector computed incrementally, as the streaming
+        // pipeline does: a per-flow session fed packet-sized chunks.
+        // Resident bytes while the flow is pending: the old
+        // buffer-then-compute path holds `b` payload bytes; the
+        // streaming path holds only the gram counters.
+        let stream_us = time_us(reps, || {
+            let mut session = fx.begin_flow(b);
+            for chunk in data.chunks(CHUNK) {
+                session.update(std::hint::black_box(chunk));
+            }
+            std::hint::black_box(session.finish());
+        });
+        let mut session = fx.begin_flow(b);
+        session.update(&data);
+        stream_points
+            .push((format!("{b}"), vec![stream_us, session.resident_bytes() as f64, b as f64]));
     }
     print_series(
         "Figure 5(a): calculation time (µs; paper shape: linear in b, ~10x from 32→1024)",
@@ -52,6 +69,12 @@ fn main() {
         "buffer b",
         &["counters", "bytes"],
         &space_points,
+    );
+    print_series(
+        "Figure 5(c): streaming session (512B chunks) vs buffered resident bytes per flow",
+        "buffer b",
+        &["stream_us", "stream_resident_B", "buffered_resident_B"],
+        &stream_points,
     );
 
     let t32 = time_points[0].1[0];

@@ -55,14 +55,26 @@ fn main() {
     let mut verdicts = 0u64;
     let mut busy = 0u64;
 
+    // Sample the per-shard gauges mid-stream to observe the streaming
+    // pipeline's peak memory (flows pending × feature state), the
+    // number the buffered design paid `b` payload bytes for.
+    let mut peak_pending = 0u64;
+    let mut peak_resident = 0u64;
+    let sample_every = (packets.len() / 16).max(1);
+
     let start = Instant::now();
-    for packet in &packets {
+    for (i, packet) in packets.iter().enumerate() {
         client.submit_packet(packet).expect("submit");
         for event in client.poll_events() {
             match event {
                 ClientEvent::Verdict(_) => verdicts += 1,
                 ClientEvent::Busy(_) => busy += 1,
             }
+        }
+        if i % sample_every == sample_every - 1 {
+            let s = client.stats().expect("stats");
+            peak_pending = peak_pending.max(s.pending_flows());
+            peak_resident = peak_resident.max(s.resident_feature_bytes());
         }
     }
     client.flush().expect("flush");
@@ -84,6 +96,18 @@ fn main() {
     println!("busy rejects:     {busy}");
     println!("server packets:   {} (cdb hits {})", stats.packets, stats.hits);
     println!("flows classified: {}", stats.flows_classified);
+    let b = 32u64; // headline config buffer size
+    println!(
+        "peak pending:     {peak_pending} flows, {peak_resident} B resident feature state \
+         (buffered design would hold ~{} B payload)",
+        peak_pending * b
+    );
+    println!(
+        "final gauges:     {} pending / {} B across {} shards",
+        stats.pending_flows(),
+        stats.resident_feature_bytes(),
+        stats.shards.len()
+    );
     println!("stage latency (server-side ns):");
     println!("  {:<12} {:>9}  {:>8}  {:>8}", "stage", "n", "p50", "p99");
     for stage in Stage::ALL {

@@ -16,7 +16,7 @@ use iustitia_entropy::{EstimatorConfig, FeatureWidths};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const BYTES_PER_COUNTER: usize = 32;
+use iustitia::features::BYTES_PER_COUNTER;
 
 fn measure(widths: &FeatureWidths, mode: FeatureMode, data: &[u8], reps: usize) -> (f64, usize) {
     let mut fx = FeatureExtractor::new(widths.clone(), mode, 1);
@@ -25,6 +25,28 @@ fn measure(widths: &FeatureWidths, mode: FeatureMode, data: &[u8], reps: usize) 
     });
     let counters = fx.counters_for_buffer(data);
     (us, counters * BYTES_PER_COUNTER)
+}
+
+/// Same vector via an incremental per-flow session fed 512-byte
+/// chunks, as the streaming pipeline computes it. Returns time and the
+/// session's resident footprint while pending.
+fn measure_stream(
+    widths: &FeatureWidths,
+    mode: FeatureMode,
+    data: &[u8],
+    reps: usize,
+) -> (f64, usize) {
+    let fx = FeatureExtractor::new(widths.clone(), mode, 1);
+    let us = time_us(reps, || {
+        let mut session = fx.begin_flow(data.len());
+        for chunk in data.chunks(512) {
+            session.update(std::hint::black_box(chunk));
+        }
+        std::hint::black_box(session.finish());
+    });
+    let mut session = fx.begin_flow(data.len());
+    session.update(data);
+    (us, session.resident_bytes())
 }
 
 fn main() {
@@ -37,6 +59,7 @@ fn main() {
     let cart_cfg = EstimatorConfig::cart_optimal(); // ε=0.5, δ=0.1
 
     let mut rows = Vec::new();
+    let mut stream_rows = Vec::new();
     let mut remembered: Vec<(String, f64, usize)> = Vec::new();
     for (label, widths, cfg, data, reps) in [
         ("b=1024 SVM", FeatureWidths::svm_selected(), svm_cfg, &data_1k, 200),
@@ -63,6 +86,24 @@ fn main() {
             if is_small { "-".into() } else { format!("×{:.2}", t_est / t_exact) },
             if is_small { "-".into() } else { format!("×{:.2}", s_exact as f64 / s_est as f64) },
         ]);
+
+        // Buffered vs incremental: a pending flow used to hold
+        // `data.len()` payload bytes; the streaming session holds only
+        // its counters/trackers and computes the identical vector.
+        let (t_stream, s_stream) = measure_stream(&widths, FeatureMode::Exact, data, reps);
+        let (t_stream_est, s_stream_est) = if is_small {
+            (f64::NAN, 0)
+        } else {
+            measure_stream(&widths, FeatureMode::Estimated(cfg), data, reps / 4)
+        };
+        stream_rows.push(vec![
+            label.to_string(),
+            format!("{}B", data.len()),
+            format!("{t_stream:.1}µs"),
+            format!("{s_stream}B"),
+            if is_small { "-".into() } else { format!("{t_stream_est:.1}µs") },
+            if is_small { "-".into() } else { format!("{s_stream_est}B") },
+        ]);
     }
     print_table(
         "Table 3 (paper ratios at b=1024: time ×3 slower, space ×3 smaller)",
@@ -76,6 +117,20 @@ fn main() {
             "space saving",
         ],
         &rows,
+    );
+
+    print_table(
+        "Streaming sessions (identical vectors, no payload buffering): \
+         per-flow resident state vs buffered payload",
+        &[
+            "config",
+            "buffered payload",
+            "stream time",
+            "stream resident",
+            "est time",
+            "est resident",
+        ],
+        &stream_rows,
     );
 
     println!(

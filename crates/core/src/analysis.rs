@@ -145,7 +145,7 @@ where
 
     for packet in packets {
         while packet.timestamp >= next_tick {
-            pipeline.flush_idle(next_tick);
+            pipeline.sweep_idle(next_tick);
             for f in pipeline.take_log() {
                 let tau = delays.tau_hash + delays.tau_cdb_search + f.fill_time;
                 window_c.push(f.packets as f64);

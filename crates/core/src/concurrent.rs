@@ -129,7 +129,7 @@ impl ShardedIustitia {
                             hits += 1;
                         }
                     }
-                    pipeline.flush_idle(last_t + pipeline.config().idle_timeout + 1.0);
+                    pipeline.sweep_idle(last_t + pipeline.config().idle_timeout + 1.0);
                     let log = pipeline.take_log();
                     // A poisoned lock means a sibling shard panicked; its
                     // partial report is still aggregable, and the panic

@@ -6,8 +6,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use iustitia_corpus::LabeledFile;
-use iustitia_entropy::{EntropyVector, EstimatorConfig, FeatureWidths, StreamingEntropyEstimator};
+use iustitia_entropy::{
+    EntropyVector, EstimatorConfig, FeatureWidths, IncrementalEstimator, IncrementalVector,
+    StreamingEntropyEstimator,
+};
 use iustitia_ml::Dataset;
+
+/// Bytes charged per resident counter in space accounting (the paper's
+/// §4.4 cost model; also used by the bench binaries).
+pub const BYTES_PER_COUNTER: usize = 32;
 
 /// How entropy features are computed from a buffer.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -68,6 +75,22 @@ impl FeatureExtractor {
         }
     }
 
+    /// Starts a per-flow feature session sized for `b_hint` payload
+    /// bytes (the pipeline passes its configured buffer size `b`).
+    ///
+    /// Feeding a session the same bytes in any packetization and
+    /// calling [`FlowFeatureState::finish`] is bit-identical to
+    /// [`extract`](Self::extract) on the concatenated payload, provided
+    /// `b_hint` equals the total length in estimated mode (exact mode
+    /// ignores the hint entirely).
+    pub fn begin_flow(&self, b_hint: usize) -> FlowFeatureState {
+        let inner = match &self.estimator {
+            None => FlowStateInner::Exact(IncrementalVector::new(&self.widths)),
+            Some(est) => FlowStateInner::Estimated(est.begin_incremental(&self.widths, b_hint)),
+        };
+        FlowFeatureState { inner }
+    }
+
     /// Counters used per flow: exact counting needs one counter per
     /// distinct gram (reported per-buffer), the sketch needs the fixed
     /// `g·z` budget (§4.4, Formula 3).
@@ -85,6 +108,64 @@ impl FeatureExtractor {
             }
             (FeatureMode::Estimated(_), None) => unreachable!("estimator exists in Estimated mode"),
         }
+    }
+}
+
+/// In-progress feature state of one pending flow, created by
+/// [`FeatureExtractor::begin_flow`].
+///
+/// This replaces the historical "buffer the first `b` payload bytes,
+/// then extract" flow state: chunks are folded in as packets arrive,
+/// so a pending flow holds O(distinct grams) (exact mode) or the fixed
+/// `g·z` sketch (estimated mode) instead of O(`b`) payload bytes.
+#[derive(Debug, Clone)]
+pub struct FlowFeatureState {
+    inner: FlowStateInner,
+}
+
+#[derive(Debug, Clone)]
+enum FlowStateInner {
+    Exact(IncrementalVector),
+    Estimated(IncrementalEstimator),
+}
+
+impl FlowFeatureState {
+    /// Folds one chunk of classification-window payload into the state.
+    pub fn update(&mut self, chunk: &[u8]) {
+        match &mut self.inner {
+            FlowStateInner::Exact(v) => v.update(chunk),
+            FlowStateInner::Estimated(e) => e.update(chunk),
+        }
+    }
+
+    /// The feature vector of everything fed so far.
+    pub fn finish(&self) -> Vec<f64> {
+        match &self.inner {
+            FlowStateInner::Exact(v) => v.finish().into_values(),
+            FlowStateInner::Estimated(e) => e.finish(),
+        }
+    }
+
+    /// Total payload bytes fed so far.
+    pub fn total_bytes(&self) -> u64 {
+        match &self.inner {
+            FlowStateInner::Exact(v) => v.total_bytes(),
+            FlowStateInner::Estimated(e) => e.total_bytes(),
+        }
+    }
+
+    /// Counters currently resident for this flow.
+    pub fn counters_used(&self) -> usize {
+        match &self.inner {
+            FlowStateInner::Exact(v) => v.counters_used(),
+            FlowStateInner::Estimated(e) => e.counters_used(),
+        }
+    }
+
+    /// Estimated heap footprint of this flow's feature state, at
+    /// [`BYTES_PER_COUNTER`] per resident counter.
+    pub fn resident_bytes(&self) -> usize {
+        self.counters_used() * BYTES_PER_COUNTER
     }
 }
 
@@ -275,6 +356,85 @@ mod tests {
     fn empty_payload_extracts_zero_vector() {
         let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
         assert_eq!(fx.extract(b""), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn flow_session_matches_one_shot_extract_exact() {
+        let widths = FeatureWidths::svm_selected();
+        let mut fx = FeatureExtractor::new(widths, FeatureMode::Exact, 0);
+        let data: Vec<u8> = (0..777u32).map(|i| (i.wrapping_mul(193) >> 3) as u8).collect();
+        let one_shot = fx.extract(&data);
+        for chunk_len in [1usize, 4, 16, 777] {
+            let mut session = fx.begin_flow(data.len());
+            for chunk in data.chunks(chunk_len) {
+                session.update(chunk);
+            }
+            assert_eq!(session.finish(), one_shot, "chunk_len={chunk_len}");
+        }
+    }
+
+    #[test]
+    fn flow_session_matches_one_shot_extract_estimated() {
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::svm_optimal();
+        let mut fx = FeatureExtractor::new(widths, FeatureMode::Estimated(cfg), 19);
+        let data: Vec<u8> =
+            (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect();
+        let one_shot = fx.extract(&data);
+        for chunk_len in [1usize, 3, 64, 1024] {
+            let mut session = fx.begin_flow(data.len());
+            for chunk in data.chunks(chunk_len) {
+                session.update(chunk);
+            }
+            assert_eq!(session.finish(), one_shot, "chunk_len={chunk_len}");
+        }
+    }
+
+    #[test]
+    fn interleaved_flows_match_independent_extractors() {
+        // Regression test for estimator state bleed: one shared
+        // extractor serving two interleaved flows must produce exactly
+        // the results of two independent extractors with the same seed.
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::svm_optimal();
+        let flow_a: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(101)) as u8).collect();
+        let flow_b: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(211) >> 2) as u8).collect();
+
+        let shared = FeatureExtractor::new(widths.clone(), FeatureMode::Estimated(cfg), 77);
+        let mut session_a = shared.begin_flow(flow_a.len());
+        let mut session_b = shared.begin_flow(flow_b.len());
+        for (ca, cb) in flow_a.chunks(32).zip(flow_b.chunks(48)) {
+            session_a.update(ca);
+            session_b.update(cb);
+        }
+        for ca in flow_a.chunks(32).skip(flow_b.len() / 48 + 1) {
+            session_a.update(ca);
+        }
+        // Feed any remainder so both sessions saw their full payloads.
+        let fed_a = session_a.total_bytes() as usize;
+        session_a.update(&flow_a[fed_a..]);
+        let fed_b = session_b.total_bytes() as usize;
+        session_b.update(&flow_b[fed_b..]);
+
+        let mut solo_a = FeatureExtractor::new(widths.clone(), FeatureMode::Estimated(cfg), 77);
+        let mut solo_b = FeatureExtractor::new(widths, FeatureMode::Estimated(cfg), 77);
+        assert_eq!(session_a.finish(), solo_a.extract(&flow_a));
+        assert_eq!(session_b.finish(), solo_b.extract(&flow_b));
+    }
+
+    #[test]
+    fn exact_session_resident_state_is_distinct_grams_not_payload() {
+        let widths = FeatureWidths::svm_selected();
+        let fx = FeatureExtractor::new(widths, FeatureMode::Exact, 0);
+        let mut session = fx.begin_flow(4096);
+        // Constant payload: one distinct gram per width, regardless of
+        // how many bytes stream through.
+        for _ in 0..64 {
+            session.update(&[7u8; 64]);
+        }
+        assert_eq!(session.total_bytes(), 4096);
+        assert_eq!(session.counters_used(), 4);
+        assert_eq!(session.resident_bytes(), 4 * BYTES_PER_COUNTER);
     }
 
     #[test]

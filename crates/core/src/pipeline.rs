@@ -2,21 +2,30 @@
 //!
 //! Per packet: hash the header into a flow ID, look the flow up in the
 //! [CDB](crate::cdb); on a hit, forward to the flow's output queue.
-//! Otherwise buffer the payload; once `b` bytes (plus any header
-//! allowance) have accumulated — or the flow goes idle — extract the
-//! entropy vector, classify, store the label in the CDB, and drain the
-//! buffer to the right queue. FIN/RST packets remove CDB records.
+//! Otherwise fold the payload into the flow's *incremental feature
+//! state*; once `b` classification-window bytes have streamed through —
+//! or the flow goes idle — finish the entropy vector, classify, store
+//! the label in the CDB, and drain the flow to the right queue. FIN/RST
+//! packets remove CDB records.
+//!
+//! Pending flows do **not** hold their payload: a flow buffers raw
+//! bytes only while the [`HeaderPolicy`] skip/strip decision is still
+//! unresolved (bounded by the buffer capacity, and only under
+//! [`HeaderPolicy::StripKnown`]). Once resolved, per-flow heap is the
+//! feature state alone — O(distinct grams) in exact mode, the fixed
+//! `g·z` sketch in estimated mode — independent of `b`.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use iustitia_corpus::{strip_application_header, FileClass};
+use iustitia_corpus::{scan_application_header, strip_application_header, FileClass, HeaderScan};
 use iustitia_netsim::Packet;
 
 use crate::cdb::{CdbConfig, ClassificationDatabase, FlowId};
-use crate::features::{FeatureExtractor, FeatureMode};
+use crate::features::{FeatureExtractor, FeatureMode, FlowFeatureState};
 use crate::model::NatureModel;
 use iustitia_entropy::FeatureWidths;
 
@@ -128,13 +137,46 @@ pub struct ClassifiedFlow {
     pub buffered_bytes: usize,
 }
 
+/// Where a pending flow is in its lifecycle.
+#[derive(Debug)]
+enum FlowStage {
+    /// Raw prefix retained verbatim until the header skip/strip
+    /// decision resolves (only [`HeaderPolicy::StripKnown`] flows pass
+    /// through this stage; it is bounded by the buffer capacity).
+    Staging(Vec<u8>),
+    /// Header decision resolved: payload streams straight into the
+    /// incremental feature state, nothing is retained.
+    Streaming {
+        /// Per-flow incremental feature session.
+        features: FlowFeatureState,
+        /// Classification-window bytes fed so far (`≤ b`).
+        fed: usize,
+        /// Header/skip bytes still to discard before feeding.
+        skip_remaining: usize,
+    },
+}
+
 #[derive(Debug)]
 struct FlowBuffer {
-    data: Vec<u8>,
+    stage: FlowStage,
     first_ts: f64,
     last_ts: f64,
     packets: u32,
-    skip: usize,
+    /// Payload bytes observed for this flow, saturating at the buffer
+    /// capacity (the old `data.len()`; still reported as
+    /// `buffered_bytes` for the §4.5 delay analysis).
+    seen: usize,
+}
+
+impl FlowBuffer {
+    /// Estimated heap resident for this flow: staged raw bytes, or the
+    /// feature state's counter footprint once streaming.
+    fn resident_bytes(&self) -> usize {
+        match &self.stage {
+            FlowStage::Staging(staged) => staged.len(),
+            FlowStage::Streaming { features, .. } => features.resident_bytes(),
+        }
+    }
 }
 
 /// Throughput counters for the three output queues plus pass-through.
@@ -193,6 +235,10 @@ pub struct Iustitia {
     rng: StdRng,
     queues: QueueCounters,
     log: Vec<ClassifiedFlow>,
+    /// Running sum of every pending flow's [`FlowBuffer::resident_bytes`].
+    resident: usize,
+    /// Timestamp of the last opportunistic idle sweep.
+    last_sweep: f64,
 }
 
 impl Iustitia {
@@ -211,6 +257,8 @@ impl Iustitia {
             rng,
             queues: QueueCounters::default(),
             log: Vec::new(),
+            resident: 0,
+            last_sweep: f64::NEG_INFINITY,
         }
     }
 
@@ -234,6 +282,13 @@ impl Iustitia {
         self.buffers.len()
     }
 
+    /// Estimated heap bytes resident across all pending flows' feature
+    /// state and header staging buffers (maintained incrementally; the
+    /// quantity the §4.4 estimation trades against).
+    pub fn resident_feature_bytes(&self) -> usize {
+        self.resident
+    }
+
     /// Drains the per-flow classification log (each entry carries the
     /// `c` and `τ_b` quantities of the delay analysis).
     pub fn take_log(&mut self) -> Vec<ClassifiedFlow> {
@@ -250,6 +305,17 @@ impl Iustitia {
     pub fn process_packet(&mut self, packet: &Packet) -> Verdict {
         let id = FlowId::of_tuple(&packet.tuple);
         let now = packet.timestamp;
+
+        // Opportunistic idle sweep, at most once per idle_timeout: the
+        // configured timeout is enforced even when nobody calls
+        // `sweep_idle` explicitly, so stalled flows cannot pin their
+        // state forever.
+        if now - self.last_sweep >= self.config.idle_timeout {
+            if self.last_sweep.is_finite() {
+                self.sweep_idle(now);
+            }
+            self.last_sweep = now;
+        }
 
         if packet.flags.closes_flow() {
             self.cdb.remove_on_close(&id);
@@ -270,26 +336,104 @@ impl Iustitia {
             return Verdict::Hit(label);
         }
 
-        // Buffer the payload.
+        let b = self.config.buffer_size;
         let capacity = self.buffer_capacity();
-        let skip = match self.config.header_policy {
-            HeaderPolicy::RandomSkip { t_max } => self.rng.gen_range(0..=t_max),
-            _ => 0,
+        let policy = self.config.header_policy;
+        let (buf, created) = match self.buffers.entry(id) {
+            Entry::Occupied(e) => (e.into_mut(), false),
+            Entry::Vacant(v) => {
+                // Every policy except StripKnown knows its skip up
+                // front, so those flows stream from the first byte and
+                // never stage payload.
+                let stage = match policy {
+                    HeaderPolicy::StripKnown { .. } => FlowStage::Staging(Vec::new()),
+                    HeaderPolicy::None => FlowStage::Streaming {
+                        features: self.extractor.begin_flow(b),
+                        fed: 0,
+                        skip_remaining: 0,
+                    },
+                    HeaderPolicy::SkipThreshold { t } => FlowStage::Streaming {
+                        features: self.extractor.begin_flow(b),
+                        fed: 0,
+                        skip_remaining: t,
+                    },
+                    HeaderPolicy::RandomSkip { t_max } => FlowStage::Streaming {
+                        features: self.extractor.begin_flow(b),
+                        fed: 0,
+                        skip_remaining: self.rng.gen_range(0..=t_max),
+                    },
+                };
+                (
+                    v.insert(FlowBuffer {
+                        stage,
+                        first_ts: now,
+                        last_ts: now,
+                        packets: 0,
+                        seen: 0,
+                    }),
+                    true,
+                )
+            }
         };
-        let buf = self.buffers.entry(id).or_insert_with(|| FlowBuffer {
-            data: Vec::with_capacity(capacity.min(4096)),
-            first_ts: now,
-            last_ts: now,
-            packets: 0,
-            skip,
-        });
-        let room = capacity.saturating_sub(buf.data.len());
-        buf.data.extend_from_slice(&packet.payload[..room.min(packet.payload.len())]);
+
         buf.packets += 1;
         buf.last_ts = now;
         self.queues.buffered += 1;
 
-        if buf.data.len() >= capacity {
+        // A fresh estimated-mode flow allocates its sketch trackers up
+        // front, so a newly created buffer contributes its entire
+        // resident footprint, not a delta from a prior value.
+        let before = if created { 0 } else { buf.resident_bytes() };
+        let room = capacity.saturating_sub(buf.seen);
+        let intake = &packet.payload[..room.min(packet.payload.len())];
+        buf.seen += intake.len();
+
+        match &mut buf.stage {
+            FlowStage::Staging(staging) => {
+                staging.extend_from_slice(intake);
+                let resolved_skip = match scan_application_header(staging) {
+                    HeaderScan::Resolved(_, offset) => Some(offset),
+                    // Unknown application: the threshold-T fallback is
+                    // now final too.
+                    HeaderScan::Unknown => match policy {
+                        HeaderPolicy::StripKnown { t } => Some(t),
+                        // Staging only happens under StripKnown.
+                        _ => Some(0),
+                    },
+                    HeaderScan::NeedMore => None,
+                };
+                if let Some(skip) = resolved_skip {
+                    let staged = std::mem::take(staging);
+                    let mut features = self.extractor.begin_flow(b);
+                    let mut fed = 0usize;
+                    let mut skip_remaining = skip;
+                    if staged.len() > skip {
+                        let take = (staged.len() - skip).min(b);
+                        features.update(&staged[skip..skip + take]);
+                        fed = take;
+                        skip_remaining = 0;
+                    } else {
+                        skip_remaining -= staged.len();
+                    }
+                    buf.stage = FlowStage::Streaming { features, fed, skip_remaining };
+                }
+            }
+            FlowStage::Streaming { features, fed, skip_remaining } => {
+                Self::feed_streaming(features, fed, skip_remaining, intake, b);
+            }
+        }
+        let after = buf.resident_bytes();
+        self.resident = self.resident - before + after;
+
+        let full = match &buf.stage {
+            FlowStage::Staging(staged) => staged.len() >= capacity,
+            // A resolved header longer than the allowance can leave
+            // fewer than `b` window bytes in the first `capacity`
+            // payload bytes; `seen >= capacity` classifies those flows
+            // from what fits, like the old full-buffer path did.
+            FlowStage::Streaming { fed, .. } => *fed >= b || buf.seen >= capacity,
+        };
+        if full {
             match self.classify_flow(id, now) {
                 Some(label) => Verdict::Classified(label),
                 None => Verdict::Ignored,
@@ -299,10 +443,34 @@ impl Iustitia {
         }
     }
 
-    /// Classifies every flow whose buffer has been idle longer than the
-    /// configured timeout (call periodically with the current time).
-    /// Returns the number of flows classified.
-    pub fn flush_idle(&mut self, now: f64) -> usize {
+    /// Discards `skip_remaining` leading bytes of `chunk`, then feeds
+    /// up to the remaining classification window into the feature state.
+    fn feed_streaming(
+        features: &mut FlowFeatureState,
+        fed: &mut usize,
+        skip_remaining: &mut usize,
+        mut chunk: &[u8],
+        b: usize,
+    ) {
+        if *skip_remaining > 0 {
+            let skipped = (*skip_remaining).min(chunk.len());
+            *skip_remaining -= skipped;
+            chunk = &chunk[skipped..];
+        }
+        let take = b.saturating_sub(*fed).min(chunk.len());
+        if take > 0 {
+            features.update(&chunk[..take]);
+            *fed += take;
+        }
+    }
+
+    /// Classifies-or-drops every flow idle longer than the configured
+    /// timeout. Called opportunistically by
+    /// [`process_packet`](Self::process_packet) and available publicly
+    /// as the serve layer's drain barrier. Returns the number of flows
+    /// evicted (a flow whose effective payload is empty is dropped
+    /// without a verdict but still counts).
+    pub fn sweep_idle(&mut self, now: f64) -> usize {
         let idle: Vec<FlowId> = self
             .buffers
             .iter()
@@ -316,15 +484,37 @@ impl Iustitia {
         n
     }
 
+    /// Alias of [`sweep_idle`](Self::sweep_idle), kept for callers of
+    /// the pre-sweep API.
+    pub fn flush_idle(&mut self, now: f64) -> usize {
+        self.sweep_idle(now)
+    }
+
     /// Classifies and evicts one buffered flow (used by full-buffer,
     /// idle, and close paths).
     fn classify_flow(&mut self, id: FlowId, now: f64) -> Option<FileClass> {
         let buf = self.buffers.remove(&id)?;
-        let payload = self.effective_payload(&buf);
-        if payload.is_empty() {
-            return None;
-        }
-        let features = self.extractor.extract(payload);
+        self.resident -= buf.resident_bytes();
+        let features = match &buf.stage {
+            // Header decision never resolved (StripKnown flow evicted
+            // while staging): classify one-shot from the staged prefix,
+            // exactly like the historical buffer-then-compute path.
+            FlowStage::Staging(staged) => {
+                let payload = self.staged_payload(staged);
+                if payload.is_empty() {
+                    return None;
+                }
+                self.extractor.extract(payload)
+            }
+            FlowStage::Streaming { features, fed, .. } => {
+                if *fed == 0 {
+                    // All observed bytes were header/skip: nothing to
+                    // classify on, as in the old empty-payload path.
+                    return None;
+                }
+                features.finish()
+            }
+        };
         let label = self.model.predict(&features);
         self.cdb.insert(id, label, now);
         self.queues.forwarded[label.index()] += buf.packets as u64;
@@ -333,20 +523,21 @@ impl Iustitia {
             label,
             packets: buf.packets,
             fill_time: buf.last_ts - buf.first_ts,
-            buffered_bytes: buf.data.len(),
+            buffered_bytes: buf.seen,
         });
         Some(label)
     }
 
-    /// Applies the header policy to a buffered prefix, yielding the `b`
-    /// bytes that the entropy vector is computed over.
-    fn effective_payload<'a>(&self, buf: &'a FlowBuffer) -> &'a [u8] {
+    /// Applies the header policy to a still-staged prefix, yielding the
+    /// `b` bytes the entropy vector is computed over (the one-shot
+    /// fallback for flows evicted before their header resolved).
+    fn staged_payload<'a>(&self, data: &'a [u8]) -> &'a [u8] {
         let b = self.config.buffer_size;
-        let data = &buf.data[..];
         let start = match self.config.header_policy {
             HeaderPolicy::None => 0,
             HeaderPolicy::SkipThreshold { t } => t.min(data.len()),
-            HeaderPolicy::RandomSkip { .. } => buf.skip.min(data.len()),
+            // Non-StripKnown flows never stage; arms kept for totality.
+            HeaderPolicy::RandomSkip { .. } => 0,
             HeaderPolicy::StripKnown { t } => match strip_application_header(data) {
                 Some((_, offset)) => offset.min(data.len()),
                 None => t.min(data.len()),
@@ -592,5 +783,48 @@ mod tests {
         ius.process_packet(&data_packet(1, 0.1, &text_payload(10)));
         ius.process_packet(&data_packet(1, 0.2, &text_payload(10)));
         assert_eq!(ius.queues().forwarded[FileClass::Text.index()], 3);
+    }
+
+    /// Regression for the pending-flow leak: a stalled flow must be
+    /// evicted by traffic on *other* flows, without anyone calling
+    /// `sweep_idle` explicitly.
+    #[test]
+    fn opportunistic_sweep_evicts_stalled_flows() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(15));
+        // Flow A stalls with a partial buffer at t=0.
+        ius.process_packet(&data_packet(1, 0.0, &text_payload(8)));
+        assert_eq!(ius.pending_flows(), 1);
+        // A packet for unrelated flow B, one idle-timeout later,
+        // triggers the opportunistic sweep that classifies A.
+        ius.process_packet(&data_packet(2, 10.0, &text_payload(8)));
+        assert_eq!(ius.pending_flows(), 1, "A evicted, B pending");
+        let log = ius.take_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].id, FlowId::of_tuple(&tuple(1)));
+        assert_eq!(log[0].buffered_bytes, 8);
+    }
+
+    /// The tentpole invariant: a pending flow's heap footprint is the
+    /// feature state (O(distinct grams)), not the payload (O(b)).
+    #[test]
+    fn pending_flow_state_does_not_scale_with_buffer_size() {
+        let config = PipelineConfig { buffer_size: 2048, ..PipelineConfig::headline(16) };
+        let mut ius = Iustitia::new(toy_model(), config);
+        let constant = vec![0x61u8; 1024];
+        assert_eq!(ius.process_packet(&data_packet(1, 0.0, &constant)), Verdict::Buffering);
+        assert_eq!(ius.process_packet(&data_packet(1, 0.1, &constant[..512])), Verdict::Buffering);
+        let resident = ius.resident_feature_bytes();
+        assert!(
+            resident > 0 && resident <= 8 * crate::features::BYTES_PER_COUNTER,
+            "1536 buffered bytes should be resident as a handful of gram \
+             counters, got {resident}B"
+        );
+        // Filling the window classifies and releases all state.
+        assert!(matches!(
+            ius.process_packet(&data_packet(1, 0.2, &constant[..512])),
+            Verdict::Classified(_)
+        ));
+        assert_eq!(ius.resident_feature_bytes(), 0);
+        assert_eq!(ius.pending_flows(), 0);
     }
 }

@@ -90,7 +90,7 @@ proptest! {
             }
             prop_assert!(pipeline.cdb().len() <= pipeline.cdb().stats().inserted as usize);
         }
-        pipeline.flush_idle(f64::INFINITY);
+        pipeline.sweep_idle(f64::INFINITY);
         prop_assert_eq!(pipeline.pending_flows(), 0);
     }
 

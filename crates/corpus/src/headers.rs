@@ -175,6 +175,64 @@ pub fn strip_application_header(data: &[u8]) -> Option<(AppProtocol, usize)> {
     }
 }
 
+/// Outcome of scanning a *growing* prefix of a flow for an application
+/// header (the streaming counterpart of [`strip_application_header`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderScan {
+    /// No known signature matches this prefix and no longer prefix can
+    /// change that: an unknown application (threshold-`T` policy).
+    Unknown,
+    /// The prefix is still ambiguous; feed more bytes and rescan.
+    NeedMore,
+    /// Header resolved: the payload starts at this offset, and scanning
+    /// any extension of this prefix yields the same offset.
+    Resolved(AppProtocol, usize),
+}
+
+/// Scans a prefix of a flow for a well-known application header,
+/// reporting whether the skip/strip decision is already final.
+///
+/// The decision is *prefix-deterministic*: once `Resolved` or `Unknown`
+/// is returned for some prefix, [`strip_application_header`] on any
+/// extension agrees (signatures are never prefixes of one another, HTTP
+/// headers end at the first `\r\n\r\n`, and the mail protocols end at
+/// the first complete non-protocol line). This lets the flow pipeline
+/// stop staging raw bytes as soon as the decision lands instead of
+/// holding the whole buffer until classification.
+pub fn scan_application_header(data: &[u8]) -> HeaderScan {
+    let matched = SIGNATURES.iter().find(|(prefix, _)| data.starts_with(prefix));
+    let Some(&(_, protocol)) = matched else {
+        let could_still_match = SIGNATURES
+            .iter()
+            .any(|(prefix, _)| prefix.len() > data.len() && prefix.starts_with(data));
+        return if could_still_match { HeaderScan::NeedMore } else { HeaderScan::Unknown };
+    };
+    match protocol {
+        AppProtocol::Http => match find_subslice(data, b"\r\n\r\n") {
+            Some(i) => HeaderScan::Resolved(protocol, i + 4),
+            None => HeaderScan::NeedMore,
+        },
+        AppProtocol::Smtp | AppProtocol::Pop3 | AppProtocol::Imap => {
+            let mut offset = 0usize;
+            while offset < data.len() {
+                let line_end = match find_subslice(&data[offset..], b"\r\n") {
+                    Some(i) => offset + i + 2,
+                    // Trailing incomplete line: more bytes may complete
+                    // it into a protocol line.
+                    None => return HeaderScan::NeedMore,
+                };
+                if !is_protocol_line(&data[offset..line_end]) {
+                    return HeaderScan::Resolved(protocol, offset);
+                }
+                offset = line_end;
+            }
+            // Every complete line so far is protocol chatter; the next
+            // line may or may not be.
+            HeaderScan::NeedMore
+        }
+    }
+}
+
 /// Whether a line looks like protocol chatter (ASCII, command-ish)
 /// rather than message payload.
 fn is_protocol_line(raw: &[u8]) -> bool {
@@ -316,6 +374,55 @@ mod tests {
             assert!(strip_application_header(&h).is_some());
         }
         assert!(saw_request && saw_response);
+    }
+
+    #[test]
+    fn scan_is_prefix_deterministic() {
+        // Once the scan resolves on a prefix, the one-shot stripper must
+        // agree on every extension — the invariant the streaming
+        // pipeline's early header resolution rests on.
+        let mut r = rng(17);
+        for proto in AppProtocol::ALL {
+            let mut flow = HeaderGenerator::new(proto).generate(&mut r);
+            // Binary payload whose first "line" completes with CRLF, so
+            // the mail protocols can resolve on it.
+            flow.extend_from_slice(&[0xFF, 0xD8, 0x00, 0x81, b'\r', b'\n', 0xB4, 0xC5]);
+            let mut resolved: Option<usize> = None;
+            for len in 0..=flow.len() {
+                match scan_application_header(&flow[..len]) {
+                    HeaderScan::Resolved(p, off) => {
+                        assert_eq!(p, proto, "len={len}");
+                        if let Some(prev) = resolved {
+                            assert_eq!(off, prev, "resolution must be stable, len={len}");
+                        }
+                        resolved = Some(off);
+                    }
+                    HeaderScan::Unknown => panic!("{proto:?} prefix reported unknown at {len}"),
+                    HeaderScan::NeedMore => {
+                        assert!(resolved.is_none(), "must not unresolve, len={len}");
+                    }
+                }
+            }
+            let (_, one_shot) = strip_application_header(&flow).expect("detected");
+            assert_eq!(resolved, Some(one_shot), "{proto:?}");
+        }
+    }
+
+    #[test]
+    fn scan_unknown_is_final_and_matches_one_shot() {
+        let data = b"\x7FELF binary payload of an unknown protocol";
+        for len in [0usize, 1, 2, 7, 8, data.len()] {
+            let scan = scan_application_header(&data[..len]);
+            if len == 0 {
+                assert_eq!(scan, HeaderScan::NeedMore, "empty prefix could become anything");
+            } else {
+                assert_eq!(scan, HeaderScan::Unknown, "len={len}");
+            }
+        }
+        assert!(strip_application_header(data).is_none());
+        // A short prefix of a real signature stays ambiguous.
+        assert_eq!(scan_application_header(b"HTT"), HeaderScan::NeedMore);
+        assert_eq!(scan_application_header(b"+O"), HeaderScan::NeedMore);
     }
 
     #[test]

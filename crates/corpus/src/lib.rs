@@ -51,7 +51,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub use encrypted::Rc4;
-pub use headers::{strip_application_header, AppProtocol, HeaderGenerator};
+pub use headers::{
+    scan_application_header, strip_application_header, AppProtocol, HeaderGenerator, HeaderScan,
+};
 
 /// The three flow/file natures Iustitia distinguishes.
 ///

@@ -18,13 +18,20 @@
 //! (`|f_1| = 256`), so — exactly as the paper prescribes — `h_1` is always
 //! computed exactly and only `k ≥ 2` features are estimated.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::vector::FeatureWidths;
+use crate::histogram::GramHistogram;
+use crate::vector::{entropy_of_histogram, FeatureWidths};
 use crate::BITS_PER_BYTE;
+
+/// Mixing constant for deriving independent per-width RNG streams from
+/// one base seed (the 64-bit golden-ratio constant).
+const WIDTH_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Errors from the `(δ,ε)` estimation configuration or invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,9 +147,18 @@ pub fn min_epsilon(widths: &FeatureWidths, b: usize, alpha: usize, delta: f64) -
 
 /// The streaming entropy estimator of §4.4.1.
 ///
-/// Holds the `(δ,ε)` configuration and a seeded RNG so experiments are
-/// reproducible. Each [`estimate`](Self::estimate_hk) call runs the
-/// six-step sampling procedure of the paper on a full buffer.
+/// Holds the `(δ,ε)` configuration and a base seed from which each
+/// estimation derives its sampling RNG, so experiments are reproducible
+/// and — crucially for the flow pipeline — estimates for different
+/// flows are independent of interleaving: the sampling stream for a
+/// payload depends only on `(seed, k)`, never on which flows were
+/// estimated before it.
+///
+/// One-shot estimation ([`estimate_sk`](Self::estimate_sk) and
+/// friends) is implemented as a single pass of the incremental sketch
+/// ([`begin_incremental`](Self::begin_incremental)), so feeding a
+/// payload in arbitrary chunks produces bit-identical results to
+/// feeding it at once.
 ///
 /// # Examples
 ///
@@ -160,18 +176,18 @@ pub fn min_epsilon(widths: &FeatureWidths, b: usize, alpha: usize, delta: f64) -
 #[derive(Debug, Clone)]
 pub struct StreamingEntropyEstimator {
     config: EstimatorConfig,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl StreamingEntropyEstimator {
-    /// Creates an estimator with an OS-seeded RNG.
+    /// Creates an estimator with an OS-derived base seed.
     pub fn new(config: EstimatorConfig) -> Self {
-        StreamingEntropyEstimator { config, rng: StdRng::from_entropy() }
+        StreamingEntropyEstimator::with_seed(config, StdRng::from_entropy().gen())
     }
 
     /// Creates an estimator with a deterministic seed (for experiments).
     pub fn with_seed(config: EstimatorConfig, seed: u64) -> Self {
-        StreamingEntropyEstimator { config, rng: StdRng::seed_from_u64(seed) }
+        StreamingEntropyEstimator { config, seed }
     }
 
     /// The configuration in use.
@@ -179,8 +195,39 @@ impl StreamingEntropyEstimator {
         &self.config
     }
 
+    /// The sampling RNG for feature width `k`: derived fresh from the
+    /// base seed for every estimation, so no sampling state carries
+    /// over between payloads (or between flows of a shared pipeline).
+    fn width_rng(&self, k: usize) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (k as u64).wrapping_mul(WIDTH_SEED_MIX))
+    }
+
+    /// Starts an incremental estimation session sized for a buffer of
+    /// `b_hint` bytes (the pipeline passes its configured `b`; one-shot
+    /// callers pass the payload length). Feed chunks with
+    /// [`IncrementalEstimator::update`] and read the vector with
+    /// [`IncrementalEstimator::finish`].
+    pub fn begin_incremental(&self, widths: &FeatureWidths, b_hint: usize) -> IncrementalEstimator {
+        let slots = widths
+            .iter()
+            .map(|k| {
+                if k == 1 {
+                    WidthSlot::Exact(GramHistogram::new(1))
+                } else {
+                    WidthSlot::Sketch(IncrementalSketch::new(
+                        &self.config,
+                        k,
+                        b_hint,
+                        self.width_rng(k),
+                    ))
+                }
+            })
+            .collect();
+        IncrementalEstimator { widths: widths.clone(), slots }
+    }
+
     /// Estimates `S_k = Σᵢ m_ik·log₂(m_ik)` over the `k`-grams of `data`
-    /// using the sampling procedure of §4.4.1.
+    /// using the sampling procedure of §4.4.1 (reservoir form).
     ///
     /// # Errors
     ///
@@ -192,45 +239,9 @@ impl StreamingEntropyEstimator {
         if data.len() < k + 1 {
             return Ok(0.0);
         }
-        let m = data.len() - k + 1; // number of windows
-        let g = self.config.groups();
-        let z = self.config.estimators_per_group(k, data.len());
-
-        let mut group_means = Vec::with_capacity(g);
-        for _ in 0..g {
-            let mut sum = 0.0;
-            for _ in 0..z {
-                // Steps 1-2: random location, count suffix occurrences of
-                // the gram found there.
-                let j = self.rng.gen_range(0..m);
-                let gram = &data[j..j + k];
-                let mut r: u64 = 0;
-                for w in j..m {
-                    if &data[w..w + k] == gram {
-                        r += 1;
-                    }
-                }
-                // Step 4: unbiased estimator m·(r·log r − (r−1)·log(r−1)).
-                let rf = r as f64;
-                let x = if r <= 1 {
-                    0.0
-                } else {
-                    (m as f64) * (rf * rf.log2() - (rf - 1.0) * (rf - 1.0).log2())
-                };
-                sum += x;
-            }
-            // Step 5: group average.
-            group_means.push(sum / z as f64);
-        }
-        // Step 6: median of group averages.
-        group_means.sort_by(f64::total_cmp);
-        let med = if group_means.len() % 2 == 1 {
-            group_means[group_means.len() / 2]
-        } else {
-            let hi = group_means.len() / 2;
-            0.5 * (group_means[hi - 1] + group_means[hi])
-        };
-        Ok(med.max(0.0))
+        let mut sketch = IncrementalSketch::new(&self.config, k, data.len(), self.width_rng(k));
+        sketch.update(data);
+        Ok(sketch.estimate_sk())
     }
 
     /// Estimates the normalized entropy `h_k` of `data` by plugging the
@@ -257,23 +268,14 @@ impl StreamingEntropyEstimator {
 
     /// Estimates a full entropy vector: `h_1` exactly, every `k ≥ 2`
     /// feature via the streaming sketch — the hybrid Iustitia deploys.
+    ///
+    /// Implemented as one incremental session fed the whole payload, so
+    /// it is bit-identical to [`begin_incremental`](Self::begin_incremental)
+    /// over any packetization of `data` (with `b_hint = data.len()`).
     pub fn estimate_vector(&mut self, data: &[u8], widths: &FeatureWidths) -> Vec<f64> {
-        widths
-            .iter()
-            .map(|k| {
-                if k == 1 {
-                    crate::vector::entropy(data, 1)
-                } else {
-                    // `k >= 2` here, so UnsupportedWidth is unreachable;
-                    // fall back to the exact computation rather than panic
-                    // if the estimator ever refuses a width.
-                    match self.estimate_hk(data, k) {
-                        Ok(h) => h,
-                        Err(_) => crate::vector::entropy(data, k),
-                    }
-                }
-            })
-            .collect()
+        let mut session = self.begin_incremental(widths, data.len());
+        session.update(data);
+        session.finish()
     }
 
     /// Total counters this estimator uses for the feature set on a
@@ -285,6 +287,263 @@ impl StreamingEntropyEstimator {
             .filter(|&k| k >= 2)
             .map(|k| self.config.groups() * self.config.estimators_per_group(k, b))
             .sum()
+    }
+}
+
+/// One running estimator of the AMS sketch: the gram adopted at its
+/// current sample position and the occurrences seen since.
+#[derive(Debug, Clone)]
+struct Tracker {
+    gram: u128,
+    count: u64,
+}
+
+/// Incremental form of the §4.4.1 sampling procedure for one feature
+/// width `k ≥ 2`.
+///
+/// The one-shot procedure samples a uniform window position per
+/// estimator and counts suffix occurrences. Streaming, that is exactly
+/// size-1 reservoir sampling: after `t` windows each estimator holds a
+/// uniformly random position in `[1, t]`, replaced at window `s` with
+/// probability `1/s`. Replacement times are drawn by skip-ahead — after
+/// adopting at window `t`, the survival probability through window `s`
+/// is `∏_{i=t+1..s}(1 − 1/i) = t/s`, so the next replacement window is
+/// `⌊t/u⌋ + 1` for `u` uniform in `[0, 1)` — giving O(log n) amortized
+/// work per window instead of a coin flip per estimator per window.
+/// Between replacements, a gram→trackers index bumps the suffix counts
+/// of every estimator tracking the current window's gram.
+#[derive(Debug, Clone)]
+pub(crate) struct IncrementalSketch {
+    k: usize,
+    mask: u128,
+    groups: usize,
+    z: usize,
+    trackers: Vec<Tracker>,
+    /// Packed gram → indices of trackers currently counting it.
+    by_gram: HashMap<u128, Vec<u32>>,
+    /// Min-heap of `(replacement window, tracker index)`.
+    schedule: BinaryHeap<Reverse<(u64, u32)>>,
+    rng: StdRng,
+    /// Rolling window key over the last `k` bytes fed.
+    key: u128,
+    /// Bytes fed so far (the first `k − 1` complete no window).
+    fed: u64,
+    /// Windows seen so far (`fed − k + 1` once `fed ≥ k`).
+    windows: u64,
+    /// Scratch: tracker indices due for replacement at the current window.
+    due: Vec<u32>,
+}
+
+impl IncrementalSketch {
+    fn new(config: &EstimatorConfig, k: usize, b_hint: usize, rng: StdRng) -> Self {
+        debug_assert!(k >= 2, "h_1 is always exact; sketches are for k >= 2");
+        let groups = config.groups();
+        let z = config.estimators_per_group(k, b_hint);
+        let n = groups * z;
+        let mut schedule = BinaryHeap::with_capacity(n);
+        for idx in 0..n {
+            // Every estimator adopts the first window it sees.
+            schedule.push(Reverse((1, idx as u32)));
+        }
+        IncrementalSketch {
+            k,
+            mask: if k == 16 { u128::MAX } else { (1u128 << (8 * k)) - 1 },
+            groups,
+            z,
+            trackers: vec![Tracker { gram: 0, count: 0 }; n],
+            by_gram: HashMap::new(),
+            schedule,
+            rng,
+            key: 0,
+            fed: 0,
+            windows: 0,
+            due: Vec::new(),
+        }
+    }
+
+    /// Resident counters (`g·z`, fixed at construction).
+    fn counters(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// Feeds one chunk of the stream.
+    fn update(&mut self, chunk: &[u8]) {
+        for &b in chunk {
+            self.key = ((self.key << 8) | u128::from(b)) & self.mask;
+            self.fed += 1;
+            if self.fed < self.k as u64 {
+                continue;
+            }
+            self.windows += 1;
+            let t = self.windows;
+            // Estimators already tracking this gram count one more
+            // suffix occurrence (a tracker replaced below restarts at 1
+            // regardless, preserving the sequential semantics).
+            if let Some(idxs) = self.by_gram.get(&self.key) {
+                for &i in idxs {
+                    self.trackers[i as usize].count += 1;
+                }
+            }
+            self.due.clear();
+            while let Some(&Reverse((when, idx))) = self.schedule.peek() {
+                if when > t {
+                    break;
+                }
+                self.schedule.pop();
+                self.due.push(idx);
+            }
+            if self.due.is_empty() {
+                continue;
+            }
+            // Sorted index order fixes the RNG consumption order when
+            // several estimators replace at the same window, keeping
+            // results independent of heap tie-breaking.
+            self.due.sort_unstable();
+            for di in 0..self.due.len() {
+                let idx = self.due[di];
+                let old = &self.trackers[idx as usize];
+                if old.count > 0 {
+                    if let Some(v) = self.by_gram.get_mut(&old.gram) {
+                        if let Some(pos) = v.iter().position(|&x| x == idx) {
+                            v.swap_remove(pos);
+                        }
+                        if v.is_empty() {
+                            self.by_gram.remove(&old.gram);
+                        }
+                    }
+                }
+                self.trackers[idx as usize] = Tracker { gram: self.key, count: 1 };
+                self.by_gram.entry(self.key).or_default().push(idx);
+                let u: f64 = self.rng.gen();
+                let next = if u <= 0.0 {
+                    u64::MAX
+                } else {
+                    let next_f = (t as f64 / u).floor();
+                    if next_f >= u64::MAX as f64 {
+                        u64::MAX
+                    } else {
+                        next_f as u64 + 1
+                    }
+                };
+                self.schedule.push(Reverse((next, idx)));
+            }
+        }
+    }
+
+    /// The `S_k` estimate over everything fed so far: per-estimator
+    /// unbiased values `m·(r·log r − (r−1)·log(r−1))`, group averages,
+    /// then the median of groups (steps 4–6 of §4.4.1).
+    fn estimate_sk(&self) -> f64 {
+        let m = self.windows;
+        if m <= 1 {
+            return 0.0;
+        }
+        let mf = m as f64;
+        let mut group_means = Vec::with_capacity(self.groups);
+        for g in 0..self.groups {
+            let mut sum = 0.0;
+            for tracker in &self.trackers[g * self.z..(g + 1) * self.z] {
+                let r = tracker.count;
+                if r > 1 {
+                    let rf = r as f64;
+                    sum += mf * (rf * rf.log2() - (rf - 1.0) * (rf - 1.0).log2());
+                }
+            }
+            group_means.push(sum / self.z as f64);
+        }
+        group_means.sort_by(f64::total_cmp);
+        let med = if group_means.len() % 2 == 1 {
+            group_means[group_means.len() / 2]
+        } else {
+            let hi = group_means.len() / 2;
+            0.5 * (group_means[hi - 1] + group_means[hi])
+        };
+        med.max(0.0)
+    }
+
+    /// The normalized entropy `h_k` of everything fed so far.
+    fn estimate_hk(&self) -> f64 {
+        let m = self.windows;
+        if m <= 1 {
+            return 0.0;
+        }
+        let mf = m as f64;
+        let bits = mf.log2() - self.estimate_sk() / mf;
+        (bits / (BITS_PER_BYTE * self.k as f64)).clamp(0.0, 1.0)
+    }
+}
+
+/// Per-width state of an [`IncrementalEstimator`].
+#[derive(Debug, Clone)]
+enum WidthSlot {
+    /// `h_1` is always exact (a dense 256-entry table at most).
+    Exact(GramHistogram),
+    /// `k ≥ 2`: the fixed-size `g·z` reservoir sketch.
+    Sketch(IncrementalSketch),
+}
+
+/// An in-progress estimated entropy vector, fed one payload chunk at a
+/// time — the estimated-mode counterpart of
+/// [`IncrementalVector`](crate::incremental::IncrementalVector).
+///
+/// Created by
+/// [`StreamingEntropyEstimator::begin_incremental`]. Feeding the same
+/// bytes in any chunking yields bit-identical results, and matches
+/// [`StreamingEntropyEstimator::estimate_vector`] when `b_hint` equals
+/// the total payload length.
+#[derive(Debug, Clone)]
+pub struct IncrementalEstimator {
+    widths: FeatureWidths,
+    slots: Vec<WidthSlot>,
+}
+
+impl IncrementalEstimator {
+    /// Feeds one chunk of payload into every per-width slot.
+    pub fn update(&mut self, chunk: &[u8]) {
+        for slot in &mut self.slots {
+            match slot {
+                WidthSlot::Exact(hist) => hist.extend_from_bytes(chunk),
+                WidthSlot::Sketch(sketch) => sketch.update(chunk),
+            }
+        }
+    }
+
+    /// The feature widths this session produces.
+    pub fn widths(&self) -> &FeatureWidths {
+        &self.widths
+    }
+
+    /// Total bytes fed so far.
+    pub fn total_bytes(&self) -> u64 {
+        match self.slots.first() {
+            Some(WidthSlot::Exact(hist)) => hist.window_count(),
+            Some(WidthSlot::Sketch(sketch)) => sketch.fed,
+            None => 0,
+        }
+    }
+
+    /// Counters currently resident: the fixed `g·z` budget per sketch
+    /// width plus the exact `h_1` table's distinct grams.
+    pub fn counters_used(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                WidthSlot::Exact(hist) => hist.counters_used(),
+                WidthSlot::Sketch(sketch) => sketch.counters(),
+            })
+            .sum()
+    }
+
+    /// The estimated entropy vector of everything fed so far (`h_1`
+    /// exact, `k ≥ 2` via the sketch).
+    pub fn finish(&self) -> Vec<f64> {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                WidthSlot::Exact(hist) => entropy_of_histogram(hist),
+                WidthSlot::Sketch(sketch) => sketch.estimate_hk(),
+            })
+            .collect()
     }
 }
 
@@ -454,6 +713,50 @@ mod tests {
         let v = est.estimate_vector(&data, &widths);
         assert_eq!(v.len(), 4);
         assert!(v.iter().all(|h| (0.0..=1.0).contains(h)));
+    }
+
+    #[test]
+    fn incremental_session_matches_one_shot_vector() {
+        let data = pseudo_random(2048, 17);
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::svm_optimal();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 9);
+        let one_shot = est.estimate_vector(&data, &widths);
+        for chunk_len in [1usize, 2, 3, 97, 2048] {
+            let mut session = est.begin_incremental(&widths, data.len());
+            for chunk in data.chunks(chunk_len) {
+                session.update(chunk);
+            }
+            assert_eq!(session.finish(), one_shot, "chunk_len={chunk_len}");
+        }
+    }
+
+    #[test]
+    fn one_shot_estimates_do_not_bleed_between_calls() {
+        // The sampling stream depends only on (seed, k): estimating an
+        // unrelated payload in between must not change a result.
+        let a = pseudo_random(1024, 5);
+        let b = pseudo_random(1024, 6);
+        let cfg = EstimatorConfig::svm_optimal();
+        let mut est = StreamingEntropyEstimator::with_seed(cfg, 4);
+        let first = est.estimate_hk(&a, 3).unwrap();
+        let _ = est.estimate_hk(&b, 3).unwrap();
+        assert_eq!(est.estimate_hk(&a, 3).unwrap(), first);
+    }
+
+    #[test]
+    fn incremental_counters_are_fixed_budget() {
+        let widths = FeatureWidths::new(vec![2, 3]);
+        let cfg = EstimatorConfig::svm_optimal();
+        let est = StreamingEntropyEstimator::with_seed(cfg, 0);
+        let session = est.begin_incremental(&widths, 1024);
+        let budget = est.total_counters(&widths, 1024);
+        assert_eq!(session.counters_used(), budget);
+        // Feeding data must not grow the sketch.
+        let mut session = session;
+        session.update(&pseudo_random(4096, 2));
+        assert_eq!(session.counters_used(), budget);
+        assert_eq!(session.total_bytes(), 4096);
     }
 
     #[test]

@@ -95,6 +95,42 @@ impl GramHistogram {
         self.windows += (data.len() - self.k + 1) as u64;
     }
 
+    /// Counts the `k`-grams of `carry ++ data` into this histogram,
+    /// where `carry` is the tail of previously counted bytes
+    /// (`carry.len() < k` required). Used by the incremental builder
+    /// ([`crate::incremental::IncrementalVector`]) to count grams that
+    /// straddle packet boundaries without re-feeding whole buffers:
+    /// because `carry` is shorter than `k`, every window of the
+    /// concatenation ends inside `data` and is therefore new.
+    ///
+    /// If `carry.len() + data.len() < k` nothing is counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `carry.len() >= k`.
+    pub fn extend_across(&mut self, carry: &[u8], data: &[u8]) {
+        assert!(carry.len() < self.k, "carry must be shorter than k");
+        if carry.is_empty() {
+            self.extend_from_bytes(data);
+            return;
+        }
+        let total = carry.len() + data.len();
+        if total < self.k {
+            return;
+        }
+        let mask: u128 = if self.k == 16 { u128::MAX } else { (1u128 << (8 * self.k)) - 1 };
+        let mut key: u128 = 0;
+        let mut fed = 0usize;
+        for &b in carry.iter().chain(data.iter()) {
+            key = ((key << 8) | u128::from(b)) & mask;
+            fed += 1;
+            if fed >= self.k {
+                *self.counts.entry(key).or_insert(0) += 1;
+            }
+        }
+        self.windows += (total - self.k + 1) as u64;
+    }
+
     /// The gram width `k` this histogram counts.
     pub fn k(&self) -> usize {
         self.k
@@ -248,6 +284,35 @@ mod tests {
     #[should_panic(expected = "gram length")]
     fn count_of_wrong_len_panics() {
         GramHistogram::from_bytes(b"abc", 2).count_of(b"abc");
+    }
+
+    #[test]
+    fn extend_across_matches_contiguous_counting() {
+        let data: Vec<u8> = (0u8..64).map(|i| i.wrapping_mul(31)).collect();
+        for k in 2..=5 {
+            for cut in [1usize, k - 1, k, 17, 63] {
+                let whole = GramHistogram::from_bytes(&data, k);
+                let mut split = GramHistogram::new(k);
+                split.extend_from_bytes(&data[..cut]);
+                let carry_start = cut.saturating_sub(k - 1);
+                split.extend_across(&data[carry_start..cut], &data[cut..]);
+                assert_eq!(split, whole, "k={k} cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_across_short_total_counts_nothing() {
+        let mut h = GramHistogram::new(4);
+        h.extend_across(b"ab", b"c");
+        assert_eq!(h.window_count(), 0);
+        assert_eq!(h.distinct(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "carry must be shorter")]
+    fn extend_across_long_carry_panics() {
+        GramHistogram::new(2).extend_across(b"ab", b"cd");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Incremental (per-packet) construction of entropy vectors.
+//!
+//! The flow pipeline historically buffered the first `b` payload bytes
+//! of a flow and computed [`EntropyVector::compute`] once the buffer
+//! filled — O(`b`) heap per pending flow. This module replaces that
+//! with a streaming builder: each arriving chunk is folded into one
+//! [`GramHistogram`] per feature width immediately, and only a
+//! `max(k) − 1`-byte *carry* of the most recent bytes is retained so
+//! grams straddling chunk boundaries are still counted.
+//!
+//! [`IncrementalVector::finish`] is **bit-identical** to
+//! [`EntropyVector::compute`] on the concatenated chunks: feeding the
+//! carry tail before each chunk reproduces exactly the windows of the
+//! contiguous input (every window spans at most `k` consecutive bytes,
+//! and the carry always holds the previous `min(total, k−1)` bytes, so
+//! each window of the concatenation is counted exactly once — windows
+//! entirely inside the carry are impossible because the carry is
+//! shorter than `k`). Equal gram-count multisets then yield equal
+//! floating-point entropies because
+//! [`sum_m_log_m`](GramHistogram::sum_m_log_m) sums counts in sorted
+//! order.
+
+use crate::histogram::GramHistogram;
+use crate::vector::{entropy_of_histogram, EntropyVector, FeatureWidths};
+
+/// Streaming builder of an [`EntropyVector`], fed one chunk at a time.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_entropy::{EntropyVector, FeatureWidths, IncrementalVector};
+///
+/// let widths = FeatureWidths::svm_selected();
+/// let data = b"incremental equals one-shot, byte for byte";
+/// let mut inc = IncrementalVector::new(&widths);
+/// for chunk in data.chunks(7) {
+///     inc.update(chunk);
+/// }
+/// assert_eq!(inc.finish().values(), EntropyVector::compute(data, &widths).values());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalVector {
+    widths: FeatureWidths,
+    hists: Vec<GramHistogram>,
+    /// Last `min(total, max_k − 1)` bytes seen, shared by all widths.
+    carry: Vec<u8>,
+    carry_cap: usize,
+    total: u64,
+}
+
+impl IncrementalVector {
+    /// Creates an empty builder for the given feature widths.
+    pub fn new(widths: &FeatureWidths) -> Self {
+        let max_k = widths.iter().max().unwrap_or(1);
+        IncrementalVector {
+            widths: widths.clone(),
+            hists: widths.iter().map(GramHistogram::new).collect(),
+            carry: Vec::with_capacity(max_k.saturating_sub(1)),
+            carry_cap: max_k.saturating_sub(1),
+            total: 0,
+        }
+    }
+
+    /// Folds one chunk of payload into every per-width histogram.
+    pub fn update(&mut self, chunk: &[u8]) {
+        if chunk.is_empty() {
+            return;
+        }
+        for hist in &mut self.hists {
+            let tail = self.carry.len().min(hist.k() - 1);
+            hist.extend_across(&self.carry[self.carry.len() - tail..], chunk);
+        }
+        if chunk.len() >= self.carry_cap {
+            self.carry.clear();
+            self.carry.extend_from_slice(&chunk[chunk.len() - self.carry_cap..]);
+        } else {
+            let keep = self.carry_cap - chunk.len();
+            if self.carry.len() > keep {
+                let drop = self.carry.len() - keep;
+                self.carry.drain(..drop);
+            }
+            self.carry.extend_from_slice(chunk);
+        }
+        self.total += chunk.len() as u64;
+    }
+
+    /// Total bytes fed so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// The feature widths this builder produces.
+    pub fn widths(&self) -> &FeatureWidths {
+        &self.widths
+    }
+
+    /// Counters currently resident: one per distinct gram per width
+    /// (the exact-mode per-flow state cost, Formula 3's `α`).
+    pub fn counters_used(&self) -> usize {
+        self.hists.iter().map(GramHistogram::counters_used).sum()
+    }
+
+    /// The entropy vector of everything fed so far. Bit-identical to
+    /// [`EntropyVector::compute`] on the concatenated chunks.
+    pub fn finish(&self) -> EntropyVector {
+        EntropyVector::from_parts(
+            self.widths.as_slice().to_vec(),
+            self.hists.iter().map(entropy_of_histogram).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_byte_chunks_match_one_shot() {
+        let widths = FeatureWidths::new(vec![1, 2, 3]);
+        let data = pseudo_random(257, 9);
+        let mut inc = IncrementalVector::new(&widths);
+        for &b in &data {
+            inc.update(&[b]);
+        }
+        assert_eq!(inc.finish().values(), EntropyVector::compute(&data, &widths).values());
+        assert_eq!(inc.total_bytes(), 257);
+    }
+
+    #[test]
+    fn straddling_splits_match_one_shot() {
+        let widths = FeatureWidths::full();
+        let data = pseudo_random(512, 21);
+        // Splits chosen to land on and around every k−1 boundary.
+        for cut in [1usize, 2, 3, 4, 8, 9, 10, 11, 255, 511] {
+            let mut inc = IncrementalVector::new(&widths);
+            inc.update(&data[..cut]);
+            inc.update(&data[cut..]);
+            assert_eq!(
+                inc.finish().values(),
+                EntropyVector::compute(&data, &widths).values(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_short_inputs_are_zero() {
+        let widths = FeatureWidths::svm_selected();
+        let inc = IncrementalVector::new(&widths);
+        assert_eq!(inc.finish().values(), vec![0.0; 4]);
+        let mut inc = IncrementalVector::new(&widths);
+        inc.update(b"");
+        inc.update(b"a");
+        assert_eq!(inc.finish().values(), EntropyVector::compute(b"a", &widths).values());
+    }
+
+    #[test]
+    fn counters_track_distinct_grams() {
+        let widths = FeatureWidths::new(vec![1, 2]);
+        let mut inc = IncrementalVector::new(&widths);
+        inc.update(b"ab");
+        inc.update(b"ab");
+        // distinct: {a,b} for k=1; {ab, ba} for k=2.
+        assert_eq!(inc.counters_used(), 4);
+    }
+
+    #[test]
+    fn width_one_only_needs_no_carry() {
+        let widths = FeatureWidths::new(vec![1]);
+        let data = pseudo_random(64, 3);
+        let mut inc = IncrementalVector::new(&widths);
+        for chunk in data.chunks(5) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish().values(), EntropyVector::compute(&data, &widths).values());
+    }
+}

@@ -42,14 +42,20 @@
 pub mod divergence;
 pub mod estimate;
 pub mod histogram;
+pub mod incremental;
 pub mod vector;
 
 pub use divergence::{jensen_shannon_divergence, kl_divergence, prefix_jsd, ByteDistribution};
 pub use estimate::{
-    counters_required, min_epsilon, EstimateError, EstimatorConfig, StreamingEntropyEstimator,
+    counters_required, min_epsilon, EstimateError, EstimatorConfig, IncrementalEstimator,
+    StreamingEntropyEstimator,
 };
 pub use histogram::GramHistogram;
-pub use vector::{entropy, entropy_vector, shannon_entropy_bits, EntropyVector, FeatureWidths};
+pub use incremental::IncrementalVector;
+pub use vector::{
+    entropy, entropy_of_histogram, entropy_vector, shannon_entropy_bits, EntropyVector,
+    FeatureWidths,
+};
 
 /// Number of bits per byte; `|f_k| = 2^(BITS_PER_BYTE * k)`.
 pub(crate) const BITS_PER_BYTE: f64 = 8.0;

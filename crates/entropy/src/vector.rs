@@ -101,6 +101,13 @@ impl EntropyVector {
         EntropyVector { widths: widths.as_slice().to_vec(), values }
     }
 
+    /// Assembles a vector from already-computed per-width values
+    /// (used by the incremental builder in [`crate::incremental`]).
+    pub(crate) fn from_parts(widths: Vec<usize>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(widths.len(), values.len());
+        EntropyVector { widths, values }
+    }
+
     /// The entropy values, ordered like the feature widths.
     pub fn values(&self) -> &[f64] {
         &self.values

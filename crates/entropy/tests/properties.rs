@@ -2,9 +2,27 @@
 
 use iustitia_entropy::{
     entropy, entropy_vector, jensen_shannon_divergence, kl_divergence, prefix_jsd,
-    ByteDistribution, EstimatorConfig, GramHistogram, StreamingEntropyEstimator,
+    ByteDistribution, EstimatorConfig, FeatureWidths, GramHistogram, IncrementalVector,
+    StreamingEntropyEstimator,
 };
 use proptest::prelude::*;
+
+/// Splits `data` into consecutive chunks whose sizes cycle through
+/// `cuts` (empty `cuts` means one chunk). Sizes are clamped to the
+/// remaining length, so every byte appears in exactly one chunk.
+fn packetize<'a>(data: &'a [u8], cuts: &[usize]) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < data.len() {
+        let take = cuts.get(i % cuts.len().max(1)).copied().unwrap_or(data.len());
+        let take = take.clamp(1, data.len() - pos);
+        chunks.push(&data[pos..pos + take]);
+        pos += take;
+        i += 1;
+    }
+    chunks
+}
 
 proptest! {
     #[test]
@@ -103,6 +121,60 @@ proptest! {
         let mut est = StreamingEntropyEstimator::with_seed(cfg, seed);
         let h = est.estimate_hk(&data, k).expect("k >= 2");
         prop_assert!((0.0..=1.0).contains(&h), "estimated h_{k} = {h}");
+    }
+
+    /// The tentpole equivalence, exact mode: feeding any packetization
+    /// of a payload through [`IncrementalVector`] yields the same bits
+    /// as the one-shot vector over the concatenation. Cut sizes from 1
+    /// guarantee single-byte packets and splits that straddle every
+    /// k-gram boundary for k in {1, 2, 3}.
+    #[test]
+    fn incremental_vector_is_packetization_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..768),
+        cuts in proptest::collection::vec(1usize..32, 0..24),
+    ) {
+        let widths = FeatureWidths::new(vec![1, 2, 3]);
+        let mut session = IncrementalVector::new(&widths);
+        for chunk in packetize(&data, &cuts) {
+            session.update(chunk);
+        }
+        let streamed = session.finish();
+        let one_shot = entropy_vector(&data, &[1, 2, 3]);
+        prop_assert_eq!(streamed.values(), &one_shot[..], "exact mode must be bit-identical");
+    }
+
+    /// Same equivalence in estimated mode: with the same seed and the
+    /// same `b_hint`, the incremental session is bit-identical to the
+    /// one-shot estimate regardless of packetization (the sketch
+    /// consumes bytes one at a time, so chunk boundaries are invisible).
+    #[test]
+    fn incremental_estimator_is_packetization_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(1usize..16, 0..24),
+        seed in any::<u64>(),
+    ) {
+        let widths = FeatureWidths::new(vec![1, 2, 3]);
+        let cfg = EstimatorConfig::new(0.5, 0.5).expect("valid");
+        let mut one_shot_est = StreamingEntropyEstimator::with_seed(cfg, seed);
+        let one_shot = one_shot_est.estimate_vector(&data, &widths);
+
+        let streaming_est = StreamingEntropyEstimator::with_seed(cfg, seed);
+        let mut session = streaming_est.begin_incremental(&widths, data.len());
+        for chunk in packetize(&data, &cuts) {
+            session.update(chunk);
+        }
+        prop_assert_eq!(session.finish(), one_shot, "estimated mode must be bit-identical");
+    }
+
+    /// Degenerate packetization: a stream of 1-byte packets.
+    #[test]
+    fn one_byte_packets_match_one_shot(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let widths = FeatureWidths::new(vec![1, 2, 3]);
+        let mut session = IncrementalVector::new(&widths);
+        for &byte in &data {
+            session.update(&[byte]);
+        }
+        prop_assert_eq!(session.finish().values(), &entropy_vector(&data, &[1, 2, 3])[..]);
     }
 
     #[test]

@@ -283,7 +283,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let s = server.stats();
         let classify_p50 = s.stage(Stage::Classify).p50().unwrap_or(0);
         eprintln!(
-            "packets={} hits={} flows={} busy={} dropped={} conns={} classify_p50={}ns",
+            "packets={} hits={} flows={} busy={} dropped={} conns={} classify_p50={}ns \
+             pending={} resident={}B",
             s.packets,
             s.hits,
             s.flows_classified,
@@ -291,6 +292,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             s.dropped_oldest,
             s.connections,
             classify_p50,
+            s.pending_flows(),
+            s.resident_feature_bytes(),
         );
     }
 }
@@ -337,6 +340,12 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
     println!("verdicts:         {verdicts}");
     println!("busy rejects:     {busy}");
     println!("server packets:   {} (hits {})", stats.packets, stats.hits);
+    println!(
+        "pending flows:    {} ({} B resident feature state across {} shards)",
+        stats.pending_flows(),
+        stats.resident_feature_bytes(),
+        stats.shards.len(),
+    );
     println!("stage latency (server-side, approximate ns):");
     for stage in Stage::ALL {
         let h = stats.stage(stage);

@@ -52,7 +52,10 @@ pub mod queue;
 pub mod server;
 
 pub use client::{Client, ClientError, ClientEvent};
-pub use metrics::{HistogramSnapshot, LatencyHistogram, ServeMetrics, Stage, StatsSnapshot};
+pub use metrics::{
+    HistogramSnapshot, LatencyHistogram, ServeMetrics, ShardGauges, ShardStats, Stage,
+    StatsSnapshot,
+};
 pub use proto::{FlowVerdict, ProtoError, Request, Response};
 pub use queue::{AdmissionPolicy, BoundedQueue, PushOutcome};
 pub use server::{Server, ServerConfig};

@@ -132,6 +132,34 @@ impl HistogramSnapshot {
     }
 }
 
+/// Per-shard gauges, refreshed by each shard worker after every batch
+/// it drains.
+///
+/// Unlike the monotone counters these are *levels*: `pending_flows`
+/// mirrors [`Iustitia::pending_flows`] and `resident_feature_bytes`
+/// mirrors [`Iustitia::resident_feature_bytes`] for the shard's
+/// pipeline, so an operator can watch the streaming pipeline's
+/// per-flow memory instead of inferring it from `b × pending`.
+///
+/// [`Iustitia::pending_flows`]: iustitia::Iustitia::pending_flows
+/// [`Iustitia::resident_feature_bytes`]: iustitia::Iustitia::resident_feature_bytes
+#[derive(Debug, Default)]
+pub struct ShardGauges {
+    /// Flows currently buffered in this shard, awaiting a verdict.
+    pub pending_flows: AtomicU64,
+    /// Estimated heap bytes resident across this shard's pending
+    /// flows (feature counters + header staging).
+    pub resident_feature_bytes: AtomicU64,
+}
+
+impl ShardGauges {
+    /// Stores both gauge levels (Relaxed; the values are advisory).
+    pub fn set(&self, pending: u64, resident: u64) {
+        self.pending_flows.store(pending, Ordering::Relaxed);
+        self.resident_feature_bytes.store(resident, Ordering::Relaxed);
+    }
+}
+
 /// Live counters and histograms for a running server.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
@@ -153,9 +181,18 @@ pub struct ServeMetrics {
     pub connections: AtomicU64,
     /// Per-stage latency histograms, indexed by [`Stage`].
     pub stages: [LatencyHistogram; 4],
+    /// Per-shard gauges, indexed by shard id (empty until
+    /// [`with_shards`](Self::with_shards)).
+    pub shards: Vec<ShardGauges>,
 }
 
 impl ServeMetrics {
+    /// Metrics block with one gauge set per shard.
+    #[must_use]
+    pub fn with_shards(n: usize) -> Self {
+        ServeMetrics { shards: (0..n).map(|_| ShardGauges::default()).collect(), ..Self::default() }
+    }
+
     /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
@@ -179,8 +216,26 @@ impl ServeMetrics {
             drains: self.drains.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+            shards: self
+                .shards
+                .iter()
+                .map(|g| ShardStats {
+                    pending_flows: g.pending_flows.load(Ordering::Relaxed),
+                    resident_feature_bytes: g.resident_feature_bytes.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
+}
+
+/// Point-in-time copy of one shard's gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Flows currently buffered in this shard, awaiting a verdict.
+    pub pending_flows: u64,
+    /// Estimated heap bytes resident across this shard's pending
+    /// flows (feature counters + header staging).
+    pub resident_feature_bytes: u64,
 }
 
 /// Point-in-time copy of all server metrics, as returned by the
@@ -205,7 +260,13 @@ pub struct StatsSnapshot {
     pub connections: u64,
     /// Per-stage histograms, indexed by [`Stage`].
     pub stages: [HistogramSnapshot; 4],
+    /// Per-shard gauges, indexed by shard id.
+    pub shards: Vec<ShardStats>,
 }
+
+/// Upper bound on the shard count accepted when decoding a snapshot
+/// (guards allocation against a corrupt length word).
+const MAX_WIRE_SHARDS: u64 = 65_536;
 
 impl StatsSnapshot {
     /// Histogram for one stage.
@@ -214,8 +275,21 @@ impl StatsSnapshot {
         &self.stages[stage as usize]
     }
 
-    /// Wire encoding: the eight counters then the four histograms, all
-    /// as big-endian `u64`.
+    /// Total pending flows across all shards.
+    #[must_use]
+    pub fn pending_flows(&self) -> u64 {
+        self.shards.iter().map(|s| s.pending_flows).sum()
+    }
+
+    /// Total resident feature-state bytes across all shards.
+    #[must_use]
+    pub fn resident_feature_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.resident_feature_bytes).sum()
+    }
+
+    /// Wire encoding: the eight counters, the four histograms, then
+    /// the shard-gauge section (shard count followed by two gauges per
+    /// shard), all as big-endian `u64`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
             self.packets,
@@ -234,13 +308,19 @@ impl StatsSnapshot {
                 out.extend_from_slice(&bucket.to_be_bytes());
             }
         }
+        out.extend_from_slice(&(self.shards.len() as u64).to_be_bytes());
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.pending_flows.to_be_bytes());
+            out.extend_from_slice(&shard.resident_feature_bytes.to_be_bytes());
+        }
     }
 
     /// Inverse of [`encode_into`](Self::encode_into).
     ///
     /// # Errors
     ///
-    /// Returns [`ProtoError::Malformed`] if the body is truncated.
+    /// Returns [`ProtoError::Malformed`] if the body is truncated or
+    /// declares an implausible shard count.
     pub(crate) fn decode(r: &mut crate::proto::FieldReader<'_>) -> Result<Self, ProtoError> {
         let mut snapshot = StatsSnapshot {
             packets: r.u64()?,
@@ -252,11 +332,22 @@ impl StatsSnapshot {
             drains: r.u64()?,
             connections: r.u64()?,
             stages: Default::default(),
+            shards: Vec::new(),
         };
         for stage in &mut snapshot.stages {
             for bucket in &mut stage.buckets {
                 *bucket = r.u64()?;
             }
+        }
+        let shard_count = r.u64()?;
+        if shard_count > MAX_WIRE_SHARDS {
+            return Err(ProtoError::Malformed("implausible shard count".into()));
+        }
+        snapshot.shards.reserve(shard_count as usize);
+        for _ in 0..shard_count {
+            snapshot
+                .shards
+                .push(ShardStats { pending_flows: r.u64()?, resident_feature_bytes: r.u64()? });
         }
         Ok(snapshot)
     }
@@ -315,11 +406,13 @@ mod tests {
 
     #[test]
     fn snapshot_wire_round_trip() {
-        let m = ServeMetrics::default();
+        let m = ServeMetrics::with_shards(3);
         ServeMetrics::add(&m.packets, 12345);
         ServeMetrics::add(&m.dropped_oldest, 7);
         m.record(Stage::Hash, 250);
         m.record(Stage::BufferFill, 999);
+        m.shards[0].set(4, 4 * 2240);
+        m.shards[2].set(1, 96);
         let snapshot = m.snapshot();
         let mut body = Vec::new();
         snapshot.encode_into(&mut body);
@@ -327,5 +420,31 @@ mod tests {
         let back = StatsSnapshot::decode(&mut reader).unwrap();
         reader.finish().unwrap();
         assert_eq!(back, snapshot);
+        assert_eq!(back.pending_flows(), 5);
+        assert_eq!(back.resident_feature_bytes(), 4 * 2240 + 96);
+    }
+
+    #[test]
+    fn shardless_snapshot_round_trips_empty_gauge_section() {
+        let snapshot = ServeMetrics::default().snapshot();
+        assert!(snapshot.shards.is_empty());
+        let mut body = Vec::new();
+        snapshot.encode_into(&mut body);
+        let mut reader = crate::proto::FieldReader::new(&body);
+        let back = StatsSnapshot::decode(&mut reader).unwrap();
+        reader.finish().unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn decode_rejects_implausible_shard_count() {
+        let mut body = Vec::new();
+        StatsSnapshot::default().encode_into(&mut body);
+        // Overwrite the shard-count word (last 8 bytes of an empty
+        // gauge section) with an absurd value.
+        let n = body.len();
+        body[n - 8..].copy_from_slice(&u64::MAX.to_be_bytes());
+        let mut reader = crate::proto::FieldReader::new(&body);
+        assert!(StatsSnapshot::decode(&mut reader).is_err());
     }
 }

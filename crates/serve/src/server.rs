@@ -144,10 +144,11 @@ impl Server {
         let queues = (0..config.shards)
             .map(|_| BoundedQueue::new(config.queue_capacity, config.admission))
             .collect();
+        let metrics = ServeMetrics::with_shards(config.shards);
         let shared = Arc::new(Shared {
             config,
             model: Arc::new(model),
-            metrics: ServeMetrics::default(),
+            metrics,
             queues,
             stop: AtomicBool::new(false),
             next_conn_id: AtomicU64::new(0),
@@ -494,8 +495,14 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                     }
                 }
                 Job::Drain { conn_id, ack } => {
-                    pipeline.flush_idle(last_t + idle_timeout + 1.0);
+                    pipeline.sweep_idle(last_t + idle_timeout + 1.0);
                     let flushed = emit_verdicts(&mut pipeline, &mut routes, shared, Some(conn_id));
+                    // Refresh gauges before acking so a Stats request
+                    // issued right after the drain sees the swept state.
+                    shared.metrics.shards[shard].set(
+                        pipeline.pending_flows() as u64,
+                        pipeline.resident_feature_bytes() as u64,
+                    );
                     let _ = ack.send(flushed);
                 }
                 Job::Disconnect { conn_id } => {
@@ -503,12 +510,17 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                 }
             }
         }
+        // Refresh this shard's gauges once per drained batch: cheap
+        // (two relaxed stores) and fresh enough for a Stats poll.
+        shared.metrics.shards[shard]
+            .set(pipeline.pending_flows() as u64, pipeline.resident_feature_bytes() as u64);
     }
 
     // Queue closed: graceful shutdown. Classify every in-flight flow
     // from the bytes it has buffered and emit final verdicts.
-    pipeline.flush_idle(last_t + idle_timeout + 1.0);
+    pipeline.sweep_idle(last_t + idle_timeout + 1.0);
     emit_verdicts(&mut pipeline, &mut routes, shared, None);
+    shared.metrics.shards[shard].set(0, 0);
 }
 
 /// Delivers every newly logged classification to the connection that

@@ -115,6 +115,12 @@ fn serves_synthetic_trace_end_to_end() {
     assert!(stats.hits > 0, "repeat packets on classified flows must hit the CDB");
     assert!(stats.stage(Stage::Hash).p99().is_some());
 
+    // Per-shard gauges: one entry per shard, and after the drain
+    // barrier every shard's pipeline is empty.
+    assert_eq!(stats.shards.len(), 4);
+    assert_eq!(stats.pending_flows(), 0, "drain leaves no pending flows");
+    assert_eq!(stats.resident_feature_bytes(), 0);
+
     client.close().unwrap();
     server.shutdown();
 }

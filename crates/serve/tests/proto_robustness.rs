@@ -27,12 +27,7 @@ proptest! {
         let mut cursor = Cursor::new(bytes);
         // Drain until EOF or error; decoding garbage lengths must not
         // panic or allocate unboundedly.
-        loop {
-            match read_frame(&mut cursor) {
-                Ok(Some(_)) => {}
-                Ok(None) | Err(_) => break,
-            }
-        }
+        while let Ok(Some(_)) = read_frame(&mut cursor) {}
     }
 
     #[test]

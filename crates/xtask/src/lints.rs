@@ -7,7 +7,8 @@
 //! | L002 | no narrowing `as` casts (use `try_from`) | `serve/src/proto.rs` |
 //! | L003 | no `_ =>` arm in a `match` over `Request`/`Response` | `serve/src/{proto,server}.rs` |
 //! | L004 | no `println!` / `eprintln!` (metrics, not stdout) | `serve`/`core`/`entropy` library code |
-//! | L005 | every `AtomicU64` counter of `ServeMetrics` appears in `StatsSnapshot` | `serve/src/metrics.rs` |
+//! | L005 | every `AtomicU64` counter of `ServeMetrics` appears in `StatsSnapshot` (and every `ShardGauges` gauge in `ShardStats`) | `serve/src/metrics.rs` |
+//! | L006 | no `.extend_from_slice(` onto per-flow buffers other than the bounded `staging` buffer | `core/src/pipeline.rs` |
 //!
 //! "Library code" excludes `src/bin/`, `tests/`, `benches/`, and
 //! `#[cfg(test)]` / `#[test]` regions inside library files.
@@ -34,6 +35,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ("L003", "no `_ =>` wildcard arms in matches over Request/Response"),
     ("L004", "no println!/eprintln! in library code (bins exempt)"),
     ("L005", "every ServeMetrics counter must appear in StatsSnapshot"),
+    ("L006", "no unbounded payload accumulation in core pipeline (staging only)"),
 ];
 
 /// One diagnostic produced by the pass.
@@ -43,7 +45,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
-    /// Lint id (`L001`..`L005`, or `E000` for a bad suppression).
+    /// Lint id (`L001`..`L006`, or `E000` for a bad suppression).
     pub lint: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -82,6 +84,9 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
     }
     if rel_path == "crates/serve/src/metrics.rs" {
         raw.extend(l005_metrics_drift(rel_path, &lexed));
+    }
+    if rel_path == "crates/core/src/pipeline.rs" {
+        raw.extend(l006_no_payload_accumulation(rel_path, &lexed, &tests));
     }
 
     violations.extend(raw.into_iter().filter(|v| !supp.covers(v.lint, v.line)));
@@ -446,6 +451,72 @@ fn l005_metrics_drift(rel_path: &str, lexed: &Lexed) -> Vec<Violation> {
             });
         }
     }
+    // The per-shard gauge pair drifts the same way the top-level pair
+    // does: either both structs exist with mirrored fields, or neither.
+    let gauges = struct_fields(&lexed.tokens, "ShardGauges");
+    let shard_stats = struct_fields(&lexed.tokens, "ShardStats");
+    match (gauges.is_empty(), shard_stats.is_empty()) {
+        (true, true) => {}
+        (false, false) => {
+            for field in &gauges {
+                if !field.type_text.contains("AtomicU64") {
+                    continue;
+                }
+                if !shard_stats.iter().any(|s| s.name == field.name) {
+                    out.push(Violation {
+                        file: rel_path.to_string(),
+                        line: field.line,
+                        lint: "L005",
+                        message: format!(
+                            "gauge `{}` is declared in ShardGauges but missing from ShardStats; \
+                             metric drift",
+                            field.name
+                        ),
+                    });
+                }
+            }
+        }
+        _ => out.push(Violation {
+            file: rel_path.to_string(),
+            line: 1,
+            lint: "L005",
+            message: "ShardGauges and ShardStats must be declared together (one is missing)"
+                .to_string(),
+        }),
+    }
+    out
+}
+
+// ---------------------------------------------------------------- L006
+
+fn l006_no_payload_accumulation(
+    rel_path: &str,
+    lexed: &Lexed,
+    tests: &[(u32, u32)],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for w in lexed.tokens.windows(4) {
+        let receiver = &w[0];
+        if receiver.kind == TokKind::Ident
+            && w[1].is_punct(".")
+            && w[2].is_ident("extend_from_slice")
+            && w[3].is_punct("(")
+            && !receiver.is_ident("staging")
+            && !in_test(tests, w[2].line)
+        {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: w[2].line,
+                lint: "L006",
+                message: format!(
+                    "`{}.extend_from_slice(` accumulates payload per flow; feed bytes to the \
+                     streaming feature state instead (only the bounded `staging` buffer may \
+                     hold raw payload)",
+                    receiver.text
+                ),
+            });
+        }
+    }
     out
 }
 
@@ -716,6 +787,67 @@ pub struct StatsSnapshot {
     fn l005_fails_loudly_if_structs_vanish() {
         let v = check_file(METRICS, "pub struct SomethingElse;");
         assert_eq!(lints_of(&v), vec!["L005"]);
+    }
+
+    #[test]
+    fn l005_shard_gauges_must_mirror_shard_stats() {
+        let src = r#"
+pub struct ServeMetrics { pub packets: AtomicU64 }
+pub struct StatsSnapshot { pub packets: u64 }
+pub struct ShardGauges {
+    pub pending_flows: AtomicU64,
+    pub orphan_gauge: AtomicU64,
+}
+pub struct ShardStats {
+    pub pending_flows: u64,
+}
+"#;
+        let v = check_file(METRICS, src);
+        assert_eq!(lints_of(&v), vec!["L005"]);
+        assert!(v[0].message.contains("orphan_gauge"));
+    }
+
+    #[test]
+    fn l005_lone_shard_struct_is_flagged() {
+        let src = r#"
+pub struct ServeMetrics { pub packets: AtomicU64 }
+pub struct StatsSnapshot { pub packets: u64 }
+pub struct ShardGauges { pub pending_flows: AtomicU64 }
+"#;
+        let v = check_file(METRICS, src);
+        assert_eq!(lints_of(&v), vec!["L005"]);
+        assert!(v[0].message.contains("declared together"));
+    }
+
+    #[test]
+    fn l005_absent_shard_pair_is_fine() {
+        let src = r#"
+pub struct ServeMetrics { pub packets: AtomicU64 }
+pub struct StatsSnapshot { pub packets: u64 }
+"#;
+        assert!(check_file(METRICS, src).is_empty());
+    }
+
+    #[test]
+    fn l006_flags_payload_accumulation_outside_staging() {
+        let src = "fn f(buf: &mut Flow, p: &[u8]) { buf.data.extend_from_slice(p); }";
+        let v = check_file("crates/core/src/pipeline.rs", src);
+        assert_eq!(lints_of(&v), vec!["L006"]);
+        assert!(v[0].message.contains("data.extend_from_slice"));
+        assert!(check_file("crates/core/src/features.rs", src).is_empty(), "L006 scoped");
+    }
+
+    #[test]
+    fn l006_allows_staging_buffer_and_test_code() {
+        let src = r#"
+fn f(staging: &mut Vec<u8>, p: &[u8]) { staging.extend_from_slice(p); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { payload.extend_from_slice(&extra); }
+}
+"#;
+        assert!(check_file("crates/core/src/pipeline.rs", src).is_empty());
     }
 
     #[test]
