@@ -1,0 +1,286 @@
+//! Entropy-kernel microbenchmark: old vs new counting kernel.
+//!
+//! Compares the pre-overhaul kernel — SipHash `std` HashMap histograms
+//! plus per-width carry rescans — against the current tiered kernel
+//! (dense `k≤2` tables, Fx open addressing, single-pass multi-width
+//! rolling window). The old kernel is replicated in this binary so one
+//! build measures both sides; a startup sanity pass asserts the two
+//! produce bit-identical entropy vectors before anything is timed.
+//!
+//! Matrix: buffer size b ∈ {256, 2048, 16384} × width set
+//! {full, svm, cart} × {oneshot, incremental (512-byte packets)}.
+//! Output is criterion-style `ns/iter` lines followed by a JSON
+//! document (captured into `results/BENCH_kernel.json`).
+//!
+//! `--smoke` runs the whole matrix with minimal iteration counts so CI
+//! can verify the harness end-to-end in ~2 seconds.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use iustitia_corpus::{generate_file, FileClass};
+use iustitia_entropy::{EntropyVector, FeatureWidths, IncrementalVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Replica of the pre-overhaul kernel, kept verbatim-in-spirit: one
+/// SipHash-hashed `HashMap<u128, u64>` per width, fed by a per-width
+/// rescan of every chunk (plus a shared carry for straddling grams).
+mod old_kernel {
+    use std::collections::HashMap;
+
+    pub struct OldHistogram {
+        k: usize,
+        counts: HashMap<u128, u64>,
+        windows: u64,
+    }
+
+    impl OldHistogram {
+        pub fn new(k: usize) -> Self {
+            OldHistogram { k, counts: HashMap::new(), windows: 0 }
+        }
+
+        pub fn extend_from_bytes(&mut self, data: &[u8]) {
+            if data.len() < self.k {
+                return;
+            }
+            let mask: u128 = if self.k >= 16 { u128::MAX } else { (1u128 << (8 * self.k)) - 1 };
+            let mut key: u128 = 0;
+            for &b in &data[..self.k - 1] {
+                key = (key << 8) | u128::from(b);
+            }
+            for &b in &data[self.k - 1..] {
+                key = ((key << 8) | u128::from(b)) & mask;
+                *self.counts.entry(key).or_insert(0) += 1;
+            }
+            self.windows += (data.len() - self.k + 1) as u64;
+        }
+
+        /// Sorted-order Σ m·log2(m) — same summation contract as the
+        /// new kernel, so entropies compare bit-for-bit.
+        pub fn entropy(&self) -> f64 {
+            let m = self.windows;
+            if m <= 1 || self.counts.len() <= 1 {
+                return 0.0;
+            }
+            let mut counts: Vec<u64> = self.counts.values().copied().collect();
+            counts.sort_unstable();
+            let s: f64 = counts
+                .into_iter()
+                .map(|c| {
+                    let c = c as f64;
+                    c * c.log2()
+                })
+                .sum();
+            let m = m as f64;
+            ((m.log2() - s / m) / (8.0 * self.k as f64)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The old incremental builder: every chunk is rescanned once per
+    /// width, with a `max(k)−1`-byte carry re-fed ahead of each scan.
+    pub struct OldIncremental {
+        hists: Vec<OldHistogram>,
+        carry: Vec<u8>,
+        carry_cap: usize,
+        scratch: Vec<u8>,
+    }
+
+    impl OldIncremental {
+        pub fn new(widths: &[usize]) -> Self {
+            let max_k = widths.iter().copied().max().unwrap_or(1);
+            OldIncremental {
+                hists: widths.iter().map(|&k| OldHistogram::new(k)).collect(),
+                carry: Vec::new(),
+                carry_cap: max_k.saturating_sub(1),
+                scratch: Vec::new(),
+            }
+        }
+
+        pub fn update(&mut self, chunk: &[u8]) {
+            if chunk.is_empty() {
+                return;
+            }
+            for hist in &mut self.hists {
+                let tail = self.carry.len().min(hist.k - 1);
+                let carry = &self.carry[self.carry.len() - tail..];
+                if carry.is_empty() {
+                    hist.extend_from_bytes(chunk);
+                } else {
+                    // Scan carry ++ chunk: the carry is shorter than k,
+                    // so every window of the concatenation ends inside
+                    // `chunk` and is counted exactly once.
+                    self.scratch.clear();
+                    self.scratch.extend_from_slice(carry);
+                    self.scratch.extend_from_slice(chunk);
+                    hist.extend_from_bytes(&self.scratch);
+                }
+            }
+            if chunk.len() >= self.carry_cap {
+                self.carry.clear();
+                self.carry.extend_from_slice(&chunk[chunk.len() - self.carry_cap..]);
+            } else {
+                let keep = self.carry_cap - chunk.len();
+                if self.carry.len() > keep {
+                    let drop = self.carry.len() - keep;
+                    self.carry.drain(..drop);
+                }
+                self.carry.extend_from_slice(chunk);
+            }
+        }
+
+        pub fn finish(&self) -> Vec<f64> {
+            self.hists.iter().map(OldHistogram::entropy).collect()
+        }
+    }
+}
+
+/// 512 bytes: the packet size used by the serve load generator.
+const PACKET: usize = 512;
+
+fn old_oneshot(data: &[u8], widths: &[usize]) -> Vec<f64> {
+    widths
+        .iter()
+        .map(|&k| {
+            let mut h = old_kernel::OldHistogram::new(k);
+            h.extend_from_bytes(data);
+            h.entropy()
+        })
+        .collect()
+}
+
+fn old_incremental(data: &[u8], widths: &[usize]) -> Vec<f64> {
+    let mut inc = old_kernel::OldIncremental::new(widths);
+    for chunk in data.chunks(PACKET) {
+        inc.update(chunk);
+    }
+    inc.finish()
+}
+
+fn new_oneshot(data: &[u8], widths: &FeatureWidths) -> Vec<f64> {
+    EntropyVector::compute(data, widths).values().to_vec()
+}
+
+fn new_incremental(data: &[u8], widths: &FeatureWidths) -> Vec<f64> {
+    // The pipeline knows the classification window b up front
+    // (`begin_flow(b_hint)`), so the hinted constructor is the path
+    // that actually runs in production.
+    let mut inc = IncrementalVector::with_byte_hint(widths, data.len());
+    for chunk in data.chunks(PACKET) {
+        inc.update(chunk);
+    }
+    inc.finish().values().to_vec()
+}
+
+/// Times `f` criterion-style: calibrate an iteration count to the
+/// target sample length, warm up, then take `samples` samples and
+/// report the median ns/iter.
+fn bench(mut f: impl FnMut() -> Vec<f64>, smoke: bool) -> f64 {
+    if smoke {
+        let start = Instant::now();
+        black_box(f());
+        return start.elapsed().as_nanos() as f64;
+    }
+    // Calibrate: grow iters until one sample takes ≥ 20 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if start.elapsed().as_millis() >= 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let samples = 9;
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    per_iter[samples / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let width_sets: [(&str, FeatureWidths); 3] = [
+        ("full", FeatureWidths::full()),
+        ("svm", FeatureWidths::svm_selected()),
+        ("cart", FeatureWidths::cart_selected()),
+    ];
+    let sizes = [256usize, 2048, 16384];
+
+    // Sanity: the old replica and the new kernel must agree bit-for-bit
+    // on every cell before any timing is trusted.
+    let mut rng = StdRng::seed_from_u64(7);
+    for &b in &sizes {
+        for class in [FileClass::Text, FileClass::Binary, FileClass::Encrypted] {
+            let data = generate_file(class, b, &mut rng);
+            for (_, widths) in &width_sets {
+                let ws: Vec<usize> = widths.iter().collect();
+                assert_eq!(old_oneshot(&data, &ws), new_oneshot(&data, widths));
+                assert_eq!(old_incremental(&data, &ws), new_incremental(&data, widths));
+                assert_eq!(new_oneshot(&data, widths), new_incremental(&data, widths));
+            }
+        }
+    }
+    eprintln!("sanity: old and new kernels are bit-identical on all {} cells", 3 * 3 * 3);
+
+    let mut json_cells = Vec::new();
+    for &b in &sizes {
+        let data = generate_file(FileClass::Binary, b, &mut rng);
+        for (name, widths) in &width_sets {
+            let ws: Vec<usize> = widths.iter().collect();
+            let mut cell = Vec::new();
+            for (kernel, mode, ns) in [
+                ("old", "oneshot", bench(|| old_oneshot(&data, &ws), smoke)),
+                ("old", "incremental", bench(|| old_incremental(&data, &ws), smoke)),
+                ("new", "oneshot", bench(|| new_oneshot(&data, widths), smoke)),
+                ("new", "incremental", bench(|| new_incremental(&data, widths), smoke)),
+            ] {
+                println!("kernel/b={b}/{name}/{kernel}/{mode}  time: {ns:>12.0} ns/iter");
+                cell.push((kernel, mode, ns));
+            }
+            let ns_of = |kernel: &str, mode: &str| {
+                cell.iter().find(|(k, m, _)| *k == kernel && *m == mode).map(|c| c.2).unwrap_or(0.0)
+            };
+            let one_speedup = ns_of("old", "oneshot") / ns_of("new", "oneshot");
+            let inc_speedup = ns_of("old", "incremental") / ns_of("new", "incremental");
+            println!(
+                "kernel/b={b}/{name}  speedup: oneshot {one_speedup:.2}x, \
+                 incremental {inc_speedup:.2}x"
+            );
+            json_cells.push(format!(
+                "    {{\"b\": {b}, \"widths\": \"{name}\", \
+                 \"old_oneshot_ns\": {:.0}, \"new_oneshot_ns\": {:.0}, \
+                 \"old_incremental_ns\": {:.0}, \"new_incremental_ns\": {:.0}, \
+                 \"oneshot_speedup\": {one_speedup:.2}, \
+                 \"incremental_speedup\": {inc_speedup:.2}}}",
+                ns_of("old", "oneshot"),
+                ns_of("new", "oneshot"),
+                ns_of("old", "incremental"),
+                ns_of("new", "incremental"),
+            ));
+        }
+    }
+
+    println!("--- JSON ---");
+    println!("{{");
+    println!(
+        "  \"benchmark\": \"entropy kernel: SipHash HashMap + per-width rescan (old) vs \
+         tiered histograms + single-pass rolling window (new)\","
+    );
+    println!("  \"packet_bytes\": {PACKET},");
+    println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    println!("  \"cells\": [");
+    println!("{}", json_cells.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -108,6 +108,11 @@ fn main() {
         stats.resident_feature_bytes(),
         stats.shards.len()
     );
+    println!(
+        "state pool:       {} recycled flow states ({} parked)",
+        stats.state_pool_hits(),
+        stats.state_pool_size()
+    );
     println!("stage latency (server-side ns):");
     println!("  {:<12} {:>9}  {:>8}  {:>8}", "stage", "n", "p50", "p99");
     for stage in Stage::ALL {

@@ -85,10 +85,33 @@ impl FeatureExtractor {
     /// ignores the hint entirely).
     pub fn begin_flow(&self, b_hint: usize) -> FlowFeatureState {
         let inner = match &self.estimator {
-            None => FlowStateInner::Exact(IncrementalVector::new(&self.widths)),
+            None => FlowStateInner::Exact(IncrementalVector::with_byte_hint(&self.widths, b_hint)),
             Some(est) => FlowStateInner::Estimated(est.begin_incremental(&self.widths, b_hint)),
         };
         FlowFeatureState { inner }
+    }
+
+    /// Resets a previously finished flow session to the state
+    /// [`begin_flow`](Self::begin_flow) would produce, reusing its
+    /// histogram/sketch allocations — the pipeline's pool-recycling
+    /// path, which makes steady-state packet processing allocation-free.
+    ///
+    /// A recycled session is bit-identical to a fresh one on the same
+    /// payload (exact mode trivially; estimated mode re-derives the
+    /// per-width sampling RNG from the extractor seed). If `state` was
+    /// produced by an extractor in a different mode it is rebuilt from
+    /// scratch instead.
+    pub fn reset_flow(&self, state: &mut FlowFeatureState, b_hint: usize) {
+        match (&self.estimator, &mut state.inner) {
+            (None, FlowStateInner::Exact(v)) => {
+                v.reset();
+                v.reserve_bytes(b_hint);
+            }
+            (Some(est), FlowStateInner::Estimated(session)) => {
+                est.reset_incremental(session, b_hint);
+            }
+            _ => *state = self.begin_flow(b_hint),
+        }
     }
 
     /// Counters used per flow: exact counting needs one counter per
@@ -435,6 +458,43 @@ mod tests {
         assert_eq!(session.total_bytes(), 4096);
         assert_eq!(session.counters_used(), 4);
         assert_eq!(session.resident_bytes(), 4 * BYTES_PER_COUNTER);
+    }
+
+    #[test]
+    fn recycled_flow_session_is_bit_identical_to_fresh() {
+        let widths = FeatureWidths::svm_selected();
+        let data: Vec<u8> = (0..900u32).map(|i| (i.wrapping_mul(157) >> 2) as u8).collect();
+        let junk: Vec<u8> = (0..2048u32).map(|i| (i.wrapping_mul(31)) as u8).collect();
+        for mode in [FeatureMode::Exact, FeatureMode::Estimated(EstimatorConfig::svm_optimal())] {
+            let fx = FeatureExtractor::new(widths.clone(), mode.clone(), 13);
+            let mut fresh = fx.begin_flow(1024);
+            for chunk in data.chunks(37) {
+                fresh.update(chunk);
+            }
+            let mut recycled = fx.begin_flow(1024);
+            recycled.update(&junk);
+            fx.reset_flow(&mut recycled, 1024);
+            assert_eq!(recycled.total_bytes(), 0, "{mode:?}");
+            for chunk in data.chunks(37) {
+                recycled.update(chunk);
+            }
+            assert_eq!(recycled.finish(), fresh.finish(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn reset_flow_rebuilds_on_mode_mismatch() {
+        let widths = FeatureWidths::svm_selected();
+        let exact = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0);
+        let est = FeatureExtractor::new(
+            widths,
+            FeatureMode::Estimated(EstimatorConfig::svm_optimal()),
+            0,
+        );
+        let mut state = exact.begin_flow(256);
+        est.reset_flow(&mut state, 256);
+        // The state is now an estimated session with the sketch budget.
+        assert_eq!(state.counters_used(), est.counters_for_buffer(&[0u8; 256]) - 256);
     }
 
     #[test]

@@ -239,7 +239,20 @@ pub struct Iustitia {
     resident: usize,
     /// Timestamp of the last opportunistic idle sweep.
     last_sweep: f64,
+    /// Free list of feature states from closed flows: new flows reset
+    /// and reuse these instead of allocating, so steady-state packet
+    /// processing touches the allocator only while the pool is warming.
+    pool: Vec<FlowFeatureState>,
+    /// Number of flows whose feature state came from the pool.
+    pool_hits: u64,
 }
+
+/// Upper bound on pooled [`FlowFeatureState`]s, so a burst of
+/// concurrent flows cannot pin its high-water mark of histogram tables
+/// forever. 256 comfortably covers the steady-state pending-flow count
+/// of every bench/serve configuration while capping worst-case retained
+/// memory.
+const MAX_POOLED_STATES: usize = 256;
 
 impl Iustitia {
     /// Builds a pipeline around a trained model.
@@ -259,6 +272,34 @@ impl Iustitia {
             log: Vec::new(),
             resident: 0,
             last_sweep: f64::NEG_INFINITY,
+            pool: Vec::new(),
+            pool_hits: 0,
+        }
+    }
+
+    /// Takes a feature state from the free list (resetting it) or
+    /// builds a fresh one. A free function over disjoint fields so the
+    /// flow-table entry borrow can stay live at the call sites.
+    fn acquire_state(
+        pool: &mut Vec<FlowFeatureState>,
+        pool_hits: &mut u64,
+        extractor: &FeatureExtractor,
+        b: usize,
+    ) -> FlowFeatureState {
+        match pool.pop() {
+            Some(mut state) => {
+                extractor.reset_flow(&mut state, b);
+                *pool_hits += 1;
+                state
+            }
+            None => extractor.begin_flow(b),
+        }
+    }
+
+    /// Returns a closed flow's feature state to the free list.
+    fn recycle_state(&mut self, state: FlowFeatureState) {
+        if self.pool.len() < MAX_POOLED_STATES {
+            self.pool.push(state);
         }
     }
 
@@ -287,6 +328,18 @@ impl Iustitia {
     /// quantity the §4.4 estimation trades against).
     pub fn resident_feature_bytes(&self) -> usize {
         self.resident
+    }
+
+    /// Number of flows whose feature state was recycled from the pool
+    /// instead of freshly allocated (a steady-state pipeline trends
+    /// toward `pool_hits ≈ flows classified`).
+    pub fn state_pool_hits(&self) -> u64 {
+        self.pool_hits
+    }
+
+    /// Feature states currently parked on the free list.
+    pub fn state_pool_size(&self) -> usize {
+        self.pool.len()
     }
 
     /// Drains the per-flow classification log (each entry carries the
@@ -347,21 +400,23 @@ impl Iustitia {
                 // never stage payload.
                 let stage = match policy {
                     HeaderPolicy::StripKnown { .. } => FlowStage::Staging(Vec::new()),
-                    HeaderPolicy::None => FlowStage::Streaming {
-                        features: self.extractor.begin_flow(b),
-                        fed: 0,
-                        skip_remaining: 0,
-                    },
-                    HeaderPolicy::SkipThreshold { t } => FlowStage::Streaming {
-                        features: self.extractor.begin_flow(b),
-                        fed: 0,
-                        skip_remaining: t,
-                    },
-                    HeaderPolicy::RandomSkip { t_max } => FlowStage::Streaming {
-                        features: self.extractor.begin_flow(b),
-                        fed: 0,
-                        skip_remaining: self.rng.gen_range(0..=t_max),
-                    },
+                    _ => {
+                        let skip_remaining = match policy {
+                            HeaderPolicy::None | HeaderPolicy::StripKnown { .. } => 0,
+                            HeaderPolicy::SkipThreshold { t } => t,
+                            HeaderPolicy::RandomSkip { t_max } => self.rng.gen_range(0..=t_max),
+                        };
+                        FlowStage::Streaming {
+                            features: Self::acquire_state(
+                                &mut self.pool,
+                                &mut self.pool_hits,
+                                &self.extractor,
+                                b,
+                            ),
+                            fed: 0,
+                            skip_remaining,
+                        }
+                    }
                 };
                 (
                     v.insert(FlowBuffer {
@@ -404,7 +459,12 @@ impl Iustitia {
                 };
                 if let Some(skip) = resolved_skip {
                     let staged = std::mem::take(staging);
-                    let mut features = self.extractor.begin_flow(b);
+                    let mut features = Self::acquire_state(
+                        &mut self.pool,
+                        &mut self.pool_hits,
+                        &self.extractor,
+                        b,
+                    );
                     let mut fed = 0usize;
                     let mut skip_remaining = skip;
                     if staged.len() > skip {
@@ -495,24 +555,28 @@ impl Iustitia {
     fn classify_flow(&mut self, id: FlowId, now: f64) -> Option<FileClass> {
         let buf = self.buffers.remove(&id)?;
         self.resident -= buf.resident_bytes();
-        let features = match &buf.stage {
+        let features = match buf.stage {
             // Header decision never resolved (StripKnown flow evicted
             // while staging): classify one-shot from the staged prefix,
             // exactly like the historical buffer-then-compute path.
             FlowStage::Staging(staged) => {
-                let payload = self.staged_payload(staged);
+                let payload = self.staged_payload(&staged);
                 if payload.is_empty() {
                     return None;
                 }
                 self.extractor.extract(payload)
             }
             FlowStage::Streaming { features, fed, .. } => {
-                if *fed == 0 {
+                if fed == 0 {
                     // All observed bytes were header/skip: nothing to
-                    // classify on, as in the old empty-payload path.
+                    // classify on, as in the old empty-payload path —
+                    // but the state still returns to the pool.
+                    self.recycle_state(features);
                     return None;
                 }
-                features.finish()
+                let vector = features.finish();
+                self.recycle_state(features);
+                vector
             }
         };
         let label = self.model.predict(&features);
@@ -802,6 +866,31 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].id, FlowId::of_tuple(&tuple(1)));
         assert_eq!(log[0].buffered_bytes, 8);
+    }
+
+    /// Flow-state pooling: a classified flow's feature state must be
+    /// recycled into the next flow, with identical verdicts.
+    #[test]
+    fn flow_state_pool_recycles_across_flows() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(17));
+        assert_eq!(ius.state_pool_size(), 0);
+        assert_eq!(ius.state_pool_hits(), 0);
+        // First flow allocates fresh state; classifying parks it.
+        let v1 = ius.process_packet(&data_packet(1, 0.0, &text_payload(64)));
+        assert_eq!(v1, Verdict::Classified(FileClass::Text));
+        assert_eq!(ius.state_pool_size(), 1);
+        assert_eq!(ius.state_pool_hits(), 0);
+        // Second flow reuses it and still classifies correctly.
+        let v2 = ius.process_packet(&data_packet(2, 0.1, &encrypted_payload(64)));
+        assert_eq!(v2, Verdict::Classified(FileClass::Encrypted));
+        assert_eq!(ius.state_pool_hits(), 1);
+        assert_eq!(ius.state_pool_size(), 1);
+        // Many sequential flows keep hitting the single pooled state.
+        for (i, port) in (3u16..40).enumerate() {
+            ius.process_packet(&data_packet(port, 0.2 + i as f64 * 0.001, &text_payload(64)));
+        }
+        assert_eq!(ius.state_pool_hits(), 38);
+        assert_eq!(ius.state_pool_size(), 1);
     }
 
     /// The tentpole invariant: a pending flow's heap footprint is the

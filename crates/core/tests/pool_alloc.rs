@@ -1,0 +1,119 @@
+//! Steady-state allocation test for flow-state pooling.
+//!
+//! The pooling acceptance criterion: once the pipeline is warm (the
+//! flow table, gram tables, and state pool have reached their working
+//! capacity), processing a buffering packet on a *recycled* flow must
+//! perform zero heap allocations — the per-packet hot path is indexed
+//! adds into pre-sized tables, nothing else.
+//!
+//! A counting wrapper around the system allocator measures this
+//! directly. This file deliberately contains a single `#[test]` so no
+//! concurrent test can perturb the global allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::model::{train_from_corpus, ModelKind};
+use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+use iustitia_entropy::FeatureWidths;
+use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
+use std::net::Ipv4Addr;
+
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the system allocator plus a relaxed
+// counter increment; no layout or pointer is altered.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+fn data_packet(port: u16, t: f64, payload: &[u8]) -> Packet {
+    let tuple = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), port, Ipv4Addr::new(10, 0, 0, 2), 443);
+    Packet { timestamp: t, tuple, flags: TcpFlags::ACK, payload: payload.to_vec() }
+}
+
+#[test]
+fn recycled_flow_buffering_packets_allocate_nothing() {
+    let corpus =
+        iustitia_corpus::CorpusBuilder::new(33).files_per_class(20).size_range(1024, 4096).build();
+    let model = train_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b: 2048 },
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        33,
+    );
+    let mut config = PipelineConfig::headline(33);
+    config.buffer_size = 2048;
+    let mut pipeline = Iustitia::new(model, config);
+
+    // Every flow streams the same realistic payload, so the warm-up
+    // flows grow each gram table to exactly the capacity the measured
+    // flow needs.
+    let payload: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+
+    // Warm-up: several complete flows populate the pool, grow the flow
+    // table, and size the recycled gram tables.
+    let mut t = 0.0;
+    for port in 1u16..=8 {
+        for seq in 0..4 {
+            t += 0.001;
+            let verdict = pipeline.process_packet(&data_packet(port, t, &payload));
+            if seq < 3 {
+                assert_eq!(verdict, Verdict::Buffering);
+            } else {
+                assert!(matches!(verdict, Verdict::Classified(_)));
+            }
+        }
+    }
+    assert!(pipeline.state_pool_hits() >= 7, "warm-up flows must recycle state");
+    assert!(pipeline.state_pool_size() >= 1);
+
+    // Measured flow: a fresh flow whose state comes from the pool. The
+    // three buffering packets (fed stays below b = 2048) must not touch
+    // the allocator; the fourth completes the window and is allowed to
+    // (finish() builds the feature vector, the log grows, the CDB
+    // inserts).
+    let hits_before = pipeline.state_pool_hits();
+    let packets: Vec<Packet> =
+        (0..3).map(|seq| data_packet(100, t + 0.01 + seq as f64 * 0.001, &payload)).collect();
+    let before = alloc_calls();
+    for packet in &packets {
+        assert_eq!(pipeline.process_packet(packet), Verdict::Buffering);
+    }
+    let during = alloc_calls() - before;
+    assert_eq!(pipeline.state_pool_hits(), hits_before + 1, "measured flow must be a pool hit");
+    assert_eq!(
+        during, 0,
+        "steady-state buffering packets on a recycled flow must not allocate \
+         (saw {during} allocator calls across 3 packets)"
+    );
+}

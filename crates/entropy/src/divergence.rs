@@ -13,8 +13,7 @@
 //! With base-2 logarithms JSD is smooth, symmetric, and bounded in
 //! `[0, 1]`; `JSD(P‖Q) = 0` iff `P = Q`.
 
-use std::collections::HashMap;
-
+use crate::fastmap::{FxBuildHasher, FxHashMap};
 use crate::histogram::GramHistogram;
 
 /// A probability distribution over `k`-byte grams, derived from a
@@ -32,7 +31,7 @@ use crate::histogram::GramHistogram;
 #[derive(Debug, Clone, PartialEq)]
 pub struct ByteDistribution {
     k: usize,
-    probs: HashMap<u128, f64>,
+    probs: FxHashMap<u128, f64>,
 }
 
 impl ByteDistribution {
@@ -46,7 +45,7 @@ impl ByteDistribution {
     /// Converts a histogram of counts into a probability distribution.
     pub fn from_histogram(hist: &GramHistogram) -> Self {
         let total = hist.window_count() as f64;
-        let mut probs = HashMap::with_capacity(hist.distinct());
+        let mut probs = FxHashMap::with_capacity_and_hasher(hist.distinct(), FxBuildHasher);
         if total > 0.0 {
             for (gram, count) in hist.iter() {
                 probs.insert(gram, count as f64 / total);

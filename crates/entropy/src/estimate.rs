@@ -19,12 +19,13 @@
 //! computed exactly and only `k ≥ 2` features are estimated.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fastmap::FxHashMap;
 use crate::histogram::GramHistogram;
 use crate::vector::{entropy_of_histogram, FeatureWidths};
 use crate::BITS_PER_BYTE;
@@ -226,6 +227,25 @@ impl StreamingEntropyEstimator {
         IncrementalEstimator { widths: widths.clone(), slots }
     }
 
+    /// Resets a previously used incremental session to the exact state
+    /// [`begin_incremental`](Self::begin_incremental) would produce for
+    /// `b_hint`, reusing its allocations (tracker arrays, gram index,
+    /// histogram tables) — the pool-recycling path of the flow pipeline.
+    ///
+    /// The sampling RNG is re-derived from `(seed, k)` just as for a
+    /// fresh session, so a recycled session is bit-identical to a fresh
+    /// one on the same payload.
+    pub fn reset_incremental(&self, session: &mut IncrementalEstimator, b_hint: usize) {
+        for (slot, k) in session.slots.iter_mut().zip(session.widths.iter()) {
+            match slot {
+                WidthSlot::Exact(hist) => hist.clear(),
+                WidthSlot::Sketch(sketch) => {
+                    sketch.reset(&self.config, b_hint, self.width_rng(k));
+                }
+            }
+        }
+    }
+
     /// Estimates `S_k = Σᵢ m_ik·log₂(m_ik)` over the `k`-grams of `data`
     /// using the sampling procedure of §4.4.1 (reservoir form).
     ///
@@ -320,7 +340,7 @@ pub(crate) struct IncrementalSketch {
     z: usize,
     trackers: Vec<Tracker>,
     /// Packed gram → indices of trackers currently counting it.
-    by_gram: HashMap<u128, Vec<u32>>,
+    by_gram: FxHashMap<u128, Vec<u32>>,
     /// Min-heap of `(replacement window, tracker index)`.
     schedule: BinaryHeap<Reverse<(u64, u32)>>,
     rng: StdRng,
@@ -351,7 +371,7 @@ impl IncrementalSketch {
             groups,
             z,
             trackers: vec![Tracker { gram: 0, count: 0 }; n],
-            by_gram: HashMap::new(),
+            by_gram: FxHashMap::default(),
             schedule,
             rng,
             key: 0,
@@ -364,6 +384,27 @@ impl IncrementalSketch {
     /// Resident counters (`g·z`, fixed at construction).
     fn counters(&self) -> usize {
         self.trackers.len()
+    }
+
+    /// Restores the freshly-constructed state for a (possibly new)
+    /// `b_hint`, reusing the tracker, index, and heap allocations. The
+    /// RNG is replaced with the fresh per-width stream so a recycled
+    /// sketch samples identically to a new one.
+    fn reset(&mut self, config: &EstimatorConfig, b_hint: usize, rng: StdRng) {
+        self.z = config.estimators_per_group(self.k, b_hint);
+        let n = self.groups * self.z;
+        self.trackers.clear();
+        self.trackers.resize(n, Tracker { gram: 0, count: 0 });
+        self.by_gram.clear();
+        self.schedule.clear();
+        for idx in 0..n {
+            self.schedule.push(Reverse((1, idx as u32)));
+        }
+        self.rng = rng;
+        self.key = 0;
+        self.fed = 0;
+        self.windows = 0;
+        self.due.clear();
     }
 
     /// Feeds one chunk of the stream.
@@ -757,6 +798,39 @@ mod tests {
         session.update(&pseudo_random(4096, 2));
         assert_eq!(session.counters_used(), budget);
         assert_eq!(session.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn recycled_session_is_bit_identical_to_fresh() {
+        let data = pseudo_random(2048, 17);
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::svm_optimal();
+        let est = StreamingEntropyEstimator::with_seed(cfg, 9);
+        let mut fresh = est.begin_incremental(&widths, 1024);
+        for chunk in data.chunks(41) {
+            fresh.update(chunk);
+        }
+        let expected = fresh.finish();
+        // Dirty a session with unrelated data, reset, re-feed: results
+        // and counter budget must match a fresh session exactly.
+        let mut recycled = est.begin_incremental(&widths, 1024);
+        recycled.update(&pseudo_random(4096, 2));
+        est.reset_incremental(&mut recycled, 1024);
+        assert_eq!(recycled.total_bytes(), 0);
+        for chunk in data.chunks(41) {
+            recycled.update(chunk);
+        }
+        assert_eq!(recycled.finish(), expected);
+    }
+
+    #[test]
+    fn reset_resizes_for_new_buffer_hint() {
+        let widths = FeatureWidths::new(vec![2, 3]);
+        let cfg = EstimatorConfig::svm_optimal();
+        let est = StreamingEntropyEstimator::with_seed(cfg, 0);
+        let mut session = est.begin_incremental(&widths, 256);
+        est.reset_incremental(&mut session, 16384);
+        assert_eq!(session.counters_used(), est.total_counters(&widths, 16384));
     }
 
     #[test]

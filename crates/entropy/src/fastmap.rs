@@ -1,0 +1,433 @@
+//! Vendored FxHash-style hashing and an open-addressing counter table.
+//!
+//! The gram-counting hot path ([`crate::histogram`]) increments one
+//! counter per byte per feature width; routing those increments through
+//! `std`'s SipHash-keyed `HashMap` costs more than the arithmetic it
+//! guards. This module provides the two cheap replacements the kernel
+//! uses instead:
+//!
+//! * [`CounterTable`] — a linear-probing, power-of-two, insert-only
+//!   `u128 → u64` counter map. Counts only ever increment, so a zero
+//!   count doubles as the empty-slot marker and the table never needs
+//!   tombstones: growth rehashes live entries only.
+//! * [`FxHashMap`] / [`FxBuildHasher`] — a drop-in `HashMap` alias
+//!   using the same multiply-based hash, for the places that need a
+//!   real map (the estimator's gram → tracker index, divergence
+//!   probability tables).
+//!
+//! The hash is the well-known firefox ("Fx") construction: per 64-bit
+//! word, `h = (h.rotate_left(5) ^ word) * K` with a fixed odd constant
+//! `K`. It is not collision-resistant against adversarial keys, which
+//! is acceptable here: keys are at most `256^k` packed grams and the
+//! tables are bounded by the classification window `b`, so the worst
+//! case degrades to a short linear scan, never unbounded growth.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// The Fx multiply constant (an odd 64-bit number with good bit
+/// diffusion, as used by the firefox hasher).
+const FX_K: u64 = 0x517c_c1b7_2722_0a95;
+
+#[inline]
+fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_K)
+}
+
+/// Hashes one packed gram (both 64-bit halves folded through the Fx
+/// round function).
+///
+/// Grams of width `k ≤ 8` pack entirely into the low word; for those
+/// the second (dependent) mix round is skipped — one well-predicted
+/// branch buys back a multiply on the per-byte counting path. The
+/// function stays deterministic per value, which is all the table
+/// needs.
+#[inline]
+#[must_use]
+pub fn fx_hash_u128(key: u128) -> u64 {
+    let hi = (key >> 64) as u64;
+    let lo = fx_mix(0, key as u64);
+    if hi == 0 {
+        lo
+    } else {
+        fx_mix(lo, hi)
+    }
+}
+
+/// One `(packed gram, count)` slot; `count == 0` marks an empty slot
+/// (valid because a present key always has count ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    key: u128,
+    count: u64,
+}
+
+const EMPTY: Slot = Slot { key: 0, count: 0 };
+
+/// Initial capacity of the first allocation (power of two).
+const INITIAL_CAPACITY: usize = 16;
+
+/// An open-addressing `u128 → u64` counter table.
+///
+/// Linear probing over a power-of-two slot array, indexed by the high
+/// bits of [`fx_hash_u128`]. The only mutation is
+/// [`increment`](Self::increment): keys are never removed, so lookups
+/// can stop at the first empty slot and growth reinserts live entries
+/// without tombstone bookkeeping. Load is kept at or below ½ — linear
+/// probing degrades quadratically with load (≈8.5 expected probes per
+/// miss at ¾ load vs ≈2.5 at ½), and probe length, not hashing, is
+/// what the gram hot path pays for.
+/// [`clear`](Self::clear) resets the table while keeping its
+/// allocation, which is what lets pooled flow state recycle without
+/// touching the allocator.
+///
+/// # Examples
+///
+/// ```
+/// use iustitia_entropy::fastmap::CounterTable;
+///
+/// let mut t = CounterTable::new();
+/// t.increment(7);
+/// t.increment(7);
+/// t.increment(9);
+/// assert_eq!(t.get(7), 2);
+/// assert_eq!(t.get(9), 1);
+/// assert_eq!(t.get(8), 0);
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterTable {
+    slots: Vec<Slot>,
+    /// Occupied slots (distinct keys).
+    len: usize,
+    /// `64 − log2(capacity)`: shift that maps a hash to a slot index.
+    shift: u32,
+}
+
+impl CounterTable {
+    /// Creates an empty table. No allocation until the first
+    /// [`increment`](Self::increment).
+    #[must_use]
+    pub fn new() -> Self {
+        CounterTable { slots: Vec::new(), len: 0, shift: 0 }
+    }
+
+    /// Creates a table pre-sized for `expected_keys` distinct keys, so
+    /// filling it to that point never rehashes.
+    #[must_use]
+    pub fn with_capacity(expected_keys: usize) -> Self {
+        let mut t = CounterTable::new();
+        t.reserve(expected_keys);
+        t
+    }
+
+    /// Ensures room for `additional` further distinct keys at ≤ ½ load
+    /// (one rehash now instead of a cascade of doublings later).
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.len.saturating_add(additional).saturating_mul(2);
+        if needed > self.slots.len() {
+            self.rehash(needed.next_power_of_two().max(INITIAL_CAPACITY));
+        }
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key has been counted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The count of `key` (0 if never incremented).
+    #[must_use]
+    pub fn get(&self, key: u128) -> u64 {
+        if self.slots.is_empty() {
+            return 0;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (fx_hash_u128(key) >> self.shift) as usize;
+        loop {
+            let slot = &self.slots[i & mask];
+            if slot.count == 0 {
+                return 0;
+            }
+            if slot.key == key {
+                return slot.count;
+            }
+            i += 1;
+        }
+    }
+
+    /// Adds 1 to the count of `key`, inserting it at count 1 if absent.
+    #[inline]
+    pub fn increment(&mut self, key: u128) {
+        if self.len * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (fx_hash_u128(key) >> self.shift) as usize;
+        loop {
+            let slot = &mut self.slots[i & mask];
+            if slot.count == 0 {
+                *slot = Slot { key, count: 1 };
+                self.len += 1;
+                return;
+            }
+            if slot.key == key {
+                slot.count += 1;
+                return;
+            }
+            i += 1;
+        }
+    }
+
+    /// Doubles capacity (or makes the first allocation).
+    fn grow(&mut self) {
+        self.rehash((self.slots.len() * 2).max(INITIAL_CAPACITY));
+    }
+
+    /// Re-slots every live entry into a `new_cap`-slot array
+    /// (`new_cap` a power of two). Counts-only-increment means there
+    /// are no tombstones to filter: every non-empty slot is live.
+    fn rehash(&mut self, new_cap: usize) {
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        self.shift = 64 - new_cap.ilog2();
+        let mask = new_cap - 1;
+        for slot in old {
+            if slot.count == 0 {
+                continue;
+            }
+            let mut i = (fx_hash_u128(slot.key) >> self.shift) as usize;
+            while self.slots[i & mask].count != 0 {
+                i += 1;
+            }
+            self.slots[i & mask] = slot;
+        }
+    }
+
+    /// Empties the table, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+        self.len = 0;
+    }
+
+    /// Iterates over `(key, count)` pairs in arbitrary (slot) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, u64)> + '_ {
+        self.slots.iter().filter(|s| s.count != 0).map(|s| (s.key, s.count))
+    }
+
+    /// Allocated slot count (benchmark/diagnostic aid).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// A [`Hasher`] running the Fx round function over the written words.
+///
+/// Only as strong as its inputs need: used for packed-gram and small
+/// integer keys inside this workspace, not for untrusted map keys.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.hash = fx_mix(self.hash, u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.hash = fx_mix(self.hash, u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = fx_mix(self.hash, v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.hash = fx_mix(fx_mix(self.hash, v as u64), (v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.hash = fx_mix(self.hash, v as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`] (stateless, so every map is
+/// deterministic across runs — unlike `RandomState`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed by the Fx hash — the drop-in replacement for
+/// `std`'s SipHash default inside this crate's hot paths.
+// lint: allow(L007) — this alias IS the sanctioned fast-hashed HashMap
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn pseudo_random_keys(n: usize, seed: u64) -> Vec<u128> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Mix of narrow and wide keys, with repeats.
+                if x.is_multiple_of(3) {
+                    u128::from(x % 257)
+                } else {
+                    u128::from(x) << 64 | u128::from(x.wrapping_mul(31))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = CounterTable::new();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), 0);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.capacity(), 0);
+    }
+
+    #[test]
+    fn counts_match_std_hashmap_model() {
+        let keys = pseudo_random_keys(10_000, 7);
+        let mut table = CounterTable::new();
+        let mut model: HashMap<u128, u64> = HashMap::new();
+        for &k in &keys {
+            table.increment(k);
+            *model.entry(k).or_insert(0) += 1;
+        }
+        assert_eq!(table.len(), model.len());
+        for (&k, &c) in &model {
+            assert_eq!(table.get(k), c, "key {k}");
+        }
+        let mut from_iter: Vec<(u128, u64)> = table.iter().collect();
+        from_iter.sort_unstable();
+        let mut from_model: Vec<(u128, u64)> = model.into_iter().collect();
+        from_model.sort_unstable();
+        assert_eq!(from_iter, from_model);
+    }
+
+    #[test]
+    fn growth_keeps_counts() {
+        let mut t = CounterTable::new();
+        // Sequential keys force several doublings past INITIAL_CAPACITY.
+        for round in 1..=3u64 {
+            for k in 0..500u128 {
+                t.increment(k);
+            }
+            assert_eq!(t.len(), 500, "round {round}");
+            for k in 0..500u128 {
+                assert_eq!(t.get(k), round, "round {round} key {k}");
+            }
+        }
+        assert!(t.capacity() >= 500 * 4 / 3);
+        assert!(t.capacity().is_power_of_two());
+    }
+
+    #[test]
+    fn zero_key_is_a_real_key() {
+        // key 0 must be distinguishable from an empty slot.
+        let mut t = CounterTable::new();
+        t.increment(0);
+        t.increment(0);
+        assert_eq!(t.get(0), 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut t = CounterTable::new();
+        for k in 0..1000u128 {
+            t.increment(k);
+        }
+        let cap = t.capacity();
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.capacity(), cap);
+        assert_eq!(t.get(3), 0);
+        t.increment(3);
+        assert_eq!(t.get(3), 1);
+    }
+
+    #[test]
+    fn fx_hashmap_behaves_like_a_map() {
+        let mut m: FxHashMap<u128, Vec<u32>> = FxHashMap::default();
+        m.entry(5).or_default().push(1);
+        m.entry(5).or_default().push(2);
+        m.entry(9).or_default().push(3);
+        assert_eq!(m.get(&5), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 2);
+        m.remove(&5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn fx_hash_spreads_small_keys() {
+        // High bits index the table, so small keys must not collapse
+        // into the same high bits.
+        let hashes: Vec<u64> = (0..256u128).map(|k| fx_hash_u128(k) >> 56).collect();
+        let distinct: std::collections::HashSet<u64> = hashes.iter().copied().collect();
+        assert!(distinct.len() > 128, "only {} distinct high bytes", distinct.len());
+    }
+
+    #[test]
+    fn hasher_write_paths_agree_on_word_boundaries() {
+        let mut a = FxHasher::default();
+        a.write_u64(0x0123_4567_89AB_CDEF);
+        let mut b = FxHasher::default();
+        b.write(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

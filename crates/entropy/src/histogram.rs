@@ -5,8 +5,27 @@
 //! so a sequence of `m` bytes yields `m - k + 1` elements. This module
 //! provides the counting structure shared by exact entropy calculation
 //! ([`crate::vector`]) and the divergence measures ([`crate::divergence`]).
+//!
+//! Counting is the per-byte hot path of the whole system (§4 of the
+//! paper demands it be near-memcpy cheap), so the storage is tiered by
+//! alphabet size instead of always paying a general-purpose hash map:
+//!
+//! * `k = 1` — a dense `[u64; 256]` array: one indexed add per byte.
+//! * `k = 2` — a dense 64 KiB (`65 536 × u64`) table plus a *touched*
+//!   index list, so `distinct`, iteration, and reset cost O(distinct)
+//!   rather than O(65 536).
+//! * `k ≥ 3` — the open-addressing Fx-hashed [`CounterTable`]
+//!   (`256^k` no longer fits a dense table).
+//!
+//! All three representations sit behind the same API, and
+//! [`sum_m_log_m`](GramHistogram::sum_m_log_m) still sums counts in
+//! sorted order, so every float the crate derives from a histogram is
+//! bit-identical across representations.
 
-use std::collections::HashMap;
+use crate::fastmap::CounterTable;
+
+/// Number of slots in the dense `k = 2` table (`256^2`).
+const DENSE2_SLOTS: usize = 1 << 16;
 
 /// A frequency histogram of the `k`-byte grams of a byte sequence.
 ///
@@ -26,11 +45,133 @@ use std::collections::HashMap;
 /// assert_eq!(h.count_of(b"ba"), 1);
 /// assert_eq!(h.distinct(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct GramHistogram {
     k: usize,
-    counts: HashMap<u128, u64>,
+    store: Store,
     windows: u64,
+}
+
+/// Width-tiered counter storage (see the module docs).
+#[derive(Debug, Clone)]
+enum Store {
+    /// `k = 1`: dense byte-indexed counters; `distinct` is maintained
+    /// on first touch so it never needs a scan.
+    Dense1 {
+        /// `counts[b]` = occurrences of byte `b`.
+        counts: Box<[u64; 256]>,
+        /// Number of non-zero entries.
+        distinct: u32,
+    },
+    /// `k = 2`: dense gram-indexed counters plus the list of occupied
+    /// indices (each index appears exactly once, pushed on first touch).
+    Dense2 {
+        /// `counts[g]` = occurrences of packed 2-gram `g`.
+        counts: Box<[u64]>,
+        /// Indices with non-zero count, in first-touch order.
+        touched: Vec<u16>,
+    },
+    /// `k ≥ 3`: open-addressing Fx-hashed counter table.
+    Open(CounterTable),
+}
+
+impl Store {
+    fn for_width(k: usize) -> Self {
+        match k {
+            1 => Store::Dense1 { counts: Box::new([0u64; 256]), distinct: 0 },
+            2 => Store::Dense2 {
+                counts: vec![0u64; DENSE2_SLOTS].into_boxed_slice(),
+                touched: Vec::new(),
+            },
+            _ => Store::Open(CounterTable::new()),
+        }
+    }
+
+    /// Adds one occurrence of the packed gram `key`.
+    #[inline]
+    fn bump(&mut self, key: u128) {
+        match self {
+            Store::Dense1 { counts, distinct } => {
+                let c = &mut counts[key as usize & 0xFF];
+                if *c == 0 {
+                    *distinct += 1;
+                }
+                *c += 1;
+            }
+            Store::Dense2 { counts, touched } => {
+                let idx = key as usize & 0xFFFF;
+                let c = &mut counts[idx];
+                if *c == 0 {
+                    touched.push(idx as u16);
+                }
+                *c += 1;
+            }
+            Store::Open(table) => table.increment(key),
+        }
+    }
+
+    fn get(&self, key: u128) -> u64 {
+        match self {
+            Store::Dense1 { counts, .. } => counts[key as usize & 0xFF],
+            Store::Dense2 { counts, .. } => counts[key as usize & 0xFFFF],
+            Store::Open(table) => table.get(key),
+        }
+    }
+
+    fn distinct(&self) -> usize {
+        match self {
+            Store::Dense1 { distinct, .. } => *distinct as usize,
+            Store::Dense2 { touched, .. } => touched.len(),
+            Store::Open(table) => table.len(),
+        }
+    }
+
+    /// Resets every counter while keeping allocations (pool recycling):
+    /// O(1) pages for `k = 1`, O(distinct) for `k = 2`, O(capacity) for
+    /// the open table.
+    fn clear(&mut self) {
+        match self {
+            Store::Dense1 { counts, distinct } => {
+                counts.fill(0);
+                *distinct = 0;
+            }
+            Store::Dense2 { counts, touched } => {
+                for &idx in touched.iter() {
+                    counts[idx as usize] = 0;
+                }
+                touched.clear();
+            }
+            Store::Open(table) => table.clear(),
+        }
+    }
+}
+
+/// Iterator over a histogram's `(packed_gram, count)` pairs.
+enum StoreIter<'a> {
+    Dense1(std::iter::Enumerate<std::slice::Iter<'a, u64>>),
+    Dense2 { counts: &'a [u64], touched: std::slice::Iter<'a, u16> },
+    Open(Box<dyn Iterator<Item = (u128, u64)> + 'a>),
+}
+
+impl Iterator for StoreIter<'_> {
+    type Item = (u128, u64);
+
+    fn next(&mut self) -> Option<(u128, u64)> {
+        match self {
+            StoreIter::Dense1(inner) => {
+                for (i, &c) in inner.by_ref() {
+                    if c != 0 {
+                        return Some((i as u128, c));
+                    }
+                }
+                None
+            }
+            StoreIter::Dense2 { counts, touched } => {
+                touched.next().map(|&idx| (u128::from(idx), counts[idx as usize]))
+            }
+            StoreIter::Open(inner) => inner.next(),
+        }
+    }
 }
 
 /// Packs up to 16 bytes into a `u128` key.
@@ -56,7 +197,7 @@ impl GramHistogram {
     /// Panics if `k == 0` or `k > 16`.
     pub fn new(k: usize) -> Self {
         assert!((1..=16).contains(&k), "feature width k must be in 1..=16, got {k}");
-        GramHistogram { k, counts: HashMap::new(), windows: 0 }
+        GramHistogram { k, store: Store::for_width(k), windows: 0 }
     }
 
     /// Builds the histogram of all `k`-grams of `data`.
@@ -68,40 +209,76 @@ impl GramHistogram {
         h
     }
 
+    /// Pre-sizes the backing store for counting the grams of `bytes`
+    /// contiguous payload bytes, so feeding that many never rehashes
+    /// mid-stream. No-op on the dense tiers (already full-alphabet).
+    pub fn reserve_bytes(&mut self, bytes: usize) {
+        if let Store::Open(table) = &mut self.store {
+            table.reserve(bytes.saturating_sub(self.k - 1));
+        }
+    }
+
     /// Counts all `k`-grams of `data` into this histogram.
     ///
     /// Note that calling this twice with two halves of a buffer is *not*
     /// equivalent to one call with the whole buffer: the grams spanning
-    /// the boundary are not counted. The flow pipeline therefore buffers
-    /// `b` contiguous payload bytes before computing features.
+    /// the boundary are not counted. The flow pipeline therefore streams
+    /// through [`crate::incremental::IncrementalVector`], whose rolling
+    /// window keeps boundary grams.
     pub fn extend_from_bytes(&mut self, data: &[u8]) {
         if data.len() < self.k {
             return;
         }
         if self.k == 1 {
             // Fast path: dense iteration without window packing.
-            for &b in data {
-                *self.counts.entry(u128::from(b)).or_insert(0) += 1;
+            if let Store::Dense1 { counts, distinct } = &mut self.store {
+                for &b in data {
+                    let c = &mut counts[b as usize];
+                    if *c == 0 {
+                        *distinct += 1;
+                    }
+                    *c += 1;
+                }
             }
             self.windows += data.len() as u64;
             return;
         }
-        let mask: u128 = if self.k == 16 { u128::MAX } else { (1u128 << (8 * self.k)) - 1 };
+        let windows = data.len() - self.k + 1;
+        let mask = width_mask(self.k);
         let mut key = pack_gram(&data[..self.k - 1]);
-        for &b in &data[self.k - 1..] {
-            key = ((key << 8) | u128::from(b)) & mask;
-            *self.counts.entry(key).or_insert(0) += 1;
+        // The tier is fixed for the life of the histogram, so resolve
+        // it once instead of re-matching on every byte.
+        match &mut self.store {
+            Store::Dense1 { .. } => {} // k == 1 took the fast path above
+            Store::Dense2 { counts, touched } => {
+                for &b in &data[self.k - 1..] {
+                    key = ((key << 8) | u128::from(b)) & mask;
+                    let idx = key as usize & 0xFFFF;
+                    let c = &mut counts[idx];
+                    if *c == 0 {
+                        touched.push(idx as u16);
+                    }
+                    *c += 1;
+                }
+            }
+            Store::Open(table) => {
+                // Worst case every window is distinct; one rehash up
+                // front replaces the cascade of doublings mid-scan.
+                table.reserve(windows);
+                for &b in &data[self.k - 1..] {
+                    key = ((key << 8) | u128::from(b)) & mask;
+                    table.increment(key);
+                }
+            }
         }
-        self.windows += (data.len() - self.k + 1) as u64;
+        self.windows += windows as u64;
     }
 
     /// Counts the `k`-grams of `carry ++ data` into this histogram,
     /// where `carry` is the tail of previously counted bytes
-    /// (`carry.len() < k` required). Used by the incremental builder
-    /// ([`crate::incremental::IncrementalVector`]) to count grams that
-    /// straddle packet boundaries without re-feeding whole buffers:
-    /// because `carry` is shorter than `k`, every window of the
-    /// concatenation ends inside `data` and is therefore new.
+    /// (`carry.len() < k` required): because `carry` is shorter than
+    /// `k`, every window of the concatenation ends inside `data` and is
+    /// therefore new.
     ///
     /// If `carry.len() + data.len() < k` nothing is counted.
     ///
@@ -118,17 +295,34 @@ impl GramHistogram {
         if total < self.k {
             return;
         }
-        let mask: u128 = if self.k == 16 { u128::MAX } else { (1u128 << (8 * self.k)) - 1 };
+        let mask = width_mask(self.k);
         let mut key: u128 = 0;
         let mut fed = 0usize;
         for &b in carry.iter().chain(data.iter()) {
             key = ((key << 8) | u128::from(b)) & mask;
             fed += 1;
             if fed >= self.k {
-                *self.counts.entry(key).or_insert(0) += 1;
+                self.store.bump(key);
             }
         }
         self.windows += (total - self.k + 1) as u64;
+    }
+
+    /// Adds one already-packed window (the low `8k` bits of `key`) —
+    /// the single-pass incremental path, where one rolling window per
+    /// byte feeds every width at once.
+    #[inline]
+    pub(crate) fn add_packed(&mut self, key: u128) {
+        self.store.bump(key);
+        self.windows += 1;
+    }
+
+    /// Resets the histogram to empty while keeping its allocations
+    /// (dense tables, open-table slots), so pooled flow state recycles
+    /// without touching the allocator.
+    pub fn clear(&mut self) {
+        self.store.clear();
+        self.windows = 0;
     }
 
     /// The gram width `k` this histogram counts.
@@ -144,7 +338,7 @@ impl GramHistogram {
 
     /// Number of distinct grams observed.
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.store.distinct()
     }
 
     /// The count of one specific gram (0 if never seen).
@@ -154,27 +348,34 @@ impl GramHistogram {
     /// Panics if `gram.len() != k`.
     pub fn count_of(&self, gram: &[u8]) -> u64 {
         assert_eq!(gram.len(), self.k, "gram length must equal k");
-        self.counts.get(&pack_gram(gram)).copied().unwrap_or(0)
+        self.store.get(pack_gram(gram))
     }
 
     /// Iterates over `(packed_gram, count)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (u128, u64)> + '_ {
-        self.counts.iter().map(|(&g, &c)| (g, c))
+        match &self.store {
+            Store::Dense1 { counts, .. } => StoreIter::Dense1(counts.iter().enumerate()),
+            Store::Dense2 { counts, touched } => {
+                StoreIter::Dense2 { counts, touched: touched.iter() }
+            }
+            Store::Open(table) => StoreIter::Open(Box::new(table.iter())),
+        }
     }
 
     /// Iterates over the raw counts in arbitrary order.
     pub fn counts(&self) -> impl Iterator<Item = u64> + '_ {
-        self.counts.values().copied()
+        self.iter().map(|(_, c)| c)
     }
 
     /// Σ mᵢ·log2(mᵢ) over all gram counts mᵢ — the quantity `S_k`
     /// that the streaming sketch of [`crate::estimate`] approximates.
     ///
     /// Counts are summed in sorted order so the result is bit-for-bit
-    /// reproducible (HashMap iteration order would otherwise perturb
-    /// the floating-point sum across runs).
+    /// reproducible — across runs *and* across storage tiers (hash-map,
+    /// dense, and open-addressing iteration orders all collapse to the
+    /// same sorted multiset).
     pub fn sum_m_log_m(&self) -> f64 {
-        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        let mut counts: Vec<u64> = self.counts().collect();
         counts.sort_unstable();
         counts
             .into_iter()
@@ -188,9 +389,32 @@ impl GramHistogram {
     /// Number of counters an exact implementation needs for this input —
     /// used to size the `(δ,ε)` estimation budget `α` (Formula 3).
     pub fn counters_used(&self) -> usize {
-        self.counts.len()
+        self.store.distinct()
     }
 }
+
+/// The low-`8k`-bit mask of a rolling window key.
+#[inline]
+pub(crate) fn width_mask(k: usize) -> u128 {
+    if k >= 16 {
+        u128::MAX
+    } else {
+        (1u128 << (8 * k)) - 1
+    }
+}
+
+impl PartialEq for GramHistogram {
+    /// Semantic equality: same width, same windows, same gram → count
+    /// mapping — independent of storage tier or insertion order.
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.windows == other.windows
+            && self.distinct() == other.distinct()
+            && self.iter().all(|(gram, count)| other.store.get(gram) == count)
+    }
+}
+
+impl Eq for GramHistogram {}
 
 impl Extend<u8> for GramHistogram {
     /// Extends from an iterator of bytes. Equivalent to collecting the
@@ -320,5 +544,53 @@ mod tests {
         let mut h = GramHistogram::new(2);
         h.extend(b"abcd".iter().copied());
         assert_eq!(h.window_count(), 3);
+    }
+
+    #[test]
+    fn iter_visits_every_tier_correctly() {
+        for k in [1usize, 2, 3] {
+            let data: Vec<u8> = (0u8..=255).flat_map(|b| [b, b.wrapping_mul(7)]).collect();
+            let h = GramHistogram::from_bytes(&data, k);
+            let mut pairs: Vec<(u128, u64)> = h.iter().collect();
+            pairs.sort_unstable();
+            assert_eq!(pairs.len(), h.distinct(), "k={k}");
+            let total: u64 = pairs.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, h.window_count(), "k={k}");
+            for &(gram, count) in &pairs {
+                assert!(count > 0);
+                let mut bytes = vec![0u8; k];
+                for (i, byte) in bytes.iter_mut().enumerate() {
+                    *byte = (gram >> (8 * (k - 1 - i))) as u8;
+                }
+                assert_eq!(h.count_of(&bytes), count, "k={k} gram={gram:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_counting_correctly() {
+        for k in [1usize, 2, 4] {
+            let data: Vec<u8> = (0u8..200).map(|i| i.wrapping_mul(13)).collect();
+            let mut h = GramHistogram::from_bytes(&data, k);
+            h.clear();
+            assert_eq!(h.window_count(), 0, "k={k}");
+            assert_eq!(h.distinct(), 0, "k={k}");
+            h.extend_from_bytes(&data);
+            assert_eq!(h, GramHistogram::from_bytes(&data, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn equality_is_semantic_not_representational() {
+        // Same counts reached through different feeding orders.
+        let mut a = GramHistogram::new(2);
+        a.extend_from_bytes(b"xyxy");
+        let mut b = GramHistogram::new(2);
+        b.extend_from_bytes(b"xy");
+        b.extend_across(b"y", b"xy");
+        assert_eq!(a, b);
+        // Different counts are unequal even with equal distinct/windows.
+        let c = GramHistogram::from_bytes(b"xxyy", 2);
+        assert_ne!(a, c);
     }
 }

@@ -3,24 +3,32 @@
 //! The flow pipeline historically buffered the first `b` payload bytes
 //! of a flow and computed [`EntropyVector::compute`] once the buffer
 //! filled — O(`b`) heap per pending flow. This module replaces that
-//! with a streaming builder: each arriving chunk is folded into one
-//! [`GramHistogram`] per feature width immediately, and only a
-//! `max(k) − 1`-byte *carry* of the most recent bytes is retained so
-//! grams straddling chunk boundaries are still counted.
+//! with a streaming builder, and the builder itself runs in a **single
+//! pass**: one rolling packed window is advanced once per byte and
+//! feeds every requested width simultaneously, instead of re-scanning
+//! each chunk once per width.
 //!
-//! [`IncrementalVector::finish`] is **bit-identical** to
-//! [`EntropyVector::compute`] on the concatenated chunks: feeding the
-//! carry tail before each chunk reproduces exactly the windows of the
-//! contiguous input (every window spans at most `k` consecutive bytes,
-//! and the carry always holds the previous `min(total, k−1)` bytes, so
-//! each window of the concatenation is counted exactly once — windows
-//! entirely inside the carry are impossible because the carry is
-//! shorter than `k`). Equal gram-count multisets then yield equal
-//! floating-point entropies because
+//! The single-pass window argument: the rolling key holds the last
+//! 16 bytes fed (`key = (key << 8) | b`; older bytes fall off the top
+//! of the `u128`). After byte number `t ≥ k` of the stream, the low
+//! `8k` bits of the key are exactly the window of bytes
+//! `t−k+1 ..= t` — the `t−k+1`-th `k`-gram of the concatenated input.
+//! Each width `k` therefore records one window per byte once at least
+//! `k` bytes have been fed, which enumerates precisely the
+//! `total − k + 1` windows of the contiguous input, each exactly once,
+//! regardless of how the input was chunked. Because the key carries
+//! across [`update`](IncrementalVector::update) calls, no per-chunk
+//! carry buffer is needed and chunked ≡ one-shot holds by construction.
+//!
+//! The **bit-identical-finish invariant**: [`IncrementalVector::finish`]
+//! is bit-for-bit equal to [`EntropyVector::compute`] on the
+//! concatenated chunks, because equal window enumerations give equal
+//! gram-count multisets, and
 //! [`sum_m_log_m`](GramHistogram::sum_m_log_m) sums counts in sorted
-//! order.
+//! order — collapsing any iteration-order or storage-tier difference
+//! before a single float is produced.
 
-use crate::histogram::GramHistogram;
+use crate::histogram::{width_mask, GramHistogram};
 use crate::vector::{entropy_of_histogram, EntropyVector, FeatureWidths};
 
 /// Streaming builder of an [`EntropyVector`], fed one chunk at a time.
@@ -42,46 +50,69 @@ use crate::vector::{entropy_of_histogram, EntropyVector, FeatureWidths};
 pub struct IncrementalVector {
     widths: FeatureWidths,
     hists: Vec<GramHistogram>,
-    /// Last `min(total, max_k − 1)` bytes seen, shared by all widths.
-    carry: Vec<u8>,
-    carry_cap: usize,
+    /// Per-width `8k`-bit masks, parallel to `hists`.
+    masks: Vec<u128>,
+    /// Rolling window of the last ≤16 bytes fed (older bytes shift off
+    /// the top; every `k ≤ 16` mask still sees its full window).
+    key: u128,
     total: u64,
 }
 
 impl IncrementalVector {
     /// Creates an empty builder for the given feature widths.
     pub fn new(widths: &FeatureWidths) -> Self {
-        let max_k = widths.iter().max().unwrap_or(1);
         IncrementalVector {
             widths: widths.clone(),
             hists: widths.iter().map(GramHistogram::new).collect(),
-            carry: Vec::with_capacity(max_k.saturating_sub(1)),
-            carry_cap: max_k.saturating_sub(1),
+            masks: widths.iter().map(width_mask).collect(),
+            key: 0,
             total: 0,
         }
     }
 
-    /// Folds one chunk of payload into every per-width histogram.
-    pub fn update(&mut self, chunk: &[u8]) {
-        if chunk.is_empty() {
-            return;
-        }
+    /// Like [`new`](Self::new), but pre-sized for a flow that will feed
+    /// about `bytes` payload bytes (the pipeline's classification
+    /// window `b`), so filling the window never rehashes mid-flow.
+    pub fn with_byte_hint(widths: &FeatureWidths, bytes: usize) -> Self {
+        let mut v = Self::new(widths);
+        v.reserve_bytes(bytes);
+        v
+    }
+
+    /// Pre-sizes every per-width histogram for `bytes` total payload.
+    pub fn reserve_bytes(&mut self, bytes: usize) {
         for hist in &mut self.hists {
-            let tail = self.carry.len().min(hist.k() - 1);
-            hist.extend_across(&self.carry[self.carry.len() - tail..], chunk);
+            hist.reserve_bytes(bytes);
         }
-        if chunk.len() >= self.carry_cap {
-            self.carry.clear();
-            self.carry.extend_from_slice(&chunk[chunk.len() - self.carry_cap..]);
-        } else {
-            let keep = self.carry_cap - chunk.len();
-            if self.carry.len() > keep {
-                let drop = self.carry.len() - keep;
-                self.carry.drain(..drop);
+    }
+
+    /// Folds one chunk of payload into every per-width histogram in a
+    /// single pass over the bytes.
+    pub fn update(&mut self, chunk: &[u8]) {
+        let mut key = self.key;
+        let mut fed = self.total;
+        for &b in chunk {
+            key = (key << 8) | u128::from(b);
+            fed += 1;
+            for (hist, &mask) in self.hists.iter_mut().zip(&self.masks) {
+                if fed >= hist.k() as u64 {
+                    hist.add_packed(key & mask);
+                }
             }
-            self.carry.extend_from_slice(chunk);
         }
-        self.total += chunk.len() as u64;
+        self.key = key;
+        self.total = fed;
+    }
+
+    /// Resets the builder to its freshly-created state while keeping
+    /// every histogram's allocations, so pooled flow state recycles
+    /// without touching the allocator.
+    pub fn reset(&mut self) {
+        for hist in &mut self.hists {
+            hist.clear();
+        }
+        self.key = 0;
+        self.total = 0;
     }
 
     /// Total bytes fed so far.
@@ -185,5 +216,34 @@ mod tests {
             inc.update(chunk);
         }
         assert_eq!(inc.finish().values(), EntropyVector::compute(&data, &widths).values());
+    }
+
+    #[test]
+    fn width_sixteen_rolls_without_masking_loss() {
+        let widths = FeatureWidths::new(vec![1, 16]);
+        let data = pseudo_random(200, 77);
+        let mut inc = IncrementalVector::new(&widths);
+        for chunk in data.chunks(13) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish().values(), EntropyVector::compute(&data, &widths).values());
+    }
+
+    #[test]
+    fn reset_reuses_state_bit_identically() {
+        let widths = FeatureWidths::full();
+        let first = pseudo_random(300, 5);
+        let second = pseudo_random(300, 6);
+        let mut inc = IncrementalVector::new(&widths);
+        for chunk in first.chunks(11) {
+            inc.update(chunk);
+        }
+        inc.reset();
+        assert_eq!(inc.total_bytes(), 0);
+        assert_eq!(inc.counters_used(), 0);
+        for chunk in second.chunks(11) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish().values(), EntropyVector::compute(&second, &widths).values());
     }
 }

@@ -41,6 +41,7 @@
 
 pub mod divergence;
 pub mod estimate;
+pub mod fastmap;
 pub mod histogram;
 pub mod incremental;
 pub mod vector;
@@ -50,6 +51,7 @@ pub use estimate::{
     counters_required, min_epsilon, EstimateError, EstimatorConfig, IncrementalEstimator,
     StreamingEntropyEstimator,
 };
+pub use fastmap::{FxBuildHasher, FxHashMap};
 pub use histogram::GramHistogram;
 pub use incremental::IncrementalVector;
 pub use vector::{

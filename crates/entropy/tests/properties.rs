@@ -24,6 +24,30 @@ fn packetize<'a>(data: &'a [u8], cuts: &[usize]) -> Vec<&'a [u8]> {
     chunks
 }
 
+/// Reference gram counter: a plain `std` HashMap over raw windows.
+/// Returns `(distinct, windows, sum_m_log_m)` with the sum taken in
+/// sorted count order, exactly as `GramHistogram::sum_m_log_m` defines
+/// it — so equality below is bit-for-bit, not approximate.
+fn hashmap_model(data: &[u8], k: usize) -> (usize, u64, f64) {
+    let mut model: std::collections::HashMap<&[u8], u64> = std::collections::HashMap::new();
+    if data.len() >= k {
+        for window in data.windows(k) {
+            *model.entry(window).or_insert(0) += 1;
+        }
+    }
+    let windows: u64 = model.values().sum();
+    let mut counts: Vec<u64> = model.values().copied().collect();
+    counts.sort_unstable();
+    let sum = counts
+        .into_iter()
+        .map(|c| {
+            let c = c as f64;
+            c * c.log2()
+        })
+        .sum();
+    (model.len(), windows, sum)
+}
+
 proptest! {
     #[test]
     fn entropy_is_always_in_unit_interval(data in proptest::collection::vec(any::<u8>(), 0..2048), k in 1usize..=10) {
@@ -175,6 +199,79 @@ proptest! {
             session.update(&[byte]);
         }
         prop_assert_eq!(session.finish().values(), &entropy_vector(&data, &[1, 2, 3])[..]);
+    }
+
+    /// Every storage tier (dense `k=1`, dense `k=2`, open-addressing
+    /// `k≥3`) must agree exactly with a `std` HashMap reference on
+    /// `(distinct, windows, sum_m_log_m)` — and on every individual
+    /// gram count.
+    #[test]
+    fn histogram_tiers_match_hashmap_model(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        k in 1usize..=6,
+    ) {
+        let hist = GramHistogram::from_bytes(&data, k);
+        let (distinct, windows, sum) = hashmap_model(&data, k);
+        prop_assert_eq!(hist.distinct(), distinct);
+        prop_assert_eq!(hist.window_count(), windows);
+        prop_assert_eq!(hist.sum_m_log_m(), sum, "sorted-order sums must be bit-identical");
+        if data.len() >= k {
+            for window in data.windows(k).take(32) {
+                let expected = data.windows(k).filter(|w| *w == window).count() as u64;
+                prop_assert_eq!(hist.count_of(window), expected);
+            }
+        }
+    }
+
+    /// Open-addressing growth (tombstone-free: the table only ever
+    /// inserts, so doubling + reinsertion must preserve every count).
+    /// 4 KiB of arbitrary bytes forces thousands of distinct 3-grams —
+    /// several doublings past the 16-slot initial table.
+    #[test]
+    fn open_table_growth_keeps_hashmap_equivalence(
+        data in proptest::collection::vec(any::<u8>(), 2048..4096),
+    ) {
+        let hist = GramHistogram::from_bytes(&data, 3);
+        let (distinct, windows, sum) = hashmap_model(&data, 3);
+        prop_assert_eq!(hist.distinct(), distinct);
+        prop_assert_eq!(hist.window_count(), windows);
+        prop_assert_eq!(hist.sum_m_log_m(), sum);
+    }
+
+    /// `clear()` + refeed must be indistinguishable from a fresh
+    /// histogram on every tier (the pool-recycling invariant).
+    #[test]
+    fn cleared_histogram_recounts_like_fresh(
+        junk in proptest::collection::vec(any::<u8>(), 0..512),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        k in 1usize..=5,
+    ) {
+        let mut recycled = GramHistogram::from_bytes(&junk, k);
+        recycled.clear();
+        recycled.extend_from_bytes(&data);
+        prop_assert_eq!(recycled, GramHistogram::from_bytes(&data, k));
+    }
+
+    /// The single-pass multi-width update must equal independent
+    /// per-width counting on any packetization: for each width, the
+    /// rolling shared window enumerates exactly the windows a dedicated
+    /// per-width scan of the concatenation would.
+    #[test]
+    fn single_pass_multi_width_equals_per_width(
+        data in proptest::collection::vec(any::<u8>(), 0..768),
+        cuts in proptest::collection::vec(1usize..32, 0..24),
+    ) {
+        let widths = FeatureWidths::new(vec![1, 2, 3, 5, 8]);
+        let mut session = IncrementalVector::new(&widths);
+        for chunk in packetize(&data, &cuts) {
+            session.update(chunk);
+        }
+        let per_width: Vec<f64> = widths
+            .iter()
+            .map(|k| iustitia_entropy::entropy_of_histogram(&GramHistogram::from_bytes(&data, k)))
+            .collect();
+        prop_assert_eq!(session.finish().values(), &per_width[..]);
+        prop_assert_eq!(session.total_bytes(), data.len() as u64);
     }
 
     #[test]

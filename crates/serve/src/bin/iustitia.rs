@@ -284,7 +284,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let classify_p50 = s.stage(Stage::Classify).p50().unwrap_or(0);
         eprintln!(
             "packets={} hits={} flows={} busy={} dropped={} conns={} classify_p50={}ns \
-             pending={} resident={}B",
+             pending={} resident={}B pool_hits={} pool_size={}",
             s.packets,
             s.hits,
             s.flows_classified,
@@ -294,6 +294,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             classify_p50,
             s.pending_flows(),
             s.resident_feature_bytes(),
+            s.state_pool_hits(),
+            s.state_pool_size(),
         );
     }
 }
@@ -345,6 +347,11 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
         stats.pending_flows(),
         stats.resident_feature_bytes(),
         stats.shards.len(),
+    );
+    println!(
+        "state pool:       {} recycled flow states ({} parked)",
+        stats.state_pool_hits(),
+        stats.state_pool_size(),
     );
     println!("stage latency (server-side, approximate ns):");
     for stage in Stage::ALL {

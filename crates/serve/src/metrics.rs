@@ -150,13 +150,21 @@ pub struct ShardGauges {
     /// Estimated heap bytes resident across this shard's pending
     /// flows (feature counters + header staging).
     pub resident_feature_bytes: AtomicU64,
+    /// Flows whose feature state was recycled from the shard
+    /// pipeline's free list instead of freshly allocated.
+    pub state_pool_hits: AtomicU64,
+    /// Feature states currently parked on the shard pipeline's free
+    /// list.
+    pub state_pool_size: AtomicU64,
 }
 
 impl ShardGauges {
-    /// Stores both gauge levels (Relaxed; the values are advisory).
-    pub fn set(&self, pending: u64, resident: u64) {
+    /// Stores all gauge levels (Relaxed; the values are advisory).
+    pub fn set(&self, pending: u64, resident: u64, pool_hits: u64, pool_size: u64) {
         self.pending_flows.store(pending, Ordering::Relaxed);
         self.resident_feature_bytes.store(resident, Ordering::Relaxed);
+        self.state_pool_hits.store(pool_hits, Ordering::Relaxed);
+        self.state_pool_size.store(pool_size, Ordering::Relaxed);
     }
 }
 
@@ -222,6 +230,8 @@ impl ServeMetrics {
                 .map(|g| ShardStats {
                     pending_flows: g.pending_flows.load(Ordering::Relaxed),
                     resident_feature_bytes: g.resident_feature_bytes.load(Ordering::Relaxed),
+                    state_pool_hits: g.state_pool_hits.load(Ordering::Relaxed),
+                    state_pool_size: g.state_pool_size.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -236,6 +246,12 @@ pub struct ShardStats {
     /// Estimated heap bytes resident across this shard's pending
     /// flows (feature counters + header staging).
     pub resident_feature_bytes: u64,
+    /// Flows whose feature state was recycled from the shard
+    /// pipeline's free list instead of freshly allocated.
+    pub state_pool_hits: u64,
+    /// Feature states currently parked on the shard pipeline's free
+    /// list.
+    pub state_pool_size: u64,
 }
 
 /// Point-in-time copy of all server metrics, as returned by the
@@ -287,9 +303,21 @@ impl StatsSnapshot {
         self.shards.iter().map(|s| s.resident_feature_bytes).sum()
     }
 
+    /// Total pool-recycled flow states across all shards.
+    #[must_use]
+    pub fn state_pool_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.state_pool_hits).sum()
+    }
+
+    /// Total parked feature states across all shards.
+    #[must_use]
+    pub fn state_pool_size(&self) -> u64 {
+        self.shards.iter().map(|s| s.state_pool_size).sum()
+    }
+
     /// Wire encoding: the eight counters, the four histograms, then
-    /// the shard-gauge section (shard count followed by two gauges per
-    /// shard), all as big-endian `u64`.
+    /// the shard-gauge section (shard count followed by four gauges
+    /// per shard), all as big-endian `u64`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
             self.packets,
@@ -312,6 +340,8 @@ impl StatsSnapshot {
         for shard in &self.shards {
             out.extend_from_slice(&shard.pending_flows.to_be_bytes());
             out.extend_from_slice(&shard.resident_feature_bytes.to_be_bytes());
+            out.extend_from_slice(&shard.state_pool_hits.to_be_bytes());
+            out.extend_from_slice(&shard.state_pool_size.to_be_bytes());
         }
     }
 
@@ -345,9 +375,12 @@ impl StatsSnapshot {
         }
         snapshot.shards.reserve(shard_count as usize);
         for _ in 0..shard_count {
-            snapshot
-                .shards
-                .push(ShardStats { pending_flows: r.u64()?, resident_feature_bytes: r.u64()? });
+            snapshot.shards.push(ShardStats {
+                pending_flows: r.u64()?,
+                resident_feature_bytes: r.u64()?,
+                state_pool_hits: r.u64()?,
+                state_pool_size: r.u64()?,
+            });
         }
         Ok(snapshot)
     }
@@ -411,8 +444,8 @@ mod tests {
         ServeMetrics::add(&m.dropped_oldest, 7);
         m.record(Stage::Hash, 250);
         m.record(Stage::BufferFill, 999);
-        m.shards[0].set(4, 4 * 2240);
-        m.shards[2].set(1, 96);
+        m.shards[0].set(4, 4 * 2240, 120, 9);
+        m.shards[2].set(1, 96, 41, 2);
         let snapshot = m.snapshot();
         let mut body = Vec::new();
         snapshot.encode_into(&mut body);
@@ -422,6 +455,8 @@ mod tests {
         assert_eq!(back, snapshot);
         assert_eq!(back.pending_flows(), 5);
         assert_eq!(back.resident_feature_bytes(), 4 * 2240 + 96);
+        assert_eq!(back.state_pool_hits(), 161);
+        assert_eq!(back.state_pool_size(), 11);
     }
 
     #[test]

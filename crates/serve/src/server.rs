@@ -502,6 +502,8 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                     shared.metrics.shards[shard].set(
                         pipeline.pending_flows() as u64,
                         pipeline.resident_feature_bytes() as u64,
+                        pipeline.state_pool_hits(),
+                        pipeline.state_pool_size() as u64,
                     );
                     let _ = ack.send(flushed);
                 }
@@ -511,16 +513,25 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
             }
         }
         // Refresh this shard's gauges once per drained batch: cheap
-        // (two relaxed stores) and fresh enough for a Stats poll.
-        shared.metrics.shards[shard]
-            .set(pipeline.pending_flows() as u64, pipeline.resident_feature_bytes() as u64);
+        // (a few relaxed stores) and fresh enough for a Stats poll.
+        shared.metrics.shards[shard].set(
+            pipeline.pending_flows() as u64,
+            pipeline.resident_feature_bytes() as u64,
+            pipeline.state_pool_hits(),
+            pipeline.state_pool_size() as u64,
+        );
     }
 
     // Queue closed: graceful shutdown. Classify every in-flight flow
     // from the bytes it has buffered and emit final verdicts.
     pipeline.sweep_idle(last_t + idle_timeout + 1.0);
     emit_verdicts(&mut pipeline, &mut routes, shared, None);
-    shared.metrics.shards[shard].set(0, 0);
+    shared.metrics.shards[shard].set(
+        0,
+        0,
+        pipeline.state_pool_hits(),
+        pipeline.state_pool_size() as u64,
+    );
 }
 
 /// Delivers every newly logged classification to the connection that

@@ -121,6 +121,23 @@ fn serves_synthetic_trace_end_to_end() {
     assert_eq!(stats.pending_flows(), 0, "drain leaves no pending flows");
     assert_eq!(stats.resident_feature_bytes(), 0);
 
+    // Flow-state pooling: with hundreds of flows per shard, almost all
+    // of them must have recycled a pooled state instead of allocating,
+    // and the drained pipelines hold their states parked for reuse.
+    assert!(
+        stats.state_pool_hits() > 0,
+        "steady-state flows must reuse pooled feature state (hits={})",
+        stats.state_pool_hits()
+    );
+    assert!(stats.state_pool_size() > 0, "drained pipelines must park their flow states for reuse");
+    assert!(
+        stats.state_pool_hits() + stats.state_pool_size() >= stats.flows_classified,
+        "every classified flow's state was pooled or reused: hits={} parked={} flows={}",
+        stats.state_pool_hits(),
+        stats.state_pool_size(),
+        stats.flows_classified
+    );
+
     client.close().unwrap();
     server.shutdown();
 }

@@ -9,6 +9,7 @@
 //! | L004 | no `println!` / `eprintln!` (metrics, not stdout) | `serve`/`core`/`entropy` library code |
 //! | L005 | every `AtomicU64` counter of `ServeMetrics` appears in `StatsSnapshot` (and every `ShardGauges` gauge in `ShardStats`) | `serve/src/metrics.rs` |
 //! | L006 | no `.extend_from_slice(` onto per-flow buffers other than the bounded `staging` buffer | `core/src/pipeline.rs` |
+//! | L007 | no `std::collections::HashMap` (SipHash) — use `fastmap::FxHashMap` or `CounterTable` | `entropy` library code |
 //!
 //! "Library code" excludes `src/bin/`, `tests/`, `benches/`, and
 //! `#[cfg(test)]` / `#[test]` regions inside library files.
@@ -36,6 +37,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ("L004", "no println!/eprintln! in library code (bins exempt)"),
     ("L005", "every ServeMetrics counter must appear in StatsSnapshot"),
     ("L006", "no unbounded payload accumulation in core pipeline (staging only)"),
+    ("L007", "no SipHash HashMap in entropy library code; use fastmap"),
 ];
 
 /// One diagnostic produced by the pass.
@@ -87,6 +89,9 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
     }
     if rel_path == "crates/core/src/pipeline.rs" {
         raw.extend(l006_no_payload_accumulation(rel_path, &lexed, &tests));
+    }
+    if rel_path.starts_with("crates/entropy/src/") && !rel_path.contains("/bin/") {
+        raw.extend(l007_no_siphash_hashmap(rel_path, &lexed, &tests));
     }
 
     violations.extend(raw.into_iter().filter(|v| !supp.covers(v.lint, v.line)));
@@ -520,6 +525,29 @@ fn l006_no_payload_accumulation(
     out
 }
 
+// ---------------------------------------------------------------- L007
+
+/// The entropy kernel is hash-bound: every gram touch is a map probe,
+/// so `std`'s DoS-hardened SipHash dominates the profile. Library code
+/// must use the vendored `fastmap` types (`FxHashMap`, `CounterTable`);
+/// the bare `HashMap` ident is the tell. Tests may model against `std`.
+fn l007_no_siphash_hashmap(rel_path: &str, lexed: &Lexed, tests: &[(u32, u32)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for token in &lexed.tokens {
+        if token.is_ident("HashMap") && !in_test(tests, token.line) {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: token.line,
+                lint: "L007",
+                message: "std::collections::HashMap pays SipHash per probe on the gram hot \
+                          path; use fastmap::FxHashMap or fastmap::CounterTable"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 struct Field {
     name: String,
     type_text: String,
@@ -848,6 +876,52 @@ mod tests {
 }
 "#;
         assert!(check_file("crates/core/src/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l005_covers_pool_gauges() {
+        // The flow-state pool gauges drift like any other gauge pair.
+        let src = r#"
+pub struct ServeMetrics { pub packets: AtomicU64 }
+pub struct StatsSnapshot { pub packets: u64 }
+pub struct ShardGauges {
+    pub pending_flows: AtomicU64,
+    pub state_pool_hits: AtomicU64,
+    pub state_pool_size: AtomicU64,
+}
+pub struct ShardStats {
+    pub pending_flows: u64,
+    pub state_pool_hits: u64,
+}
+"#;
+        let v = check_file(METRICS, src);
+        assert_eq!(lints_of(&v), vec!["L005"]);
+        assert!(v[0].message.contains("state_pool_size"));
+    }
+
+    #[test]
+    fn l007_flags_siphash_hashmap_in_entropy_lib() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u128, u64> = HashMap::new(); }\n";
+        let v = check_file("crates/entropy/src/estimate.rs", src);
+        assert_eq!(lints_of(&v), vec!["L007", "L007", "L007"]);
+        assert!(v[0].message.contains("fastmap"));
+        assert!(check_file("crates/core/src/pipeline.rs", src).is_empty(), "L007 entropy-only");
+    }
+
+    #[test]
+    fn l007_allows_tests_fx_alias_and_suppressed_lines() {
+        let src = r#"
+// lint: allow(L007) — this alias IS the sanctioned fast-hashed HashMap
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+fn f() { let m: FxHashMap<u128, u64> = FxHashMap::default(); }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let model: HashMap<u128, u64> = HashMap::new(); }
+}
+"#;
+        assert!(check_file("crates/entropy/src/fastmap.rs", src).is_empty());
     }
 
     #[test]

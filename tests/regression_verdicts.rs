@@ -1,0 +1,81 @@
+//! Verdict regression: the kernel-level rewrites (dense/fx-hashed
+//! histograms, single-pass multi-width counting, flow-state pooling)
+//! must be observably invisible — every fixed-seed corpus/trace/model
+//! combination must produce confusion matrices bit-identical to the
+//! pre-rewrite pipeline.
+//!
+//! The golden matrices below were captured from the pipeline at the
+//! commit immediately before the kernel overhaul ("Stream per-packet
+//! features instead of buffering flow payloads"), using the exact
+//! corpus, model, trace, and pipeline seeds reproduced here. Any drift
+//! means a float path changed — the sorted-sum `sum_m_log_m` invariant
+//! or the per-width RNG derivation broke — and is a bug, not noise.
+
+use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::model::{train_from_corpus, ModelKind};
+use iustitia::pipeline::{Iustitia, PipelineConfig};
+use iustitia_entropy::{EstimatorConfig, FeatureWidths};
+use iustitia_netsim::trace::{ContentMode, TraceConfig, TraceGenerator};
+use iustitia_netsim::Packet;
+
+/// Runs the fixed-seed pipeline and tallies truth × label counts
+/// (classes indexed text, binary, encrypted).
+fn confusion(mode: FeatureMode, b: usize) -> [[u64; 3]; 3] {
+    let corpus =
+        iustitia_corpus::CorpusBuilder::new(33).files_per_class(80).size_range(1024, 4096).build();
+    let model = train_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b },
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        33,
+    );
+    let mut config = PipelineConfig::headline(33);
+    config.buffer_size = b;
+    config.mode = mode;
+    let mut pipeline = Iustitia::new(model, config);
+
+    let mut trace_config = TraceConfig::small_test(42);
+    trace_config.n_flows = 400;
+    trace_config.duration = 10.0;
+    trace_config.content = ContentMode::Realistic;
+    let mut generator = TraceGenerator::new(trace_config);
+    let packets: Vec<Packet> = generator.by_ref().collect();
+    for packet in &packets {
+        pipeline.process_packet(packet);
+    }
+    pipeline.sweep_idle(f64::INFINITY);
+
+    let truth = generator.ground_truth();
+    let mut matrix = [[0u64; 3]; 3];
+    for flow in pipeline.take_log() {
+        let tuple = packets
+            .iter()
+            .find(|p| iustitia::cdb::FlowId::of_tuple(&p.tuple) == flow.id)
+            .map(|p| p.tuple)
+            .expect("flow id maps back to a tuple");
+        if let Some(actual) = truth.get(&tuple) {
+            matrix[actual.index()][flow.label.index()] += 1;
+        }
+    }
+    matrix
+}
+
+#[test]
+fn exact_mode_b32_confusion_matrix_is_frozen() {
+    assert_eq!(confusion(FeatureMode::Exact, 32), [[106, 13, 2], [15, 131, 1], [0, 1, 131]],);
+}
+
+#[test]
+fn exact_mode_b2048_confusion_matrix_is_frozen() {
+    assert_eq!(confusion(FeatureMode::Exact, 2048), [[90, 31, 0], [1, 139, 7], [0, 23, 109]],);
+}
+
+#[test]
+fn estimated_mode_b1024_confusion_matrix_is_frozen() {
+    assert_eq!(
+        confusion(FeatureMode::Estimated(EstimatorConfig::svm_optimal()), 1024),
+        [[92, 29, 0], [2, 135, 10], [0, 29, 103]],
+    );
+}
