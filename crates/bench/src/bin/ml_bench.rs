@@ -1,0 +1,242 @@
+//! ML-layer benchmark: serial vs parallel training, boxed vs compiled
+//! inference.
+//!
+//! The "old" side of every comparison is the library's own reference
+//! path, which still exists unchanged: single-threaded fits
+//! (`Parallelism::serial()`, the exact pre-parallelism code path) and
+//! the boxed pointer-chasing models (`DecisionTree`, `DagSvm`). The
+//! "new" side is the scoped-thread fit and the compiled flat models
+//! (`CompiledTree`, `CompiledDag`).
+//!
+//! A startup sanity pass asserts, on a full synthetic corpus, that
+//! (1) models fitted with N worker threads are bit-identical
+//! (`PartialEq`) to serial fits, and (2) compiled models return the
+//! same label as their boxed originals on every corpus vector, before
+//! anything is timed.
+//!
+//! Timed matrix: DAGSVM fit and 10-fold CART cross-validation, serial
+//! vs auto-parallel; single-vector predict, boxed vs compiled, for
+//! CART and DAGSVM. Output is criterion-style `ns/iter` lines followed
+//! by a JSON document (captured into `results/BENCH_ml.json`).
+//!
+//! `--smoke` runs the whole matrix with minimal iteration counts so CI
+//! can verify the harness (including both sanity passes) end-to-end.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use iustitia::features::{FeatureMode, TrainingMethod};
+use iustitia::model::{ModelKind, NatureModel};
+use iustitia_corpus::CorpusBuilder;
+use iustitia_entropy::FeatureWidths;
+use iustitia_ml::cart::{CartParams, DecisionTree};
+use iustitia_ml::compiled::{CompiledDag, CompiledTree};
+use iustitia_ml::crossval::cross_validate_with;
+use iustitia_ml::multiclass::DagSvm;
+use iustitia_ml::svm::SvmParams;
+use iustitia_ml::{Classifier, Dataset, Parallelism};
+
+/// Times `f` criterion-style: calibrate an iteration count to the
+/// target sample length, warm up, then take `samples` samples and
+/// report the median ns/iter.
+fn bench<R>(mut f: impl FnMut() -> R, smoke: bool) -> f64 {
+    if smoke {
+        let start = Instant::now();
+        black_box(f());
+        return start.elapsed().as_nanos() as f64;
+    }
+    // Calibrate: grow iters until one sample takes >= 20 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if start.elapsed().as_millis() >= 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let samples = 9;
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    per_iter[samples / 2]
+}
+
+/// Entropy-vector dataset over a full synthetic corpus — the same
+/// extraction the offline trainer runs (Figure 1, right half).
+fn corpus_dataset() -> Dataset {
+    // b = 256: the paper's high-speed small-buffer regime, where the
+    // binary/encrypted bands overlap and the SVMs retain many shared
+    // support vectors.
+    let corpus = CorpusBuilder::new(33).files_per_class(60).size_range(1024, 4096).build();
+    iustitia::features::dataset_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        TrainingMethod::Prefix { b: 256 },
+        FeatureMode::Exact,
+        33,
+    )
+}
+
+fn svm_params(parallelism: Parallelism) -> SvmParams {
+    // The paper's best model: RBF γ=50, C=1000 (Section 4.3).
+    SvmParams { parallelism, ..SvmParams::paper_rbf() }
+}
+
+fn cart_params(parallelism: Parallelism) -> CartParams {
+    CartParams { parallelism, ..CartParams::default() }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = Parallelism::auto().resolve();
+    let ds = corpus_dataset();
+
+    // Sanity 1: parallel fits are bit-identical to serial fits.
+    let dag_serial = DagSvm::fit(&ds, &svm_params(Parallelism::serial()));
+    let dag_parallel = DagSvm::fit(&ds, &svm_params(Parallelism::fixed(4)));
+    assert_eq!(dag_serial, dag_parallel, "DAGSVM fit must not depend on thread count");
+    let tree_serial = DecisionTree::fit(&ds, &cart_params(Parallelism::serial()));
+    let tree_parallel = DecisionTree::fit(&ds, &cart_params(Parallelism::fixed(4)));
+    assert_eq!(tree_serial, tree_parallel, "CART fit must not depend on thread count");
+    let cv_serial = cross_validate_with(&ds, 10, 33, Parallelism::serial(), |t| {
+        DecisionTree::fit(t, &cart_params(Parallelism::serial()))
+    });
+    let cv_parallel = cross_validate_with(&ds, 10, 33, Parallelism::fixed(4), |t| {
+        DecisionTree::fit(t, &cart_params(Parallelism::serial()))
+    });
+    assert_eq!(cv_serial, cv_parallel, "cross-validation must not depend on thread count");
+
+    // Sanity 2: compiled models agree with their boxed originals on
+    // every corpus vector (and through the NatureModel wrapper).
+    let tree_fast = CompiledTree::compile(&tree_serial);
+    let mut dag_fast = CompiledDag::compile(&dag_serial);
+    let boxed_model = NatureModel::train(&ds, &ModelKind::Cart(cart_params(Parallelism::serial())));
+    let mut compiled_model = boxed_model.compile();
+    for (x, _) in ds.iter() {
+        assert_eq!(tree_fast.predict(x), Classifier::predict(&tree_serial, x));
+        assert_eq!(dag_fast.predict(x), Classifier::predict(&dag_serial, x));
+        assert_eq!(compiled_model.predict(x), boxed_model.predict(x));
+    }
+    eprintln!(
+        "sanity: parallel==serial fits and compiled==boxed predictions \
+         on all {} corpus vectors",
+        ds.len()
+    );
+
+    let n = ds.len();
+    let n_features = ds.n_features();
+    let vectors: Vec<&[f64]> = ds.iter().map(|(x, _)| x).collect();
+
+    // --- training ---
+    let fit_rows = [
+        (
+            "fit/dagsvm",
+            bench(|| DagSvm::fit(&ds, &svm_params(Parallelism::serial())), smoke),
+            bench(|| DagSvm::fit(&ds, &svm_params(Parallelism::auto())), smoke),
+        ),
+        (
+            "cv10/cart",
+            bench(
+                || {
+                    cross_validate_with(&ds, 10, 33, Parallelism::serial(), |t| {
+                        DecisionTree::fit(t, &cart_params(Parallelism::serial()))
+                    })
+                },
+                smoke,
+            ),
+            bench(
+                || {
+                    cross_validate_with(&ds, 10, 33, Parallelism::auto(), |t| {
+                        DecisionTree::fit(t, &cart_params(Parallelism::serial()))
+                    })
+                },
+                smoke,
+            ),
+        ),
+    ];
+    for (name, serial_ns, parallel_ns) in &fit_rows {
+        println!("ml/{name}/serial    time: {serial_ns:>12.0} ns/iter");
+        println!("ml/{name}/parallel  time: {parallel_ns:>12.0} ns/iter");
+        println!("ml/{name}  speedup: {:.2}x ({threads} threads)", serial_ns / parallel_ns);
+    }
+
+    // --- inference (ns per single-vector predict, averaged over the
+    // whole corpus so every tree path and DAG route is exercised) ---
+    let per = |total_ns: f64| total_ns / n as f64;
+    let predict_rows = [
+        (
+            "predict/cart",
+            per(bench(
+                || vectors.iter().map(|x| Classifier::predict(&tree_serial, x)).sum::<usize>(),
+                smoke,
+            )),
+            per(bench(|| vectors.iter().map(|x| tree_fast.predict(x)).sum::<usize>(), smoke)),
+        ),
+        (
+            "predict/dagsvm",
+            per(bench(
+                || vectors.iter().map(|x| Classifier::predict(&dag_serial, x)).sum::<usize>(),
+                smoke,
+            )),
+            per(bench(|| vectors.iter().map(|x| dag_fast.predict(x)).sum::<usize>(), smoke)),
+        ),
+    ];
+    for (name, boxed_ns, compiled_ns) in &predict_rows {
+        println!("ml/{name}/boxed     time: {boxed_ns:>12.1} ns/predict");
+        println!("ml/{name}/compiled  time: {compiled_ns:>12.1} ns/predict");
+        println!("ml/{name}  speedup: {:.2}x", boxed_ns / compiled_ns);
+    }
+
+    println!("--- JSON ---");
+    println!("{{");
+    println!(
+        "  \"benchmark\": \"ML layer: serial vs scoped-thread training, \
+         boxed vs compiled (flat-array, packed-SV) inference\","
+    );
+    println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    println!("  \"threads\": {threads},");
+    println!("  \"matrix\": {{");
+    println!("    \"n_samples\": {n},");
+    println!("    \"n_features\": {n_features},");
+    println!("    \"cart_nodes\": {},", tree_fast.n_nodes());
+    println!("    \"dagsvm_distinct_svs\": {},", dag_fast.n_distinct_support_vectors());
+    println!("    \"dagsvm_terms\": {}", dag_fast.n_terms());
+    println!("  }},");
+    println!("  \"training\": [");
+    let fit_cells: Vec<String> = fit_rows
+        .iter()
+        .map(|(name, s, p)| {
+            format!(
+                "    {{\"bench\": \"{name}\", \"serial_ns\": {s:.0}, \
+                 \"parallel_ns\": {p:.0}, \"speedup\": {:.2}}}",
+                s / p
+            )
+        })
+        .collect();
+    println!("{}", fit_cells.join(",\n"));
+    println!("  ],");
+    println!("  \"inference\": [");
+    let predict_cells: Vec<String> = predict_rows
+        .iter()
+        .map(|(name, b, c)| {
+            format!(
+                "    {{\"bench\": \"{name}\", \"boxed_ns_per_predict\": {b:.1}, \
+                 \"compiled_ns_per_predict\": {c:.1}, \"speedup\": {:.2}}}",
+                b / c
+            )
+        })
+        .collect();
+    println!("{}", predict_cells.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

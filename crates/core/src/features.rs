@@ -169,6 +169,18 @@ impl FlowFeatureState {
         }
     }
 
+    /// Writes the feature vector into `out` (cleared first), using
+    /// `counts_scratch` for exact-histogram count sorting, so a warm
+    /// caller allocates nothing (exact mode; the estimated sketches
+    /// still build their small per-finish median buffers). Values are
+    /// bit-identical to [`finish`](Self::finish).
+    pub fn finish_into(&self, out: &mut Vec<f64>, counts_scratch: &mut Vec<u64>) {
+        match &self.inner {
+            FlowStateInner::Exact(v) => v.finish_entropies_into(out, counts_scratch),
+            FlowStateInner::Estimated(e) => e.finish_into(out, counts_scratch),
+        }
+    }
+
     /// Total payload bytes fed so far.
     pub fn total_bytes(&self) -> u64 {
         match &self.inner {

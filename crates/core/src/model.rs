@@ -3,9 +3,10 @@
 
 use iustitia_corpus::FileClass;
 use iustitia_ml::cart::{CartParams, DecisionTree};
+use iustitia_ml::compiled::{CompiledDag, CompiledTree, CompiledVote};
 use iustitia_ml::multiclass::{DagSvm, OneVsOneVote};
 use iustitia_ml::svm::SvmParams;
-use iustitia_ml::{Classifier, Dataset};
+use iustitia_ml::{Classifier, Dataset, DimensionMismatch};
 
 /// Which learning algorithm to train (the paper evaluates both).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -109,6 +110,71 @@ impl NatureModel {
             cm.record(y, self.predict(x).index());
         }
         cm
+    }
+
+    /// Compiles the model into its flat, allocation-free inference form
+    /// (see [`iustitia_ml::compiled`]). Predictions are bit-identical;
+    /// the pipeline compiles every model it is handed at
+    /// construction/load time and classifies through the compiled path.
+    pub fn compile(&self) -> CompiledNatureModel {
+        match self {
+            NatureModel::Cart(m) => CompiledNatureModel::Cart(CompiledTree::compile(m)),
+            NatureModel::Svm(m) => CompiledNatureModel::Svm(CompiledDag::compile(m)),
+            NatureModel::SvmVote(m) => CompiledNatureModel::SvmVote(CompiledVote::compile(m)),
+        }
+    }
+}
+
+/// The compiled inference counterpart of [`NatureModel`]: flattened
+/// tree nodes / packed shared support vectors, with owned scratch so
+/// `predict` performs zero heap allocations (hence `&mut self` — the
+/// scratch never changes results).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledNatureModel {
+    /// A compiled decision tree.
+    Cart(CompiledTree),
+    /// A compiled DAGSVM.
+    Svm(CompiledDag),
+    /// A compiled one-vs-one voter.
+    SvmVote(CompiledVote),
+}
+
+impl CompiledNatureModel {
+    /// Predicts the flow nature, or reports a feature-width mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_predict(&mut self, features: &[f64]) -> Result<FileClass, DimensionMismatch> {
+        let idx = match self {
+            CompiledNatureModel::Cart(m) => m.try_predict(features)?,
+            CompiledNatureModel::Svm(m) => m.try_predict(features)?,
+            CompiledNatureModel::SvmVote(m) => m.try_predict(features)?,
+        };
+        Ok(FileClass::from_index(idx))
+    }
+
+    /// Predicts the flow nature for one entropy vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality; use
+    /// [`try_predict`](Self::try_predict) for a typed error.
+    pub fn predict(&mut self, features: &[f64]) -> FileClass {
+        match self.try_predict(features) {
+            Ok(label) => label,
+            Err(e) => panic!("feature dimensionality mismatch: {e}"),
+        }
+    }
+
+    /// Feature-vector width the model expects.
+    pub fn n_features(&self) -> usize {
+        match self {
+            CompiledNatureModel::Cart(m) => m.n_features(),
+            CompiledNatureModel::Svm(m) => m.n_features(),
+            CompiledNatureModel::SvmVote(m) => m.n_features(),
+        }
     }
 }
 
@@ -223,6 +289,24 @@ mod tests {
         let cm = m.confusion_on(&ds);
         for c in 0..3 {
             assert!(cm.class_accuracy(c) > 0.9, "class {c}");
+        }
+    }
+
+    #[test]
+    fn compiled_model_matches_boxed_for_every_kind() {
+        let ds = band_dataset(60);
+        let svm_params =
+            SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 20.0 }, ..Default::default() };
+        for kind in
+            [ModelKind::paper_cart(), ModelKind::Svm(svm_params), ModelKind::SvmVote(svm_params)]
+        {
+            let boxed = NatureModel::train(&ds, &kind);
+            let mut compiled = boxed.compile();
+            assert_eq!(compiled.n_features(), 2);
+            for (x, _) in ds.iter() {
+                assert_eq!(compiled.predict(x), boxed.predict(x), "kind {kind:?}");
+            }
+            assert!(compiled.try_predict(&[0.5]).is_err());
         }
     }
 }

@@ -26,7 +26,7 @@ use iustitia_netsim::Packet;
 
 use crate::cdb::{CdbConfig, ClassificationDatabase, FlowId};
 use crate::features::{FeatureExtractor, FeatureMode, FlowFeatureState};
-use crate::model::NatureModel;
+use crate::model::{CompiledNatureModel, NatureModel};
 use iustitia_entropy::FeatureWidths;
 
 /// How application-layer headers are handled before classification
@@ -229,6 +229,9 @@ pub struct QueueCounters {
 pub struct Iustitia {
     config: PipelineConfig,
     model: NatureModel,
+    /// The model's compiled inference form (flattened tree / packed
+    /// shared support vectors); every verdict comes from this path.
+    compiled: CompiledNatureModel,
     cdb: ClassificationDatabase,
     buffers: HashMap<FlowId, FlowBuffer>,
     extractor: FeatureExtractor,
@@ -245,6 +248,12 @@ pub struct Iustitia {
     pool: Vec<FlowFeatureState>,
     /// Number of flows whose feature state came from the pool.
     pool_hits: u64,
+    /// Scratch for the finished feature vector of the flow being
+    /// classified, so steady-state classification never allocates.
+    feature_scratch: Vec<f64>,
+    /// Scratch for exact-histogram count sorting inside feature
+    /// finishes (see `GramHistogram::sum_m_log_m_with`).
+    counts_scratch: Vec<u64>,
 }
 
 /// Upper bound on pooled [`FlowFeatureState`]s, so a burst of
@@ -261,9 +270,11 @@ impl Iustitia {
             FeatureExtractor::new(config.widths.clone(), config.mode.clone(), config.seed);
         let cdb = ClassificationDatabase::new(config.cdb);
         let rng = StdRng::seed_from_u64(config.seed ^ 0xDEFE45E);
+        let compiled = model.compile();
         Iustitia {
             config,
             model,
+            compiled,
             cdb,
             buffers: HashMap::new(),
             extractor,
@@ -274,6 +285,8 @@ impl Iustitia {
             last_sweep: f64::NEG_INFINITY,
             pool: Vec::new(),
             pool_hits: 0,
+            feature_scratch: Vec::new(),
+            counts_scratch: Vec::new(),
         }
     }
 
@@ -306,6 +319,13 @@ impl Iustitia {
     /// The configuration in use.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The trained model behind this pipeline. Verdicts come from its
+    /// compiled form, built once at construction; the boxed original is
+    /// kept for serialization and introspection.
+    pub fn model(&self) -> &NatureModel {
+        &self.model
     }
 
     /// The classification database (read access for monitoring).
@@ -555,7 +575,7 @@ impl Iustitia {
     fn classify_flow(&mut self, id: FlowId, now: f64) -> Option<FileClass> {
         let buf = self.buffers.remove(&id)?;
         self.resident -= buf.resident_bytes();
-        let features = match buf.stage {
+        match buf.stage {
             // Header decision never resolved (StripKnown flow evicted
             // while staging): classify one-shot from the staged prefix,
             // exactly like the historical buffer-then-compute path.
@@ -564,7 +584,10 @@ impl Iustitia {
                 if payload.is_empty() {
                     return None;
                 }
-                self.extractor.extract(payload)
+                let vector = self.extractor.extract(payload);
+                self.feature_scratch.clear();
+                // lint: allow(L006) — finished f64 features (one per width), not payload
+                self.feature_scratch.extend_from_slice(&vector);
             }
             FlowStage::Streaming { features, fed, .. } => {
                 if fed == 0 {
@@ -574,12 +597,18 @@ impl Iustitia {
                     self.recycle_state(features);
                     return None;
                 }
-                let vector = features.finish();
+                features.finish_into(&mut self.feature_scratch, &mut self.counts_scratch);
                 self.recycle_state(features);
-                vector
             }
+        }
+        // A model trained on a different feature width than the
+        // pipeline extracts cannot render a verdict; such flows are
+        // left unclassified (the CDB miss path treats them as
+        // Ignored) rather than taking the hot path down with a panic.
+        let label = match self.compiled.try_predict(&self.feature_scratch) {
+            Ok(label) => label,
+            Err(_) => return None,
         };
-        let label = self.model.predict(&features);
         self.cdb.insert(id, label, now);
         self.queues.forwarded[label.index()] += buf.packets as u64;
         self.log.push(ClassifiedFlow {
@@ -915,5 +944,27 @@ mod tests {
         ));
         assert_eq!(ius.resident_feature_bytes(), 0);
         assert_eq!(ius.pending_flows(), 0);
+    }
+
+    /// A model trained on a different feature width than the pipeline
+    /// extracts must leave flows unclassified (Ignored), not panic the
+    /// hot path.
+    #[test]
+    fn width_mismatched_model_yields_ignored_not_panic() {
+        let mut ds = iustitia_ml::Dataset::new(1, FileClass::names());
+        for i in 0..10 {
+            let x = i as f64 / 50.0;
+            ds.push(vec![0.45 + x], FileClass::Text.index());
+            ds.push(vec![0.70 + x], FileClass::Binary.index());
+            ds.push(vec![0.97 + x / 10.0], FileClass::Encrypted.index());
+        }
+        let narrow = NatureModel::train(&ds, &crate::model::ModelKind::paper_cart());
+        // headline() extracts 4 svm-selected widths; the model wants 1.
+        let mut ius = Iustitia::new(narrow, PipelineConfig::headline(7));
+        assert_eq!(ius.process_packet(&data_packet(1, 0.0, &text_payload(16))), Verdict::Buffering);
+        assert_eq!(ius.process_packet(&data_packet(1, 0.1, &text_payload(16))), Verdict::Ignored);
+        assert_eq!(ius.pending_flows(), 0, "the flow is still evicted");
+        assert_eq!(ius.cdb().len(), 0, "no verdict is cached");
+        assert!(ius.take_log().is_empty());
     }
 }

@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::fastmap::FxHashMap;
 use crate::histogram::GramHistogram;
-use crate::vector::{entropy_of_histogram, FeatureWidths};
+use crate::vector::FeatureWidths;
 use crate::BITS_PER_BYTE;
 
 /// Mixing constant for deriving independent per-width RNG streams from
@@ -578,13 +578,27 @@ impl IncrementalEstimator {
     /// The estimated entropy vector of everything fed so far (`h_1`
     /// exact, `k ≥ 2` via the sketch).
     pub fn finish(&self) -> Vec<f64> {
-        self.slots
-            .iter()
-            .map(|slot| match slot {
-                WidthSlot::Exact(hist) => entropy_of_histogram(hist),
-                WidthSlot::Sketch(sketch) => sketch.estimate_hk(),
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.slots.len());
+        let mut counts = Vec::new();
+        self.finish_into(&mut out, &mut counts);
+        out
+    }
+
+    /// Writes the feature values into `out` (cleared first), using
+    /// `counts_scratch` for the exact `h_1` slot's count sorting.
+    /// Bit-identical to [`finish`](Self::finish).
+    ///
+    /// Note the sketch slots still build one small `group_means` vector
+    /// per finish (`estimate_sk`'s median step, §4.4.1 step 6) — only
+    /// the exact-histogram path is allocation-free.
+    pub fn finish_into(&self, out: &mut Vec<f64>, counts_scratch: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.slots.iter().map(|slot| match slot {
+            WidthSlot::Exact(hist) => {
+                crate::vector::entropy_of_histogram_with(hist, counts_scratch)
+            }
+            WidthSlot::Sketch(sketch) => sketch.estimate_hk(),
+        }));
     }
 }
 

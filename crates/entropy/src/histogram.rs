@@ -375,11 +375,34 @@ impl GramHistogram {
     /// dense, and open-addressing iteration orders all collapse to the
     /// same sorted multiset).
     pub fn sum_m_log_m(&self) -> f64 {
-        let mut counts: Vec<u64> = self.counts().collect();
-        counts.sort_unstable();
-        counts
-            .into_iter()
-            .map(|c| {
+        let mut counts: Vec<u64> = Vec::new();
+        self.sum_m_log_m_with(&mut counts)
+    }
+
+    /// [`sum_m_log_m`](Self::sum_m_log_m) using a caller-owned scratch
+    /// buffer, so steady-state feature finishes allocate nothing once
+    /// the buffer has grown to the flow's distinct-gram count.
+    ///
+    /// Matches the store tiers directly (instead of going through
+    /// [`Self::iter`], whose open-table arm boxes its iterator): the
+    /// same non-zero counts land in `scratch`, are sorted, and are
+    /// summed by the identical fold — bit-for-bit the same float as
+    /// `sum_m_log_m`.
+    pub fn sum_m_log_m_with(&self, scratch: &mut Vec<u64>) -> f64 {
+        scratch.clear();
+        match &self.store {
+            Store::Dense1 { counts, .. } => {
+                scratch.extend(counts.iter().copied().filter(|&c| c != 0));
+            }
+            Store::Dense2 { counts, touched } => {
+                scratch.extend(touched.iter().map(|&idx| counts[idx as usize]));
+            }
+            Store::Open(table) => scratch.extend(table.iter().map(|(_, c)| c)),
+        }
+        scratch.sort_unstable();
+        scratch
+            .iter()
+            .map(|&c| {
                 let c = c as f64;
                 c * c.log2()
             })

@@ -29,7 +29,9 @@
 //! before a single float is produced.
 
 use crate::histogram::{width_mask, GramHistogram};
-use crate::vector::{entropy_of_histogram, EntropyVector, FeatureWidths};
+use crate::vector::{
+    entropy_of_histogram, entropy_of_histogram_with, EntropyVector, FeatureWidths,
+};
 
 /// Streaming builder of an [`EntropyVector`], fed one chunk at a time.
 ///
@@ -138,6 +140,15 @@ impl IncrementalVector {
             self.widths.as_slice().to_vec(),
             self.hists.iter().map(entropy_of_histogram).collect(),
         )
+    }
+
+    /// Writes the feature values of everything fed so far into `out`
+    /// (cleared first), using `counts_scratch` for the per-width count
+    /// sorting — so a warm caller allocates nothing. Values are
+    /// bit-identical to [`finish`](Self::finish).
+    pub fn finish_entropies_into(&self, out: &mut Vec<f64>, counts_scratch: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.hists.iter().map(|h| entropy_of_histogram_with(h, counts_scratch)));
     }
 }
 

@@ -168,6 +168,14 @@ pub fn entropy(data: &[u8], k: usize) -> f64 {
 /// This is the exact counterpart of the streaming estimator in
 /// [`crate::estimate`]; both plug `S_k = Σ mᵢ·log(mᵢ)` into Formula 1.
 pub fn entropy_of_histogram(hist: &GramHistogram) -> f64 {
+    let mut scratch = Vec::new();
+    entropy_of_histogram_with(hist, &mut scratch)
+}
+
+/// [`entropy_of_histogram`] using a caller-owned count-scratch buffer
+/// (see [`GramHistogram::sum_m_log_m_with`]) so repeated feature
+/// finishes allocate nothing. Bit-identical to the plain version.
+pub fn entropy_of_histogram_with(hist: &GramHistogram, scratch: &mut Vec<u64>) -> f64 {
     let m = hist.window_count();
     if m <= 1 || hist.distinct() <= 1 {
         // A single repeated gram has exactly zero entropy; computing it
@@ -175,7 +183,7 @@ pub fn entropy_of_histogram(hist: &GramHistogram) -> f64 {
         return 0.0;
     }
     let m = m as f64;
-    let bits = m.log2() - hist.sum_m_log_m() / m;
+    let bits = m.log2() - hist.sum_m_log_m_with(scratch) / m;
     let normalized = bits / (BITS_PER_BYTE * hist.k() as f64);
     normalized.clamp(0.0, 1.0)
 }

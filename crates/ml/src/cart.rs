@@ -7,7 +7,8 @@
 //! pruning-vote feature selection of §4.1.
 
 use crate::dataset::Dataset;
-use crate::Classifier;
+use crate::parallel::{run_indexed, Parallelism};
+use crate::{Classifier, DimensionMismatch};
 
 /// Growth parameters for [`DecisionTree::fit`].
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -18,33 +19,41 @@ pub struct CartParams {
     pub min_samples_split: usize,
     /// Minimum weighted Gini decrease required to accept a split.
     pub min_impurity_decrease: f64,
+    /// Worker threads for the per-feature best-split search. Never
+    /// affects the grown tree — see [`crate::parallel`].
+    pub parallelism: Parallelism,
 }
 
 impl Default for CartParams {
     /// Defaults tuned for the paper's 10-feature entropy vectors:
     /// depth ≤ 12, split nodes with ≥ 4 samples, any positive gain.
     fn default() -> Self {
-        CartParams { max_depth: 12, min_samples_split: 4, min_impurity_decrease: 1e-7 }
+        CartParams {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_impurity_decrease: 1e-7,
+            parallelism: Parallelism::auto(),
+        }
     }
 }
 
 /// One node of the tree, stored in an arena indexed by `usize`.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-enum NodeKind {
+pub(crate) enum NodeKind {
     Leaf,
     Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-struct Node {
+pub(crate) struct Node {
     /// Training class counts that reached this node (kept on internal
     /// nodes too, so pruning can collapse them into leaves).
     counts: Vec<u32>,
-    kind: NodeKind,
+    pub(crate) kind: NodeKind,
 }
 
 impl Node {
-    fn majority(&self) -> usize {
+    pub(crate) fn majority(&self) -> usize {
         self.counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
     }
 
@@ -152,6 +161,52 @@ impl DecisionTree {
         self.nodes.len() - 1
     }
 
+    /// Scans one feature for its best valid split point, returning
+    /// `(threshold, gain)`. Ties within the feature keep the earliest
+    /// window (strict `>` improvement), matching the historical
+    /// single-loop scan.
+    fn scan_feature(
+        &self,
+        data: &Dataset,
+        idx: &[usize],
+        parent_gini: f64,
+        params: &CartParams,
+        feature: usize,
+        pairs: &mut Vec<(f64, usize)>,
+    ) -> Option<(f64, f64)> {
+        let n = idx.len() as f64;
+        pairs.clear();
+        pairs.extend(idx.iter().map(|&i| (data.features(i)[feature], data.label(i))));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut best: Option<(f64, f64)> = None; // (threshold, gain)
+        let mut left_counts = vec![0u32; self.n_classes];
+        let mut right_counts = self.class_counts(data, idx);
+        let mut n_left = 0f64;
+        for w in 0..pairs.len() - 1 {
+            let (v, l) = pairs[w];
+            left_counts[l] += 1;
+            right_counts[l] -= 1;
+            n_left += 1.0;
+            let v_next = pairs[w + 1].0;
+            if v_next <= v {
+                continue; // not a valid split point
+            }
+            let n_right = n - n_left;
+            let weighted = (n_left / n) * gini(&left_counts) + (n_right / n) * gini(&right_counts);
+            let gain = parent_gini - weighted;
+            if gain > params.min_impurity_decrease && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((0.5 * (v + v_next), gain));
+            }
+        }
+        best
+    }
+
+    /// Minimum node size below which the per-feature scans run inline:
+    /// spawning scoped threads per tree node only pays off when each
+    /// feature sorts a non-trivial index slice.
+    const PARALLEL_SPLIT_MIN_SAMPLES: usize = 512;
+
     fn best_split(
         &self,
         data: &Dataset,
@@ -159,32 +214,30 @@ impl DecisionTree {
         parent_gini: f64,
         params: &CartParams,
     ) -> Option<BestSplit> {
-        let n = idx.len() as f64;
+        // Feature scans are independent; run them on worker threads for
+        // large nodes. Each scan computes the same floats either way,
+        // and the feature-ascending reduction below with strict `>`
+        // improvement reproduces the historical (feature, window)
+        // iteration order exactly, so the thread count can never change
+        // which split is chosen.
+        let threads = params.parallelism.resolve();
+        let per_feature: Vec<Option<(f64, f64)>> =
+            if threads > 1 && idx.len() >= Self::PARALLEL_SPLIT_MIN_SAMPLES {
+                run_indexed(threads, self.n_features, |feature| {
+                    let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
+                    self.scan_feature(data, idx, parent_gini, params, feature, &mut pairs)
+                })
+            } else {
+                let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
+                (0..self.n_features)
+                    .map(|f| self.scan_feature(data, idx, parent_gini, params, f, &mut pairs))
+                    .collect()
+            };
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
-        let mut pairs: Vec<(f64, usize)> = Vec::with_capacity(idx.len());
-        for feature in 0..self.n_features {
-            pairs.clear();
-            pairs.extend(idx.iter().map(|&i| (data.features(i)[feature], data.label(i))));
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
-
-            let mut left_counts = vec![0u32; self.n_classes];
-            let mut right_counts = self.class_counts(data, idx);
-            let mut n_left = 0f64;
-            for w in 0..pairs.len() - 1 {
-                let (v, l) = pairs[w];
-                left_counts[l] += 1;
-                right_counts[l] -= 1;
-                n_left += 1.0;
-                let v_next = pairs[w + 1].0;
-                if v_next <= v {
-                    continue; // not a valid split point
-                }
-                let n_right = n - n_left;
-                let weighted =
-                    (n_left / n) * gini(&left_counts) + (n_right / n) * gini(&right_counts);
-                let gain = parent_gini - weighted;
-                if gain > params.min_impurity_decrease && best.is_none_or(|(_, _, g)| gain > g) {
-                    best = Some((feature, 0.5 * (v + v_next), gain));
+        for (feature, cand) in per_feature.into_iter().enumerate() {
+            if let Some((threshold, gain)) = cand {
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
                 }
             }
         }
@@ -343,19 +396,53 @@ impl DecisionTree {
         }
         chosen
     }
-}
 
-impl Classifier for DecisionTree {
-    fn predict(&self, features: &[f64]) -> usize {
-        assert_eq!(features.len(), self.n_features, "feature dimensionality mismatch");
+    /// Predicts the class index, or reports a feature-width mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_predict(&self, features: &[f64]) -> Result<usize, DimensionMismatch> {
+        if features.len() != self.n_features {
+            return Err(DimensionMismatch { expected: self.n_features, got: features.len() });
+        }
         let mut node = self.root;
         loop {
             match self.nodes[node].kind {
-                NodeKind::Leaf => return self.nodes[node].majority(),
+                NodeKind::Leaf => return Ok(self.nodes[node].majority()),
                 NodeKind::Split { feature, threshold, left, right } => {
                     node = if features[feature] <= threshold { left } else { right };
                 }
             }
+        }
+    }
+
+    /// Feature-vector width the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The node arena (compiled-model flattening).
+    pub(crate) fn arena(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Index of the root node in the arena (compiled-model flattening).
+    pub(crate) fn root_index(&self) -> usize {
+        self.root
+    }
+}
+
+impl Classifier for DecisionTree {
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality; use
+    /// [`try_predict`](DecisionTree::try_predict) for a typed error.
+    fn predict(&self, features: &[f64]) -> usize {
+        match self.try_predict(features) {
+            Ok(label) => label,
+            Err(e) => panic!("feature dimensionality mismatch: {e}"),
         }
     }
 
@@ -493,5 +580,32 @@ mod tests {
         let clone = tree.clone();
         assert_eq!(clone, tree);
         assert_eq!(clone.n_leaves(), tree.n_leaves());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        // 1200 samples > PARALLEL_SPLIT_MIN_SAMPLES so the root (and
+        // first interior) splits actually take the threaded path.
+        let ds = stripes(1200);
+        let serial =
+            CartParams { parallelism: crate::Parallelism::serial(), ..CartParams::default() };
+        let parallel =
+            CartParams { parallelism: crate::Parallelism::fixed(4), ..CartParams::default() };
+        assert_eq!(DecisionTree::fit(&ds, &serial), DecisionTree::fit(&ds, &parallel));
+    }
+
+    #[test]
+    fn wrong_width_is_a_typed_error() {
+        let ds = stripes(100);
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        assert_eq!(tree.try_predict(&[0.5]), Err(crate::DimensionMismatch { expected: 2, got: 1 }));
+        assert!(tree.try_predict(&[0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimensionality mismatch")]
+    fn wrong_width_panics_on_infallible_path() {
+        let ds = stripes(100);
+        DecisionTree::fit(&ds, &CartParams::default()).predict(&[0.5, 0.5, 0.5]);
     }
 }

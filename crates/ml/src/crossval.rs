@@ -2,6 +2,7 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::ConfusionMatrix;
+use crate::parallel::{run_indexed, Parallelism};
 use crate::Classifier;
 
 /// The result of a cross-validation run: one confusion matrix per fold.
@@ -67,14 +68,38 @@ impl CrossValReport {
 /// });
 /// assert!(report.mean_accuracy() > 0.9);
 /// ```
-pub fn cross_validate<C, F>(data: &Dataset, k: usize, seed: u64, mut train: F) -> CrossValReport
+pub fn cross_validate<C, F>(data: &Dataset, k: usize, seed: u64, train: F) -> CrossValReport
 where
     C: Classifier,
-    F: FnMut(&Dataset) -> C,
+    F: Fn(&Dataset) -> C + Sync,
+{
+    cross_validate_with(data, k, seed, Parallelism::auto(), train)
+}
+
+/// [`cross_validate`] with an explicit worker-thread budget.
+///
+/// The folds are independent (fold membership comes from
+/// `stratified_folds` before any training starts), so they run on
+/// worker threads; each fold's model is trained *and* evaluated on its
+/// worker, and per-fold confusion matrices come back in fold order.
+/// The thread count never changes the report — see [`crate::parallel`].
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `data` is empty.
+pub fn cross_validate_with<C, F>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    parallelism: Parallelism,
+    train: F,
+) -> CrossValReport
+where
+    C: Classifier,
+    F: Fn(&Dataset) -> C + Sync,
 {
     let folds = data.stratified_folds(k, seed);
-    let mut reports = Vec::with_capacity(k);
-    for held_out in 0..k {
+    let reports = run_indexed(parallelism.resolve(), k, |held_out| {
         let test_idx = &folds[held_out];
         let train_idx: Vec<usize> = folds
             .iter()
@@ -88,8 +113,8 @@ where
         for (x, y) in test.iter() {
             cm.record(y, model.predict(x));
         }
-        reports.push(cm);
-    }
+        cm
+    });
     CrossValReport { folds: reports }
 }
 
@@ -130,5 +155,14 @@ mod tests {
         let ds = toy();
         let report = cross_validate(&ds, 4, 7, |t| DecisionTree::fit(t, &CartParams::default()));
         assert_eq!(report.total().total(), ds.len() as u64);
+    }
+
+    #[test]
+    fn parallel_folds_are_bit_identical_to_serial() {
+        let ds = toy();
+        let train = |t: &Dataset| DecisionTree::fit(t, &CartParams::default());
+        let serial = cross_validate_with(&ds, 10, 1, Parallelism::serial(), train);
+        let parallel = cross_validate_with(&ds, 10, 1, Parallelism::fixed(4), train);
+        assert_eq!(serial, parallel);
     }
 }

@@ -14,8 +14,9 @@
 //!   data with an SVM wrapper this yields `φ_SVM = {h1, h2, h3, h9}`.
 
 use crate::cart::{CartParams, DecisionTree};
-use crate::crossval::cross_validate;
+use crate::crossval::cross_validate_with;
 use crate::dataset::Dataset;
+use crate::parallel::{run_indexed, Parallelism};
 use crate::Classifier;
 
 /// Result of a feature-selection run.
@@ -81,31 +82,68 @@ pub fn sequential_forward_search<C, F>(
     n_select: usize,
     k: usize,
     seed: u64,
-    mut train: F,
+    train: F,
 ) -> SelectionResult
 where
     C: Classifier,
-    F: FnMut(&Dataset) -> C,
+    F: Fn(&Dataset) -> C + Sync,
+{
+    sequential_forward_search_with(data, n_select, k, seed, Parallelism::auto(), train)
+}
+
+/// [`sequential_forward_search`] with an explicit worker-thread budget.
+///
+/// Each round's candidate evaluations are independent full
+/// cross-validation runs, so they go to worker threads (the inner
+/// cross-validation runs serially to keep the worker count bounded).
+/// Candidate scores come back in candidate order and the winner is
+/// picked by the historical ascending-index scan with strict `>`
+/// improvement, so the thread count never changes the selection — see
+/// [`crate::parallel`].
+///
+/// # Panics
+///
+/// Panics if `n_select` is 0 or exceeds the feature count, or if
+/// `k < 2`.
+pub fn sequential_forward_search_with<C, F>(
+    data: &Dataset,
+    n_select: usize,
+    k: usize,
+    seed: u64,
+    parallelism: Parallelism,
+    train: F,
+) -> SelectionResult
+where
+    C: Classifier,
+    F: Fn(&Dataset) -> C + Sync,
 {
     assert!(n_select >= 1 && n_select <= data.n_features(), "invalid n_select");
+    let threads = parallelism.resolve();
     let mut selected: Vec<usize> = Vec::new();
     let mut scores = vec![0.0f64; data.n_features()];
     while selected.len() < n_select {
-        let mut best: Option<(usize, f64)> = None;
-        for cand in 0..data.n_features() {
+        let accs: Vec<Option<f64>> = run_indexed(threads, data.n_features(), |cand| {
             if selected.contains(&cand) {
-                continue;
+                return None;
             }
             let mut cols = selected.clone();
             cols.push(cand);
             cols.sort_unstable();
             let projected = data.select_features(&cols);
-            let acc = cross_validate(&projected, k, seed, &mut train).mean_accuracy();
-            if best.is_none_or(|(_, b)| acc > b) {
-                best = Some((cand, acc));
+            let report = cross_validate_with(&projected, k, seed, Parallelism::serial(), &train);
+            Some(report.mean_accuracy())
+        });
+        let mut best: Option<(usize, f64)> = None;
+        for (cand, acc) in accs.into_iter().enumerate() {
+            if let Some(acc) = acc {
+                if best.is_none_or(|(_, b)| acc > b) {
+                    best = Some((cand, acc));
+                }
             }
         }
-        let (chosen, acc) = best.expect("at least one candidate remains");
+        let Some((chosen, acc)) = best else {
+            unreachable!("selected.len() < n_select <= n_features leaves a candidate")
+        };
         scores[chosen] = acc;
         selected.push(chosen);
     }
@@ -116,7 +154,7 @@ where
 /// Indices of the `n` largest scores, ascending by index.
 fn top_n(scores: &[f64], n: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut sel: Vec<usize> = idx.into_iter().take(n).collect();
     sel.sort_unstable();
     sel
@@ -203,5 +241,16 @@ mod tests {
     fn zero_select_panics() {
         let ds = signal_dataset(50);
         cart_vote_selection(&ds, 3, 0, &CartParams::default(), 0.02, 0);
+    }
+
+    #[test]
+    fn parallel_sfs_is_bit_identical_to_serial() {
+        let ds = signal_dataset(300);
+        let train = |t: &Dataset| DecisionTree::fit(t, &CartParams::default());
+        let serial =
+            sequential_forward_search_with(&ds, 3, 4, 5, crate::Parallelism::serial(), train);
+        let parallel =
+            sequential_forward_search_with(&ds, 3, 4, 5, crate::Parallelism::fixed(4), train);
+        assert_eq!(serial, parallel);
     }
 }

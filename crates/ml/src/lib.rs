@@ -37,19 +37,47 @@
 #![warn(missing_docs)]
 
 pub mod cart;
+pub mod compiled;
 pub mod crossval;
 pub mod dataset;
 pub mod feature_select;
 pub mod metrics;
 pub mod multiclass;
+pub mod parallel;
 pub mod svm;
 
 pub use cart::{CartParams, DecisionTree};
-pub use crossval::{cross_validate, CrossValReport};
+pub use compiled::{CompiledDag, CompiledTree, CompiledVote};
+pub use crossval::{cross_validate, cross_validate_with, CrossValReport};
 pub use dataset::Dataset;
 pub use metrics::ConfusionMatrix;
 pub use multiclass::{DagSvm, MultiClassStrategy, OneVsOneVote};
+pub use parallel::Parallelism;
 pub use svm::{BinarySvm, Kernel, SvmParams};
+
+/// A feature vector had a different width than the model was trained
+/// on.
+///
+/// In release builds [`Kernel::eval`]'s length check compiles away, so
+/// before this type existed a wrong-width vector would silently
+/// zip-truncate the dot product and produce a confident wrong verdict.
+/// The `try_*` prediction entry points surface the mismatch instead;
+/// the infallible [`Classifier::predict`] implementations panic on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionMismatch {
+    /// Feature count the model was trained on.
+    pub expected: usize,
+    /// Feature count of the offending vector.
+    pub got: usize,
+}
+
+impl std::fmt::Display for DimensionMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} features, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for DimensionMismatch {}
 
 /// A classifier over `f64` feature vectors producing a class index.
 ///

@@ -9,8 +9,9 @@
 //! as the ablation baseline.
 
 use crate::dataset::Dataset;
+use crate::parallel::{run_indexed, Parallelism};
 use crate::svm::{BinarySvm, SvmParams};
-use crate::Classifier;
+use crate::{Classifier, DimensionMismatch};
 
 /// Which multi-class combination strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -34,13 +35,37 @@ impl PairwiseSvms {
     fn fit(data: &Dataset, params: &SvmParams) -> Self {
         let c = data.n_classes();
         assert!(c >= 2, "multi-class models need at least 2 classes");
-        let mut models = Vec::with_capacity(c * (c - 1) / 2);
-        for i in 0..c {
-            for j in (i + 1)..c {
-                models.push(BinarySvm::fit_pair(data, i, j, params));
-            }
-        }
+        let pairs: Vec<(usize, usize)> =
+            (0..c).flat_map(|i| ((i + 1)..c).map(move |j| (i, j))).collect();
+        let threads = params.parallelism.resolve();
+        let models = if threads > 1 && pairs.len() > 1 {
+            // The k(k−1)/2 pairwise fits are independent, so they go to
+            // worker threads; each inner fit runs its kernel rows
+            // serially to keep the total worker count bounded by
+            // `threads`. Every fit is deterministic either way, so
+            // this reshuffle cannot change a single model.
+            let inner = SvmParams { parallelism: Parallelism::serial(), ..*params };
+            run_indexed(threads, pairs.len(), |p| {
+                let (i, j) = pairs[p];
+                BinarySvm::fit_pair(data, i, j, &inner)
+            })
+        } else {
+            pairs.iter().map(|&(i, j)| BinarySvm::fit_pair(data, i, j, params)).collect()
+        };
         PairwiseSvms { n_classes: c, models }
+    }
+
+    /// Feature width of the underlying binary models.
+    fn n_features(&self) -> usize {
+        self.models.first().map_or(0, |m| m.n_features())
+    }
+
+    fn check(&self, features: &[f64]) -> Result<(), DimensionMismatch> {
+        let expected = self.n_features();
+        if features.len() != expected {
+            return Err(DimensionMismatch { expected, got: features.len() });
+        }
+        Ok(())
     }
 
     /// Index of the model deciding between classes `i < j`.
@@ -104,6 +129,29 @@ impl DagSvm {
     pub fn evaluations_per_prediction(&self) -> usize {
         self.pairwise.n_classes - 1
     }
+
+    /// Feature-vector width the model expects.
+    pub fn n_features(&self) -> usize {
+        self.pairwise.n_features()
+    }
+
+    /// Predicts the class index, or reports a feature-width mismatch
+    /// before any kernel is evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_predict(&self, features: &[f64]) -> Result<usize, DimensionMismatch> {
+        self.pairwise.check(features)?;
+        Ok(self.predict(features))
+    }
+
+    /// Pairwise binary models in lexicographic pair order
+    /// (compiled-model packing).
+    pub(crate) fn pairwise_models(&self) -> &[BinarySvm] {
+        &self.pairwise.models
+    }
 }
 
 impl Classifier for DagSvm {
@@ -150,6 +198,29 @@ impl OneVsOneVote {
     /// expensive part; only evaluation differs).
     pub fn from_dag(dag: &DagSvm) -> Self {
         OneVsOneVote { pairwise: dag.pairwise.clone() }
+    }
+
+    /// Feature-vector width the model expects.
+    pub fn n_features(&self) -> usize {
+        self.pairwise.n_features()
+    }
+
+    /// Predicts the class index, or reports a feature-width mismatch
+    /// before any kernel is evaluated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_predict(&self, features: &[f64]) -> Result<usize, DimensionMismatch> {
+        self.pairwise.check(features)?;
+        Ok(self.predict(features))
+    }
+
+    /// Pairwise binary models in lexicographic pair order
+    /// (compiled-model packing).
+    pub(crate) fn pairwise_models(&self) -> &[BinarySvm] {
+        &self.pairwise.models
     }
 }
 
@@ -287,5 +358,28 @@ mod tests {
         let vote = OneVsOneVote::fit(&ds, &params());
         assert_eq!(vote.n_classes(), 3);
         assert_eq!(vote.predict(&[0.8, 0.2]), 1);
+    }
+
+    #[test]
+    fn parallel_pairwise_fit_is_bit_identical_to_serial() {
+        let ds = three_blobs(50);
+        let serial = SvmParams { parallelism: Parallelism::serial(), ..params() };
+        let parallel = SvmParams { parallelism: Parallelism::fixed(4), ..params() };
+        assert_eq!(DagSvm::fit(&ds, &serial), DagSvm::fit(&ds, &parallel));
+        assert_eq!(OneVsOneVote::fit(&ds, &serial), OneVsOneVote::fit(&ds, &parallel));
+    }
+
+    #[test]
+    fn wrong_width_is_a_typed_error() {
+        let ds = three_blobs(30);
+        let dag = DagSvm::fit(&ds, &params());
+        assert_eq!(dag.n_features(), 2);
+        assert_eq!(dag.try_predict(&[0.5]), Err(crate::DimensionMismatch { expected: 2, got: 1 }));
+        assert!(dag.try_predict(&[0.5, 0.5]).is_ok());
+        let vote = OneVsOneVote::from_dag(&dag);
+        assert_eq!(
+            vote.try_predict(&[0.5, 0.5, 0.5]),
+            Err(crate::DimensionMismatch { expected: 2, got: 3 })
+        );
     }
 }

@@ -11,6 +11,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dataset::Dataset;
+use crate::parallel::{run_indexed, Parallelism};
+use crate::DimensionMismatch;
 
 /// A kernel function for the SVM.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -57,6 +59,10 @@ pub struct SvmParams {
     pub max_iters: usize,
     /// RNG seed for the second-multiplier heuristic's tie-breaking.
     pub seed: u64,
+    /// Worker threads for the deterministic parallel parts of training
+    /// (kernel-matrix rows; pairwise fits in [`crate::multiclass`]).
+    /// Never affects results — see [`crate::parallel`].
+    pub parallelism: Parallelism,
 }
 
 impl SvmParams {
@@ -81,6 +87,7 @@ impl Default for SvmParams {
             max_passes: 5,
             max_iters: 3_000_000,
             seed: 0x5EED,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -129,17 +136,31 @@ impl BinarySvm {
         );
         let n = samples.len();
         let n_features = samples[0].len();
+        assert!(
+            samples.iter().all(|s| s.len() == n_features),
+            "all samples must share one feature width"
+        );
         let y: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
 
         // Precompute the kernel matrix when affordable (n ≤ 2896 →
         // ≤ 64 MiB of f64); otherwise evaluate on demand. Full f64
         // precision matters: the error cache is maintained incrementally
         // and rounding noise above `tol` stalls convergence.
+        //
+        // Rows parallelize deterministically: each cell is one pure
+        // `Kernel::eval` written exactly once, so the thread count
+        // cannot change a single bit of the matrix. The SMO loop itself
+        // stays serial — its RNG-driven second-choice heuristic is a
+        // sequential dependence.
         let precomputed: Option<Vec<f64>> = if n <= 2896 {
+            let threads = params.parallelism.resolve();
+            let rows: Vec<Vec<f64>> = run_indexed(threads, n, |i| {
+                (i..n).map(|j| params.kernel.eval(&samples[i], &samples[j])).collect()
+            });
             let mut k = vec![0f64; n * n];
-            for i in 0..n {
-                for j in i..n {
-                    let v = params.kernel.eval(&samples[i], &samples[j]);
+            for (i, row) in rows.iter().enumerate() {
+                for (off, &v) in row.iter().enumerate() {
+                    let j = i + off;
                     k[i * n + j] = v;
                     k[j * n + i] = v;
                 }
@@ -390,21 +411,60 @@ impl BinarySvm {
         BinarySvm::fit(&samples, &labels, params)
     }
 
-    /// The decision value `f(x)`; positive means the positive class.
+    /// The decision value `f(x)`, or a typed error on a wrong-width
+    /// vector.
     ///
-    /// # Panics
+    /// [`Kernel::eval`]'s own length check is `debug_assert!`-only, so
+    /// in release builds a wrong-width vector would silently
+    /// zip-truncate to a wrong-but-confident value; this boundary check
+    /// runs in every build.
     ///
-    /// Panics if `features` has the wrong dimensionality.
-    pub fn decision_value(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.n_features, "feature dimensionality mismatch");
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_decision_value(&self, features: &[f64]) -> Result<f64, DimensionMismatch> {
+        if features.len() != self.n_features {
+            return Err(DimensionMismatch { expected: self.n_features, got: features.len() });
+        }
         let mut f = self.bias;
         for (sv, &c) in self.support_vectors.iter().zip(&self.coefficients) {
             f += c * self.kernel.eval(sv, features);
         }
-        f
+        Ok(f)
+    }
+
+    /// The decision value `f(x)`; positive means the positive class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality; use
+    /// [`try_decision_value`](Self::try_decision_value) for a typed
+    /// error.
+    pub fn decision_value(&self, features: &[f64]) -> f64 {
+        match self.try_decision_value(features) {
+            Ok(f) => f,
+            Err(e) => panic!("feature dimensionality mismatch: {e}"),
+        }
+    }
+
+    /// Predicts the binary label (`true` = positive class), or reports
+    /// a wrong-width vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_predict(&self, features: &[f64]) -> Result<bool, DimensionMismatch> {
+        Ok(self.try_decision_value(features)? >= 0.0)
     }
 
     /// Predicts the binary label (`true` = positive class).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong dimensionality; use
+    /// [`try_predict`](Self::try_predict) for a typed error.
     pub fn predict(&self, features: &[f64]) -> bool {
         self.decision_value(features) >= 0.0
     }
@@ -417,6 +477,26 @@ impl BinarySvm {
     /// The kernel in use.
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// Feature-vector width the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Retained support vectors (compiled-model packing).
+    pub(crate) fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
+    /// `αᵢ·yᵢ` per support vector (compiled-model packing).
+    pub(crate) fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The bias term `b` (compiled-model packing).
+    pub(crate) fn bias(&self) -> f64 {
+        self.bias
     }
 }
 
@@ -539,5 +619,58 @@ mod tests {
         let a = BinarySvm::fit(&xs, &ys, &params);
         let b = BinarySvm::fit(&xs, &ys, &params);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (xs, ys) = linear_separable(150);
+        for kernel in [Kernel::Linear, Kernel::Rbf { gamma: 8.0 }] {
+            let serial = SvmParams {
+                c: 10.0,
+                kernel,
+                parallelism: Parallelism::serial(),
+                ..Default::default()
+            };
+            let parallel = SvmParams { parallelism: Parallelism::fixed(4), ..serial };
+            assert_eq!(
+                BinarySvm::fit(&xs, &ys, &serial),
+                BinarySvm::fit(&xs, &ys, &parallel),
+                "kernel {kernel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_width_is_a_typed_error_not_a_silent_truncation() {
+        // Regression: Kernel::eval's length check is debug-only, so in
+        // release a 1-wide probe against a 2-wide model used to
+        // zip-truncate into a confident nonsense verdict.
+        let (xs, ys) = linear_separable(80);
+        let params = SvmParams { c: 10.0, kernel: Kernel::Linear, ..Default::default() };
+        let svm = BinarySvm::fit(&xs, &ys, &params);
+        assert_eq!(
+            svm.try_decision_value(&[0.5]),
+            Err(crate::DimensionMismatch { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            svm.try_predict(&[0.1, 0.2, 0.3]),
+            Err(crate::DimensionMismatch { expected: 2, got: 3 })
+        );
+        assert!(svm.try_predict(&[0.9, 0.9]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimensionality mismatch")]
+    fn wrong_width_panics_on_infallible_path() {
+        let (xs, ys) = linear_separable(80);
+        let params = SvmParams { c: 10.0, kernel: Kernel::Linear, ..Default::default() };
+        BinarySvm::fit(&xs, &ys, &params).predict(&[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn ragged_training_samples_panic() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0]];
+        BinarySvm::fit(&xs, &[true, false], &SvmParams::default());
     }
 }

@@ -1,10 +1,12 @@
 //! Property-based tests for the ML substrate.
 
 use iustitia_ml::cart::{CartParams, DecisionTree};
+use iustitia_ml::compiled::{CompiledDag, CompiledTree};
 use iustitia_ml::dataset::Dataset;
 use iustitia_ml::metrics::ConfusionMatrix;
+use iustitia_ml::multiclass::DagSvm;
 use iustitia_ml::svm::{BinarySvm, Kernel, SvmParams};
-use iustitia_ml::Classifier;
+use iustitia_ml::{cross_validate_with, Classifier, Parallelism};
 use proptest::prelude::*;
 
 /// Builds a dataset from arbitrary rows, assigning labels by a simple
@@ -157,5 +159,105 @@ proptest! {
         prop_assert!((kxy - kyx).abs() < 1e-12);
         prop_assert!((0.0..=1.0).contains(&kxy));
         prop_assert!((k.eval(&x, &x) - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Builds a learnable 3-class dataset from arbitrary rows, with anchor
+/// rows so every class is present (DAGSVM needs samples of each pair).
+fn three_class_dataset(rows: &[(f64, f64)]) -> Dataset {
+    let mut ds = Dataset::new(2, vec!["a".into(), "b".into(), "c".into()]);
+    ds.push(vec![0.1, 0.1], 0);
+    ds.push(vec![0.5, 0.5], 1);
+    ds.push(vec![0.9, 0.9], 2);
+    for &(x, y) in rows {
+        let label = if x + y < 0.7 {
+            0
+        } else if x + y < 1.3 {
+            1
+        } else {
+            2
+        };
+        ds.push(vec![x, y], label);
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compiled_tree_matches_boxed_on_random_vectors(
+        rows in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 20..150),
+        probes in proptest::collection::vec((-0.5f64..1.5, -0.5f64..1.5), 1..40),
+    ) {
+        let ds = dataset_from_rows(&rows);
+        let tree = DecisionTree::fit(&ds, &CartParams::default());
+        let fast = CompiledTree::compile(&tree);
+        for (x, y) in probes {
+            prop_assert_eq!(fast.predict(&[x, y]), tree.predict(&[x, y]));
+        }
+    }
+
+    #[test]
+    fn compiled_dag_matches_boxed_on_random_vectors(
+        rows in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 12..50),
+        probes in proptest::collection::vec((-0.5f64..1.5, -0.5f64..1.5), 1..25),
+    ) {
+        let ds = three_class_dataset(&rows);
+        let params =
+            SvmParams { c: 10.0, kernel: Kernel::Rbf { gamma: 5.0 }, ..Default::default() };
+        let dag = DagSvm::fit(&ds, &params);
+        let mut fast = CompiledDag::compile(&dag);
+        for (x, y) in probes {
+            prop_assert_eq!(fast.predict(&[x, y]), dag.predict(&[x, y]));
+        }
+    }
+
+    #[test]
+    fn parallel_svm_fit_matches_serial_on_random_data(
+        rows in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10..40),
+    ) {
+        let xs: Vec<Vec<f64>> = rows.iter().map(|&(x, y)| vec![x, y]).collect();
+        let ys: Vec<bool> = rows.iter().map(|&(x, y)| x + y > 1.0).collect();
+        let serial = SvmParams {
+            c: 10.0,
+            kernel: Kernel::Rbf { gamma: 5.0 },
+            parallelism: Parallelism::serial(),
+            ..Default::default()
+        };
+        let parallel = SvmParams { parallelism: Parallelism::fixed(3), ..serial };
+        prop_assert_eq!(BinarySvm::fit(&xs, &ys, &serial), BinarySvm::fit(&xs, &ys, &parallel));
+    }
+
+    #[test]
+    fn parallel_crossval_matches_serial_on_random_data(
+        rows in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 30..120),
+        seed in any::<u64>(),
+    ) {
+        let ds = dataset_from_rows(&rows);
+        let train = |fold: &Dataset| DecisionTree::fit(fold, &CartParams::default());
+        let serial = cross_validate_with(&ds, 5, seed, Parallelism::serial(), train);
+        let parallel = cross_validate_with(&ds, 5, seed, Parallelism::fixed(4), train);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+proptest! {
+    // Few cases: the parallel split search only engages at >=512
+    // samples, so each case trains on a deliberately large dataset.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_cart_fit_matches_serial_on_random_data(
+        rows in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 520..640),
+    ) {
+        let ds = dataset_from_rows(&rows);
+        let serial =
+            CartParams { parallelism: Parallelism::serial(), ..CartParams::default() };
+        let parallel = CartParams { parallelism: Parallelism::fixed(4), ..serial };
+        prop_assert_eq!(
+            DecisionTree::fit(&ds, &serial),
+            DecisionTree::fit(&ds, &parallel)
+        );
     }
 }

@@ -16,6 +16,14 @@
 //! [`ClassifyBuffer`](proto::Request::ClassifyBuffer) offers one-shot
 //! classification of a byte buffer's first *b* bytes.
 //!
+//! Each shard's pipeline compiles its model at construction
+//! (`NatureModel::compile`), so every verdict on the hot path runs the
+//! flat-array / packed-support-vector inference form with zero heap
+//! allocations per classification; a steady-state recycled flow is
+//! allocation-free from first packet through verdict (see the
+//! counting-allocator test in `iustitia`, and `results/BENCH_ml.json`
+//! for the boxed-vs-compiled predict timings).
+//!
 //! ```no_run
 //! use iustitia::features::{FeatureMode, TrainingMethod};
 //! use iustitia::model::{train_from_corpus, ModelKind};
