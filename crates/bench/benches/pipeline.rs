@@ -48,7 +48,8 @@ fn trained_pipeline(seed: u64) -> Iustitia {
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         seed,
-    );
+    )
+    .expect("bench corpus covers every class");
     Iustitia::new(model, PipelineConfig::headline(seed))
 }
 

@@ -32,7 +32,8 @@ fn main() {
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         10,
-    );
+    )
+    .expect("balanced corpus");
 
     // b=32 and b=1024 for header-free systems; T+b' = 1500 and 2000 for
     // systems that cut a possible application header first.

@@ -17,7 +17,7 @@ fn main() {
     let corpus = standard_corpus(2009, per_class);
 
     let widths = [1usize, 2, 3];
-    let mut per_class_points: Vec<Vec<[f64; 3]>> = vec![Vec::new(); 3];
+    let mut per_class_points: Vec<Vec<[f64; 3]>> = vec![Vec::new(); FileClass::ALL.len()];
     for file in &corpus {
         let v = entropy_vector(&file.data, &widths);
         per_class_points[file.class.index()].push([v[0], v[1], v[2]]);

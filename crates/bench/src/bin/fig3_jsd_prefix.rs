@@ -27,8 +27,8 @@ fn main() {
         [(1usize, "3(a) single-byte f1"), (2, "3(b) two-byte f2"), (3, "f3 (from tech report)")]
     {
         // mean_jsd[class][portion index]
-        let mut sums = vec![vec![0.0f64; portions.len()]; 3];
-        let mut counts = [0usize; 3];
+        let mut sums = vec![vec![0.0f64; portions.len()]; FileClass::ALL.len()];
+        let mut counts = [0usize; FileClass::ALL.len()];
         for file in &corpus {
             let whole = ByteDistribution::from_bytes(&file.data, k);
             counts[file.class.index()] += 1;

@@ -55,12 +55,13 @@ fn main() {
                     format!("{:.2}%", 100.0 * cm.class_accuracy(FileClass::Text.index())),
                     format!("{:.2}%", 100.0 * cm.class_accuracy(FileClass::Binary.index())),
                     format!("{:.2}%", 100.0 * cm.class_accuracy(FileClass::Encrypted.index())),
+                    format!("{:.2}%", 100.0 * cm.class_accuracy(FileClass::Compressed.index())),
                 ]);
             }
         }
         print_table(
             &format!("Figure 7{name}: accuracy over the (ε,δ) grid"),
-            &["eps", "delta", "total", "text", "binary", "encrypted"],
+            &["eps", "delta", "total", "text", "binary", "encrypted", "compressed"],
             &rows,
         );
         println!(

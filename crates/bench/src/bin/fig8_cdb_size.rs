@@ -34,7 +34,8 @@ fn main() {
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         8,
-    );
+    )
+    .expect("balanced corpus");
 
     let mut variants = Vec::new();
     for (name, cdb) in [

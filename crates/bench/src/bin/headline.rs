@@ -44,7 +44,7 @@ fn main() {
         FeatureMode::Exact,
         2,
     );
-    let model = NatureModel::train(&train, &paper_svm());
+    let model = NatureModel::train(&train, &paper_svm()).expect("train");
     let cm = model.confusion_on(&test);
     println!("accuracy at b=32:          {:.1}%  (paper: 86%)", 100.0 * cm.accuracy());
     for class in FileClass::ALL {
@@ -53,6 +53,7 @@ fn main() {
             FileClass::Text => "4%",
             FileClass::Binary => "12%",
             FileClass::Encrypted => "20%",
+            FileClass::Compressed => "n/a (class added beyond the paper)",
         };
         println!("  misclassification {:>9}: {:.1}%  (paper: {paper})", class.name(), 100.0 * mis);
     }
@@ -73,7 +74,7 @@ fn main() {
         FeatureMode::Exact,
         2,
     );
-    let model_l = NatureModel::train(&train_l, &paper_svm());
+    let model_l = NatureModel::train(&train_l, &paper_svm()).expect("train");
     println!(
         "accuracy at b={b_large}:         {:.1}%  (paper: ~90% with larger buffers)",
         100.0 * model_l.accuracy_on(&test_l)

@@ -221,7 +221,7 @@ fn main() {
     // on every cell before any timing is trusted.
     let mut rng = StdRng::seed_from_u64(7);
     for &b in &sizes {
-        for class in [FileClass::Text, FileClass::Binary, FileClass::Encrypted] {
+        for class in FileClass::ALL {
             let data = generate_file(class, b, &mut rng);
             for (_, widths) in &width_sets {
                 let ws: Vec<usize> = widths.iter().collect();
@@ -231,7 +231,7 @@ fn main() {
             }
         }
     }
-    eprintln!("sanity: old and new kernels are bit-identical on all {} cells", 3 * 3 * 3);
+    eprintln!("sanity: old and new kernels are bit-identical on all {} cells", 3 * 4 * 3);
 
     let mut json_cells = Vec::new();
     for &b in &sizes {

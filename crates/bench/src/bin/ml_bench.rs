@@ -120,7 +120,8 @@ fn main() {
     // every corpus vector (and through the NatureModel wrapper).
     let tree_fast = CompiledTree::compile(&tree_serial);
     let mut dag_fast = CompiledDag::compile(&dag_serial);
-    let boxed_model = NatureModel::train(&ds, &ModelKind::Cart(cart_params(Parallelism::serial())));
+    let boxed_model = NatureModel::train(&ds, &ModelKind::Cart(cart_params(Parallelism::serial())))
+        .expect("train");
     let mut compiled_model = boxed_model.compile();
     for (x, _) in ds.iter() {
         assert_eq!(tree_fast.predict(x), Classifier::predict(&tree_serial, x));

@@ -36,7 +36,8 @@ fn main() {
         FeatureMode::Exact,
         &paper_cart(),
         33,
-    );
+    )
+    .expect("balanced corpus");
 
     let mut config = ServerConfig::new(iustitia::pipeline::PipelineConfig::headline(33));
     config.shards = shards;

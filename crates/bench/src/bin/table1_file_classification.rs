@@ -36,54 +36,49 @@ fn main() {
 
     // ── CART ──
     let cart_kind = paper_cart();
-    let cart = cross_validate(&ds, folds, 1, |train| NatureModel::train(train, &cart_kind));
+    let cart = cross_validate(&ds, folds, 1, |train| {
+        NatureModel::train(train, &cart_kind).expect("train")
+    });
     let cart_points: Vec<(String, Vec<f64>)> = cart
         .fold_accuracies()
         .iter()
         .enumerate()
         .map(|(i, &a)| {
-            (
-                format!("{}", i + 1),
-                vec![
-                    a,
-                    cart.fold_class_accuracies(0)[i],
-                    cart.fold_class_accuracies(1)[i],
-                    cart.fold_class_accuracies(2)[i],
-                ],
-            )
+            (format!("{}", i + 1), {
+                let mut ys = vec![a];
+                ys.extend(FileClass::ALL.iter().map(|c| cart.fold_class_accuracies(c.index())[i]));
+                ys
+            })
         })
         .collect();
     print_series(
         "Figure 2(b): CART accuracy per cross-validation fold",
         "fold",
-        &["total", "text", "binary", "encrypted"],
+        &["total", "text", "binary", "encrypted", "compressed"],
         &cart_points,
     );
     print_confusion_block("Table 1 — Decision Tree (CART)", &cart.total());
 
     // ── SVM-RBF via DAGSVM ──
     let svm_kind = paper_svm();
-    let svm = cross_validate(&ds, folds, 1, |train| NatureModel::train(train, &svm_kind));
+    let svm =
+        cross_validate(&ds, folds, 1, |train| NatureModel::train(train, &svm_kind).expect("train"));
     let svm_points: Vec<(String, Vec<f64>)> = svm
         .fold_accuracies()
         .iter()
         .enumerate()
         .map(|(i, &a)| {
-            (
-                format!("{}", i + 1),
-                vec![
-                    a,
-                    svm.fold_class_accuracies(0)[i],
-                    svm.fold_class_accuracies(1)[i],
-                    svm.fold_class_accuracies(2)[i],
-                ],
-            )
+            (format!("{}", i + 1), {
+                let mut ys = vec![a];
+                ys.extend(FileClass::ALL.iter().map(|c| svm.fold_class_accuracies(c.index())[i]));
+                ys
+            })
         })
         .collect();
     print_series(
         "Figure 2(c): SVM-RBF (γ=50, C=1000) accuracy per fold",
         "fold",
-        &["total", "text", "binary", "encrypted"],
+        &["total", "text", "binary", "encrypted", "compressed"],
         &svm_points,
     );
     print_confusion_block("Table 1 — SVM with RBF kernel (DAGSVM)", &svm.total());
@@ -101,7 +96,7 @@ fn main() {
 
     // ── Ablation: DAGSVM vs one-vs-one voting ──
     let (train, test) = ds.train_test_split(0.3, 5);
-    let dag = NatureModel::train(&train, &svm_kind);
+    let dag = NatureModel::train(&train, &svm_kind).expect("train");
     let vote = match &dag {
         NatureModel::Svm(d) => OneVsOneVote::from_dag(d),
         _ => unreachable!("svm_kind trains an SVM"),
@@ -111,7 +106,7 @@ fn main() {
     let vote_acc = vote_ok as f64 / test.len() as f64;
     println!(
         "\nablation — multi-class combiner on a 70/30 split: DAGSVM {:.2}% vs 1v1-vote {:.2}% \
-         (same pairwise models; DAGSVM needs 2 evaluations/flow, voting needs 3)",
+         (same pairwise models; DAGSVM needs 3 evaluations/flow, voting needs 6)",
         100.0 * dag_acc,
         100.0 * vote_acc
     );
@@ -124,7 +119,8 @@ fn main() {
             kernel: iustitia_ml::svm::Kernel::Linear,
             ..SvmParams::default()
         }),
-    );
+    )
+    .expect("train");
     println!(
         "ablation — kernel: RBF {:.2}% vs linear {:.2}%",
         100.0 * dag_acc,

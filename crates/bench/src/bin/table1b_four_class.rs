@@ -1,0 +1,85 @@
+//! Table 1b (beyond the paper): 4-class classification with the
+//! compressed traffic class, entropy-only vs entropy + randomness
+//! battery.
+//!
+//! The paper's three natures (text / binary / encrypted) leave
+//! compressed transfers — gzip'd HTTP bodies, archives — stranded:
+//! DEFLATE output is nearly as high-entropy as ciphertext, so an
+//! entropy-only model folds most compressed flows into the encrypted
+//! class. The HEDGE/EnCoD line of work separates them with randomness
+//! *tests* (chi-square absolute distance, bit-runs, autocorrelation)
+//! that compressed streams fail and ciphertext passes. This binary
+//! quantifies that on our synthetic corpus: same 4-class corpora, same
+//! buffer, same model kind — the only variable is whether the six
+//! battery statistics ride alongside the entropy vector.
+//!
+//! The cells to watch are `compressed -> encrypted` and
+//! `encrypted -> compressed`.
+//!
+//! Run: `cargo run --release -p iustitia-bench --bin table1b_four_class`
+//! (output is committed as `results/table1b_four_class.txt`).
+
+use iustitia::features::{dataset_from_corpus_battery, FeatureMode, TrainingMethod};
+use iustitia_bench::{paper_svm, pct, prefix_corpus, print_confusion_block, scaled, train_eval};
+use iustitia_corpus::FileClass;
+use iustitia_entropy::FeatureWidths;
+use iustitia_ml::ConfusionMatrix;
+
+fn four_class_confusion(
+    train_files: &[iustitia_corpus::LabeledFile],
+    test_files: &[iustitia_corpus::LabeledFile],
+    b: usize,
+    battery: bool,
+) -> ConfusionMatrix {
+    let widths = FeatureWidths::svm_selected();
+    let method = TrainingMethod::Prefix { b };
+    let train =
+        dataset_from_corpus_battery(train_files, &widths, method, FeatureMode::Exact, 7, battery);
+    let test = dataset_from_corpus_battery(
+        test_files,
+        &widths,
+        method,
+        FeatureMode::Exact,
+        7 ^ 0xBEEF,
+        battery,
+    );
+    train_eval(&train, &test, &paper_svm())
+}
+
+fn main() {
+    let per_class = scaled(150);
+    println!(
+        "Table 1b — 4-class flow nature (text/binary/encrypted/compressed), \
+         {per_class} files/class, SVM-RBF (γ=50, C=1000, DAGSVM)"
+    );
+
+    let train_files = prefix_corpus(211, per_class, 16384);
+    let test_files = prefix_corpus(212, per_class / 2, 16384);
+    let enc = FileClass::Encrypted.index();
+    let comp = FileClass::Compressed.index();
+
+    for b in [64usize, 128, 256, 512, 1024, 2048] {
+        let baseline = four_class_confusion(&train_files, &test_files, b, false);
+        let battery = four_class_confusion(&train_files, &test_files, b, true);
+        if b == 2048 {
+            print_confusion_block(
+                &format!("b={b}, entropy only (paper feature set, 4 classes)"),
+                &baseline,
+            );
+            print_confusion_block(&format!("b={b}, entropy + randomness battery"), &battery);
+            println!();
+        }
+        println!("b={b}: compressed/encrypted separation (the cells the battery exists for):");
+        for (name, cm) in [("entropy only", &baseline), ("entropy + battery", &battery)] {
+            println!(
+                "  {name:<18} compressed->encrypted: {:>3}  encrypted->compressed: {:>3}  \
+                 compressed acc: {}  encrypted acc: {}  total: {}",
+                cm.count(comp, enc),
+                cm.count(enc, comp),
+                pct(cm.class_accuracy(comp)),
+                pct(cm.class_accuracy(enc)),
+                pct(cm.accuracy()),
+            );
+        }
+    }
+}

@@ -21,7 +21,9 @@ fn widths_of(columns: &[usize]) -> Vec<usize> {
 }
 
 fn cv_accuracy(ds: &iustitia_ml::Dataset, kind: &iustitia::model::ModelKind, folds: usize) -> f64 {
-    cross_validate(ds, folds, 3, |train| NatureModel::train(train, kind)).total().accuracy()
+    cross_validate(ds, folds, 3, |train| NatureModel::train(train, kind).expect("train"))
+        .total()
+        .accuracy()
 }
 
 fn main() {

@@ -66,7 +66,7 @@ pub fn paper_cart() -> ModelKind {
 /// Trains on `train` and evaluates on `test`, returning the confusion
 /// matrix.
 pub fn train_eval(train: &Dataset, test: &Dataset, kind: &ModelKind) -> ConfusionMatrix {
-    let model = NatureModel::train(train, kind);
+    let model = NatureModel::train(train, kind).expect("training dataset covers every class");
     model.confusion_on(test)
 }
 
@@ -141,8 +141,8 @@ pub fn pct(x: f64) -> String {
     format!("{:.2}%", 100.0 * x)
 }
 
-/// Per-class accuracy row (total, text, binary, encrypted) from a
-/// confusion matrix — the layout of Tables 1 and 2.
+/// Per-class accuracy row (total, then one column per [`FileClass`])
+/// from a confusion matrix — the layout of Tables 1 and 2.
 pub fn accuracy_row(cm: &ConfusionMatrix) -> Vec<String> {
     let mut row = vec![pct(cm.accuracy())];
     for class in FileClass::ALL {
@@ -169,11 +169,12 @@ pub fn print_confusion_block(name: &str, cm: &ConfusionMatrix) {
         }
         rows.push(row);
     }
-    print_table(
-        &format!("{name}: accuracy and misclassification"),
-        &["class", "accuracy", "-> text", "-> binary", "-> encrypted"],
-        &rows,
-    );
+    let mut header = vec!["class".to_string(), "accuracy".to_string()];
+    for predicted in FileClass::ALL {
+        header.push(format!("-> {}", predicted.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&format!("{name}: accuracy and misclassification"), &header_refs, &rows);
 }
 
 /// Measures the mean wall-clock time of `f` over `reps` runs (after one
@@ -200,12 +201,12 @@ mod tests {
 
     #[test]
     fn accuracy_row_shape() {
-        let mut cm = ConfusionMatrix::new(3);
+        let mut cm = ConfusionMatrix::new(4);
         cm.record(0, 0);
         cm.record(1, 1);
         cm.record(2, 0);
         let row = accuracy_row(&cm);
-        assert_eq!(row.len(), 4);
+        assert_eq!(row.len(), 5);
         assert_eq!(row[0], "66.67%");
     }
 
@@ -231,7 +232,7 @@ mod tests {
             &paper_cart(),
             3,
         );
-        assert_eq!(cm.total(), 15);
+        assert_eq!(cm.total(), 20);
         assert!(cm.accuracy() > 0.5);
     }
 }

@@ -206,8 +206,9 @@ mod tests {
             ds.push(vec![0.45 + j, 0.3, 0.2, 0.15], 0);
             ds.push(vec![0.72 + j, 0.45, 0.35, 0.25], 1);
             ds.push(vec![0.98 + j / 20.0, 0.6, 0.45, 0.35], 2);
+            ds.push(vec![0.95 + j / 20.0, 0.8, 0.7, 0.6], 3);
         }
-        NatureModel::train(&ds, &ModelKind::paper_cart())
+        NatureModel::train(&ds, &ModelKind::paper_cart()).expect("train")
     }
 
     #[test]

@@ -29,7 +29,8 @@
 //!     FeatureMode::Exact,
 //!     &ModelKind::paper_cart(),
 //!     1,
-//! );
+//! )
+//! .expect("balanced corpus");
 //!
 //! let sharded = ShardedIustitia::new(model, PipelineConfig::headline(1), 4);
 //! let mut config = TraceConfig::small_test(2);
@@ -191,6 +192,7 @@ mod tests {
             &ModelKind::paper_cart(),
             5,
         )
+        .expect("train")
     }
 
     fn trace(seed: u64, n_flows: usize) -> TraceConfig {

@@ -105,6 +105,7 @@ mod tests {
             &ModelKind::paper_cart(),
             44,
         )
+        .expect("train")
     }
 
     fn text_payload(n: usize) -> Vec<u8> {

@@ -8,13 +8,19 @@ use rand::{Rng, SeedableRng};
 use iustitia_corpus::LabeledFile;
 use iustitia_entropy::{
     EntropyVector, EstimatorConfig, FeatureWidths, IncrementalEstimator, IncrementalVector,
-    StreamingEntropyEstimator,
+    RandomnessBattery, StreamingEntropyEstimator, BATTERY_FEATURES,
 };
 use iustitia_ml::Dataset;
 
 /// Bytes charged per resident counter in space accounting (the paper's
 /// §4.4 cost model; also used by the bench binaries).
 pub const BYTES_PER_COUNTER: usize = 32;
+
+/// Fixed counter footprint of the randomness battery in §4.4-style
+/// space accounting: the 256-bin byte histogram plus its 25 scalar
+/// accumulators. Unlike the gram histograms this never grows with the
+/// payload.
+pub const BATTERY_COUNTERS: usize = 256 + 25;
 
 /// How entropy features are computed from a buffer.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -44,17 +50,31 @@ pub struct FeatureExtractor {
     widths: FeatureWidths,
     mode: FeatureMode,
     estimator: Option<StreamingEntropyEstimator>,
+    battery: bool,
 }
 
 impl FeatureExtractor {
     /// Creates an extractor. `seed` feeds the estimator's sampling RNG
-    /// (unused in [`FeatureMode::Exact`]).
+    /// (unused in [`FeatureMode::Exact`]). The randomness battery is
+    /// off; enable it with [`with_battery`](Self::with_battery).
     pub fn new(widths: FeatureWidths, mode: FeatureMode, seed: u64) -> Self {
         let estimator = match &mode {
             FeatureMode::Exact => None,
             FeatureMode::Estimated(cfg) => Some(StreamingEntropyEstimator::with_seed(*cfg, seed)),
         };
-        FeatureExtractor { widths, mode, estimator }
+        FeatureExtractor { widths, mode, estimator, battery: false }
+    }
+
+    /// Enables or disables the randomness-test battery
+    /// ([`RandomnessBattery`]). When enabled, every feature vector
+    /// carries [`BATTERY_FEATURES`] extra values after the entropy
+    /// vector — the statistics that separate compressed streams from
+    /// ciphertext. The battery is always computed exactly, even in
+    /// estimated entropy mode (its state is a fixed 256-bin histogram,
+    /// so there is nothing to approximate).
+    pub fn with_battery(mut self, battery: bool) -> Self {
+        self.battery = battery;
+        self
     }
 
     /// The feature widths this extractor produces.
@@ -67,12 +87,26 @@ impl FeatureExtractor {
         &self.mode
     }
 
+    /// Whether the randomness battery is enabled.
+    pub fn battery(&self) -> bool {
+        self.battery
+    }
+
+    /// Length of the feature vectors this extractor produces.
+    pub fn n_features(&self) -> usize {
+        self.widths.len() + if self.battery { BATTERY_FEATURES } else { 0 }
+    }
+
     /// Computes the feature vector of `payload`.
     pub fn extract(&mut self, payload: &[u8]) -> Vec<f64> {
-        match &mut self.estimator {
+        let mut out = match &mut self.estimator {
             None => EntropyVector::compute(payload, &self.widths).into_values(),
             Some(est) => est.estimate_vector(payload, &self.widths),
+        };
+        if self.battery {
+            out.extend_from_slice(&iustitia_entropy::battery_features(payload));
         }
+        out
     }
 
     /// Starts a per-flow feature session sized for `b_hint` payload
@@ -88,7 +122,7 @@ impl FeatureExtractor {
             None => FlowStateInner::Exact(IncrementalVector::with_byte_hint(&self.widths, b_hint)),
             Some(est) => FlowStateInner::Estimated(est.begin_incremental(&self.widths, b_hint)),
         };
-        FlowFeatureState { inner }
+        FlowFeatureState { inner, battery: self.battery.then(RandomnessBattery::new) }
     }
 
     /// Resets a previously finished flow session to the state
@@ -99,9 +133,16 @@ impl FeatureExtractor {
     /// A recycled session is bit-identical to a fresh one on the same
     /// payload (exact mode trivially; estimated mode re-derives the
     /// per-width sampling RNG from the extractor seed). If `state` was
-    /// produced by an extractor in a different mode it is rebuilt from
-    /// scratch instead.
+    /// produced by an extractor in a different mode (or with a
+    /// different battery setting) it is rebuilt from scratch instead.
     pub fn reset_flow(&self, state: &mut FlowFeatureState, b_hint: usize) {
+        if self.battery != state.battery.is_some() {
+            *state = self.begin_flow(b_hint);
+            return;
+        }
+        if let Some(battery) = &mut state.battery {
+            battery.reset();
+        }
         match (&self.estimator, &mut state.inner) {
             (None, FlowStateInner::Exact(v)) => {
                 v.reset();
@@ -118,19 +159,25 @@ impl FeatureExtractor {
     /// distinct gram (reported per-buffer), the sketch needs the fixed
     /// `g·z` budget (§4.4, Formula 3).
     pub fn counters_for_buffer(&self, payload: &[u8]) -> usize {
-        match (&self.mode, &self.estimator) {
-            (FeatureMode::Exact, _) => self
-                .widths
-                .iter()
-                .map(|k| iustitia_entropy::GramHistogram::from_bytes(payload, k).counters_used())
-                .sum(),
-            (FeatureMode::Estimated(_), Some(est)) => {
-                // h1 is still counted exactly (256-counter dense table).
-                let h1 = if self.widths.iter().any(|k| k == 1) { 256 } else { 0 };
-                h1 + est.total_counters(&self.widths, payload.len())
+        let battery = if self.battery { BATTERY_COUNTERS } else { 0 };
+        battery
+            + match (&self.mode, &self.estimator) {
+                (FeatureMode::Exact, _) => self
+                    .widths
+                    .iter()
+                    .map(|k| {
+                        iustitia_entropy::GramHistogram::from_bytes(payload, k).counters_used()
+                    })
+                    .sum(),
+                (FeatureMode::Estimated(_), Some(est)) => {
+                    // h1 is still counted exactly (256-counter dense table).
+                    let h1 = if self.widths.iter().any(|k| k == 1) { 256 } else { 0 };
+                    h1 + est.total_counters(&self.widths, payload.len())
+                }
+                (FeatureMode::Estimated(_), None) => {
+                    unreachable!("estimator exists in Estimated mode")
+                }
             }
-            (FeatureMode::Estimated(_), None) => unreachable!("estimator exists in Estimated mode"),
-        }
     }
 }
 
@@ -144,6 +191,9 @@ impl FeatureExtractor {
 #[derive(Debug, Clone)]
 pub struct FlowFeatureState {
     inner: FlowStateInner,
+    /// Present iff the owning extractor has the battery enabled; fed
+    /// the same chunks as the entropy state and finished after it.
+    battery: Option<RandomnessBattery>,
 }
 
 #[derive(Debug, Clone)]
@@ -159,25 +209,37 @@ impl FlowFeatureState {
             FlowStateInner::Exact(v) => v.update(chunk),
             FlowStateInner::Estimated(e) => e.update(chunk),
         }
+        if let Some(battery) = &mut self.battery {
+            battery.update(chunk);
+        }
     }
 
-    /// The feature vector of everything fed so far.
+    /// The feature vector of everything fed so far: the entropy vector,
+    /// then the battery features when the battery is enabled.
     pub fn finish(&self) -> Vec<f64> {
-        match &self.inner {
+        let mut out = match &self.inner {
             FlowStateInner::Exact(v) => v.finish().into_values(),
             FlowStateInner::Estimated(e) => e.finish(),
+        };
+        if let Some(battery) = &self.battery {
+            out.extend_from_slice(&battery.finish());
         }
+        out
     }
 
     /// Writes the feature vector into `out` (cleared first), using
     /// `counts_scratch` for exact-histogram count sorting, so a warm
     /// caller allocates nothing (exact mode; the estimated sketches
-    /// still build their small per-finish median buffers). Values are
-    /// bit-identical to [`finish`](Self::finish).
+    /// still build their small per-finish median buffers). The battery
+    /// features derive from fixed-size integer state and allocate
+    /// nothing. Values are bit-identical to [`finish`](Self::finish).
     pub fn finish_into(&self, out: &mut Vec<f64>, counts_scratch: &mut Vec<u64>) {
         match &self.inner {
             FlowStateInner::Exact(v) => v.finish_entropies_into(out, counts_scratch),
             FlowStateInner::Estimated(e) => e.finish_into(out, counts_scratch),
+        }
+        if let Some(battery) = &self.battery {
+            out.extend_from_slice(&battery.finish());
         }
     }
 
@@ -191,10 +253,12 @@ impl FlowFeatureState {
 
     /// Counters currently resident for this flow.
     pub fn counters_used(&self) -> usize {
-        match &self.inner {
-            FlowStateInner::Exact(v) => v.counters_used(),
-            FlowStateInner::Estimated(e) => e.counters_used(),
-        }
+        let battery = if self.battery.is_some() { BATTERY_COUNTERS } else { 0 };
+        battery
+            + match &self.inner {
+                FlowStateInner::Exact(v) => v.counters_used(),
+                FlowStateInner::Estimated(e) => e.counters_used(),
+            }
     }
 
     /// Estimated heap footprint of this flow's feature state, at
@@ -237,9 +301,23 @@ pub fn dataset_from_corpus(
     mode: FeatureMode,
     seed: u64,
 ) -> Dataset {
+    dataset_from_corpus_battery(files, widths, method, mode, seed, false)
+}
+
+/// Like [`dataset_from_corpus`], but optionally appending the
+/// randomness-battery features to every row. With `battery = false`
+/// this is exactly [`dataset_from_corpus`] (same RNG draws, same rows).
+pub fn dataset_from_corpus_battery(
+    files: &[LabeledFile],
+    widths: &FeatureWidths,
+    method: TrainingMethod,
+    mode: FeatureMode,
+    seed: u64,
+    battery: bool,
+) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut fx = FeatureExtractor::new(widths.clone(), mode, seed ^ 0x0F1CE);
-    let mut ds = Dataset::new(widths.len(), iustitia_corpus::FileClass::names());
+    let mut fx = FeatureExtractor::new(widths.clone(), mode, seed ^ 0x0F1CE).with_battery(battery);
+    let mut ds = Dataset::new(fx.n_features(), iustitia_corpus::FileClass::names());
     for file in files {
         let slice: &[u8] = match method {
             TrainingMethod::WholeFile => &file.data,
@@ -317,8 +395,76 @@ mod tests {
         );
         assert_eq!(ds.len(), corpus.len());
         assert_eq!(ds.n_features(), 4);
-        assert_eq!(ds.n_classes(), 3);
-        assert_eq!(ds.class_counts(), vec![6, 6, 6]);
+        assert_eq!(ds.n_classes(), 4);
+        assert_eq!(ds.class_counts(), vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn battery_dataset_appends_battery_features() {
+        let corpus = small_corpus();
+        let widths = FeatureWidths::cart_selected();
+        let plain = dataset_from_corpus(
+            &corpus,
+            &widths,
+            TrainingMethod::Prefix { b: 256 },
+            FeatureMode::Exact,
+            1,
+        );
+        let with = dataset_from_corpus_battery(
+            &corpus,
+            &widths,
+            TrainingMethod::Prefix { b: 256 },
+            FeatureMode::Exact,
+            1,
+            true,
+        );
+        assert_eq!(with.n_features(), widths.len() + BATTERY_FEATURES);
+        for (i, file) in corpus.iter().enumerate() {
+            // The entropy prefix of each row is unchanged; the tail is
+            // exactly the one-shot battery over the same slice.
+            assert_eq!(&with.features(i)[..widths.len()], plain.features(i));
+            let slice = &file.data[..256.min(file.data.len())];
+            assert_eq!(
+                &with.features(i)[widths.len()..],
+                &iustitia_entropy::battery_features(slice)
+            );
+        }
+    }
+
+    #[test]
+    fn battery_flow_session_matches_one_shot_extract() {
+        let widths = FeatureWidths::svm_selected();
+        let mut fx = FeatureExtractor::new(widths, FeatureMode::Exact, 0).with_battery(true);
+        assert_eq!(fx.n_features(), 4 + BATTERY_FEATURES);
+        let data: Vec<u8> = (0..777u32).map(|i| (i.wrapping_mul(193) >> 3) as u8).collect();
+        let one_shot = fx.extract(&data);
+        assert_eq!(one_shot.len(), fx.n_features());
+        for chunk_len in [1usize, 4, 16, 777] {
+            let mut session = fx.begin_flow(data.len());
+            for chunk in data.chunks(chunk_len) {
+                session.update(chunk);
+            }
+            assert_eq!(session.finish(), one_shot, "chunk_len={chunk_len}");
+            let (mut out, mut scratch) = (Vec::new(), Vec::new());
+            session.finish_into(&mut out, &mut scratch);
+            assert_eq!(out, one_shot, "finish_into chunk_len={chunk_len}");
+        }
+    }
+
+    #[test]
+    fn reset_flow_rebuilds_on_battery_mismatch() {
+        let widths = FeatureWidths::svm_selected();
+        let plain = FeatureExtractor::new(widths.clone(), FeatureMode::Exact, 0);
+        let battery = FeatureExtractor::new(widths, FeatureMode::Exact, 0).with_battery(true);
+        let mut state = plain.begin_flow(256);
+        battery.reset_flow(&mut state, 256);
+        state.update(b"abcabc");
+        assert_eq!(state.finish().len(), battery.n_features());
+        // And back: a battery state handed to a plain extractor is
+        // rebuilt without the battery tail.
+        plain.reset_flow(&mut state, 256);
+        state.update(b"abcabc");
+        assert_eq!(state.finish().len(), plain.n_features());
     }
 
     #[test]
@@ -478,19 +624,22 @@ mod tests {
         let data: Vec<u8> = (0..900u32).map(|i| (i.wrapping_mul(157) >> 2) as u8).collect();
         let junk: Vec<u8> = (0..2048u32).map(|i| (i.wrapping_mul(31)) as u8).collect();
         for mode in [FeatureMode::Exact, FeatureMode::Estimated(EstimatorConfig::svm_optimal())] {
-            let fx = FeatureExtractor::new(widths.clone(), mode.clone(), 13);
-            let mut fresh = fx.begin_flow(1024);
-            for chunk in data.chunks(37) {
-                fresh.update(chunk);
+            for battery in [false, true] {
+                let fx =
+                    FeatureExtractor::new(widths.clone(), mode.clone(), 13).with_battery(battery);
+                let mut fresh = fx.begin_flow(1024);
+                for chunk in data.chunks(37) {
+                    fresh.update(chunk);
+                }
+                let mut recycled = fx.begin_flow(1024);
+                recycled.update(&junk);
+                fx.reset_flow(&mut recycled, 1024);
+                assert_eq!(recycled.total_bytes(), 0, "{mode:?}");
+                for chunk in data.chunks(37) {
+                    recycled.update(chunk);
+                }
+                assert_eq!(recycled.finish(), fresh.finish(), "{mode:?} battery={battery}");
             }
-            let mut recycled = fx.begin_flow(1024);
-            recycled.update(&junk);
-            fx.reset_flow(&mut recycled, 1024);
-            assert_eq!(recycled.total_bytes(), 0, "{mode:?}");
-            for chunk in data.chunks(37) {
-                recycled.update(chunk);
-            }
-            assert_eq!(recycled.finish(), fresh.finish(), "{mode:?}");
         }
     }
 

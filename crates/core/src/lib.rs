@@ -57,7 +57,7 @@
 //! let train = dataset_from_corpus(
 //!     &corpus, &widths, TrainingMethod::Prefix { b: 32 }, FeatureMode::Exact, 1,
 //! );
-//! let model = NatureModel::train(&train, &ModelKind::paper_cart());
+//! let model = NatureModel::train(&train, &ModelKind::paper_cart()).expect("train");
 //!
 //! // 3. Classify flows online.
 //! let mut iustitia = Iustitia::new(model, PipelineConfig::headline(1));

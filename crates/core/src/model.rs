@@ -31,7 +31,8 @@ impl ModelKind {
     }
 }
 
-/// A trained flow-nature classifier (text / binary / encrypted).
+/// A trained flow-nature classifier
+/// (text / binary / encrypted / compressed).
 ///
 /// # Examples
 ///
@@ -40,18 +41,21 @@ impl ModelKind {
 /// use iustitia_corpus::FileClass;
 /// use iustitia_ml::Dataset;
 ///
-/// // Tiny hand-made dataset on one feature (h1): text low, binary mid,
-/// // encrypted high.
-/// let mut ds = Dataset::new(1, FileClass::names());
+/// // Tiny hand-made dataset on two features (h1, chi): text low,
+/// // binary mid; encrypted and compressed share the high-h1 band and
+/// // are split by the second (randomness-battery) feature.
+/// let mut ds = Dataset::new(2, FileClass::names());
 /// for i in 0..20 {
 ///     let x = i as f64 / 100.0;
-///     ds.push(vec![0.45 + x], FileClass::Text.index());
-///     ds.push(vec![0.70 + x], FileClass::Binary.index());
-///     ds.push(vec![0.97 + x / 10.0], FileClass::Encrypted.index());
+///     ds.push(vec![0.45 + x, 0.05], FileClass::Text.index());
+///     ds.push(vec![0.70 + x, 0.05], FileClass::Binary.index());
+///     ds.push(vec![0.97 + x / 10.0, 0.02 + x / 10.0], FileClass::Encrypted.index());
+///     ds.push(vec![0.96 + x / 10.0, 0.60 + x], FileClass::Compressed.index());
 /// }
-/// let model = NatureModel::train(&ds, &ModelKind::paper_cart());
-/// assert_eq!(model.predict(&[0.5]), FileClass::Text);
-/// assert_eq!(model.predict(&[0.99]), FileClass::Encrypted);
+/// let model = NatureModel::train(&ds, &ModelKind::paper_cart()).expect("all classes present");
+/// assert_eq!(model.predict(&[0.5, 0.05]), FileClass::Text);
+/// assert_eq!(model.predict(&[0.99, 0.03]), FileClass::Encrypted);
+/// assert_eq!(model.predict(&[0.99, 0.7]), FileClass::Compressed);
 /// ```
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum NatureModel {
@@ -63,20 +67,59 @@ pub enum NatureModel {
     SvmVote(OneVsOneVote),
 }
 
+/// Why [`NatureModel::train`] could not produce a model.
+///
+/// The pairwise SVM fits (and per-class accuracy accounting) need at
+/// least one sample of every class the dataset declares; a 4-class
+/// retrain over a corpus that forgot one class used to panic deep in
+/// the SMO solver — now it surfaces here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The dataset holds no samples at all.
+    EmptyDataset,
+    /// A declared class has no samples.
+    MissingClass {
+        /// Index of the absent class.
+        index: usize,
+        /// Its name from the dataset's class list.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyDataset => f.write_str("cannot train on an empty dataset"),
+            TrainError::MissingClass { index, name } => {
+                write!(f, "cannot train: class {index} ({name}) has no samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 impl NatureModel {
-    /// Trains a model of the requested kind on a 3-class entropy-vector
-    /// dataset.
+    /// Trains a model of the requested kind on an entropy-vector (or
+    /// entropy + randomness-battery) dataset.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the dataset is empty or is missing a class (the SVM
-    /// needs samples of every pair).
-    pub fn train(data: &Dataset, kind: &ModelKind) -> Self {
-        match kind {
+    /// Returns [`TrainError`] if the dataset is empty or is missing a
+    /// class (the SVM needs samples of every pair).
+    pub fn train(data: &Dataset, kind: &ModelKind) -> Result<Self, TrainError> {
+        if data.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        if let Some(index) = data.class_counts().iter().position(|&c| c == 0) {
+            let name = data.class_names()[index].clone();
+            return Err(TrainError::MissingClass { index, name });
+        }
+        Ok(match kind {
             ModelKind::Cart(params) => NatureModel::Cart(DecisionTree::fit(data, params)),
             ModelKind::Svm(params) => NatureModel::Svm(DagSvm::fit(data, params)),
             ModelKind::SvmVote(params) => NatureModel::SvmVote(OneVsOneVote::fit(data, params)),
-        }
+        })
     }
 
     /// Predicts the flow nature for one entropy vector.
@@ -110,6 +153,16 @@ impl NatureModel {
             cm.record(y, self.predict(x).index());
         }
         cm
+    }
+
+    /// Feature-vector width the model was trained on (entropy widths
+    /// alone, or widths + battery statistics).
+    pub fn n_features(&self) -> usize {
+        match self {
+            NatureModel::Cart(m) => m.n_features(),
+            NatureModel::Svm(m) => m.n_features(),
+            NatureModel::SvmVote(m) => m.n_features(),
+        }
     }
 
     /// Compiles the model into its flat, allocation-free inference form
@@ -199,12 +252,17 @@ impl CompiledNatureModel {
 ///     FeatureMode::Exact,
 ///     &ModelKind::paper_cart(),
 ///     1,
-/// );
+/// )
+/// .expect("balanced corpus has every class");
 /// // The model classifies 32-byte ciphertext prefixes as encrypted for
 /// // most draws; sanity-check it at least answers with a valid class.
 /// let label = model.predict(&[0.6, 0.5, 0.45, 0.4]);
 /// assert!(FileClass::ALL.contains(&label));
 /// ```
+///
+/// # Errors
+///
+/// Returns [`TrainError`] if the corpus is empty or omits a class.
 pub fn train_from_corpus(
     files: &[iustitia_corpus::LabeledFile],
     widths: &iustitia_entropy::FeatureWidths,
@@ -212,8 +270,27 @@ pub fn train_from_corpus(
     mode: crate::features::FeatureMode,
     kind: &ModelKind,
     seed: u64,
-) -> NatureModel {
+) -> Result<NatureModel, TrainError> {
     let ds = crate::features::dataset_from_corpus(files, widths, method, mode, seed);
+    NatureModel::train(&ds, kind)
+}
+
+/// Like [`train_from_corpus`], but appends the randomness-test battery
+/// ([`iustitia_entropy::RandomnessBattery`]) features to every entropy
+/// vector — the feature set that separates compressed from encrypted.
+///
+/// # Errors
+///
+/// Returns [`TrainError`] if the corpus is empty or omits a class.
+pub fn train_from_corpus_battery(
+    files: &[iustitia_corpus::LabeledFile],
+    widths: &iustitia_entropy::FeatureWidths,
+    method: crate::features::TrainingMethod,
+    mode: crate::features::FeatureMode,
+    kind: &ModelKind,
+    seed: u64,
+) -> Result<NatureModel, TrainError> {
+    let ds = crate::features::dataset_from_corpus_battery(files, widths, method, mode, seed, true);
     NatureModel::train(&ds, kind)
 }
 
@@ -223,7 +300,11 @@ impl Classifier for NatureModel {
     }
 
     fn n_classes(&self) -> usize {
-        3
+        match self {
+            NatureModel::Cart(m) => m.n_classes(),
+            NatureModel::Svm(m) => m.n_classes(),
+            NatureModel::SvmVote(m) => m.n_classes(),
+        }
     }
 }
 
@@ -243,6 +324,9 @@ mod tests {
             ds.push(vec![0.50 + jitter, x2 * 0.3], FileClass::Text.index());
             ds.push(vec![0.75 + jitter, 0.3 + x2 * 0.3], FileClass::Binary.index());
             ds.push(vec![0.98 + jitter / 10.0, 0.6 + x2 * 0.3], FileClass::Encrypted.index());
+            // Compressed shares the encrypted h1 band; the second
+            // (battery-like) feature is what separates it.
+            ds.push(vec![0.96 + jitter / 10.0, 1.0 + x2 * 0.3], FileClass::Compressed.index());
         }
         ds
     }
@@ -250,10 +334,10 @@ mod tests {
     #[test]
     fn cart_model_trains_and_predicts() {
         let ds = band_dataset(100);
-        let m = NatureModel::train(&ds, &ModelKind::paper_cart());
+        let m = NatureModel::train(&ds, &ModelKind::paper_cart()).expect("train");
         assert!(m.accuracy_on(&ds) > 0.95);
         assert_eq!(m.predict(&[0.5, 0.1]), FileClass::Text);
-        assert_eq!(m.n_classes(), 3);
+        assert_eq!(m.n_classes(), 4);
     }
 
     #[test]
@@ -261,9 +345,37 @@ mod tests {
         let ds = band_dataset(60);
         let params =
             SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 20.0 }, ..Default::default() };
-        let m = NatureModel::train(&ds, &ModelKind::Svm(params));
+        let m = NatureModel::train(&ds, &ModelKind::Svm(params)).expect("train");
         assert!(m.accuracy_on(&ds) > 0.9, "acc={}", m.accuracy_on(&ds));
         assert_eq!(m.predict(&[0.98, 0.8]), FileClass::Encrypted);
+        assert_eq!(m.predict(&[0.97, 1.1]), FileClass::Compressed);
+    }
+
+    #[test]
+    fn train_rejects_empty_and_missing_class_datasets() {
+        let empty = Dataset::new(2, FileClass::names());
+        assert_eq!(
+            NatureModel::train(&empty, &ModelKind::paper_cart()),
+            Err(TrainError::EmptyDataset)
+        );
+
+        let mut partial = Dataset::new(2, FileClass::names());
+        for i in 0..5 {
+            let x = i as f64 / 10.0;
+            partial.push(vec![0.5 + x, 0.1], FileClass::Text.index());
+            partial.push(vec![0.7 + x, 0.2], FileClass::Binary.index());
+            partial.push(vec![0.9 + x, 0.3], FileClass::Encrypted.index());
+        }
+        let err = NatureModel::train(&partial, &ModelKind::paper_svm());
+        assert_eq!(
+            err,
+            Err(TrainError::MissingClass {
+                index: FileClass::Compressed.index(),
+                name: "compressed".to_string()
+            })
+        );
+        let msg = err.expect_err("must fail").to_string();
+        assert!(msg.contains("compressed"), "{msg}");
     }
 
     #[test]
@@ -271,8 +383,8 @@ mod tests {
         let ds = band_dataset(60);
         let params =
             SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 20.0 }, ..Default::default() };
-        let dag = NatureModel::train(&ds, &ModelKind::Svm(params));
-        let vote = NatureModel::train(&ds, &ModelKind::SvmVote(params));
+        let dag = NatureModel::train(&ds, &ModelKind::Svm(params)).expect("train");
+        let vote = NatureModel::train(&ds, &ModelKind::SvmVote(params)).expect("train");
         let mut agree = 0;
         for (x, _) in ds.iter() {
             if dag.predict(x) == vote.predict(x) {
@@ -285,9 +397,9 @@ mod tests {
     #[test]
     fn confusion_matrix_diagonal_dominates() {
         let ds = band_dataset(80);
-        let m = NatureModel::train(&ds, &ModelKind::paper_cart());
+        let m = NatureModel::train(&ds, &ModelKind::paper_cart()).expect("train");
         let cm = m.confusion_on(&ds);
-        for c in 0..3 {
+        for c in 0..FileClass::ALL.len() {
             assert!(cm.class_accuracy(c) > 0.9, "class {c}");
         }
     }
@@ -300,7 +412,7 @@ mod tests {
         for kind in
             [ModelKind::paper_cart(), ModelKind::Svm(svm_params), ModelKind::SvmVote(svm_params)]
         {
-            let boxed = NatureModel::train(&ds, &kind);
+            let boxed = NatureModel::train(&ds, &kind).expect("train");
             let mut compiled = boxed.compile();
             assert_eq!(compiled.n_features(), 2);
             for (x, _) in ds.iter() {

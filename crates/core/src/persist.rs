@@ -83,8 +83,8 @@ impl NatureModel {
     /// # use iustitia::model::{ModelKind, NatureModel};
     /// # use iustitia_ml::Dataset;
     /// # let mut ds = Dataset::new(1, iustitia_corpus::FileClass::names());
-    /// # for i in 0..9 { ds.push(vec![i as f64], i % 3); }
-    /// # let model = NatureModel::train(&ds, &ModelKind::paper_cart());
+    /// # for i in 0..12 { ds.push(vec![i as f64], i % 4); }
+    /// # let model = NatureModel::train(&ds, &ModelKind::paper_cart()).expect("train");
     /// model.save("iustitia-model.json")?;
     /// let restored = NatureModel::load("iustitia-model.json")?;
     /// # Ok::<(), iustitia::persist::PersistError>(())
@@ -120,6 +120,7 @@ mod tests {
             ds.push(vec![0.2 + x * 0.1, 0.1], 0);
             ds.push(vec![0.5 + x * 0.1, 0.5], 1);
             ds.push(vec![0.8 + x * 0.1, 0.9], 2);
+            ds.push(vec![0.75 + x * 0.1, 0.95], 3);
         }
         ds
     }
@@ -127,7 +128,7 @@ mod tests {
     #[test]
     fn cart_round_trips_through_json() {
         let ds = toy_dataset();
-        let model = NatureModel::train(&ds, &ModelKind::paper_cart());
+        let model = NatureModel::train(&ds, &ModelKind::paper_cart()).expect("train");
         let json = model.to_json().expect("serializable");
         let restored = NatureModel::from_json(&json).expect("parseable");
         assert_eq!(model, restored);
@@ -141,7 +142,7 @@ mod tests {
         let ds = toy_dataset();
         let params =
             SvmParams { c: 10.0, kernel: Kernel::Rbf { gamma: 5.0 }, ..Default::default() };
-        let model = NatureModel::train(&ds, &ModelKind::Svm(params));
+        let model = NatureModel::train(&ds, &ModelKind::Svm(params)).expect("train");
         let restored = NatureModel::from_json(&model.to_json().expect("ok")).expect("ok");
         for (x, _) in ds.iter() {
             assert_eq!(model.predict(x), restored.predict(x));
@@ -153,7 +154,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("iustitia-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("tmp dir");
         let path = dir.join("model.json");
-        let model = NatureModel::train(&toy_dataset(), &ModelKind::paper_cart());
+        let model = NatureModel::train(&toy_dataset(), &ModelKind::paper_cart()).expect("train");
         model.save(&path).expect("save");
         let restored = NatureModel::load(&path).expect("load");
         assert_eq!(model, restored);

@@ -89,11 +89,16 @@ pub struct PipelineConfig {
     pub idle_timeout: f64,
     /// RNG seed (random skip offsets, estimator sampling).
     pub seed: u64,
+    /// Append the randomness-test battery to every feature vector (the
+    /// compressed-vs-encrypted discriminator; must match the trained
+    /// model's feature set).
+    pub battery: bool,
 }
 
 impl PipelineConfig {
     /// The paper's headline operating point: `b = 32`, exact entropy
-    /// vectors over `φ′_SVM`, no header handling.
+    /// vectors over `φ′_SVM`, no header handling, no battery (the
+    /// paper's 3-class feature set).
     pub fn headline(seed: u64) -> Self {
         PipelineConfig {
             buffer_size: 32,
@@ -103,6 +108,7 @@ impl PipelineConfig {
             cdb: CdbConfig::default(),
             idle_timeout: 5.0,
             seed,
+            battery: false,
         }
     }
 }
@@ -138,6 +144,11 @@ pub struct ClassifiedFlow {
 }
 
 /// Where a pending flow is in its lifecycle.
+// The Streaming variant inlines the whole feature state (histograms +
+// battery accumulators) on purpose: states cycle through the flow pool
+// by value, and an indirection here would put an allocation back on
+// the recycled-flow path the pool exists to keep allocation-free.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum FlowStage {
     /// Raw prefix retained verbatim until the header skip/strip
@@ -179,11 +190,13 @@ impl FlowBuffer {
     }
 }
 
-/// Throughput counters for the three output queues plus pass-through.
+/// Throughput counters for the per-class output queues plus
+/// pass-through.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct QueueCounters {
-    /// Data packets forwarded per class queue `[text, binary, encrypted]`.
-    pub forwarded: [u64; 3],
+    /// Data packets forwarded per class queue
+    /// `[text, binary, encrypted, compressed]`.
+    pub forwarded: [u64; 4],
     /// Data packets held in flow buffers awaiting classification.
     pub buffered: u64,
     /// Control/close packets passed through unclassified.
@@ -212,7 +225,8 @@ pub struct QueueCounters {
 ///     FeatureMode::Exact,
 ///     &ModelKind::paper_cart(),
 ///     1,
-/// );
+/// )
+/// .expect("balanced corpus");
 /// let mut iustitia = Iustitia::new(model, PipelineConfig::headline(1));
 ///
 /// // Online: the first data packet already carries ≥ 32 bytes.
@@ -267,7 +281,8 @@ impl Iustitia {
     /// Builds a pipeline around a trained model.
     pub fn new(model: NatureModel, config: PipelineConfig) -> Self {
         let extractor =
-            FeatureExtractor::new(config.widths.clone(), config.mode.clone(), config.seed);
+            FeatureExtractor::new(config.widths.clone(), config.mode.clone(), config.seed)
+                .with_battery(config.battery);
         let cdb = ClassificationDatabase::new(config.cdb);
         let rng = StdRng::seed_from_u64(config.seed ^ 0xDEFE45E);
         let compiled = model.compile();
@@ -664,6 +679,7 @@ mod tests {
             &crate::model::ModelKind::paper_cart(),
             33,
         )
+        .expect("train")
     }
 
     fn toy_model() -> NatureModel {
@@ -678,8 +694,11 @@ mod tests {
         Packet { timestamp: t, tuple: tuple(port), flags: TcpFlags::ACK, payload: payload.to_vec() }
     }
 
+    // Representative prose: the 4-class b=32 model puts degenerate
+    // ultra-low-entropy 32-byte windows (e.g. "the cat sat on the
+    // mat…") below the text band, next to armored-ciphertext headers.
     fn text_payload(n: usize) -> Vec<u8> {
-        b"the cat sat on the mat and the dog ran off with the hat. "
+        b"Dear colleagues, please review the quarterly budget report.\n"
             .iter()
             .cycle()
             .take(n)
@@ -702,9 +721,12 @@ mod tests {
     #[test]
     fn classifies_when_buffer_fills_then_hits_cdb() {
         let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(1));
-        let p1 = data_packet(1000, 0.0, &text_payload(16));
+        // Consecutive halves of the prose, so the filled 32-byte
+        // buffer is the sentence prefix, not a 16-byte stutter.
+        let prose = text_payload(32);
+        let p1 = data_packet(1000, 0.0, &prose[..16]);
         assert_eq!(ius.process_packet(&p1), Verdict::Buffering);
-        let p2 = data_packet(1000, 0.1, &text_payload(16));
+        let p2 = data_packet(1000, 0.1, &prose[16..]);
         assert_eq!(ius.process_packet(&p2), Verdict::Classified(FileClass::Text));
         let p3 = data_packet(1000, 0.2, &text_payload(100));
         assert_eq!(ius.process_packet(&p3), Verdict::Hit(FileClass::Text));
@@ -922,6 +944,44 @@ mod tests {
         assert_eq!(ius.state_pool_size(), 1);
     }
 
+    /// The 4-class vertical slice: a battery-enabled pipeline with a
+    /// battery-trained model separates compressed streams from
+    /// ciphertext, which the entropy vector alone cannot do.
+    #[test]
+    fn battery_pipeline_classifies_compressed_streams() {
+        use rand::SeedableRng;
+        let corpus = iustitia_corpus::CorpusBuilder::new(33)
+            .files_per_class(60)
+            .size_range(1024, 4096)
+            .build();
+        let model = crate::model::train_from_corpus_battery(
+            &corpus,
+            &iustitia_entropy::FeatureWidths::svm_selected(),
+            crate::features::TrainingMethod::Prefix { b: 2048 },
+            crate::features::FeatureMode::Exact,
+            &crate::model::ModelKind::paper_cart(),
+            33,
+        )
+        .expect("train");
+        let config =
+            PipelineConfig { buffer_size: 2048, battery: true, ..PipelineConfig::headline(44) };
+        let mut ius = Iustitia::new(model, config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut right = 0;
+        for port in 0..20u16 {
+            let data = iustitia_corpus::compressed::generate(4096, &mut rng);
+            let v = ius.process_packet(&data_packet(
+                3000 + port,
+                f64::from(port) * 0.01,
+                &data[..2048.min(data.len())],
+            ));
+            if v == Verdict::Classified(FileClass::Compressed) {
+                right += 1;
+            }
+        }
+        assert!(right >= 14, "compressed streams classified as compressed: {right}/20");
+    }
+
     /// The tentpole invariant: a pending flow's heap footprint is the
     /// feature state (O(distinct grams)), not the payload (O(b)).
     #[test]
@@ -957,8 +1017,10 @@ mod tests {
             ds.push(vec![0.45 + x], FileClass::Text.index());
             ds.push(vec![0.70 + x], FileClass::Binary.index());
             ds.push(vec![0.97 + x / 10.0], FileClass::Encrypted.index());
+            ds.push(vec![0.92 + x / 10.0], FileClass::Compressed.index());
         }
-        let narrow = NatureModel::train(&ds, &crate::model::ModelKind::paper_cart());
+        let narrow =
+            NatureModel::train(&ds, &crate::model::ModelKind::paper_cart()).expect("train");
         // headline() extracts 4 svm-selected widths; the model wants 1.
         let mut ius = Iustitia::new(narrow, PipelineConfig::headline(7));
         assert_eq!(ius.process_packet(&data_packet(1, 0.0, &text_payload(16))), Verdict::Buffering);

@@ -66,7 +66,8 @@ pub enum TunnelVerdict {
 /// let model = train_from_corpus(
 ///     &corpus, &widths, TrainingMethod::Prefix { b: 64 }, FeatureMode::Exact,
 ///     &ModelKind::paper_cart(), 1,
-/// );
+/// )
+/// .expect("balanced corpus");
 /// let mut fx = FeatureExtractor::new(widths, FeatureMode::Exact, 1);
 ///
 /// // A cleartext tunnel carrying one text flow.
@@ -135,7 +136,8 @@ mod tests {
             FeatureMode::Exact,
             &ModelKind::paper_cart(),
             9,
-        );
+        )
+        .expect("train");
         (model, FeatureExtractor::new(widths, FeatureMode::Exact, 9))
     }
 

@@ -16,7 +16,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia::model::{train_from_corpus, ModelKind};
+use iustitia::model::{train_from_corpus_battery, ModelKind};
 use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
 use iustitia_entropy::FeatureWidths;
 use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
@@ -65,16 +65,20 @@ fn data_packet(port: u16, t: f64, payload: &[u8]) -> Packet {
 fn recycled_flow_packets_allocate_nothing_through_classification() {
     let corpus =
         iustitia_corpus::CorpusBuilder::new(33).files_per_class(20).size_range(1024, 4096).build();
-    let model = train_from_corpus(
+    // Battery on: the randomness battery must hold the zero-alloc
+    // guarantee too (its state is fixed-size integer accumulators).
+    let model = train_from_corpus_battery(
         &corpus,
         &FeatureWidths::svm_selected(),
         TrainingMethod::Prefix { b: 2048 },
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         33,
-    );
+    )
+    .expect("balanced corpus");
     let mut config = PipelineConfig::headline(33);
     config.buffer_size = 2048;
+    config.battery = true;
     let mut pipeline = Iustitia::new(model, config);
 
     // Every flow streams the same realistic payload, so the warm-up

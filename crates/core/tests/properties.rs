@@ -15,11 +15,11 @@ use std::net::Ipv4Addr;
 /// A trivial always-valid model for structural pipeline properties.
 fn any_model() -> NatureModel {
     let mut ds = Dataset::new(4, FileClass::names());
-    for i in 0..12 {
+    for i in 0..16 {
         let x = i as f64 / 20.0;
-        ds.push(vec![x, 0.1, 0.1, 0.1], i % 3);
+        ds.push(vec![x, 0.1, 0.1, 0.1], i % FileClass::ALL.len());
     }
-    NatureModel::train(&ds, &ModelKind::paper_cart())
+    NatureModel::train(&ds, &ModelKind::paper_cart()).expect("every class present")
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {

@@ -19,6 +19,12 @@
 //!   in Table 1.
 //! * [`encrypted`] — RC4 (implemented here) and ChaCha-based keystream
 //!   ciphertext (`h1 ≈ 1.0` at every width).
+//! * [`compressed`] — DEFLATE-shaped streams (gzip/zlib/raw framing,
+//!   stored + Huffman-coded block structure, LZ-style match repetition,
+//!   trailing checksums). Entropy sits near ciphertext (`h1 ≳ 0.95`),
+//!   which is exactly the compressed↔encrypted confusion HEDGE/EnCoD
+//!   target — the randomness-test battery, not the entropy vector, is
+//!   what separates this class.
 //! * [`headers`] — application-layer headers (HTTP/SMTP/POP3/IMAP)
 //!   and the signature-based detection/stripping of §4.3.
 //!
@@ -29,7 +35,7 @@
 //! use iustitia_entropy::entropy;
 //!
 //! let corpus = CorpusBuilder::new(7).files_per_class(5).size_range(2048, 4096).build();
-//! assert_eq!(corpus.len(), 15);
+//! assert_eq!(corpus.len(), 20);
 //! let mean_h1 = |class: FileClass| {
 //!     let files: Vec<_> = corpus.iter().filter(|f| f.class == class).collect();
 //!     files.iter().map(|f| entropy(&f.data, 1)).sum::<f64>() / files.len() as f64
@@ -43,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod compressed;
 pub mod encrypted;
 pub mod headers;
 pub mod text;
@@ -55,11 +62,14 @@ pub use headers::{
     scan_application_header, strip_application_header, AppProtocol, HeaderGenerator, HeaderScan,
 };
 
-/// The three flow/file natures Iustitia distinguishes.
+/// The flow/file natures Iustitia distinguishes.
 ///
 /// The numeric value is the class index used by datasets and confusion
 /// matrices throughout the workspace (`Text = 0`, `Binary = 1`,
-/// `Encrypted = 2`).
+/// `Encrypted = 2`, `Compressed = 3`). The first three match the
+/// paper's 3-class scheme; `Compressed` is the HEDGE/EnCoD-motivated
+/// fourth class, appended last so the historical indices stay stable on
+/// the wire and in saved models.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
@@ -70,18 +80,23 @@ pub enum FileClass {
     Binary,
     /// Ciphertext: SSL records, encrypted files.
     Encrypted,
+    /// Compressed streams: DEFLATE-family output (gzip/zlib/raw).
+    Compressed,
 }
 
 impl FileClass {
     /// All classes in index order.
-    pub const ALL: [FileClass; 3] = [FileClass::Text, FileClass::Binary, FileClass::Encrypted];
+    pub const ALL: [FileClass; 4] =
+        [FileClass::Text, FileClass::Binary, FileClass::Encrypted, FileClass::Compressed];
 
-    /// The class index (`Text = 0`, `Binary = 1`, `Encrypted = 2`).
+    /// The class index (`Text = 0`, `Binary = 1`, `Encrypted = 2`,
+    /// `Compressed = 3`).
     pub fn index(self) -> usize {
         match self {
             FileClass::Text => 0,
             FileClass::Binary => 1,
             FileClass::Encrypted => 2,
+            FileClass::Compressed => 3,
         }
     }
 
@@ -89,7 +104,7 @@ impl FileClass {
     ///
     /// # Panics
     ///
-    /// Panics if `index > 2`.
+    /// Panics if `index >= FileClass::ALL.len()`.
     pub fn from_index(index: usize) -> FileClass {
         Self::ALL[index]
     }
@@ -100,6 +115,7 @@ impl FileClass {
             FileClass::Text => "text",
             FileClass::Binary => "binary",
             FileClass::Encrypted => "encrypted",
+            FileClass::Compressed => "compressed",
         }
     }
 
@@ -134,6 +150,7 @@ pub fn generate_file(class: FileClass, size: usize, rng: &mut StdRng) -> Vec<u8>
         FileClass::Text => text::generate(size, rng),
         FileClass::Binary => binary::generate(size, rng),
         FileClass::Encrypted => encrypted::generate(size, rng),
+        FileClass::Compressed => compressed::generate(size, rng),
     }
 }
 
@@ -173,13 +190,14 @@ impl CorpusBuilder {
         self
     }
 
-    /// Generates the corpus: `3 × files_per_class` labeled files.
+    /// Generates the corpus: `FileClass::ALL.len() × files_per_class`
+    /// labeled files.
     ///
     /// Sizes are drawn log-uniformly from the configured range, matching
     /// the heavy-tailed size mix of real file pools.
     pub fn build(&self) -> Vec<LabeledFile> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut out = Vec::with_capacity(3 * self.files_per_class);
+        let mut out = Vec::with_capacity(FileClass::ALL.len() * self.files_per_class);
         for class in FileClass::ALL {
             for _ in 0..self.files_per_class {
                 let size = if self.min_size == self.max_size {
@@ -202,18 +220,38 @@ mod tests {
     use iustitia_entropy::entropy;
 
     #[test]
-    fn class_index_round_trip() {
-        for class in FileClass::ALL {
-            assert_eq!(FileClass::from_index(class.index()), class);
+    fn class_index_round_trip_is_exhaustive() {
+        // Exhaustive both ways: every variant round-trips through its
+        // index, every valid index round-trips through its variant, and
+        // names() stays aligned with index order. Adding a class must
+        // not silently desynchronize dataset labels from verdict names.
+        assert_eq!(FileClass::ALL.len(), 4);
+        for (i, class) in FileClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i, "ALL order must match index()");
+            assert_eq!(FileClass::from_index(class.index()), *class);
+            assert_eq!(FileClass::from_index(i).index(), i);
+            assert_eq!(FileClass::names()[i], class.name());
+            assert_eq!(class.to_string(), class.name());
         }
-        assert_eq!(FileClass::names(), vec!["text", "binary", "encrypted"]);
-        assert_eq!(FileClass::Text.to_string(), "text");
+        assert_eq!(FileClass::names(), vec!["text", "binary", "encrypted", "compressed"]);
+        assert_eq!(FileClass::names().len(), FileClass::ALL.len());
+        // Historical 3-class indices are frozen (wire/model compat).
+        assert_eq!(FileClass::Text.index(), 0);
+        assert_eq!(FileClass::Binary.index(), 1);
+        assert_eq!(FileClass::Encrypted.index(), 2);
+        assert_eq!(FileClass::Compressed.index(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_rejects_out_of_range() {
+        FileClass::from_index(FileClass::ALL.len());
     }
 
     #[test]
     fn builder_produces_balanced_corpus() {
         let corpus = CorpusBuilder::new(1).files_per_class(8).size_range(512, 2048).build();
-        assert_eq!(corpus.len(), 24);
+        assert_eq!(corpus.len(), 32);
         for class in FileClass::ALL {
             let n = corpus.iter().filter(|f| f.class == class).count();
             assert_eq!(n, 8);
@@ -244,6 +282,11 @@ mod tests {
         assert!(t < b && b < e, "t={t:.3} b={b:.3} e={e:.3}");
         assert!(t > 0.3 && t < 0.75, "text h1 out of plausible band: {t}");
         assert!(e > 0.9, "ciphertext h1 should be near 1: {e}");
+        // Compressed must land in the near-ciphertext band — high
+        // enough that the entropy vector alone confuses it with
+        // encrypted (the motivation for the randomness battery).
+        let c = mean_h1(FileClass::Compressed);
+        assert!(c > 0.85, "compressed h1 should be near ciphertext: {c}");
     }
 
     #[test]

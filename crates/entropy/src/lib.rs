@@ -44,6 +44,7 @@ pub mod estimate;
 pub mod fastmap;
 pub mod histogram;
 pub mod incremental;
+pub mod randomness;
 pub mod vector;
 
 pub use divergence::{jensen_shannon_divergence, kl_divergence, prefix_jsd, ByteDistribution};
@@ -54,6 +55,7 @@ pub use estimate::{
 pub use fastmap::{FxBuildHasher, FxHashMap};
 pub use histogram::GramHistogram;
 pub use incremental::IncrementalVector;
+pub use randomness::{battery_features, RandomnessBattery, BATTERY_FEATURES};
 pub use vector::{
     entropy, entropy_of_histogram, entropy_of_histogram_with, entropy_vector, shannon_entropy_bits,
     EntropyVector, FeatureWidths,

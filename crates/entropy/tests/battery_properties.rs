@@ -1,0 +1,96 @@
+//! Property-based tests for the randomness-test battery: the
+//! incremental [`RandomnessBattery`] must be bit-identical to the
+//! one-shot [`battery_features`] under any packetization, and a
+//! recycled (reset) battery must be indistinguishable from a fresh
+//! one. These are the invariants that let the streaming pipeline pool
+//! battery state per flow without ever reallocating.
+
+use iustitia_entropy::{battery_features, RandomnessBattery, BATTERY_FEATURES};
+use proptest::prelude::*;
+
+/// Splits `data` into consecutive chunks whose sizes cycle through
+/// `cuts` (empty `cuts` means one chunk). Sizes are clamped to the
+/// remaining length, so every byte appears in exactly one chunk.
+fn packetize<'a>(data: &'a [u8], cuts: &[usize]) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < data.len() {
+        let take = cuts.get(i % cuts.len().max(1)).copied().unwrap_or(data.len());
+        let take = take.clamp(1, data.len() - pos);
+        chunks.push(&data[pos..pos + take]);
+        pos += take;
+        i += 1;
+    }
+    chunks
+}
+
+proptest! {
+    /// The battery's integer accumulators make chunk boundaries
+    /// invisible: any packetization — including cut sizes of 1, which
+    /// straddle every bit-run, autocorrelation-lag, and byte-run
+    /// boundary — finishes to the same bits as the one-shot call.
+    #[test]
+    fn battery_is_packetization_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        cuts in proptest::collection::vec(1usize..48, 0..24),
+    ) {
+        let mut battery = RandomnessBattery::new();
+        for chunk in packetize(&data, &cuts) {
+            battery.update(chunk);
+        }
+        prop_assert_eq!(
+            battery.finish(),
+            battery_features(&data),
+            "incremental battery must be bit-identical to one-shot"
+        );
+    }
+
+    /// Degenerate packetization: a stream of 1-byte packets.
+    #[test]
+    fn one_byte_packets_match_one_shot(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut battery = RandomnessBattery::new();
+        for &byte in &data {
+            battery.update(&[byte]);
+        }
+        prop_assert_eq!(battery.finish(), battery_features(&data));
+    }
+
+    /// `reset()` + refeed must be indistinguishable from a fresh
+    /// battery (the flow-state pool-recycling invariant): junk fed
+    /// before the reset — under its own arbitrary packetization — must
+    /// leave no trace in any of the six statistics.
+    #[test]
+    fn recycled_battery_matches_fresh(
+        junk in proptest::collection::vec(any::<u8>(), 0..512),
+        junk_cuts in proptest::collection::vec(1usize..32, 0..16),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(1usize..32, 0..16),
+    ) {
+        let mut recycled = RandomnessBattery::new();
+        for chunk in packetize(&junk, &junk_cuts) {
+            recycled.update(chunk);
+        }
+        recycled.reset();
+        for chunk in packetize(&data, &cuts) {
+            recycled.update(chunk);
+        }
+
+        let mut fresh = RandomnessBattery::new();
+        for chunk in packetize(&data, &cuts) {
+            fresh.update(chunk);
+        }
+        prop_assert_eq!(recycled.finish(), fresh.finish());
+    }
+
+    /// Every statistic the battery emits is a bounded ratio; NaNs or
+    /// values escaping [0, 1] would poison the SVM's RBF kernel.
+    #[test]
+    fn battery_features_are_bounded(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let features = battery_features(&data);
+        prop_assert_eq!(features.len(), BATTERY_FEATURES);
+        for (i, f) in features.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(f), "feature {i} = {f}");
+        }
+    }
+}

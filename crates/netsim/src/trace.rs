@@ -61,10 +61,11 @@ pub struct TraceConfig {
     pub tcp_fraction: f64,
     /// Payload content mode.
     pub content: ContentMode,
-    /// Class mix of flow contents `[text, binary, encrypted]`;
-    /// must sum to ≈ 1. The paper's Internet statistics put encrypted
-    /// around 10%.
-    pub class_mix: [f64; 3],
+    /// Class mix of flow contents `[text, binary, encrypted,
+    /// compressed]`; must sum to ≈ 1. The paper's Internet statistics
+    /// put encrypted around 10%; compressed transfers (gzip'd HTTP
+    /// bodies, archives) take a comparable slice of the binary share.
+    pub class_mix: [f64; 4],
     /// Bytes of realistic content synthesized per flow before the
     /// payload stream cycles (only the first `b ≤ 2000` bytes matter to
     /// the classifier).
@@ -84,7 +85,7 @@ impl TraceConfig {
             proper_close_fraction: 0.46,
             tcp_fraction: 0.8,
             content: ContentMode::SizesOnly,
-            class_mix: [0.35, 0.55, 0.10],
+            class_mix: [0.35, 0.45, 0.10, 0.10],
             content_budget: 4096,
         }
     }
@@ -114,7 +115,7 @@ impl TraceConfig {
             proper_close_fraction: 0.46,
             tcp_fraction: 0.8,
             content: ContentMode::Realistic,
-            class_mix: [0.34, 0.33, 0.33],
+            class_mix: [0.25, 0.25, 0.25, 0.25],
             content_budget: 2048,
         }
     }
@@ -271,13 +272,15 @@ impl TraceGenerator {
 
     fn sample_class(&mut self) -> FileClass {
         let r: f64 = self.rng.gen();
-        let [t, b, _] = self.config.class_mix;
+        let [t, b, e, _] = self.config.class_mix;
         if r < t {
             FileClass::Text
         } else if r < t + b {
             FileClass::Binary
-        } else {
+        } else if r < t + b + e {
             FileClass::Encrypted
+        } else {
+            FileClass::Compressed
         }
     }
 
@@ -655,7 +658,7 @@ mod tests {
         use iustitia_entropy::entropy;
         let mut config = TraceConfig::small_test(6);
         config.n_flows = 60;
-        config.class_mix = [0.0, 0.0, 1.0]; // all encrypted
+        config.class_mix = [0.0, 0.0, 1.0, 0.0]; // all encrypted
         let packets = collect(config);
         // Reassemble the first KB of each flow; most encrypted files
         // are raw ciphertext with h1 ≈ 1 (a minority are ASCII-armored

@@ -1,7 +1,8 @@
 //! `iustitia` — command-line interface to the flow-nature classifier.
 //!
 //! ```text
-//! iustitia train        [--model cart|svm] [--buffer B] [--per-class N] [--seed S] --out PATH
+//! iustitia train        [--model cart|svm] [--buffer B] [--per-class N] [--seed S]
+//!                       [--battery true|false] --out PATH
 //! iustitia classify     --model PATH [--buffer B] FILE...
 //! iustitia entropy      FILE...
 //! iustitia simulate     --model PATH [--flows N] [--buffer B] [--seed S]
@@ -17,21 +18,27 @@
 //! pipeline and reports CDB/queue statistics; `serve` runs the
 //! networked classification service; `bench-client` streams a synthetic
 //! trace at a running server and reports throughput and latency.
+//!
+//! `train` fits on entropy vectors plus the randomness-test battery by
+//! default (`--battery false` reverts to the paper's entropy-only
+//! feature set); `classify`, `simulate`, and `serve` detect from the
+//! loaded model's feature count whether battery features are required.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use iustitia::features::{FeatureExtractor, FeatureMode, TrainingMethod};
-use iustitia::model::{train_from_corpus, ModelKind, NatureModel};
+use iustitia::model::{train_from_corpus, train_from_corpus_battery, ModelKind, NatureModel};
 use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
 use iustitia_corpus::CorpusBuilder;
-use iustitia_entropy::{entropy_vector, FeatureWidths};
+use iustitia_entropy::{entropy_vector, FeatureWidths, BATTERY_FEATURES};
 use iustitia_netsim::{ContentMode, Packet, TraceConfig, TraceGenerator};
 use iustitia_serve::{AdmissionPolicy, Client, ClientEvent, Server, ServerConfig, Stage};
 
 const USAGE: &str = "\
 usage:
-  iustitia train        [--model cart|svm] [--buffer B] [--per-class N] [--seed S] --out PATH
+  iustitia train        [--model cart|svm] [--buffer B] [--per-class N] [--seed S]
+                        [--battery true|false] --out PATH
   iustitia classify     --model PATH [--buffer B] FILE...
   iustitia entropy      FILE...
   iustitia simulate     --model PATH [--flows N] [--buffer B] [--seed S]
@@ -46,7 +53,7 @@ usage:
 /// swallowed.
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     Some(match command {
-        "train" => &["model", "buffer", "per-class", "seed", "out"],
+        "train" => &["model", "buffer", "per-class", "seed", "out", "battery"],
         "classify" => &["model", "buffer"],
         "entropy" => &[],
         "simulate" => &["model", "flows", "buffer", "seed"],
@@ -143,6 +150,24 @@ fn main() -> ExitCode {
     }
 }
 
+/// Whether a loaded model was trained with the randomness battery,
+/// judged by its feature count (entropy widths alone vs widths +
+/// [`BATTERY_FEATURES`]); any other count is a mismatch error.
+fn model_wants_battery(model: &NatureModel, widths: &FeatureWidths) -> Result<bool, String> {
+    let n = model.n_features();
+    if n == widths.len() {
+        Ok(false)
+    } else if n == widths.len() + BATTERY_FEATURES {
+        Ok(true)
+    } else {
+        Err(format!(
+            "model expects {n} features; this build extracts {} (entropy) or {} (entropy + battery)",
+            widths.len(),
+            widths.len() + BATTERY_FEATURES
+        ))
+    }
+}
+
 fn cmd_train(args: &Args) -> Result<(), String> {
     let out = args.get("out").ok_or("train requires --out PATH")?;
     let b: usize = args.get_parsed("buffer", 32)?;
@@ -154,29 +179,31 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown model kind: {other} (use cart|svm)")),
     };
 
-    eprintln!("synthesizing corpus ({per_class} files/class) and training at b={b}...");
+    let battery: bool = args.get_parsed("battery", true)?;
+    let features = if battery { "entropy + randomness battery" } else { "entropy only" };
+    eprintln!(
+        "synthesizing corpus ({per_class} files/class) and training at b={b} ({features})..."
+    );
     let corpus =
         CorpusBuilder::new(seed).files_per_class(per_class).size_range(1024, 16384).build();
-    let model = train_from_corpus(
-        &corpus,
-        &FeatureWidths::svm_selected(),
-        TrainingMethod::Prefix { b },
-        FeatureMode::Exact,
-        &kind,
-        seed,
-    );
+    let widths = FeatureWidths::svm_selected();
+    let train = if battery { train_from_corpus_battery } else { train_from_corpus };
+    let model =
+        train(&corpus, &widths, TrainingMethod::Prefix { b }, FeatureMode::Exact, &kind, seed)
+            .map_err(|e| e.to_string())?;
 
     // Hold-out estimate so the user knows what they got.
     let test = CorpusBuilder::new(seed ^ 0xA5A5)
         .files_per_class(per_class / 3 + 1)
         .size_range(1024, 16384)
         .build();
-    let test_ds = iustitia::features::dataset_from_corpus(
+    let test_ds = iustitia::features::dataset_from_corpus_battery(
         &test,
-        &FeatureWidths::svm_selected(),
+        &widths,
         TrainingMethod::Prefix { b },
         FeatureMode::Exact,
         seed ^ 1,
+        battery,
     );
     eprintln!("hold-out accuracy: {:.1}%", 100.0 * model.accuracy_on(&test_ds));
 
@@ -192,7 +219,9 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
         return Err("classify requires at least one FILE".into());
     }
     let model = NatureModel::load(model_path).map_err(|e| e.to_string())?;
-    let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 0);
+    let widths = FeatureWidths::svm_selected();
+    let battery = model_wants_battery(&model, &widths)?;
+    let mut fx = FeatureExtractor::new(widths, FeatureMode::Exact, 0).with_battery(battery);
     for path in &args.positional {
         let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
         let prefix = &data[..b.min(data.len())];
@@ -222,12 +251,15 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let flows: usize = args.get_parsed("flows", 500)?;
     let seed: u64 = args.get_parsed("seed", 7u64)?;
     let model = NatureModel::load(model_path).map_err(|e| e.to_string())?;
+    let battery = model_wants_battery(&model, &FeatureWidths::svm_selected())?;
 
     let mut config = TraceConfig::small_test(seed);
     config.n_flows = flows;
     config.content = ContentMode::Realistic;
-    let mut pipeline =
-        Iustitia::new(model, PipelineConfig { buffer_size: b, ..PipelineConfig::headline(seed) });
+    let mut pipeline = Iustitia::new(
+        model,
+        PipelineConfig { buffer_size: b, battery, ..PipelineConfig::headline(seed) },
+    );
 
     let mut hits = 0u64;
     let mut classified = 0u64;
@@ -244,7 +276,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     println!("flows classified:   {classified}");
     println!("cdb hits:           {hits}");
     println!("live cdb records:   {}", pipeline.cdb().len());
-    println!("queues (t/b/e):     {:?}", pipeline.queues().forwarded);
+    println!("queues (t/b/e/c):   {:?}", pipeline.queues().forwarded);
     let stats = pipeline.cdb().stats();
     println!(
         "cdb churn:          {} inserted, {} closed, {} timed out",
@@ -267,9 +299,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown admission policy: {other} (use reject|drop-oldest)")),
     };
     let model = NatureModel::load(model_path).map_err(|e| e.to_string())?;
+    let battery = model_wants_battery(&model, &FeatureWidths::svm_selected())?;
 
-    let mut config =
-        ServerConfig::new(PipelineConfig { buffer_size: b, ..PipelineConfig::headline(seed) });
+    let mut config = ServerConfig::new(PipelineConfig {
+        buffer_size: b,
+        battery,
+        ..PipelineConfig::headline(seed)
+    });
     config.shards = shards;
     config.queue_capacity = queue;
     config.admission = admission;

@@ -39,7 +39,8 @@
 //!     FeatureMode::Exact,
 //!     &ModelKind::paper_cart(),
 //!     7,
-//! );
+//! )
+//! .expect("balanced corpus");
 //! let server = Server::start("127.0.0.1:0", model, ServerConfig::new(PipelineConfig::headline(7)))?;
 //!
 //! let mut client = Client::connect(server.local_addr())?;

@@ -315,7 +315,7 @@ impl<'a> FieldReader<'a> {
 
     pub(crate) fn label(&mut self) -> Result<FileClass, ProtoError> {
         let idx = self.u8()?;
-        if idx > 2 {
+        if idx as usize >= FileClass::ALL.len() {
             return Err(malformed(format!("unknown class index {idx}")));
         }
         Ok(FileClass::from_index(idx as usize))

@@ -24,6 +24,7 @@ fn trained_model() -> NatureModel {
         &ModelKind::paper_cart(),
         33,
     )
+    .expect("balanced corpus")
 }
 
 fn server_config() -> ServerConfig {
@@ -41,7 +42,7 @@ fn serves_synthetic_trace_end_to_end() {
     let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
 
     let mut trace_config = TraceConfig::small_test(42);
-    trace_config.n_flows = 600;
+    trace_config.n_flows = 640;
     trace_config.duration = 12.0;
     trace_config.content = ContentMode::Realistic;
     let mut generator = TraceGenerator::new(trace_config);

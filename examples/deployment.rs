@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         21,
-    );
+    )
+    .expect("balanced corpus has every class");
     let model_path = std::env::temp_dir().join("iustitia-deployment-model.json");
     model.save(&model_path)?;
     println!(

@@ -31,6 +31,7 @@ fn model_at(b: usize, seed: u64) -> NatureModel {
         &ModelKind::paper_cart(),
         seed,
     )
+    .expect("balanced corpus has every class")
 }
 
 fn main() {

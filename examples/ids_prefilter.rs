@@ -34,7 +34,8 @@ fn main() {
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         3,
-    );
+    )
+    .expect("balanced corpus has every class");
     let mut iustitia = Iustitia::new(model, PipelineConfig::headline(3));
 
     let mut config = TraceConfig::small_test(23);
@@ -44,7 +45,7 @@ fn main() {
     let mut baseline_cost = 0u64; // all signatures on all data packets
     let mut filtered_cost = 0u64; // family chosen by flow nature
     let mut skipped_encrypted = 0u64;
-    let mut per_class_packets = [0u64; 3];
+    let mut per_class_packets = [0u64; 4];
 
     for packet in TraceGenerator::new(config) {
         if !packet.is_data() {
@@ -57,6 +58,9 @@ fn main() {
                 filtered_cost += match label {
                     FileClass::Text => TEXT_SIGNATURES,
                     FileClass::Binary => BINARY_SIGNATURES,
+                    // Compressed bodies would be inflated by a separate
+                    // preprocessor before matching; charge the binary set.
+                    FileClass::Compressed => BINARY_SIGNATURES,
                     // Encrypted payloads cannot match content signatures;
                     // they are logged for policy handling instead.
                     FileClass::Encrypted => {

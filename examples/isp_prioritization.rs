@@ -25,7 +25,7 @@ struct Customer {
     /// Queue service order, most-important first.
     priority: [FileClass; 3],
     /// Mix of flow natures this customer actually generates.
-    class_mix: [f64; 3],
+    class_mix: [f64; 4],
 }
 
 fn main() {
@@ -33,12 +33,12 @@ fn main() {
         Customer {
             name: "bank",
             priority: [FileClass::Encrypted, FileClass::Text, FileClass::Binary],
-            class_mix: [0.30, 0.20, 0.50], // heavy on TLS transactions
+            class_mix: [0.25, 0.15, 0.45, 0.15], // heavy on TLS transactions
         },
         Customer {
             name: "call-center",
             priority: [FileClass::Binary, FileClass::Encrypted, FileClass::Text],
-            class_mix: [0.25, 0.60, 0.15], // heavy on voice (binary) data
+            class_mix: [0.20, 0.55, 0.15, 0.10], // heavy on voice (binary) data
         },
     ];
 
@@ -53,7 +53,8 @@ fn main() {
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         9,
-    );
+    )
+    .expect("balanced corpus has every class");
 
     for customer in &customers {
         let mut config = TraceConfig::small_test(17);

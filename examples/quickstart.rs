@@ -17,7 +17,7 @@ use std::net::Ipv4Addr;
 
 fn main() {
     // ── 1. Offline: corpus → entropy vectors → model ────────────────
-    println!("synthesizing labeled corpus (text / binary / encrypted)...");
+    println!("synthesizing labeled corpus (text / binary / encrypted / compressed)...");
     let corpus = CorpusBuilder::new(42).files_per_class(150).size_range(1024, 16384).build();
 
     let widths = FeatureWidths::svm_selected(); // φ'_SVM = {h1, h2, h3, h5}
@@ -26,7 +26,7 @@ fn main() {
     println!("training CART on H_b vectors (b = {b})...");
     let train =
         dataset_from_corpus(&corpus, &widths, TrainingMethod::Prefix { b }, FeatureMode::Exact, 7);
-    let model = NatureModel::train(&train, &ModelKind::paper_cart());
+    let model = NatureModel::train(&train, &ModelKind::paper_cart()).expect("train");
 
     // Hold-out sanity check.
     let test_corpus = CorpusBuilder::new(1042).files_per_class(60).size_range(1024, 16384).build();

@@ -42,8 +42,8 @@ fn estimated_vectors_classify_with_bounded_drop() {
         2,
     );
 
-    let exact_model = NatureModel::train(&exact_train, &ModelKind::paper_cart());
-    let est_model = NatureModel::train(&est_train, &ModelKind::paper_cart());
+    let exact_model = NatureModel::train(&exact_train, &ModelKind::paper_cart()).expect("train");
+    let est_model = NatureModel::train(&est_train, &ModelKind::paper_cart()).expect("train");
     let exact_acc = exact_model.accuracy_on(&exact_test);
     let est_acc = est_model.accuracy_on(&est_test);
     // Paper: exact ~80% at b'=1024 with headers; estimated 76–83%.

@@ -15,16 +15,37 @@ fn corpus(seed: u64, n: usize) -> Vec<iustitia_corpus::LabeledFile> {
     CorpusBuilder::new(seed).files_per_class(n).size_range(1024, 16384).build()
 }
 
+/// Restricts a 4-class dataset to the paper's three classes. The
+/// corpus now carries a fourth, compressed class that entropy-only
+/// feature sets cannot separate from ciphertext (that is what the
+/// randomness battery is for), so tests reproducing the paper's
+/// accuracy bands run the paper's exact 3-class experiment.
+fn paper_classes_only(ds: &iustitia_ml::Dataset) -> iustitia_ml::Dataset {
+    let paper = [FileClass::Text, FileClass::Binary, FileClass::Encrypted];
+    let mut out = iustitia_ml::Dataset::new(
+        ds.n_features(),
+        paper.iter().map(|c| c.name().to_string()).collect(),
+    );
+    for (features, label) in ds.iter() {
+        if label < paper.len() {
+            out.push(features.to_vec(), label);
+        }
+    }
+    out
+}
+
 #[test]
 fn cart_beats_chance_by_wide_margin_on_whole_files() {
-    let ds = dataset_from_corpus(
+    let ds = paper_classes_only(&dataset_from_corpus(
         &corpus(1, 40),
         &FeatureWidths::full(),
         TrainingMethod::WholeFile,
         FeatureMode::Exact,
         1,
-    );
-    let report = cross_validate(&ds, 4, 1, |t| NatureModel::train(t, &ModelKind::paper_cart()));
+    ));
+    let report = cross_validate(&ds, 4, 1, |t| {
+        NatureModel::train(t, &ModelKind::paper_cart()).expect("train")
+    });
     let acc = report.total().accuracy();
     assert!(acc > 0.75, "CV accuracy {acc} (paper: 0.79)");
 }
@@ -41,7 +62,7 @@ fn svm_rbf_reaches_paper_band_on_whole_files() {
     );
     let (train, test) = ds.train_test_split(0.3, 1);
     let params = SvmParams { c: 100.0, kernel: Kernel::Rbf { gamma: 50.0 }, ..Default::default() };
-    let model = NatureModel::train(&train, &ModelKind::Svm(params));
+    let model = NatureModel::train(&train, &ModelKind::Svm(params)).expect("train");
     let acc = model.accuracy_on(&test);
     assert!(acc > 0.75, "SVM accuracy {acc}");
 }
@@ -58,7 +79,9 @@ fn dominant_confusion_is_binary_vs_encrypted() {
         FeatureMode::Exact,
         3,
     );
-    let report = cross_validate(&ds, 4, 2, |t| NatureModel::train(t, &ModelKind::paper_cart()));
+    let report = cross_validate(&ds, 4, 2, |t| {
+        NatureModel::train(t, &ModelKind::paper_cart()).expect("train")
+    });
     let cm = report.total();
     let t = FileClass::Text.index();
     let b = FileClass::Binary.index();
@@ -77,14 +100,16 @@ fn prefix_training_matches_paper_small_buffer_result() {
     // Figure 4(b): training on the first b bytes keeps accuracy high
     // even at b = 32.
     let files = corpus(4, 50);
-    let ds32 = dataset_from_corpus(
+    let ds32 = paper_classes_only(&dataset_from_corpus(
         &files,
         &FeatureWidths::svm_selected(),
         TrainingMethod::Prefix { b: 32 },
         FeatureMode::Exact,
         4,
-    );
-    let report = cross_validate(&ds32, 4, 3, |t| NatureModel::train(t, &ModelKind::paper_cart()));
+    ));
+    let report = cross_validate(&ds32, 4, 3, |t| {
+        NatureModel::train(t, &ModelKind::paper_cart()).expect("train")
+    });
     let acc = report.total().accuracy();
     assert!(acc > 0.7, "b=32 prefix-trained accuracy {acc} (paper: ~0.86)");
 }
@@ -110,8 +135,8 @@ fn whole_file_training_degrades_on_small_buffers() {
     );
     let test = dataset_from_corpus(&test_files, &widths, TrainingMethod::Prefix { b: 32 }, mode, 6);
 
-    let whole_model = NatureModel::train(&train_whole, &ModelKind::paper_cart());
-    let prefix_model = NatureModel::train(&train_prefix, &ModelKind::paper_cart());
+    let whole_model = NatureModel::train(&train_whole, &ModelKind::paper_cart()).expect("train");
+    let prefix_model = NatureModel::train(&train_prefix, &ModelKind::paper_cart()).expect("train");
     let whole_acc = whole_model.accuracy_on(&test);
     let prefix_acc = prefix_model.accuracy_on(&test);
     assert!(
@@ -133,13 +158,16 @@ fn feature_selection_keeps_accuracy_within_band() {
         7,
     );
     let selected = full.select_features(&[0, 2, 3, 4]); // φ'_CART
-    let acc_full = cross_validate(&full, 4, 4, |t| NatureModel::train(t, &ModelKind::paper_cart()))
-        .total()
-        .accuracy();
-    let acc_sel =
-        cross_validate(&selected, 4, 4, |t| NatureModel::train(t, &ModelKind::paper_cart()))
-            .total()
-            .accuracy();
+    let acc_full = cross_validate(&full, 4, 4, |t| {
+        NatureModel::train(t, &ModelKind::paper_cart()).expect("train")
+    })
+    .total()
+    .accuracy();
+    let acc_sel = cross_validate(&selected, 4, 4, |t| {
+        NatureModel::train(t, &ModelKind::paper_cart()).expect("train")
+    })
+    .total()
+    .accuracy();
     assert!(
         (acc_full - acc_sel).abs() < 0.08,
         "full {acc_full} vs selected {acc_sel} should be within a few points"

@@ -19,6 +19,7 @@ fn trained_model(b: usize) -> iustitia::model::NatureModel {
         &ModelKind::paper_cart(),
         7,
     )
+    .expect("balanced corpus")
 }
 
 #[test]

@@ -19,6 +19,7 @@ fn model() -> iustitia::model::NatureModel {
         &ModelKind::paper_cart(),
         3,
     )
+    .expect("balanced corpus")
 }
 
 fn trace(seed: u64, n_flows: usize) -> TraceConfig {

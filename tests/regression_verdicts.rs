@@ -1,39 +1,50 @@
 //! Verdict regression: the kernel-level rewrites (dense/fx-hashed
-//! histograms, single-pass multi-width counting, flow-state pooling)
-//! must be observably invisible — every fixed-seed corpus/trace/model
-//! combination must produce confusion matrices bit-identical to the
-//! pre-rewrite pipeline.
+//! histograms, single-pass multi-width counting, flow-state pooling,
+//! and the randomness-battery feature extension) must be observably
+//! deterministic — every fixed-seed corpus/trace/model combination
+//! must produce confusion matrices bit-identical to the matrices
+//! frozen here.
 //!
-//! The golden matrices below were captured from the pipeline at the
-//! commit immediately before the kernel overhaul ("Stream per-packet
-//! features instead of buffering flow payloads"), using the exact
-//! corpus, model, trace, and pipeline seeds reproduced here. Any drift
-//! means a float path changed — the sorted-sum `sum_m_log_m` invariant
-//! or the per-width RNG derivation broke — and is a bug, not noise.
+//! The golden matrices below were captured at the 4-class upgrade
+//! (text / binary / encrypted / compressed), using the exact corpus,
+//! model, trace, and pipeline seeds reproduced here. Any drift means a
+//! float path changed — the sorted-sum `sum_m_log_m` invariant, the
+//! per-width RNG derivation, or the battery's integer accumulators
+//! broke — and is a bug, not noise.
+//!
+//! The final test is the reason the battery exists: on the same
+//! 4-class trace, the entropy-only feature set must confuse compressed
+//! with encrypted strictly more often than the entropy + battery set
+//! (the HEDGE/EnCoD observation that compressed streams pass entropy
+//! screens but fail randomness tests).
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia::model::{train_from_corpus, ModelKind};
+use iustitia::model::{train_from_corpus, train_from_corpus_battery, ModelKind};
 use iustitia::pipeline::{Iustitia, PipelineConfig};
+use iustitia_corpus::FileClass;
 use iustitia_entropy::{EstimatorConfig, FeatureWidths};
 use iustitia_netsim::trace::{ContentMode, TraceConfig, TraceGenerator};
 use iustitia_netsim::Packet;
 
 /// Runs the fixed-seed pipeline and tallies truth × label counts
-/// (classes indexed text, binary, encrypted).
-fn confusion(mode: FeatureMode, b: usize) -> [[u64; 3]; 3] {
+/// (classes indexed text, binary, encrypted, compressed).
+fn confusion(mode: FeatureMode, b: usize, battery: bool) -> [[u64; 4]; 4] {
     let corpus =
         iustitia_corpus::CorpusBuilder::new(33).files_per_class(80).size_range(1024, 4096).build();
-    let model = train_from_corpus(
+    let train = if battery { train_from_corpus_battery } else { train_from_corpus };
+    let model = train(
         &corpus,
         &FeatureWidths::svm_selected(),
         TrainingMethod::Prefix { b },
         FeatureMode::Exact,
         &ModelKind::paper_cart(),
         33,
-    );
+    )
+    .expect("balanced corpus");
     let mut config = PipelineConfig::headline(33);
     config.buffer_size = b;
     config.mode = mode;
+    config.battery = battery;
     let mut pipeline = Iustitia::new(model, config);
 
     let mut trace_config = TraceConfig::small_test(42);
@@ -48,7 +59,7 @@ fn confusion(mode: FeatureMode, b: usize) -> [[u64; 3]; 3] {
     pipeline.sweep_idle(f64::INFINITY);
 
     let truth = generator.ground_truth();
-    let mut matrix = [[0u64; 3]; 3];
+    let mut matrix = [[0u64; 4]; 4];
     for flow in pipeline.take_log() {
         let tuple = packets
             .iter()
@@ -64,18 +75,61 @@ fn confusion(mode: FeatureMode, b: usize) -> [[u64; 3]; 3] {
 
 #[test]
 fn exact_mode_b32_confusion_matrix_is_frozen() {
-    assert_eq!(confusion(FeatureMode::Exact, 32), [[106, 13, 2], [15, 131, 1], [0, 1, 131]],);
+    assert_eq!(
+        confusion(FeatureMode::Exact, 32, false),
+        [[82, 8, 1, 11], [10, 90, 0, 9], [0, 1, 84, 5], [20, 4, 32, 43]],
+    );
 }
 
 #[test]
 fn exact_mode_b2048_confusion_matrix_is_frozen() {
-    assert_eq!(confusion(FeatureMode::Exact, 2048), [[90, 31, 0], [1, 139, 7], [0, 23, 109]],);
+    assert_eq!(
+        confusion(FeatureMode::Exact, 2048, false),
+        [[78, 24, 0, 0], [4, 95, 3, 7], [0, 13, 72, 5], [0, 32, 6, 61]],
+    );
+}
+
+#[test]
+fn battery_b2048_confusion_matrix_is_frozen() {
+    assert_eq!(
+        confusion(FeatureMode::Exact, 2048, true),
+        [[78, 24, 0, 0], [4, 96, 6, 3], [0, 8, 82, 0], [0, 20, 1, 78]],
+    );
 }
 
 #[test]
 fn estimated_mode_b1024_confusion_matrix_is_frozen() {
     assert_eq!(
-        confusion(FeatureMode::Estimated(EstimatorConfig::svm_optimal()), 1024),
-        [[92, 29, 0], [2, 135, 10], [0, 29, 103]],
+        confusion(FeatureMode::Estimated(EstimatorConfig::svm_optimal()), 1024, false),
+        [[82, 20, 0, 0], [0, 81, 5, 23], [0, 16, 68, 6], [0, 29, 3, 67]],
+    );
+}
+
+#[test]
+fn battery_separates_compressed_from_encrypted_better_than_entropy_alone() {
+    let baseline = confusion(FeatureMode::Exact, 1024, false);
+    let battery = confusion(FeatureMode::Exact, 1024, true);
+    let enc = FileClass::Encrypted.index();
+    let comp = FileClass::Compressed.index();
+
+    let cross = |m: &[[u64; 4]; 4]| m[comp][enc] + m[enc][comp];
+    assert!(
+        cross(&battery) < cross(&baseline),
+        "battery must confuse compressed/encrypted strictly less: \
+         baseline {} cross-labels, battery {}",
+        cross(&baseline),
+        cross(&battery),
+    );
+
+    // And the battery must not buy that separation by giving up the
+    // compressed class overall.
+    let class_correct = |m: &[[u64; 4]; 4], c: usize| (m[c][c], m[c].iter().sum::<u64>());
+    let (base_ok, base_n) = class_correct(&baseline, comp);
+    let (batt_ok, batt_n) = class_correct(&battery, comp);
+    assert_eq!(base_n, batt_n, "same trace, same compressed flows");
+    assert!(
+        batt_ok >= base_ok,
+        "compressed accuracy must not regress: baseline {base_ok}/{base_n}, \
+         battery {batt_ok}/{batt_n}"
     );
 }
