@@ -167,6 +167,7 @@ impl ClassificationDatabase {
         if let Some(ttl) = self.config.reclassify_after {
             if let Some(rec) = self.records.get(id) {
                 if now - rec.classified_at > ttl {
+                    // lint: allow(L008) — HashMap::remove never panics (the KB is conservative for Vec::remove)
                     self.records.remove(id);
                     self.stats.removed_by_ttl += 1;
                     return None;
@@ -200,6 +201,7 @@ impl ClassificationDatabase {
     /// Removes the record for a flow that sent FIN or RST. Returns
     /// whether a record existed.
     pub fn remove_on_close(&mut self, id: &FlowId) -> bool {
+        // lint: allow(L008) — HashMap::remove never panics (the KB is conservative for Vec::remove)
         let existed = self.records.remove(id).is_some();
         if existed {
             self.stats.removed_by_close += 1;

@@ -104,6 +104,7 @@ impl FeatureExtractor {
             Some(est) => est.estimate_vector(payload, &self.widths),
         };
         if self.battery {
+            // lint: allow(L009) — one-shot extraction at flow eviction, once per flow decision
             out.extend_from_slice(&iustitia_entropy::battery_features(payload));
         }
         out
@@ -222,6 +223,7 @@ impl FlowFeatureState {
             FlowStateInner::Estimated(e) => e.finish(),
         };
         if let Some(battery) = &self.battery {
+            // lint: allow(L009) — owned-result convenience API; the pipeline uses finish_into
             out.extend_from_slice(&battery.finish());
         }
         out
@@ -239,6 +241,7 @@ impl FlowFeatureState {
             FlowStateInner::Estimated(e) => e.finish_into(out, counts_scratch),
         }
         if let Some(battery) = &self.battery {
+            // lint: allow(L009) — reused scratch: capacity persists across flows after warm-up
             out.extend_from_slice(&battery.finish());
         }
     }

@@ -420,6 +420,7 @@ impl Iustitia {
         }
 
         if let Some(label) = self.cdb.lookup(&id, now) {
+            // lint: allow(L008) — forwarded has FileClass::ALL.len() slots; label.index() is always in range
             self.queues.forwarded[label.index()] += 1;
             return Verdict::Hit(label);
         }
@@ -439,6 +440,7 @@ impl Iustitia {
                         let skip_remaining = match policy {
                             HeaderPolicy::None | HeaderPolicy::StripKnown { .. } => 0,
                             HeaderPolicy::SkipThreshold { t } => t,
+                            // lint: allow(L008) — 0..=t_max is an inclusive range, never empty
                             HeaderPolicy::RandomSkip { t_max } => self.rng.gen_range(0..=t_max),
                         };
                         FlowStage::Streaming {
@@ -475,11 +477,13 @@ impl Iustitia {
         // resident footprint, not a delta from a prior value.
         let before = if created { 0 } else { buf.resident_bytes() };
         let room = capacity.saturating_sub(buf.seen);
+        // lint: allow(L008) — slice end is min'd with payload.len()
         let intake = &packet.payload[..room.min(packet.payload.len())];
         buf.seen += intake.len();
 
         match &mut buf.stage {
             FlowStage::Staging(staging) => {
+                // lint: allow(L009) — staging buffers only the bounded pre-resolution prefix (see L006), once per flow
                 staging.extend_from_slice(intake);
                 let resolved_skip = match scan_application_header(staging) {
                     HeaderScan::Resolved(_, offset) => Some(offset),
@@ -504,6 +508,7 @@ impl Iustitia {
                     let mut skip_remaining = skip;
                     if staged.len() > skip {
                         let take = (staged.len() - skip).min(b);
+                        // lint: allow(L008) — skip < staged.len() on this branch and take <= staged.len() - skip
                         features.update(&staged[skip..skip + take]);
                         fed = take;
                         skip_remaining = 0;
@@ -550,10 +555,12 @@ impl Iustitia {
         if *skip_remaining > 0 {
             let skipped = (*skip_remaining).min(chunk.len());
             *skip_remaining -= skipped;
+            // lint: allow(L008) — skipped <= chunk.len() by the min() above
             chunk = &chunk[skipped..];
         }
         let take = b.saturating_sub(*fed).min(chunk.len());
         if take > 0 {
+            // lint: allow(L008) — take <= chunk.len() by the min() above
             features.update(&chunk[..take]);
             *fed += take;
         }
@@ -571,6 +578,7 @@ impl Iustitia {
             .iter()
             .filter(|(_, b)| now - b.last_ts > self.config.idle_timeout)
             .map(|(&id, _)| id)
+            // lint: allow(L009) — idle sweep is the periodic maintenance path, not per-packet work
             .collect();
         let n = idle.len();
         for id in idle {
@@ -588,6 +596,7 @@ impl Iustitia {
     /// Classifies and evicts one buffered flow (used by full-buffer,
     /// idle, and close paths).
     fn classify_flow(&mut self, id: FlowId, now: f64) -> Option<FileClass> {
+        // lint: allow(L008) — HashMap::remove never panics (the KB is conservative for Vec::remove)
         let buf = self.buffers.remove(&id)?;
         self.resident -= buf.resident_bytes();
         match buf.stage {
@@ -601,7 +610,7 @@ impl Iustitia {
                 }
                 let vector = self.extractor.extract(payload);
                 self.feature_scratch.clear();
-                // lint: allow(L006) — finished f64 features (one per width), not payload
+                // lint: allow(L006, L009) — finished f64 features (one per width) into reused scratch, not payload
                 self.feature_scratch.extend_from_slice(&vector);
             }
             FlowStage::Streaming { features, fed, .. } => {
@@ -625,6 +634,7 @@ impl Iustitia {
             Err(_) => return None,
         };
         self.cdb.insert(id, label, now);
+        // lint: allow(L008) — forwarded has FileClass::ALL.len() slots; label.index() is always in range
         self.queues.forwarded[label.index()] += buf.packets as u64;
         self.log.push(ClassifiedFlow {
             id,
@@ -652,6 +662,7 @@ impl Iustitia {
             },
         };
         let end = (start + b).min(data.len());
+        // lint: allow(L008) — start <= end <= data.len() by the min() clamps above
         &data[start..end]
     }
 }

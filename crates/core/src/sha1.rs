@@ -39,18 +39,23 @@ pub fn sha1(data: &[u8]) -> Digest {
     }
     let rem = blocks.remainder();
     let mut tail = [0u8; 128];
+    // lint: allow(L008) — rem.len() < 64 slices into the [u8; 128] buffer
     tail[..rem.len()].copy_from_slice(rem);
+    // lint: allow(L008) — rem.len() < 64 indexes into the [u8; 128] buffer
     tail[rem.len()] = 0x80;
     let tail_len = if rem.len() < 56 { 64 } else { 128 };
     let bit_len = (data.len() as u64).wrapping_mul(8);
+    // lint: allow(L008) — tail_len ∈ {64, 128} slices into the [u8; 128] buffer
     tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    // lint: allow(L008) — tail_len ∈ {64, 128} slices into the [u8; 128] buffer
     for block in tail[..tail_len].chunks_exact(64) {
         compress(&mut h, block);
     }
 
     let mut out = [0u8; 20];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    for (chunk, word) in out.chunks_exact_mut(4).zip(&h) {
+        // lint: allow(L008) — both sides are exactly 4 bytes
+        chunk.copy_from_slice(&word.to_be_bytes());
     }
     out
 }
@@ -58,13 +63,15 @@ pub fn sha1(data: &[u8]) -> Digest {
 /// One SHA-1 compression round over a 64-byte block.
 fn compress(h: &mut [u32; 5], block: &[u8]) {
     let mut w = [0u32; 80];
-    for (i, word) in block.chunks_exact(4).enumerate() {
-        w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+    for (wi, word) in w.iter_mut().zip(block.chunks_exact(4)) {
+        // lint: allow(L008) — chunks_exact(4) yields exactly 4 bytes
+        *wi = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
     }
     for i in 16..80 {
+        // lint: allow(L008) — indices 16..80 into the [u32; 80] schedule
         w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
     }
-    let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+    let [mut a, mut b, mut c, mut d, mut e] = *h;
     for (i, &wi) in w.iter().enumerate() {
         let (f, k) = match i {
             0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
@@ -80,11 +87,9 @@ fn compress(h: &mut [u32; 5], block: &[u8]) {
         b = a;
         a = temp;
     }
-    h[0] = h[0].wrapping_add(a);
-    h[1] = h[1].wrapping_add(b);
-    h[2] = h[2].wrapping_add(c);
-    h[3] = h[3].wrapping_add(d);
-    h[4] = h[4].wrapping_add(e);
+    for (hi, v) in h.iter_mut().zip([a, b, c, d, e]) {
+        *hi = hi.wrapping_add(v);
+    }
 }
 
 #[cfg(test)]

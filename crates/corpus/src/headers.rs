@@ -161,10 +161,12 @@ pub fn strip_application_header(data: &[u8]) -> Option<(AppProtocol, usize)> {
         AppProtocol::Smtp | AppProtocol::Pop3 | AppProtocol::Imap => {
             let mut offset = 0usize;
             while offset < data.len() {
+                // lint: allow(L008) — offset < data.len() is the loop guard
                 let line_end = match find_subslice(&data[offset..], b"\r\n") {
                     Some(i) => offset + i + 2,
                     None => break,
                 };
+                // lint: allow(L008) — line_end ends inside data (find_subslice matched the 2-byte needle)
                 if !is_protocol_line(&data[offset..line_end]) {
                     break;
                 }
@@ -215,12 +217,14 @@ pub fn scan_application_header(data: &[u8]) -> HeaderScan {
         AppProtocol::Smtp | AppProtocol::Pop3 | AppProtocol::Imap => {
             let mut offset = 0usize;
             while offset < data.len() {
+                // lint: allow(L008) — offset < data.len() is the loop guard
                 let line_end = match find_subslice(&data[offset..], b"\r\n") {
                     Some(i) => offset + i + 2,
                     // Trailing incomplete line: more bytes may complete
                     // it into a protocol line.
                     None => return HeaderScan::NeedMore,
                 };
+                // lint: allow(L008) — line_end ends inside data (find_subslice matched the 2-byte needle)
                 if !is_protocol_line(&data[offset..line_end]) {
                     return HeaderScan::Resolved(protocol, offset);
                 }
@@ -254,7 +258,9 @@ fn is_protocol_line(raw: &[u8]) -> bool {
     }
     // ...and the line must start like a reply code, status, tag, or verb.
     let starts_with_code = line.len() >= 4
+        // lint: allow(L008) — short-circuit: line.len() >= 4 holds before the slice
         && line[..3].iter().all(u8::is_ascii_digit)
+        // lint: allow(L008) — short-circuit: line.len() >= 4 holds before the index
         && (line[3] == b' ' || line[3] == b'-');
     let starts_with_status =
         line.starts_with(b"+OK") || line.starts_with(b"-ERR") || line.starts_with(b"* ");

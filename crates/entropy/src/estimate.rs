@@ -223,7 +223,9 @@ impl StreamingEntropyEstimator {
                     ))
                 }
             })
+            // lint: allow(L009) — flow-setup cold path: runs on pool miss; recycled flows go through reset_incremental
             .collect();
+        // lint: allow(L009) — flow-setup cold path: width list cloned once per fresh session
         IncrementalEstimator { widths: widths.clone(), slots }
     }
 
@@ -360,9 +362,11 @@ impl IncrementalSketch {
         let groups = config.groups();
         let z = config.estimators_per_group(k, b_hint);
         let n = groups * z;
+        // lint: allow(L009) — flow-setup cold path: sketch construction happens on pool miss only
         let mut schedule = BinaryHeap::with_capacity(n);
         for idx in 0..n {
             // Every estimator adopts the first window it sees.
+            // lint: allow(L009) — flow-setup cold path: fills the freshly reserved schedule
             schedule.push(Reverse((1, idx as u32)));
         }
         IncrementalSketch {
@@ -370,6 +374,7 @@ impl IncrementalSketch {
             mask: if k == 16 { u128::MAX } else { (1u128 << (8 * k)) - 1 },
             groups,
             z,
+            // lint: allow(L009) — flow-setup cold path: tracker array built once per fresh sketch
             trackers: vec![Tracker { gram: 0, count: 0 }; n],
             by_gram: FxHashMap::default(),
             schedule,
@@ -394,10 +399,12 @@ impl IncrementalSketch {
         self.z = config.estimators_per_group(self.k, b_hint);
         let n = self.groups * self.z;
         self.trackers.clear();
+        // lint: allow(L009) — pooled reuse: resize re-fills retained capacity, growing only when a larger b_hint arrives
         self.trackers.resize(n, Tracker { gram: 0, count: 0 });
         self.by_gram.clear();
         self.schedule.clear();
         for idx in 0..n {
+            // lint: allow(L009) — pooled reuse: schedule capacity is retained across reset
             self.schedule.push(Reverse((1, idx as u32)));
         }
         self.rng = rng;
@@ -422,6 +429,7 @@ impl IncrementalSketch {
             // regardless, preserving the sequential semantics).
             if let Some(idxs) = self.by_gram.get(&self.key) {
                 for &i in idxs {
+                    // lint: allow(L008) — by_gram holds tracker indices < trackers.len() by construction
                     self.trackers[i as usize].count += 1;
                 }
             }
@@ -431,6 +439,7 @@ impl IncrementalSketch {
                     break;
                 }
                 self.schedule.pop();
+                // lint: allow(L009) — due is bounded by the estimator count n and retains capacity
                 self.due.push(idx);
             }
             if self.due.is_empty() {
@@ -441,19 +450,25 @@ impl IncrementalSketch {
             // results independent of heap tie-breaking.
             self.due.sort_unstable();
             for di in 0..self.due.len() {
+                // lint: allow(L008) — di < due.len() by the loop bound
                 let idx = self.due[di];
+                // lint: allow(L008) — schedule indices are < trackers.len() by construction
                 let old = &self.trackers[idx as usize];
                 if old.count > 0 {
                     if let Some(v) = self.by_gram.get_mut(&old.gram) {
                         if let Some(pos) = v.iter().position(|&x| x == idx) {
+                            // lint: allow(L008) — position() just found pos in v, so swap_remove is in-bounds
                             v.swap_remove(pos);
                         }
                         if v.is_empty() {
+                            // lint: allow(L008) — FxHashMap::remove never panics (the KB is conservative for Vec::remove)
                             self.by_gram.remove(&old.gram);
                         }
                     }
                 }
+                // lint: allow(L008) — schedule indices are < trackers.len() by construction
                 self.trackers[idx as usize] = Tracker { gram: self.key, count: 1 };
+                // lint: allow(L009) — per-gram index vecs are bounded by z; steady state is allocation-free per pool_alloc.rs
                 self.by_gram.entry(self.key).or_default().push(idx);
                 let u: f64 = self.rng.gen();
                 let next = if u <= 0.0 {
@@ -466,6 +481,7 @@ impl IncrementalSketch {
                         next_f as u64 + 1
                     }
                 };
+                // lint: allow(L009) — heap capacity n is fixed at construction and retained
                 self.schedule.push(Reverse((next, idx)));
             }
         }
@@ -480,9 +496,11 @@ impl IncrementalSketch {
             return 0.0;
         }
         let mf = m as f64;
+        // lint: allow(L009) — classification epilogue: runs once per flow decision, not per packet
         let mut group_means = Vec::with_capacity(self.groups);
         for g in 0..self.groups {
             let mut sum = 0.0;
+            // lint: allow(L008) — g < groups, so the slice ends at most at n = groups*z
             for tracker in &self.trackers[g * self.z..(g + 1) * self.z] {
                 let r = tracker.count;
                 if r > 1 {
@@ -490,13 +508,17 @@ impl IncrementalSketch {
                     sum += mf * (rf * rf.log2() - (rf - 1.0) * (rf - 1.0).log2());
                 }
             }
+            // lint: allow(L009) — classification epilogue: group_means holds `groups` entries
             group_means.push(sum / self.z as f64);
         }
+        // lint: allow(L009) — classification epilogue: sorts `groups` elements once per decision
         group_means.sort_by(f64::total_cmp);
         let med = if group_means.len() % 2 == 1 {
+            // lint: allow(L008) — group_means is non-empty (groups >= 1) and len/2 is in-bounds
             group_means[group_means.len() / 2]
         } else {
             let hi = group_means.len() / 2;
+            // lint: allow(L008) — hi = len/2 >= 1 in the even branch, so hi-1 and hi are in-bounds
             0.5 * (group_means[hi - 1] + group_means[hi])
         };
         med.max(0.0)
@@ -578,7 +600,9 @@ impl IncrementalEstimator {
     /// The estimated entropy vector of everything fed so far (`h_1`
     /// exact, `k ≥ 2` via the sketch).
     pub fn finish(&self) -> Vec<f64> {
+        // lint: allow(L009) — owned-result convenience API; the pipeline uses finish_into with pooled scratch
         let mut out = Vec::with_capacity(self.slots.len());
+        // lint: allow(L009) — owned-result convenience API; the pipeline uses finish_into with pooled scratch
         let mut counts = Vec::new();
         self.finish_into(&mut out, &mut counts);
         out

@@ -150,6 +150,7 @@ impl CounterTable {
         let mask = self.slots.len() - 1;
         let mut i = (fx_hash_u128(key) >> self.shift) as usize;
         loop {
+            // lint: allow(L008) — masked probe: slots.len() is a power of two, mask = len - 1
             let slot = &self.slots[i & mask];
             if slot.count == 0 {
                 return 0;
@@ -157,43 +158,46 @@ impl CounterTable {
             if slot.key == key {
                 return slot.count;
             }
-            i += 1;
+            i = i.wrapping_add(1);
         }
     }
 
     /// Adds 1 to the count of `key`, inserting it at count 1 if absent.
     #[inline]
     pub fn increment(&mut self, key: u128) {
-        if self.len * 2 >= self.slots.len() {
+        if self.len.saturating_mul(2) >= self.slots.len() {
             self.grow();
         }
         let mask = self.slots.len() - 1;
         let mut i = (fx_hash_u128(key) >> self.shift) as usize;
         loop {
+            // lint: allow(L008) — masked probe: slots.len() is a power of two, mask = len - 1
             let slot = &mut self.slots[i & mask];
             if slot.count == 0 {
                 *slot = Slot { key, count: 1 };
-                self.len += 1;
+                self.len = self.len.saturating_add(1);
                 return;
             }
             if slot.key == key {
-                slot.count += 1;
+                slot.count = slot.count.saturating_add(1);
                 return;
             }
-            i += 1;
+            i = i.wrapping_add(1);
         }
     }
 
     /// Doubles capacity (or makes the first allocation).
     fn grow(&mut self) {
-        self.rehash((self.slots.len() * 2).max(INITIAL_CAPACITY));
+        self.rehash(self.slots.len().saturating_mul(2).max(INITIAL_CAPACITY));
     }
 
     /// Re-slots every live entry into a `new_cap`-slot array
     /// (`new_cap` a power of two). Counts-only-increment means there
     /// are no tombstones to filter: every non-empty slot is live.
     fn rehash(&mut self, new_cap: usize) {
+        // lint: allow(L009) — growth path: runs only when a flow exceeds its reserve() budget
         let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        // lint: allow(L008) — new_cap ≥ INITIAL_CAPACITY, never zero
         self.shift = 64 - new_cap.ilog2();
         let mask = new_cap - 1;
         for slot in old {
@@ -201,9 +205,11 @@ impl CounterTable {
                 continue;
             }
             let mut i = (fx_hash_u128(slot.key) >> self.shift) as usize;
+            // lint: allow(L008) — masked probe: new_cap is a power of two, mask = len - 1
             while self.slots[i & mask].count != 0 {
-                i += 1;
+                i = i.wrapping_add(1);
             }
+            // lint: allow(L008) — masked probe: new_cap is a power of two, mask = len - 1
             self.slots[i & mask] = slot;
         }
     }

@@ -78,8 +78,10 @@ enum Store {
 impl Store {
     fn for_width(k: usize) -> Self {
         match k {
+            // lint: allow(L009) — tier storage is allocated once per histogram at flow setup; pooled reuse clears it
             1 => Store::Dense1 { counts: Box::new([0u64; 256]), distinct: 0 },
             2 => Store::Dense2 {
+                // lint: allow(L009) — tier storage is allocated once per histogram at flow setup; pooled reuse clears it
                 counts: vec![0u64; DENSE2_SLOTS].into_boxed_slice(),
                 touched: Vec::new(),
             },
@@ -92,6 +94,7 @@ impl Store {
     fn bump(&mut self, key: u128) {
         match self {
             Store::Dense1 { counts, distinct } => {
+                // lint: allow(L008) — key is masked to the 256-slot dense table
                 let c = &mut counts[key as usize & 0xFF];
                 if *c == 0 {
                     *distinct += 1;
@@ -100,8 +103,10 @@ impl Store {
             }
             Store::Dense2 { counts, touched } => {
                 let idx = key as usize & 0xFFFF;
+                // lint: allow(L008) — idx is masked to the 2^16-slot dense table
                 let c = &mut counts[idx];
                 if *c == 0 {
+                    // lint: allow(L009) — touched holds at most 2^16 entries; its capacity survives pooled reuse
                     touched.push(idx as u16);
                 }
                 *c += 1;
@@ -112,7 +117,9 @@ impl Store {
 
     fn get(&self, key: u128) -> u64 {
         match self {
+            // lint: allow(L008) — key is masked to the 256-slot dense table
             Store::Dense1 { counts, .. } => counts[key as usize & 0xFF],
+            // lint: allow(L008) — key is masked to the 2^16-slot dense table
             Store::Dense2 { counts, .. } => counts[key as usize & 0xFFFF],
             Store::Open(table) => table.get(key),
         }
@@ -137,6 +144,7 @@ impl Store {
             }
             Store::Dense2 { counts, touched } => {
                 for &idx in touched.iter() {
+                    // lint: allow(L008) — touched holds indices previously written, all < 2^16
                     counts[idx as usize] = 0;
                 }
                 touched.clear();
@@ -181,6 +189,7 @@ impl Iterator for StoreIter<'_> {
 /// Panics if `gram.len() > 16`.
 #[inline]
 pub(crate) fn pack_gram(gram: &[u8]) -> u128 {
+    // lint: allow(L008) — k <= 16 is a GramHistogram construction invariant; every gram is a k-byte window
     assert!(gram.len() <= 16, "grams longer than 16 bytes are unsupported");
     let mut key: u128 = 0;
     for &b in gram {
@@ -196,6 +205,7 @@ impl GramHistogram {
     ///
     /// Panics if `k == 0` or `k > 16`.
     pub fn new(k: usize) -> Self {
+        // lint: allow(L008) — constructor contract: k is fixed at configuration time, not per packet
         assert!((1..=16).contains(&k), "feature width k must be in 1..=16, got {k}");
         GramHistogram { k, store: Store::for_width(k), windows: 0 }
     }
@@ -233,6 +243,7 @@ impl GramHistogram {
             // Fast path: dense iteration without window packing.
             if let Store::Dense1 { counts, distinct } = &mut self.store {
                 for &b in data {
+                    // lint: allow(L008) — b as usize < 256, the Dense1 table length
                     let c = &mut counts[b as usize];
                     if *c == 0 {
                         *distinct += 1;
@@ -245,17 +256,21 @@ impl GramHistogram {
         }
         let windows = data.len() - self.k + 1;
         let mask = width_mask(self.k);
+        // lint: allow(L008) — data.len() >= k (early return above), so k - 1 is in range
         let mut key = pack_gram(&data[..self.k - 1]);
         // The tier is fixed for the life of the histogram, so resolve
         // it once instead of re-matching on every byte.
         match &mut self.store {
             Store::Dense1 { .. } => {} // k == 1 took the fast path above
             Store::Dense2 { counts, touched } => {
+                // lint: allow(L008) — data.len() >= k (early return above)
                 for &b in &data[self.k - 1..] {
                     key = ((key << 8) | u128::from(b)) & mask;
                     let idx = key as usize & 0xFFFF;
+                    // lint: allow(L008) — idx is masked to the 2^16-slot dense table
                     let c = &mut counts[idx];
                     if *c == 0 {
+                        // lint: allow(L009) — touched holds at most 2^16 entries; its capacity survives pooled reuse
                         touched.push(idx as u16);
                     }
                     *c += 1;
@@ -265,6 +280,7 @@ impl GramHistogram {
                 // Worst case every window is distinct; one rehash up
                 // front replaces the cascade of doublings mid-scan.
                 table.reserve(windows);
+                // lint: allow(L008) — data.len() >= k (early return above)
                 for &b in &data[self.k - 1..] {
                     key = ((key << 8) | u128::from(b)) & mask;
                     table.increment(key);
@@ -358,6 +374,7 @@ impl GramHistogram {
             Store::Dense2 { counts, touched } => {
                 StoreIter::Dense2 { counts, touched: touched.iter() }
             }
+            // lint: allow(L009) — arbitrary-order diagnostic iterator; reached from the sweep only via .iter() fan-out
             Store::Open(table) => StoreIter::Open(Box::new(table.iter())),
         }
     }
@@ -395,6 +412,7 @@ impl GramHistogram {
                 scratch.extend(counts.iter().copied().filter(|&c| c != 0));
             }
             Store::Dense2 { counts, touched } => {
+                // lint: allow(L008) — touched holds indices previously written, all < 2^16
                 scratch.extend(touched.iter().map(|&idx| counts[idx as usize]));
             }
             Store::Open(table) => scratch.extend(table.iter().map(|(_, c)| c)),
@@ -443,6 +461,7 @@ impl Extend<u8> for GramHistogram {
     /// Extends from an iterator of bytes. Equivalent to collecting the
     /// bytes and calling [`GramHistogram::extend_from_bytes`] once.
     fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        // lint: allow(L009) — convenience Extend impl; the pipeline feeds slices via extend_from_bytes
         let buf: Vec<u8> = iter.into_iter().collect();
         self.extend_from_bytes(&buf);
     }

@@ -64,8 +64,11 @@ impl IncrementalVector {
     /// Creates an empty builder for the given feature widths.
     pub fn new(widths: &FeatureWidths) -> Self {
         IncrementalVector {
+            // lint: allow(L009) — flow-setup cold path: the builder is constructed once per flow, then pooled
             widths: widths.clone(),
+            // lint: allow(L009) — flow-setup cold path: the builder is constructed once per flow, then pooled
             hists: widths.iter().map(GramHistogram::new).collect(),
+            // lint: allow(L009) — flow-setup cold path: the builder is constructed once per flow, then pooled
             masks: widths.iter().map(width_mask).collect(),
             key: 0,
             total: 0,
@@ -137,7 +140,9 @@ impl IncrementalVector {
     /// [`EntropyVector::compute`] on the concatenated chunks.
     pub fn finish(&self) -> EntropyVector {
         EntropyVector::from_parts(
+            // lint: allow(L009) — owned-result convenience API; the pipeline uses finish_entropies_into with pooled scratch
             self.widths.as_slice().to_vec(),
+            // lint: allow(L009) — owned-result convenience API; the pipeline uses finish_entropies_into with pooled scratch
             self.hists.iter().map(entropy_of_histogram).collect(),
         )
     }

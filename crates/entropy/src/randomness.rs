@@ -126,6 +126,7 @@ impl RandomnessBattery {
     pub fn update(&mut self, chunk: &[u8]) {
         for &b in chunk {
             let bv = u64::from(b);
+            // lint: allow(L008) — b as usize < 256, the counts table length
             self.counts[b as usize] += 1;
 
             // Bit stream, MSB-first within each byte: runs grow by one

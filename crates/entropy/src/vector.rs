@@ -33,8 +33,10 @@ impl FeatureWidths {
     /// Panics if `widths` is empty or contains a width outside `1..=16`.
     pub fn new(widths: impl Into<Vec<usize>>) -> Self {
         let widths = widths.into();
+        // lint: allow(L008) — constructor contract: widths are validated once at configuration time, not per packet
         assert!(!widths.is_empty(), "feature width set must be non-empty");
         for &k in &widths {
+            // lint: allow(L008) — constructor contract: widths are validated once at configuration time, not per packet
             assert!((1..=16).contains(&k), "feature width {k} outside 1..=16");
         }
         FeatureWidths(widths)
@@ -80,6 +82,7 @@ impl FeatureWidths {
 
 impl From<&[usize]> for FeatureWidths {
     fn from(widths: &[usize]) -> Self {
+        // lint: allow(L009) — configuration-time conversion; on the packet path only via `from` name fan-out
         FeatureWidths::new(widths.to_vec())
     }
 }
@@ -97,7 +100,9 @@ pub struct EntropyVector {
 impl EntropyVector {
     /// Computes the entropy vector of `data` for the given feature widths.
     pub fn compute(data: &[u8], widths: &FeatureWidths) -> Self {
+        // lint: allow(L009) — one-shot API for the buffer-then-compute mode, once per flow decision
         let values = widths.iter().map(|k| entropy(data, k)).collect();
+        // lint: allow(L009) — one-shot API for the buffer-then-compute mode, once per flow decision
         EntropyVector { widths: widths.as_slice().to_vec(), values }
     }
 

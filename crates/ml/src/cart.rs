@@ -409,9 +409,12 @@ impl DecisionTree {
         }
         let mut node = self.root;
         loop {
+            // lint: allow(L008) — node indices are in-bounds by tree construction
             match self.nodes[node].kind {
+                // lint: allow(L008) — node indices are in-bounds by tree construction
                 NodeKind::Leaf => return Ok(self.nodes[node].majority()),
                 NodeKind::Split { feature, threshold, left, right } => {
+                    // lint: allow(L008) — feature < n_features, checked against features.len() on entry
                     node = if features[feature] <= threshold { left } else { right };
                 }
             }
@@ -442,6 +445,7 @@ impl Classifier for DecisionTree {
     fn predict(&self, features: &[f64]) -> usize {
         match self.try_predict(features) {
             Ok(label) => label,
+            // lint: allow(L008) — documented panicking wrapper; hot-path callers use try_predict (chain is .predict() fan-out)
             Err(e) => panic!("feature dimensionality mismatch: {e}"),
         }
     }

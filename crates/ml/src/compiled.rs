@@ -100,10 +100,12 @@ impl CompiledTree {
         }
         let mut at = 0usize;
         loop {
+            // lint: allow(L008) — child indices are validated against nodes.len() when the tree is flattened
             let node = &self.nodes[at];
             if node.feature == LEAF {
                 return Ok(node.left as usize);
             }
+            // lint: allow(L008) — node.feature < n_features, checked against features.len() on entry
             at = if features[node.feature as usize] <= node.threshold {
                 node.left as usize
             } else {
@@ -131,6 +133,7 @@ impl Classifier for CompiledTree {
     fn predict(&self, features: &[f64]) -> usize {
         match self.try_predict(features) {
             Ok(label) => label,
+            // lint: allow(L008) — documented panicking wrapper; hot-path callers use try_predict (chain is .predict() fan-out)
             Err(e) => panic!("feature dimensionality mismatch: {e}"),
         }
     }
@@ -306,18 +309,26 @@ impl PackedPairwise {
     /// packed rows skips the stamp bookkeeping. Both paths sum the
     /// same floats in the same order.
     fn decision(&mut self, rank: usize, x: &[f64]) -> f64 {
+        // lint: allow(L008) — rank < n_pairs; pair arrays are sized at compile()
         let mut f = self.pair_bias[rank];
+        // lint: allow(L008) — pair_offsets has n_pairs + 1 entries; rank + 1 is in range
         let (start, end) = (self.pair_offsets[rank] as usize, self.pair_offsets[rank + 1] as usize);
         let nf = self.n_features;
         if self.use_memo {
+            // lint: allow(L008) — row < n_rows: term_sv entries are validated at compile()
             let terms = self.term_sv[start..end].iter().zip(&self.term_coeff[start..end]);
             for (&row, &coeff) in terms {
                 let row = row as usize;
+                // lint: allow(L008) — packed rows are nf-wide and row < n_rows
                 let k = if self.kval_epoch[row] == self.epoch {
+                    // lint: allow(L008) — row < n_rows (packed at compile())
                     self.kval[row]
                 } else {
+                    // lint: allow(L008) — row < n_rows (packed at compile())
                     let v = self.kernel.eval(&self.sv_data[row * nf..(row + 1) * nf], x);
+                    // lint: allow(L008) — row < n_rows (packed at compile())
                     self.kval[row] = v;
+                    // lint: allow(L008) — row < n_rows (packed at compile())
                     self.kval_epoch[row] = self.epoch;
                     v
                 };
@@ -326,14 +337,18 @@ impl PackedPairwise {
         } else if self.rows_identity {
             // Row `t` = term `t`: stream this classifier's block of
             // `sv_data` without touching `term_sv` at all.
+            // lint: allow(L008) — start <= end <= n_rows: offsets are monotone by construction
             let rows = self.sv_data[start * nf..end * nf].chunks_exact(nf);
+            // lint: allow(L008) — start <= end <= n_rows: offsets are monotone by construction
             for (sv, &coeff) in rows.zip(&self.term_coeff[start..end]) {
                 f += coeff * self.kernel.eval(sv, x);
             }
         } else {
+            // lint: allow(L008) — row < n_rows: term_sv entries are validated at compile()
             let terms = self.term_sv[start..end].iter().zip(&self.term_coeff[start..end]);
             for (&row, &coeff) in terms {
                 let row = row as usize;
+                // lint: allow(L008) — packed rows are nf-wide and row < n_rows
                 f += coeff * self.kernel.eval(&self.sv_data[row * nf..(row + 1) * nf], x);
             }
         }
@@ -403,6 +418,7 @@ impl CompiledDag {
     pub fn predict(&mut self, features: &[f64]) -> usize {
         match self.try_predict(features) {
             Ok(label) => label,
+            // lint: allow(L008) — documented panicking wrapper; hot-path callers use try_predict (chain is .predict() fan-out)
             Err(e) => panic!("feature dimensionality mismatch: {e}"),
         }
     }
@@ -462,8 +478,10 @@ impl CompiledVote {
         for i in 0..c {
             for j in (i + 1)..c {
                 if self.packed.prefers_first(i, j, features) {
+                    // lint: allow(L008) — i < c and votes.len() == c
                     self.votes[i] += 1;
                 } else {
+                    // lint: allow(L008) — j < c and votes.len() == c
                     self.votes[j] += 1;
                 }
             }
@@ -482,6 +500,7 @@ impl CompiledVote {
     pub fn predict(&mut self, features: &[f64]) -> usize {
         match self.try_predict(features) {
             Ok(label) => label,
+            // lint: allow(L008) — documented panicking wrapper; hot-path callers use try_predict (chain is .predict() fan-out)
             Err(e) => panic!("feature dimensionality mismatch: {e}"),
         }
     }

@@ -37,7 +37,9 @@ impl Dataset {
     /// Panics if the feature vector has the wrong length or the label is
     /// out of range.
     pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        // lint: allow(L008) — training-time API with a documented panic contract; chain is .push() name fan-out
         assert_eq!(features.len(), self.n_features, "feature dimensionality mismatch");
+        // lint: allow(L008) — training-time API with a documented panic contract; chain is .push() name fan-out
         assert!(label < self.class_names.len(), "label {label} out of range");
         self.samples.push(features);
         self.labels.push(label);

@@ -78,6 +78,7 @@ impl PairwiseSvms {
 
     /// Returns `true` if the pairwise SVM for `(i, j)` prefers class `i`.
     fn prefers_first(&self, i: usize, j: usize, features: &[f64]) -> bool {
+        // lint: allow(L008) — pair_index(i, j) < models.len() for i < j < n_classes (triangular rank)
         self.models[self.pair_index(i, j)].predict(features)
     }
 }
@@ -227,12 +228,15 @@ impl OneVsOneVote {
 impl Classifier for OneVsOneVote {
     fn predict(&self, features: &[f64]) -> usize {
         let c = self.pairwise.n_classes;
+        // lint: allow(L009) — reference voting path; the pipeline uses CompiledVote with a pooled buffer
         let mut votes = vec![0usize; c];
         for i in 0..c {
             for j in (i + 1)..c {
                 if self.pairwise.prefers_first(i, j, features) {
+                    // lint: allow(L008) — i < c and votes.len() == c
                     votes[i] += 1;
                 } else {
+                    // lint: allow(L008) — j < c and votes.len() == c
                     votes[j] += 1;
                 }
             }

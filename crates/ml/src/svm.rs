@@ -444,6 +444,7 @@ impl BinarySvm {
     pub fn decision_value(&self, features: &[f64]) -> f64 {
         match self.try_decision_value(features) {
             Ok(f) => f,
+            // lint: allow(L008) — documented panicking wrapper; prediction paths validate via try_decision_value
             Err(e) => panic!("feature dimensionality mismatch: {e}"),
         }
     }

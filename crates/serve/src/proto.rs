@@ -165,7 +165,7 @@ pub struct FlowVerdict {
 ///
 /// Returns any transport error from the writer.
 pub fn write_frame<W: Write>(w: &mut W, type_byte: u8, body: &[u8]) -> Result<(), ProtoError> {
-    let frame_len = body.len() + 1;
+    let frame_len = body.len().saturating_add(1);
     if frame_len > MAX_FRAME {
         return Err(ProtoError::FrameTooLarge { len: frame_len });
     }
@@ -218,7 +218,7 @@ fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, ProtoError> {
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => break,
-            Ok(n) => filled += n,
+            Ok(n) => filled = filled.saturating_add(n),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e.into()),
         }
@@ -347,7 +347,7 @@ impl Request {
     pub fn encode(&self) -> Result<(u8, Vec<u8>), ProtoError> {
         match self {
             Request::SubmitPacket(p) => {
-                let mut body = Vec::with_capacity(30 + p.payload.len());
+                let mut body = Vec::with_capacity(30usize.saturating_add(p.payload.len()));
                 body.extend_from_slice(&p.timestamp.to_bits().to_be_bytes());
                 put_tuple(&mut body, &p.tuple);
                 body.push(p.flags.bits());
@@ -355,7 +355,7 @@ impl Request {
                 Ok((REQ_SUBMIT_PACKET, body))
             }
             Request::ClassifyBuffer(payload) => {
-                let mut body = Vec::with_capacity(4 + payload.len());
+                let mut body = Vec::with_capacity(4usize.saturating_add(payload.len()));
                 put_bytes(&mut body, payload)?;
                 Ok((REQ_CLASSIFY_BUFFER, body))
             }
@@ -433,7 +433,7 @@ impl Response {
                 Ok((RESP_DRAIN_COMPLETE, flows.to_be_bytes().to_vec()))
             }
             Response::Error(msg) => {
-                let mut body = Vec::with_capacity(4 + msg.len());
+                let mut body = Vec::with_capacity(4usize.saturating_add(msg.len()));
                 put_bytes(&mut body, msg.as_bytes())?;
                 Ok((RESP_ERROR, body))
             }

@@ -1,0 +1,189 @@
+//! Parser for `crates/xtask/roots.toml` — the committed declaration of
+//! hot-path roots and lock order that drives the interprocedural lints.
+//!
+//! This is a tiny line-oriented reader for the TOML *subset* the file
+//! uses (the build has no route to crates.io, so no `toml` crate):
+//! `[section]` headers, `key = [ "string", ... ]` arrays (single- or
+//! multi-line), and `#` comments. See the module docs of
+//! [`crate::lints`] for the full file format.
+
+/// Parsed contents of `roots.toml`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RootsConfig {
+    /// L008 roots: functions that must not reach a panic site.
+    pub panic_roots: Vec<String>,
+    /// L009 roots: steady-state functions that must not reach an
+    /// allocation site (must cover the `pool_alloc.rs` entry points).
+    pub alloc_roots: Vec<String>,
+    /// L010: declared lock order, outermost first. A lock may only be
+    /// acquired while holding locks strictly *before* it in this list.
+    pub lock_order: Vec<String>,
+    /// L010: `fn_name:lock_name` pairs for functions that acquire a
+    /// lock and return its guard to the caller.
+    pub guard_fns: Vec<(String, String)>,
+}
+
+impl RootsConfig {
+    /// Position of a lock in the declared order.
+    pub fn lock_rank(&self, lock: &str) -> Option<usize> {
+        self.lock_order.iter().position(|l| l == lock)
+    }
+
+    /// The lock a guard-returning function acquires, if declared.
+    pub fn guard_lock(&self, fn_name: &str) -> Option<&str> {
+        self.guard_fns.iter().find(|(f, _)| f == fn_name).map(|(_, l)| l.as_str())
+    }
+}
+
+/// Parses the `roots.toml` text. Errors carry the offending line.
+pub fn parse(text: &str) -> Result<RootsConfig, String> {
+    let mut cfg = RootsConfig::default();
+    let mut section = String::new();
+    let mut pending: Option<(String, Vec<String>)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((key, mut items)) = pending.take() {
+            // Inside a multi-line array: accumulate until `]`.
+            let (done, mut new_items) = array_elements(&line, lineno)?;
+            items.append(&mut new_items);
+            if done {
+                assign(&mut cfg, &section, &key, items, lineno)?;
+            } else {
+                pending = Some((key, items));
+            }
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("roots.toml:{}: expected `key = [...]`", lineno + 1));
+        };
+        let (key, value) = (key.trim().to_string(), value.trim());
+        let Some(rest) = value.strip_prefix('[') else {
+            return Err(format!("roots.toml:{}: `{key}` must be a string array", lineno + 1));
+        };
+        let (done, items) = array_elements(rest, lineno)?;
+        if done {
+            assign(&mut cfg, &section, &key, items, lineno)?;
+        } else {
+            pending = Some((key, items));
+        }
+    }
+    if pending.is_some() {
+        return Err("roots.toml: unterminated array".to_string());
+    }
+    Ok(cfg)
+}
+
+/// Drops a trailing `#` comment (the format keeps `#` out of strings).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"a", "b"` fragments; returns whether the closing `]` was
+/// seen and the elements collected so far.
+fn array_elements(fragment: &str, lineno: usize) -> Result<(bool, Vec<String>), String> {
+    let (body, done) = match fragment.split_once(']') {
+        Some((body, _)) => (body, true),
+        None => (fragment, false),
+    };
+    let mut items = Vec::new();
+    for piece in body.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let unquoted =
+            piece.strip_prefix('"').and_then(|p| p.strip_suffix('"')).ok_or_else(|| {
+                format!("roots.toml:{}: expected quoted string, got `{piece}`", lineno + 1)
+            })?;
+        items.push(unquoted.to_string());
+    }
+    Ok((done, items))
+}
+
+fn assign(
+    cfg: &mut RootsConfig,
+    section: &str,
+    key: &str,
+    items: Vec<String>,
+    lineno: usize,
+) -> Result<(), String> {
+    match (section, key) {
+        ("panic_roots", "fns") => cfg.panic_roots = items,
+        ("alloc_roots", "fns") => cfg.alloc_roots = items,
+        ("lock_order", "order") => cfg.lock_order = items,
+        ("lock_order", "guard_fns") => {
+            for item in items {
+                let Some((f, l)) = item.split_once(':') else {
+                    return Err(format!(
+                        "roots.toml:{}: guard_fns entries are `fn_name:lock_name`, got `{item}`",
+                        lineno + 1
+                    ));
+                };
+                cfg.guard_fns.push((f.trim().to_string(), l.trim().to_string()));
+            }
+        }
+        _ => {
+            return Err(format!(
+                "roots.toml:{}: unknown key `{key}` in section `[{section}]`",
+                lineno + 1
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_format() {
+        let text = r#"
+# comment
+[panic_roots]
+fns = [
+    "Iustitia::process_packet",   # the per-packet entry
+    "CompiledTree::try_predict",
+]
+
+[alloc_roots]
+fns = ["Iustitia::process_packet"]
+
+[lock_order]
+order = ["inner", "results"]
+guard_fns = ["lock_state:inner"]
+"#;
+        let cfg = parse(text).expect("parses");
+        assert_eq!(cfg.panic_roots, vec!["Iustitia::process_packet", "CompiledTree::try_predict"]);
+        assert_eq!(cfg.alloc_roots, vec!["Iustitia::process_packet"]);
+        assert_eq!(cfg.lock_order, vec!["inner", "results"]);
+        assert_eq!(cfg.guard_fns, vec![("lock_state".to_string(), "inner".to_string())]);
+        assert_eq!(cfg.lock_rank("inner"), Some(0));
+        assert_eq!(cfg.lock_rank("unknown"), None);
+        assert_eq!(cfg.guard_lock("lock_state"), Some("inner"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("[panic_roots]\nfns = 3\n").is_err());
+        assert!(parse("[panic_roots]\nnot a key\n").is_err());
+        assert!(parse("[panic_roots]\nfns = [\"a\"\n").is_err(), "unterminated array");
+        assert!(parse("[lock_order]\nguard_fns = [\"no_colon\"]\n").is_err());
+        assert!(parse("[nope]\nfns = [\"a\"]\n").is_err(), "unknown section/key");
+    }
+}

@@ -9,8 +9,12 @@
 //! * string/char/byte/raw-string literals — so an `unwrap()` inside a
 //!   string never triggers a lint;
 //! * lifetimes vs. char literals (`'a` vs `'a'`);
-//! * raw identifiers (`r#match`);
-//! * the multi-char operators the lints care about (`::`, `=>`, `->`).
+//! * raw identifiers (`r#match`) — the `r#` prefix is *preserved* so the
+//!   parser never mistakes `r#type` for the `type` keyword;
+//! * the multi-char operators the lints care about (`::`, `=>`, `->`)
+//!   and the shifts (`<<`, `>>`). `>>` is lexed as one token even when
+//!   it closes two generic lists (`Vec<Vec<u8>>`); [`crate::parser`]
+//!   splits it back into two `>` while skipping generics.
 //!
 //! Everything else (numbers, idents, single-char punctuation) is lexed
 //! just precisely enough to carry a line number.
@@ -119,11 +123,12 @@ impl Lexer {
                 self.lifetime_or_char();
             } else if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(ident_start)
             {
-                // Raw identifier: r#match
+                // Raw identifier: r#match. Keep the prefix so `r#type`
+                // never collides with the `type` keyword downstream.
                 let line = self.line;
                 self.bump();
                 self.bump();
-                let text = self.ident_text();
+                let text = format!("r#{}", self.ident_text());
                 self.push(TokKind::Ident, text, line);
             } else if c.is_ascii_digit() {
                 self.number();
@@ -310,6 +315,8 @@ impl Lexer {
             (':', Some(':')) => Some("::"),
             ('=', Some('>')) => Some("=>"),
             ('-', Some('>')) => Some("->"),
+            ('<', Some('<')) => Some("<<"),
+            ('>', Some('>')) => Some(">>"),
             _ => None,
         };
         if let Some(p) = pair {
@@ -383,8 +390,33 @@ mod tests {
     }
 
     #[test]
-    fn raw_identifiers_lex_as_idents() {
-        assert!(idents("let r#match = 1;").contains(&"match".to_string()));
+    fn raw_identifiers_keep_their_prefix() {
+        // `r#match` must stay distinguishable from the `match` keyword:
+        // the parser decides "is this a match expression?" on token
+        // text, and a stripped prefix would misparse `let r#type = ...`.
+        let ids = idents("let r#match = 1; let r#type = r#fn();");
+        assert!(ids.contains(&"r#match".to_string()));
+        assert!(ids.contains(&"r#type".to_string()));
+        assert!(ids.contains(&"r#fn".to_string()));
+        assert!(!ids.contains(&"match".to_string()));
+        assert!(!ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn shifts_lex_as_single_tokens() {
+        let lexed = lex("let x = (key << 8) | (key >> 24);");
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("<<")));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct(">>")));
+    }
+
+    #[test]
+    fn nested_generic_close_lexes_as_shift_token() {
+        // The lexer is context-free: `Vec<Vec<u8>>` ends in one `>>`
+        // token. The parser's generic skipper splits it (see
+        // `parser::tests::nested_generics_split_shift_right`).
+        let lexed = lex("fn f(v: Vec<Vec<u8>>) {}");
+        assert_eq!(lexed.tokens.iter().filter(|t| t.is_punct(">>")).count(), 1);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.is_punct(">")).count(), 0);
     }
 
     #[test]

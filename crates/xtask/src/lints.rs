@@ -10,6 +10,16 @@
 //! | L005 | every `AtomicU64` counter of `ServeMetrics` appears in `StatsSnapshot` (and every `ShardGauges` gauge in `ShardStats`) | `serve/src/metrics.rs` |
 //! | L006 | no `.extend_from_slice(` onto per-flow buffers other than the bounded `staging` buffer | `core/src/pipeline.rs` |
 //! | L007 | no `std::collections::HashMap` (SipHash) — use `fastmap::FxHashMap` or `CounterTable` | `entropy` library code |
+//! | L008 | no panic site (panic!/unwrap/expect/`[]`/assert!) reachable from a declared hot-path root | whole workspace, interprocedural |
+//! | L009 | no allocation (Vec/Box/String/format!/collect/…) reachable from a declared steady-state root | whole workspace, interprocedural |
+//! | L010 | lock discipline: locks acquired in declared order, never re-acquired, never held across a channel send | `serve` library code + `core/src/concurrent.rs` |
+//! | L011 | no bare `+`/`*`/`+=`/`*=` on lengths and counters — use `checked_`/`wrapping_`/`saturating_` | `serve/src/proto.rs`, `entropy/src/fastmap.rs` |
+//!
+//! L001–L007 are per-token checks implemented in this module. L008–L011
+//! are interprocedural: [`crate::parser`] extracts per-function events,
+//! [`crate::callgraph`] resolves calls across the workspace, and
+//! [`crate::analyses`] walks reachability from roots declared in
+//! `crates/xtask/roots.toml`.
 //!
 //! "Library code" excludes `src/bin/`, `tests/`, `benches/`, and
 //! `#[cfg(test)]` / `#[test]` regions inside library files.
@@ -19,10 +29,36 @@
 //!
 //! ```text
 //! // lint: allow(L001) — <mandatory justification>
+//! // lint: allow(L008, L009) — <one justification for several lints>
 //! ```
 //!
-//! A suppression without a justification (or naming an unknown lint) is
+//! Interprocedural findings are reported at the *sink* (the panicking or
+//! allocating line), so that is where the suppression goes. A
+//! suppression without a justification (or naming an unknown lint) is
 //! itself reported as `E000`.
+//!
+//! # `roots.toml` format
+//!
+//! The interprocedural lints are driven by `crates/xtask/roots.toml`, a
+//! committed declaration of what "the hot path" is:
+//!
+//! ```text
+//! [panic_roots]
+//! fns = ["Iustitia::process_packet", "CompiledTree::try_predict"]  # L008 roots
+//!
+//! [alloc_roots]
+//! fns = ["Iustitia::process_packet"]   # L009 roots; must cover pool_alloc.rs
+//!
+//! [lock_order]
+//! order = ["inner", "results"]         # outermost lock first
+//! guard_fns = ["lock_state:inner"]     # fns returning a guard for a lock
+//! ```
+//!
+//! Root specs are `Type::method` (matched against the enclosing `impl`
+//! type) or a bare free-function name. A spec that matches no workspace
+//! function is itself a hard error — rename drift must not silently
+//! disable an analysis. Lock names are the receiver identifiers the
+//! guards are acquired from (`self.inner.lock()` acquires `inner`).
 
 use std::fmt;
 use std::path::Path;
@@ -38,6 +74,10 @@ pub const LINTS: &[(&str, &str)] = &[
     ("L005", "every ServeMetrics counter must appear in StatsSnapshot"),
     ("L006", "no unbounded payload accumulation in core pipeline (staging only)"),
     ("L007", "no SipHash HashMap in entropy library code; use fastmap"),
+    ("L008", "no panic site reachable from a declared hot-path root (roots.toml)"),
+    ("L009", "no allocation reachable from a declared steady-state root (roots.toml)"),
+    ("L010", "locks follow the declared order; never re-acquired or held across a send"),
+    ("L011", "no bare +/* on lengths and counters in proto.rs/fastmap.rs; use checked_/wrapping_/saturating_"),
 ];
 
 /// One diagnostic produced by the pass.
@@ -124,7 +164,10 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
     Ok(violations)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_rs_files(
+    dir: &Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {
@@ -154,7 +197,7 @@ fn is_panic_free_scope(rel_path: &str) -> bool {
 
 // -------------------------------------------------------- suppressions
 
-struct Suppressions {
+pub(crate) struct Suppressions {
     /// `(lint id, line the suppression is written on)`.
     entries: Vec<(String, u32)>,
 }
@@ -162,14 +205,19 @@ struct Suppressions {
 impl Suppressions {
     /// A suppression covers its own line and the next one, so it can sit
     /// either inline after the code or on the line above it.
-    fn covers(&self, lint: &str, line: u32) -> bool {
+    pub(crate) fn covers(&self, lint: &str, line: u32) -> bool {
         self.entries.iter().any(|(id, l)| id == lint && (*l == line || l + 1 == line))
     }
 }
 
-/// Extracts `// lint: allow(Lnnn) — reason` directives. Directives with
-/// no justification, or naming an unknown lint, become `E000`.
-fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Suppressions, Vec<Violation>) {
+/// Extracts `// lint: allow(Lnnn) — reason` directives. Several lints
+/// may share one directive and justification: `allow(L008, L009)`.
+/// Directives with no justification, or naming an unknown lint, become
+/// `E000`.
+pub(crate) fn parse_suppressions(
+    rel_path: &str,
+    comments: &[Comment],
+) -> (Suppressions, Vec<Violation>) {
     const MARKER: &str = "lint: allow(";
     let mut entries = Vec::new();
     let mut bad = Vec::new();
@@ -185,8 +233,10 @@ fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Suppressions, Ve
             });
             continue;
         };
-        let id = after[..close].trim().to_string();
-        if !LINTS.iter().any(|(known, _)| *known == id) {
+        let ids: Vec<String> = after[..close].split(',').map(|id| id.trim().to_string()).collect();
+        let unknown: Vec<&String> =
+            ids.iter().filter(|id| !LINTS.iter().any(|(known, _)| known == id)).collect();
+        if let Some(id) = unknown.first() {
             bad.push(Violation {
                 file: rel_path.to_string(),
                 line: comment.line,
@@ -198,6 +248,7 @@ fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Suppressions, Ve
         let reason = after[close + 1..]
             .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':'));
         if reason.trim().is_empty() {
+            let id = ids.join(", ");
             bad.push(Violation {
                 file: rel_path.to_string(),
                 line: comment.line,
@@ -208,7 +259,7 @@ fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Suppressions, Ve
             });
             continue;
         }
-        entries.push((id, comment.line));
+        entries.extend(ids.into_iter().map(|id| (id, comment.line)));
     }
     (Suppressions { entries }, bad)
 }
@@ -217,7 +268,7 @@ fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Suppressions, Ve
 
 /// Line ranges covered by `#[cfg(test)]` or `#[test]` items (attribute
 /// line through the closing brace of the annotated item).
-fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -242,15 +293,15 @@ fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     ranges
 }
 
-fn in_test(ranges: &[(u32, u32)], line: u32) -> bool {
+pub(crate) fn in_test(ranges: &[(u32, u32)], line: u32) -> bool {
     ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
 }
 
-fn matches(tokens: &[Token], at: usize, texts: &[&str]) -> bool {
+pub(crate) fn matches(tokens: &[Token], at: usize, texts: &[&str]) -> bool {
     texts.iter().enumerate().all(|(k, text)| tokens.get(at + k).is_some_and(|t| t.text == *text))
 }
 
-fn nesting_delta(token: &Token) -> i32 {
+pub(crate) fn nesting_delta(token: &Token) -> i32 {
     if token.kind != TokKind::Punct {
         return 0;
     }
@@ -262,7 +313,7 @@ fn nesting_delta(token: &Token) -> i32 {
 }
 
 /// Index of the `}` matching the `{` at `open` (which must be a `{`).
-fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (k, token) in tokens.iter().enumerate().skip(open) {
         depth += nesting_delta(token);

@@ -1,0 +1,125 @@
+//! Integration tests over the fixture mini-workspace in
+//! `tests/fixtures/mini`: every interprocedural analysis has a seeded
+//! positive with a pinned call chain and a clean negative, the call
+//! graph is snapshot against a golden edge list, and the real
+//! workspace is gated clean.
+
+use std::path::{Path, PathBuf};
+
+use xtask::analyses;
+use xtask::lints::Violation;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join("mini")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+fn fixture_violations() -> Vec<Violation> {
+    analyses::run(&fixture_root()).expect("analyses over the fixture workspace")
+}
+
+#[track_caller]
+fn assert_finding(violations: &[Violation], file: &str, lint: &str, needles: &[&str]) {
+    let hit = violations
+        .iter()
+        .any(|v| v.file == file && v.lint == lint && needles.iter().all(|n| v.message.contains(n)));
+    assert!(
+        hit,
+        "expected a {lint} finding in {file} containing {needles:?}; got:\n{}",
+        render(violations)
+    );
+}
+
+fn render(violations: &[Violation]) -> String {
+    violations.iter().map(|v| format!("{v}\n")).collect()
+}
+
+#[test]
+fn l008_seed_reports_the_call_chain() {
+    assert_finding(
+        &fixture_violations(),
+        "crates/hot/src/lib.rs",
+        "L008",
+        &["slice/array index", "Engine::process → Engine::bump"],
+    );
+}
+
+#[test]
+fn l008_suppression_at_the_sink_is_honored() {
+    let violations = fixture_violations();
+    assert!(
+        !violations.iter().any(|v| v.message.contains("Engine::reset")),
+        "the suppressed index in Engine::reset must not be reported:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn l009_seed_reports_the_call_chain() {
+    assert_finding(
+        &fixture_violations(),
+        "crates/hot/src/lib.rs",
+        "L009",
+        &["push", "Engine::process → Engine::flush"],
+    );
+}
+
+#[test]
+fn l009_ignores_allocations_off_the_root_set() {
+    let violations = fixture_violations();
+    assert!(
+        !violations.iter().any(|v| v.message.contains("cold_setup")),
+        "cold_setup is reachable from no root and must stay unreported:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn l010_seeds_report_order_reacquire_and_send() {
+    let violations = fixture_violations();
+    let file = "crates/serve/src/lib.rs";
+    assert_finding(&violations, file, "L010", &["violates the declared order", "bad_order"]);
+    assert_finding(&violations, file, "L010", &["re-acquired", "self-deadlock"]);
+    assert_finding(&violations, file, "L010", &["channel send", "holding lock `inner`"]);
+    assert!(
+        !violations.iter().any(|v| v.message.contains("good_order")),
+        "the ordered acquisition in good_order is clean:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn l011_seed_reports_bare_arithmetic() {
+    let violations = fixture_violations();
+    assert_finding(&violations, "crates/serve/src/proto.rs", "L011", &["bare `+`"]);
+    assert!(
+        !violations.iter().any(|v| v.message.contains("frame_len_checked")),
+        "saturating arithmetic is clean:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn call_graph_matches_the_golden_edge_list() {
+    let ws = analyses::parse_workspace(&fixture_root()).expect("parse fixture workspace");
+    let rendered = ws.graph.edges_rendered().join("\n");
+    let golden_path = fixture_root().join("golden_callgraph.txt");
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden_callgraph.txt");
+    assert_eq!(
+        rendered.trim(),
+        golden.trim(),
+        "resolved call graph drifted from {}",
+        golden_path.display()
+    );
+}
+
+/// The static twin of the tier-1 suite: the real workspace must be
+/// clean under L008–L011 (with its committed roots and suppressions).
+#[test]
+fn real_workspace_is_clean_under_interprocedural_lints() {
+    let violations = analyses::run(&repo_root()).expect("analyses over the real workspace");
+    assert!(violations.is_empty(), "workspace regressions:\n{}", render(&violations));
+}

@@ -1,0 +1,39 @@
+//! Fixture hot path with seeded L008/L009 findings.
+//!
+//! The integration test pins the expected (file, lint, chain) of every
+//! seed below, so the function names here are load-bearing: renaming
+//! one means updating `tests/fixture_analyses.rs` and `roots.toml`.
+
+pub struct Engine {
+    counts: Vec<u64>,
+    log: Vec<u8>,
+}
+
+impl Engine {
+    /// The declared hot-path root of the mini workspace.
+    pub fn process(&mut self, byte: u8) {
+        self.bump(byte);
+        self.flush();
+    }
+
+    /// L008 seed: a slice index two hops from the root.
+    fn bump(&mut self, byte: u8) {
+        self.counts[byte as usize] += 1;
+    }
+
+    /// L009 seed: an allocation two hops from the root.
+    fn flush(&mut self) {
+        self.log.push(0);
+    }
+
+    /// Negative: a justified suppression at the sink is honored.
+    pub fn reset(&mut self) {
+        // lint: allow(L008) — fixture: counts always has 256 slots
+        self.counts[0] = 0;
+    }
+}
+
+/// Negative: allocates, but is reachable from no declared root.
+pub fn cold_setup() -> Vec<u64> {
+    vec![0u64; 256]
+}

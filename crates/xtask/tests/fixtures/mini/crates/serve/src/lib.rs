@@ -1,0 +1,43 @@
+//! Fixture lock discipline: seeded L010 findings next to a clean twin.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Hub {
+    inner: Mutex<u64>,
+    results: Mutex<u64>,
+}
+
+impl Hub {
+    /// Negative: acquisitions follow the declared `inner` → `results`
+    /// order and the guards die in reverse.
+    pub fn good_order(&self) {
+        let i = self.inner.lock().unwrap();
+        let r = self.results.lock().unwrap();
+        drop(r);
+        drop(i);
+    }
+
+    /// L010 seed: `inner` after `results` inverts the declared order.
+    pub fn bad_order(&self) {
+        let r = self.results.lock().unwrap();
+        let i = self.inner.lock().unwrap();
+        drop(i);
+        drop(r);
+    }
+
+    /// L010 seed: re-acquiring a lock this function already holds.
+    pub fn reentrant(&self) {
+        let a = self.inner.lock().unwrap();
+        let b = self.inner.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    /// L010 seed: a channel send while a guard is live.
+    pub fn send_under_lock(&self, tx: &Sender<u64>) {
+        let g = self.inner.lock().unwrap();
+        let _ = tx.send(*g);
+        drop(g);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture framing arithmetic: a seeded L011 finding and its clean twin.
+
+/// L011 seed: bare `+` on a length.
+pub fn frame_len(body: &[u8]) -> usize {
+    body.len() + 1
+}
+
+/// Negative: saturating arithmetic passes.
+pub fn frame_len_checked(body: &[u8]) -> usize {
+    body.len().saturating_add(1)
+}
