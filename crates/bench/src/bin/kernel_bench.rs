@@ -172,6 +172,14 @@ fn new_incremental(data: &[u8], widths: &FeatureWidths) -> Vec<f64> {
     inc.finish().values().to_vec()
 }
 
+fn new_incremental_chunked(data: &[u8], widths: &FeatureWidths, chunk: usize) -> Vec<f64> {
+    let mut inc = IncrementalVector::with_byte_hint(widths, data.len());
+    for c in data.chunks(chunk) {
+        inc.update(c);
+    }
+    inc.finish().values().to_vec()
+}
+
 /// Times `f` criterion-style: calibrate an iteration count to the
 /// target sample length, warm up, then take `samples` samples and
 /// report the median ns/iter.
@@ -271,6 +279,29 @@ fn main() {
         }
     }
 
+    // Chunk-size sweep: how the fixed-width-lane slab kernel amortizes
+    // per-call overhead as feed granularity grows. Each cell is
+    // asserted bit-identical to the one-shot vector before timing.
+    let sweep_b = 16384usize;
+    let sweep_widths = FeatureWidths::svm_selected();
+    let sweep_data = generate_file(FileClass::Binary, sweep_b, &mut rng);
+    let sweep_baseline = new_oneshot(&sweep_data, &sweep_widths);
+    let mut sweep_cells = Vec::new();
+    for chunk in [1usize, 8, 32, 128, 512] {
+        assert_eq!(
+            new_incremental_chunked(&sweep_data, &sweep_widths, chunk),
+            sweep_baseline,
+            "chunked feed (chunk={chunk}) must stay bit-identical to one-shot"
+        );
+        let ns = bench(|| new_incremental_chunked(&sweep_data, &sweep_widths, chunk), smoke);
+        let bytes_per_us = sweep_b as f64 / (ns / 1000.0);
+        println!(
+            "kernel/chunk_sweep/b={sweep_b}/svm/chunk={chunk}  time: {ns:>12.0} ns/iter \
+             ({bytes_per_us:.0} B/us)"
+        );
+        sweep_cells.push(format!("    {{\"chunk\": {chunk}, \"ns\": {ns:.0}}}"));
+    }
+
     println!("--- JSON ---");
     println!("{{");
     println!(
@@ -281,6 +312,11 @@ fn main() {
     println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     println!("  \"cells\": [");
     println!("{}", json_cells.join(",\n"));
+    println!("  ],");
+    println!("  \"chunk_sweep_b\": {sweep_b},");
+    println!("  \"chunk_sweep_widths\": \"svm\",");
+    println!("  \"chunk_sweep\": [");
+    println!("{}", sweep_cells.join(",\n"));
     println!("  ]");
     println!("}}");
 }

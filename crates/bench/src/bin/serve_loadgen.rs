@@ -8,6 +8,13 @@
 //!
 //! Run: `cargo run --release -p iustitia-bench --bin serve_loadgen`
 //!
+//! `--sweep-batch` runs the batch-limit sweep (1, 8, 32, 128, 512)
+//! instead: before any timing it asserts that the pipeline's batch
+//! path is bit-identical to per-packet dispatch on the generated
+//! trace, then measures loadgen throughput at each reader batch limit
+//! and prints a JSON document (captured into
+//! `results/BENCH_batch.json`) on stdout.
+//!
 //! Environment knobs:
 //! - `IUSTITIA_BENCH_SCALE` — scales flow count (default 1.0).
 //! - `SERVE_SHARDS` — shard worker count (default 4).
@@ -15,13 +22,124 @@
 use std::time::Instant;
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia::model::train_from_corpus;
+use iustitia::model::{train_from_corpus, NatureModel};
+use iustitia::pipeline::{BatchPacket, Iustitia, PipelineConfig, Verdict};
 use iustitia_bench::{paper_cart, prefix_corpus, scaled};
 use iustitia_entropy::FeatureWidths;
 use iustitia_netsim::{ContentMode, Packet, TraceConfig, TraceGenerator};
 use iustitia_serve::{Client, ClientEvent, Server, ServerConfig, Stage};
 
+/// Feeds the trace through two freshly built pipelines — one per
+/// packet, one through `process_batch` over flow-grouped segments (the
+/// shard worker's dispatch shape) — and asserts verdicts and every
+/// observable gauge are bit-identical. Runs before any timing so a
+/// broken batch path can never produce a "fast" number.
+fn assert_batch_bit_identity(model: &NatureModel, packets: &[Packet], segment: usize) {
+    let config = PipelineConfig::headline(33);
+    let mut per_packet = Iustitia::new(model.clone(), config.clone());
+    let mut batched = Iustitia::new(model.clone(), config);
+    let mut verdicts = Vec::new();
+    for chunk in packets.chunks(segment) {
+        let mut items: Vec<BatchPacket<'_>> = chunk.iter().map(BatchPacket::new).collect();
+        items.sort_by_key(|a| a.flow); // stable: arrival order per flow
+        let expected: Vec<Verdict> =
+            items.iter().map(|bp| per_packet.process_packet(bp.packet)).collect();
+        batched.process_batch(&items, &mut verdicts);
+        assert_eq!(verdicts, expected, "batch verdicts must be bit-identical to per-packet");
+    }
+    assert_eq!(batched.queues(), per_packet.queues());
+    assert_eq!(batched.pending_flows(), per_packet.pending_flows());
+    assert_eq!(batched.resident_feature_bytes(), per_packet.resident_feature_bytes());
+    assert_eq!(batched.cdb().stats(), per_packet.cdb().stats());
+    assert_eq!(batched.take_log(), per_packet.take_log());
+    eprintln!(
+        "bit-identity: batch == per-packet over {} packets ({}-packet segments)",
+        packets.len(),
+        segment
+    );
+}
+
+/// One timed pass of the trace through a fresh server at the given
+/// reader batch limit. Returns (throughput pkt/s, final stats).
+fn timed_run(
+    model: &NatureModel,
+    packets: &[Packet],
+    shards: usize,
+    batch_limit: usize,
+) -> (f64, iustitia_serve::StatsSnapshot) {
+    let mut config = ServerConfig::new(PipelineConfig::headline(33));
+    config.shards = shards;
+    config.queue_capacity = 1 << 14;
+    config.batch_limit = batch_limit;
+    let server = Server::start("127.0.0.1:0", model.clone(), config).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let start = Instant::now();
+    for packet in packets {
+        client.submit_packet(packet).expect("submit");
+        if client.poll_events().iter().any(|e| matches!(e, ClientEvent::Busy(_))) {
+            panic!("queues sized to never reject");
+        }
+    }
+    client.flush().expect("flush");
+    client.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = client.stats().expect("stats");
+    client.close().expect("close");
+    server.shutdown();
+    (packets.len() as f64 / elapsed, stats)
+}
+
+fn sweep_batch(model: &NatureModel, packets: &[Packet], shards: usize) {
+    assert_batch_bit_identity(model, packets, 512);
+
+    let reps = 3;
+    let mut runs = Vec::new();
+    for batch_limit in [1usize, 8, 32, 128, 512] {
+        let mut throughputs = Vec::new();
+        let mut last_stats = None;
+        for _ in 0..reps {
+            let (tput, stats) = timed_run(model, packets, shards, batch_limit);
+            throughputs.push(tput);
+            last_stats = Some(stats);
+        }
+        throughputs.sort_by(f64::total_cmp);
+        let median = throughputs[reps / 2];
+        let stats = last_stats.expect("at least one rep");
+        eprintln!(
+            "batch_limit={batch_limit:<4} median {median:>9.0} pkt/s \
+             (batch p50 {}, flows/batch p50 {}, queue locks {})",
+            stats.batch_size.p50().unwrap_or(0),
+            stats.flows_per_batch.p50().unwrap_or(0),
+            stats.queue_lock_acquisitions,
+        );
+        runs.push(format!(
+            "    {{\"batch_limit\": {batch_limit}, \"median_pkts_per_s\": {median:.0}, \
+             \"batch_size_p50\": {}, \"flows_per_batch_p50\": {}, \
+             \"queue_lock_acquisitions\": {}, \"cdb_hits\": {}}}",
+            stats.batch_size.p50().unwrap_or(0),
+            stats.flows_per_batch.p50().unwrap_or(0),
+            stats.queue_lock_acquisitions,
+            stats.hits,
+        ));
+    }
+
+    println!("{{");
+    println!("  \"benchmark\": \"serve loadgen batch-limit sweep (flow-grouped batch dispatch)\",");
+    println!(
+        "  \"bit_identity\": \"batch == per-packet asserted on the full trace before timing\","
+    );
+    println!("  \"shards\": {shards},");
+    println!("  \"packets\": {},", packets.len());
+    println!("  \"reps_per_cell\": {reps},");
+    println!("  \"runs\": [");
+    println!("{}", runs.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}
+
 fn main() {
+    let sweep = std::env::args().any(|a| a == "--sweep-batch");
     let shards: usize =
         std::env::var("SERVE_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
     let n_flows = scaled(2000);
@@ -39,18 +157,23 @@ fn main() {
     )
     .expect("balanced corpus");
 
-    let mut config = ServerConfig::new(iustitia::pipeline::PipelineConfig::headline(33));
-    config.shards = shards;
-    config.queue_capacity = 1 << 14;
-    let server = Server::start("127.0.0.1:0", model, config).expect("bind loopback");
-    let addr = server.local_addr();
-
     eprintln!("generating {n_flows}-flow trace...");
     let mut trace = TraceConfig::small_test(42);
     trace.n_flows = n_flows;
     trace.duration = 30.0;
     trace.content = ContentMode::Realistic;
     let packets: Vec<Packet> = TraceGenerator::new(trace).collect();
+
+    if sweep {
+        sweep_batch(&model, &packets, shards);
+        return;
+    }
+
+    let mut config = ServerConfig::new(PipelineConfig::headline(33));
+    config.shards = shards;
+    config.queue_capacity = 1 << 14;
+    let server = Server::start("127.0.0.1:0", model, config).expect("bind loopback");
+    let addr = server.local_addr();
 
     let mut client = Client::connect(addr).expect("connect");
     let mut verdicts = 0u64;

@@ -181,6 +181,16 @@ impl ClassificationDatabase {
         Some(rec.label)
     }
 
+    /// Mutable access to a live record without the TTL bookkeeping of
+    /// [`lookup`](Self::lookup) — the batch hit-run fast path, which
+    /// refreshes one record across consecutive same-flow packets after
+    /// an initial `lookup` resolved it. Callers must re-check
+    /// `reclassify_after` themselves per packet and fall back to
+    /// `lookup` (which removes and counts the expiry) when it trips.
+    pub(crate) fn record_mut(&mut self, id: &FlowId) -> Option<&mut CdbRecord> {
+        self.records.get_mut(id)
+    }
+
     /// Inserts a freshly classified flow and runs the periodic
     /// obsolescence sweep when due. Returns how many records the sweep
     /// removed (0 when no sweep ran).

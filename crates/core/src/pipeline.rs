@@ -113,6 +113,27 @@ impl PipelineConfig {
     }
 }
 
+/// One packet of a batch, paired with its precomputed flow ID.
+///
+/// The serve layer hashes the 5-tuple on its reader threads, so the
+/// shard-side batch path should not redo the SHA-1 per packet;
+/// [`FlowId::of_tuple`] is deterministic, so precomputing the ID
+/// changes no verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPacket<'a> {
+    /// SHA-1 flow ID of `packet.tuple`.
+    pub flow: FlowId,
+    /// The packet itself.
+    pub packet: &'a Packet,
+}
+
+impl<'a> BatchPacket<'a> {
+    /// Pairs a packet with its computed flow ID.
+    pub fn new(packet: &'a Packet) -> Self {
+        BatchPacket { flow: FlowId::of_tuple(&packet.tuple), packet }
+    }
+}
+
 /// What the pipeline did with one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -268,6 +289,10 @@ pub struct Iustitia {
     /// Scratch for exact-histogram count sorting inside feature
     /// finishes (see `GramHistogram::sum_m_log_m_with`).
     counts_scratch: Vec<u64>,
+    /// Scratch verdict buffer for the batch-of-one
+    /// [`process_packet`](Self::process_packet) wrapper, so the wrapper
+    /// stays allocation-free once warm.
+    verdict_scratch: Vec<Verdict>,
 }
 
 /// Upper bound on pooled [`FlowFeatureState`]s, so a burst of
@@ -302,6 +327,7 @@ impl Iustitia {
             pool_hits: 0,
             feature_scratch: Vec::new(),
             counts_scratch: Vec::new(),
+            verdict_scratch: Vec::new(),
         }
     }
 
@@ -390,8 +416,247 @@ impl Iustitia {
     }
 
     /// Processes one packet, returning what happened to it.
+    ///
+    /// This is the batch-of-one wrapper around
+    /// [`process_batch`](Self::process_batch): a single-element batch
+    /// walks exactly the same code as a large one, so every per-packet
+    /// test exercises the batch path and the zero-alloc steady-state
+    /// guarantee extends to it.
     pub fn process_packet(&mut self, packet: &Packet) -> Verdict {
-        let id = FlowId::of_tuple(&packet.tuple);
+        let mut verdicts = std::mem::take(&mut self.verdict_scratch);
+        self.process_batch(&[BatchPacket::new(packet)], &mut verdicts);
+        let verdict = verdicts.pop().unwrap_or(Verdict::Ignored);
+        self.verdict_scratch = verdicts;
+        verdict
+    }
+
+    /// Processes a batch of packets in order, pushing exactly one
+    /// verdict per packet into `verdicts` (cleared first).
+    ///
+    /// Maximal runs of consecutive same-flow data packets are processed
+    /// as a group ([`Self::process_run`]): the CDB lookup and the
+    /// flow-table entry are resolved once per phase of the run instead
+    /// of once per packet, and payload slices stream back-to-back into
+    /// the same feature state. Control and close packets are never
+    /// grouped — they take the canonical per-packet path in place, so
+    /// ordering semantics (CDB close removal, leftovers classification)
+    /// are untouched.
+    ///
+    /// **Bit-identity invariant:** for any batch, the verdict sequence,
+    /// every gauge and counter, the CDB contents, and the classification
+    /// log are bit-for-bit what sequential
+    /// [`process_packet`](Self::process_packet) calls over the same
+    /// packets would produce. Group amortization only elides hash-map
+    /// re-resolutions whose outcomes are provably unchanged within a
+    /// phase: repeated CDB misses while a flow is buffering have no side
+    /// effects, and repeated hits mutate only the record the phase
+    /// already holds. Any packet that needs a slow-path event (idle
+    /// sweep due, header still staging, TTL expiry, buffer full) ends
+    /// its phase and re-resolves through the canonical path.
+    pub fn process_batch(&mut self, batch: &[BatchPacket<'_>], verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        // lint: allow(L009) — caller-owned scratch: grows once to the largest batch seen, then reused
+        verdicts.reserve(batch.len());
+        let mut rest = batch;
+        while let Some((first, tail)) = rest.split_first() {
+            let groupable = first.packet.is_data() && !first.packet.flags.closes_flow();
+            if !groupable {
+                let verdict = self.process_one(first.flow, first.packet);
+                // lint: allow(L009) — within the capacity reserved above
+                verdicts.push(verdict);
+                rest = tail;
+                continue;
+            }
+            let mut run_len = 1;
+            for p in tail {
+                if p.flow != first.flow || !p.packet.is_data() || p.packet.flags.closes_flow() {
+                    break;
+                }
+                run_len += 1;
+            }
+            // lint: allow(L008) — the scan above stops within tail, so run_len <= rest.len()
+            let (run, remainder) = rest.split_at(run_len);
+            self.process_run(first.flow, run, verdicts);
+            rest = remainder;
+        }
+    }
+
+    /// Processes one maximal run of same-flow data packets, pushing one
+    /// verdict per packet. Each iteration of the outer loop consumes at
+    /// least one packet: the sweep-due and header-staging fallbacks hand
+    /// exactly one packet to [`Self::process_one`], and both amortized
+    /// phases consume one before any early exit can fire.
+    fn process_run(&mut self, flow: FlowId, run: &[BatchPacket<'_>], verdicts: &mut Vec<Verdict>) {
+        let idle_timeout = self.config.idle_timeout;
+        let ttl = self.config.cdb.reclassify_after;
+        let b = self.config.buffer_size;
+        let capacity = self.buffer_capacity();
+        let policy = self.config.header_policy;
+        let mut rest = run;
+        while let Some((first, tail)) = rest.split_first() {
+            let now = first.packet.timestamp;
+            // The idle sweep fires at most once per idle_timeout; when
+            // one is due, that packet takes the canonical path (which
+            // performs it), keeping sweep timing identical to
+            // per-packet processing.
+            if now - self.last_sweep >= idle_timeout {
+                let verdict = self.process_one(flow, first.packet);
+                // lint: allow(L009) — within the capacity reserved by process_batch
+                verdicts.push(verdict);
+                rest = tail;
+                continue;
+            }
+
+            // --- Hit phase: the flow is already classified. ---
+            if let Some(label) = self.cdb.lookup(&flow, now) {
+                // lint: allow(L008) — forwarded has FileClass::ALL.len() slots; label.index() is always in range
+                self.queues.forwarded[label.index()] += 1;
+                // lint: allow(L009) — within the capacity reserved by process_batch
+                verdicts.push(Verdict::Hit(label));
+                rest = tail;
+                // Subsequent packets refresh the same record in place —
+                // the per-packet `lookup` body minus the re-hash. The
+                // label cannot change while the record lives.
+                if let Some(rec) = self.cdb.record_mut(&flow) {
+                    while let Some((p, after)) = rest.split_first() {
+                        let t = p.packet.timestamp;
+                        if t - self.last_sweep >= idle_timeout {
+                            break;
+                        }
+                        if let Some(ttl) = ttl {
+                            if t - rec.classified_at > ttl {
+                                // Expired: the next outer iteration's
+                                // `lookup` removes the record and counts
+                                // the eviction, exactly as the
+                                // per-packet path would.
+                                break;
+                            }
+                        }
+                        rec.last_iat = Some((t - rec.last_seen).max(0.0));
+                        rec.last_seen = t;
+                        // lint: allow(L008) — forwarded has FileClass::ALL.len() slots; label.index() is always in range
+                        self.queues.forwarded[label.index()] += 1;
+                        // lint: allow(L009) — within the capacity reserved by process_batch
+                        verdicts.push(Verdict::Hit(label));
+                        rest = after;
+                    }
+                }
+                continue;
+            }
+
+            // --- Buffering phase: resolve the flow-table entry once and
+            // stream consecutive packets into the same feature state.
+            // While a flow is buffering it has no CDB record (inserts
+            // only happen at classification, which evicts the buffer),
+            // so the per-packet lookups elided here would all miss with
+            // zero side effects.
+            let mut classify_at: Option<f64> = None;
+            let mut staging = false;
+            {
+                let (buf, mut created) = match self.buffers.entry(flow) {
+                    Entry::Occupied(e) => (e.into_mut(), false),
+                    Entry::Vacant(v) => {
+                        let stage = match policy {
+                            HeaderPolicy::StripKnown { .. } => FlowStage::Staging(Vec::new()),
+                            _ => {
+                                let skip_remaining = match policy {
+                                    HeaderPolicy::None | HeaderPolicy::StripKnown { .. } => 0,
+                                    HeaderPolicy::SkipThreshold { t } => t,
+                                    HeaderPolicy::RandomSkip { t_max } => {
+                                        // lint: allow(L008) — 0..=t_max is an inclusive range, never empty
+                                        self.rng.gen_range(0..=t_max)
+                                    }
+                                };
+                                FlowStage::Streaming {
+                                    features: Self::acquire_state(
+                                        &mut self.pool,
+                                        &mut self.pool_hits,
+                                        &self.extractor,
+                                        b,
+                                    ),
+                                    fed: 0,
+                                    skip_remaining,
+                                }
+                            }
+                        };
+                        (
+                            v.insert(FlowBuffer {
+                                stage,
+                                first_ts: now,
+                                last_ts: now,
+                                packets: 0,
+                                seen: 0,
+                            }),
+                            true,
+                        )
+                    }
+                };
+                while let Some((p, after)) = rest.split_first() {
+                    let t = p.packet.timestamp;
+                    // Both early exits can only fire with `created`
+                    // already consumed or a zero-resident Staging
+                    // buffer: the first iteration's sweep check repeats
+                    // the outer loop's (false) one, and a created
+                    // Staging stage holds no bytes yet.
+                    if t - self.last_sweep >= idle_timeout {
+                        break;
+                    }
+                    if matches!(buf.stage, FlowStage::Staging(_)) {
+                        // Header skip/strip still unresolved: the
+                        // scan-and-transition logic lives in the
+                        // canonical path; hand it this packet.
+                        staging = true;
+                        break;
+                    }
+                    buf.packets += 1;
+                    buf.last_ts = t;
+                    self.queues.buffered += 1;
+                    let before = if created { 0 } else { buf.resident_bytes() };
+                    created = false;
+                    let room = capacity.saturating_sub(buf.seen);
+                    // lint: allow(L008) — slice end is min'd with payload.len()
+                    let intake = &p.packet.payload[..room.min(p.packet.payload.len())];
+                    buf.seen += intake.len();
+                    if let FlowStage::Streaming { features, fed, skip_remaining } = &mut buf.stage {
+                        Self::feed_streaming(features, fed, skip_remaining, intake, b);
+                    }
+                    self.resident = self.resident - before + buf.resident_bytes();
+                    rest = after;
+                    let full = match &buf.stage {
+                        FlowStage::Staging(staged) => staged.len() >= capacity,
+                        FlowStage::Streaming { fed, .. } => *fed >= b || buf.seen >= capacity,
+                    };
+                    if full {
+                        classify_at = Some(t);
+                        break;
+                    }
+                    // lint: allow(L009) — within the capacity reserved by process_batch
+                    verdicts.push(Verdict::Buffering);
+                }
+            }
+            if staging {
+                if let Some((p, after)) = rest.split_first() {
+                    let verdict = self.process_one(flow, p.packet);
+                    // lint: allow(L009) — within the capacity reserved by process_batch
+                    verdicts.push(verdict);
+                    rest = after;
+                }
+            } else if let Some(t) = classify_at {
+                let verdict = match self.classify_flow(flow, t) {
+                    Some(label) => Verdict::Classified(label),
+                    None => Verdict::Ignored,
+                };
+                // lint: allow(L009) — within the capacity reserved by process_batch
+                verdicts.push(verdict);
+            }
+        }
+    }
+
+    /// The canonical single-packet path: every slow or stateful event
+    /// (sweeps, closes, header staging, creation, classification) is
+    /// defined here, and the batch phases only amortize lookups whose
+    /// elision it proves side-effect-free.
+    fn process_one(&mut self, id: FlowId, packet: &Packet) -> Verdict {
         let now = packet.timestamp;
 
         // Opportunistic idle sweep, at most once per idle_timeout: the
@@ -573,13 +838,19 @@ impl Iustitia {
     /// evicted (a flow whose effective payload is empty is dropped
     /// without a verdict but still counts).
     pub fn sweep_idle(&mut self, now: f64) -> usize {
-        let idle: Vec<FlowId> = self
+        let mut idle: Vec<FlowId> = self
             .buffers
             .iter()
             .filter(|(_, b)| now - b.last_ts > self.config.idle_timeout)
             .map(|(&id, _)| id)
             // lint: allow(L009) — idle sweep is the periodic maintenance path, not per-packet work
             .collect();
+        // Evict in flow-ID order, not HashMap order: two pipelines fed
+        // identical traffic then produce identical classification logs
+        // regardless of per-instance hash seeds — the property the
+        // batch ≡ per-packet equivalence suite (and the bench's
+        // pre-timing assertion) compares against.
+        idle.sort_unstable();
         let n = idle.len();
         for id in idle {
             self.classify_flow(id, now);
@@ -1015,6 +1286,74 @@ mod tests {
         ));
         assert_eq!(ius.resident_feature_bytes(), 0);
         assert_eq!(ius.pending_flows(), 0);
+    }
+
+    /// One `process_batch` call over a same-flow run: the first packets
+    /// fill the buffer, the completing packet classifies, and the rest
+    /// of the run forwards as CDB hits off the held record — with the
+    /// same counters sequential processing would leave.
+    #[test]
+    fn batch_run_classifies_then_forwards_hits() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(18));
+        let prose = text_payload(32);
+        let packets: Vec<Packet> = vec![
+            data_packet(1, 0.00, &prose[..16]),
+            data_packet(1, 0.01, &prose[16..]),
+            data_packet(1, 0.02, &text_payload(10)),
+            data_packet(1, 0.03, &text_payload(10)),
+            data_packet(1, 0.04, &text_payload(10)),
+        ];
+        let items: Vec<BatchPacket<'_>> = packets.iter().map(BatchPacket::new).collect();
+        let mut verdicts = Vec::new();
+        ius.process_batch(&items, &mut verdicts);
+        assert_eq!(
+            verdicts,
+            vec![
+                Verdict::Buffering,
+                Verdict::Classified(FileClass::Text),
+                Verdict::Hit(FileClass::Text),
+                Verdict::Hit(FileClass::Text),
+                Verdict::Hit(FileClass::Text),
+            ]
+        );
+        // 2 buffered packets forwarded at classification + 3 hits.
+        assert_eq!(ius.queues().forwarded[FileClass::Text.index()], 5);
+        assert_eq!(ius.pending_flows(), 0);
+        assert_eq!(ius.take_log().len(), 1);
+    }
+
+    /// Close and control packets inside a batch stay un-grouped and keep
+    /// their ordering semantics (close removes the CDB record even with
+    /// same-flow data packets on both sides).
+    #[test]
+    fn batch_with_interleaved_close_matches_sequential_semantics() {
+        let mut ius = Iustitia::new(toy_model(), PipelineConfig::headline(19));
+        let fin = Packet {
+            timestamp: 0.02,
+            tuple: tuple(1),
+            flags: TcpFlags::FIN | TcpFlags::ACK,
+            payload: vec![],
+        };
+        let packets: Vec<Packet> = vec![
+            data_packet(1, 0.00, &text_payload(64)), // classifies (b = 32)
+            data_packet(1, 0.01, &text_payload(8)),  // hit
+            fin,                                     // removes the record
+            data_packet(1, 0.03, &text_payload(8)),  // miss again → buffering
+        ];
+        let items: Vec<BatchPacket<'_>> = packets.iter().map(BatchPacket::new).collect();
+        let mut verdicts = Vec::new();
+        ius.process_batch(&items, &mut verdicts);
+        assert_eq!(
+            verdicts,
+            vec![
+                Verdict::Classified(FileClass::Text),
+                Verdict::Hit(FileClass::Text),
+                Verdict::Ignored,
+                Verdict::Buffering,
+            ]
+        );
+        assert_eq!(ius.cdb().len(), 0);
+        assert_eq!(ius.pending_flows(), 1);
     }
 
     /// A model trained on a different feature width than the pipeline

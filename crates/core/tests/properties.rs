@@ -3,7 +3,7 @@
 use iustitia::cdb::{CdbConfig, ClassificationDatabase, FlowId};
 use iustitia::features::{FeatureExtractor, FeatureMode};
 use iustitia::model::{ModelKind, NatureModel};
-use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+use iustitia::pipeline::{BatchPacket, HeaderPolicy, Iustitia, PipelineConfig, Verdict};
 use iustitia::sha1::sha1;
 use iustitia_corpus::FileClass;
 use iustitia_entropy::FeatureWidths;
@@ -59,6 +59,57 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         })
 }
 
+/// Packets drawn from a tiny flow space (4 ports, one source), so
+/// random sequences contain interleaved flows, same-flow runs, CDB-hit
+/// streaks after classification, closes mid-run, and pooled-state
+/// recycling — everything the batch grouping has to keep bit-identical.
+fn arb_hot_flow_packet() -> impl Strategy<Value = Packet> {
+    (0.0f64..40.0, 0u16..4, 0u8..16, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+        |(t, port, flag_bits, payload)| {
+            let src = Ipv4Addr::new(10, 0, 0, 1);
+            let dst = Ipv4Addr::new(192, 168, 1, 1);
+            let mut flags = TcpFlags::ACK;
+            if flag_bits == 1 {
+                flags = flags | TcpFlags::FIN;
+            }
+            if flag_bits == 2 {
+                flags = TcpFlags::RST;
+            }
+            if flag_bits == 3 {
+                flags = TcpFlags::SYN;
+            }
+            Packet {
+                timestamp: t,
+                tuple: FiveTuple::tcp(src, 4000 + port, dst, 443),
+                flags,
+                payload,
+            }
+        },
+    )
+}
+
+/// Drives `batched` with `process_batch` over `packets` split into
+/// consecutive batches whose sizes cycle through `cuts`, returning the
+/// concatenated verdicts.
+fn run_batched(batched: &mut Iustitia, packets: &[Packet], cuts: &[usize]) -> Vec<Verdict> {
+    let mut got = Vec::new();
+    let mut verdicts = Vec::new();
+    let mut rest = packets;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = cuts.get(i % cuts.len().max(1)).copied().unwrap_or(rest.len());
+        let take = take.clamp(1, rest.len());
+        let (chunk, remainder) = rest.split_at(take);
+        let items: Vec<BatchPacket<'_>> = chunk.iter().map(BatchPacket::new).collect();
+        batched.process_batch(&items, &mut verdicts);
+        assert_eq!(verdicts.len(), chunk.len(), "one verdict per packet");
+        got.extend(verdicts.iter().copied());
+        rest = remainder;
+        i += 1;
+    }
+    got
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -92,6 +143,55 @@ proptest! {
         }
         pipeline.sweep_idle(f64::INFINITY);
         prop_assert_eq!(pipeline.pending_flows(), 0);
+    }
+
+    /// The batch tentpole invariant: any batching of any packet
+    /// sequence produces bit-identical verdicts AND bit-identical
+    /// observable state (queue counters, pending gauges, resident
+    /// bytes, CDB contents and churn stats, pool accounting, and the
+    /// full classification log — whose labels pin the entropy vectors
+    /// through the model's decision bands) to batch-of-one dispatch.
+    /// Covers interleaved flows, same-flow hit runs, closes and control
+    /// packets mid-batch, idle sweeps, TTL expiry inside hit runs,
+    /// header staging, and recycled pooled state.
+    #[test]
+    fn process_batch_is_bit_identical_to_per_packet(
+        packets in proptest::collection::vec(arb_hot_flow_packet(), 0..60),
+        cuts in proptest::collection::vec(1usize..16, 0..12),
+        policy_sel in 0u8..3,
+        battery in any::<bool>(),
+        ttl in any::<bool>(),
+    ) {
+        let policy = match policy_sel {
+            0 => HeaderPolicy::None,
+            1 => HeaderPolicy::StripKnown { t: 8 },
+            _ => HeaderPolicy::RandomSkip { t_max: 5 },
+        };
+        let config = PipelineConfig {
+            header_policy: policy,
+            battery,
+            cdb: CdbConfig {
+                reclassify_after: if ttl { Some(3.0) } else { None },
+                ..CdbConfig::default()
+            },
+            idle_timeout: 5.0,
+            ..PipelineConfig::headline(21)
+        };
+        let mut per_packet = Iustitia::new(any_model(), config.clone());
+        let mut batched = Iustitia::new(any_model(), config);
+
+        let expected: Vec<Verdict> = packets.iter().map(|p| per_packet.process_packet(p)).collect();
+        let got = run_batched(&mut batched, &packets, &cuts);
+
+        prop_assert_eq!(got, expected, "verdict sequences must be bit-identical");
+        prop_assert_eq!(batched.queues(), per_packet.queues());
+        prop_assert_eq!(batched.pending_flows(), per_packet.pending_flows());
+        prop_assert_eq!(batched.resident_feature_bytes(), per_packet.resident_feature_bytes());
+        prop_assert_eq!(batched.cdb().len(), per_packet.cdb().len());
+        prop_assert_eq!(batched.cdb().stats(), per_packet.cdb().stats());
+        prop_assert_eq!(batched.state_pool_hits(), per_packet.state_pool_hits());
+        prop_assert_eq!(batched.state_pool_size(), per_packet.state_pool_size());
+        prop_assert_eq!(batched.take_log(), per_packet.take_log());
     }
 
     #[test]

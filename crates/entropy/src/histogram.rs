@@ -89,32 +89,6 @@ impl Store {
         }
     }
 
-    /// Adds one occurrence of the packed gram `key`.
-    #[inline]
-    fn bump(&mut self, key: u128) {
-        match self {
-            Store::Dense1 { counts, distinct } => {
-                // lint: allow(L008) — key is masked to the 256-slot dense table
-                let c = &mut counts[key as usize & 0xFF];
-                if *c == 0 {
-                    *distinct += 1;
-                }
-                *c += 1;
-            }
-            Store::Dense2 { counts, touched } => {
-                let idx = key as usize & 0xFFFF;
-                // lint: allow(L008) — idx is masked to the 2^16-slot dense table
-                let c = &mut counts[idx];
-                if *c == 0 {
-                    // lint: allow(L009) — touched holds at most 2^16 entries; its capacity survives pooled reuse
-                    touched.push(idx as u16);
-                }
-                *c += 1;
-            }
-            Store::Open(table) => table.increment(key),
-        }
-    }
-
     fn get(&self, key: u128) -> u64 {
         match self {
             // lint: allow(L008) — key is masked to the 256-slot dense table
@@ -182,6 +156,21 @@ impl Iterator for StoreIter<'_> {
     }
 }
 
+/// One counting step of the dense `k = 2` tier, kept as a free function
+/// so the unrolled slab loop in
+/// [`GramHistogram::extend_packed_carry`] stays branch-light and the
+/// borrow of `counts` / `touched` is taken once per lane.
+#[inline(always)]
+fn bump_dense2(counts: &mut [u64], touched: &mut Vec<u16>, idx: u16) {
+    // lint: allow(L008) — idx is a u16, always within the 2^16-slot dense table
+    let c = &mut counts[idx as usize];
+    if *c == 0 {
+        // lint: allow(L009) — touched holds at most 2^16 entries; its capacity survives pooled reuse
+        touched.push(idx);
+    }
+    *c += 1;
+}
+
 /// Packs up to 16 bytes into a `u128` key.
 ///
 /// # Panics
@@ -239,10 +228,53 @@ impl GramHistogram {
         if data.len() < self.k {
             return;
         }
-        if self.k == 1 {
-            // Fast path: dense iteration without window packing.
-            if let Store::Dense1 { counts, distinct } = &mut self.store {
-                for &b in data {
+        if let Store::Open(table) = &mut self.store {
+            // Worst case every window is distinct; one rehash up front
+            // replaces the cascade of doublings mid-scan.
+            table.reserve(data.len() - self.k + 1);
+        }
+        // Seed the rolling window with the first k−1 bytes, then run the
+        // same slab loop the incremental path uses: every window of
+        // `data` ends at or after byte k−1.
+        // lint: allow(L008) — data.len() >= k (early return above), so k - 1 is in range
+        let seed = pack_gram(&data[..self.k - 1]);
+        // lint: allow(L008) — data.len() >= k (early return above)
+        self.extend_packed_carry(seed, (self.k - 1) as u64, &data[self.k - 1..]);
+    }
+
+    /// Counts every `k`-gram window of a flow's byte stream that ends
+    /// inside `chunk` — the slab path shared by the one-shot and
+    /// incremental feeds. `prev_key` is the rolling packed window of the
+    /// last ≤16 bytes fed before `chunk` (as maintained by
+    /// [`crate::incremental::IncrementalVector`]) and `total` is how
+    /// many bytes were fed before.
+    ///
+    /// The storage tier is resolved **once per chunk** and the inner
+    /// loops run over contiguous bytes in fixed-width lanes (the dense
+    /// `k = 2` tier is 4-way unrolled with indices derived straight from
+    /// byte pairs, so the only loop-carried value is one byte), instead
+    /// of dispatching on the tier per byte.
+    ///
+    /// Window-for-window identical to feeding the same bytes through the
+    /// per-byte rolling update: the window ending at chunk byte `i`
+    /// (0-based) covers stream bytes `total+i+1−k ..= total+i` and is
+    /// valid iff `total + i + 1 >= k`, so the first counting byte is
+    /// `start = (k − 1 − total).max(0)` and each later byte slides the
+    /// same window by one. Equal window enumerations give equal count
+    /// multisets, and [`sum_m_log_m`](Self::sum_m_log_m) sorts before
+    /// summing, so every derived float is bit-identical.
+    pub(crate) fn extend_packed_carry(&mut self, prev_key: u128, total: u64, chunk: &[u8]) {
+        let start = (self.k as u64).saturating_sub(total + 1) as usize;
+        if start >= chunk.len() {
+            return;
+        }
+        let windows = chunk.len() - start;
+        match &mut self.store {
+            Store::Dense1 { counts, distinct } => {
+                // k == 1: every byte is its own window (start == 0) and
+                // the byte *is* the table index — a pure contiguous
+                // counting loop with no rolling state at all.
+                for &b in chunk {
                     // lint: allow(L008) — b as usize < 256, the Dense1 table length
                     let c = &mut counts[b as usize];
                     if *c == 0 {
@@ -251,37 +283,42 @@ impl GramHistogram {
                     *c += 1;
                 }
             }
-            self.windows += data.len() as u64;
-            return;
-        }
-        let windows = data.len() - self.k + 1;
-        let mask = width_mask(self.k);
-        // lint: allow(L008) — data.len() >= k (early return above), so k - 1 is in range
-        let mut key = pack_gram(&data[..self.k - 1]);
-        // The tier is fixed for the life of the histogram, so resolve
-        // it once instead of re-matching on every byte.
-        match &mut self.store {
-            Store::Dense1 { .. } => {} // k == 1 took the fast path above
             Store::Dense2 { counts, touched } => {
-                // lint: allow(L008) — data.len() >= k (early return above)
-                for &b in &data[self.k - 1..] {
-                    key = ((key << 8) | u128::from(b)) & mask;
-                    let idx = key as usize & 0xFFFF;
-                    // lint: allow(L008) — idx is masked to the 2^16-slot dense table
-                    let c = &mut counts[idx];
-                    if *c == 0 {
-                        // lint: allow(L009) — touched holds at most 2^16 entries; its capacity survives pooled reuse
-                        touched.push(idx as u16);
-                    }
-                    *c += 1;
+                // k == 2 ⇒ start ∈ {0, 1}: either the previous byte is
+                // the low byte of `prev_key`, or (total == 0) the first
+                // chunk byte only warms the window.
+                let mut prev: u8 = if start == 0 {
+                    prev_key as u8
+                } else {
+                    // lint: allow(L008) — start < chunk.len() (early return above)
+                    chunk[0]
+                };
+                // lint: allow(L008) — start < chunk.len() (early return above)
+                let body = &chunk[start..];
+                let mut quads = body.chunks_exact(4);
+                for quad in quads.by_ref() {
+                    // lint: allow(L008) — chunks_exact(4) yields exactly 4 bytes
+                    let (b0, b1, b2, b3) = (quad[0], quad[1], quad[2], quad[3]);
+                    bump_dense2(counts, touched, u16::from_be_bytes([prev, b0]));
+                    bump_dense2(counts, touched, u16::from_be_bytes([b0, b1]));
+                    bump_dense2(counts, touched, u16::from_be_bytes([b1, b2]));
+                    bump_dense2(counts, touched, u16::from_be_bytes([b2, b3]));
+                    prev = b3;
+                }
+                for &b in quads.remainder() {
+                    bump_dense2(counts, touched, u16::from_be_bytes([prev, b]));
+                    prev = b;
                 }
             }
             Store::Open(table) => {
-                // Worst case every window is distinct; one rehash up
-                // front replaces the cascade of doublings mid-scan.
-                table.reserve(windows);
-                // lint: allow(L008) — data.len() >= k (early return above)
-                for &b in &data[self.k - 1..] {
+                let mask = width_mask(self.k);
+                let mut key = prev_key;
+                // lint: allow(L008) — start < chunk.len() (early return above)
+                for &b in &chunk[..start] {
+                    key = (key << 8) | u128::from(b);
+                }
+                // lint: allow(L008) — start < chunk.len() (early return above)
+                for &b in &chunk[start..] {
                     key = ((key << 8) | u128::from(b)) & mask;
                     table.increment(key);
                 }
@@ -311,26 +348,10 @@ impl GramHistogram {
         if total < self.k {
             return;
         }
-        let mask = width_mask(self.k);
-        let mut key: u128 = 0;
-        let mut fed = 0usize;
-        for &b in carry.iter().chain(data.iter()) {
-            key = ((key << 8) | u128::from(b)) & mask;
-            fed += 1;
-            if fed >= self.k {
-                self.store.bump(key);
-            }
-        }
-        self.windows += (total - self.k + 1) as u64;
-    }
-
-    /// Adds one already-packed window (the low `8k` bits of `key`) —
-    /// the single-pass incremental path, where one rolling window per
-    /// byte feeds every width at once.
-    #[inline]
-    pub(crate) fn add_packed(&mut self, key: u128) {
-        self.store.bump(key);
-        self.windows += 1;
+        // The carry bytes are exactly the rolling window the incremental
+        // path would hold after feeding them, so the slab loop applies
+        // directly (start = k − 1 − carry.len()).
+        self.extend_packed_carry(pack_gram(carry), carry.len() as u64, data);
     }
 
     /// Resets the histogram to empty while keeping its allocations

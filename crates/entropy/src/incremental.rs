@@ -28,7 +28,7 @@
 //! order — collapsing any iteration-order or storage-tier difference
 //! before a single float is produced.
 
-use crate::histogram::{width_mask, GramHistogram};
+use crate::histogram::GramHistogram;
 use crate::vector::{
     entropy_of_histogram, entropy_of_histogram_with, EntropyVector, FeatureWidths,
 };
@@ -52,8 +52,6 @@ use crate::vector::{
 pub struct IncrementalVector {
     widths: FeatureWidths,
     hists: Vec<GramHistogram>,
-    /// Per-width `8k`-bit masks, parallel to `hists`.
-    masks: Vec<u128>,
     /// Rolling window of the last ≤16 bytes fed (older bytes shift off
     /// the top; every `k ≤ 16` mask still sees its full window).
     key: u128,
@@ -68,8 +66,6 @@ impl IncrementalVector {
             widths: widths.clone(),
             // lint: allow(L009) — flow-setup cold path: the builder is constructed once per flow, then pooled
             hists: widths.iter().map(GramHistogram::new).collect(),
-            // lint: allow(L009) — flow-setup cold path: the builder is constructed once per flow, then pooled
-            masks: widths.iter().map(width_mask).collect(),
             key: 0,
             total: 0,
         }
@@ -91,22 +87,36 @@ impl IncrementalVector {
         }
     }
 
-    /// Folds one chunk of payload into every per-width histogram in a
-    /// single pass over the bytes.
+    /// Folds one chunk of payload into every per-width histogram.
+    ///
+    /// Each width consumes the chunk as one contiguous slab
+    /// ([`GramHistogram::extend_packed_carry`]): the storage tier is
+    /// resolved once per width per chunk and the dense `k = 1` / `k = 2`
+    /// tiers run fixed-width-lane inner loops, instead of the historical
+    /// per-byte loop that re-dispatched on every width for every byte.
+    /// The enumerated windows are identical (see the module docs'
+    /// rolling-window argument applied per width), so chunked ≡ one-shot
+    /// still holds bit-for-bit.
     pub fn update(&mut self, chunk: &[u8]) {
-        let mut key = self.key;
-        let mut fed = self.total;
-        for &b in chunk {
+        if chunk.is_empty() {
+            return;
+        }
+        let (prev_key, total) = (self.key, self.total);
+        for hist in &mut self.hists {
+            hist.extend_packed_carry(prev_key, total, chunk);
+        }
+        // Advance the shared rolling window: only the last ≤16 bytes of
+        // the chunk survive in the key (older ones shift off the top),
+        // so folding just the tail is byte-for-byte what the per-byte
+        // roll would leave behind.
+        // lint: allow(L008) — start = len.saturating_sub(16) <= len, so the range is always valid
+        let tail = &chunk[chunk.len().saturating_sub(16)..];
+        let mut key = prev_key;
+        for &b in tail {
             key = (key << 8) | u128::from(b);
-            fed += 1;
-            for (hist, &mask) in self.hists.iter_mut().zip(&self.masks) {
-                if fed >= hist.k() as u64 {
-                    hist.add_packed(key & mask);
-                }
-            }
         }
         self.key = key;
-        self.total = fed;
+        self.total = total + chunk.len() as u64;
     }
 
     /// Resets the builder to its freshly-created state while keeping

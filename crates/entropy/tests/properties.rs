@@ -274,6 +274,30 @@ proptest! {
         prop_assert_eq!(session.total_bytes(), data.len() as u64);
     }
 
+    /// The slab feed (tier resolved once per chunk, unrolled dense
+    /// lanes) must be bit-identical to the degenerate one-byte-slab
+    /// feed on every tier at once, including the k = 16 rolling edge
+    /// where the window exactly fills the u128 — the witness that the
+    /// fixed-width-lane rewrite changed no window enumeration.
+    #[test]
+    fn slab_feed_equals_byte_feed_at_all_paper_widths(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(1usize..64, 0..16),
+    ) {
+        let widths = FeatureWidths::new(vec![1, 2, 3, 5, 10, 16]);
+        let mut slab = IncrementalVector::new(&widths);
+        for chunk in packetize(&data, &cuts) {
+            slab.update(chunk);
+        }
+        let mut bytewise = IncrementalVector::new(&widths);
+        for &b in &data {
+            bytewise.update(&[b]);
+        }
+        prop_assert_eq!(slab.finish().values(), bytewise.finish().values());
+        prop_assert_eq!(slab.counters_used(), bytewise.counters_used());
+        prop_assert_eq!(slab.total_bytes(), bytewise.total_bytes());
+    }
+
     #[test]
     fn estimator_counter_budget_is_monotone_in_epsilon(
         b in 64usize..8192,

@@ -320,7 +320,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let classify_p50 = s.stage(Stage::Classify).p50().unwrap_or(0);
         eprintln!(
             "packets={} hits={} flows={} busy={} dropped={} conns={} classify_p50={}ns \
-             pending={} resident={}B pool_hits={} pool_size={}",
+             pending={} resident={}B pool_hits={} pool_size={} batch_p50={} queue_locks={}",
             s.packets,
             s.hits,
             s.flows_classified,
@@ -332,6 +332,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             s.resident_feature_bytes(),
             s.state_pool_hits(),
             s.state_pool_size(),
+            s.batch_size.p50().unwrap_or(0),
+            s.queue_lock_acquisitions,
         );
     }
 }
@@ -388,6 +390,13 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
         "state pool:       {} recycled flow states ({} parked)",
         stats.state_pool_hits(),
         stats.state_pool_size(),
+    );
+    println!(
+        "batch dispatch:   {} segments, p50 size {} ({} distinct-flow p50), {} queue locks",
+        stats.batch_size.count(),
+        stats.batch_size.p50().unwrap_or(0),
+        stats.flows_per_batch.p50().unwrap_or(0),
+        stats.queue_lock_acquisitions,
     );
     println!("stage latency (server-side, approximate ns):");
     for stage in Stage::ALL {

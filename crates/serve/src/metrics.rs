@@ -189,6 +189,14 @@ pub struct ServeMetrics {
     pub connections: AtomicU64,
     /// Per-stage latency histograms, indexed by [`Stage`].
     pub stages: [LatencyHistogram; 4],
+    /// Packets per batch dispatched into a shard pipeline (the
+    /// power-of-two buckets hold batch sizes, not nanoseconds). A
+    /// healthy batching path shows mass well above bucket 0.
+    pub batch_size: LatencyHistogram,
+    /// Distinct flows per dispatched batch. Together with
+    /// [`batch_size`](Self::batch_size) this shows the amortization
+    /// ratio: packets-per-flow-group per batch.
+    pub flows_per_batch: LatencyHistogram,
     /// Per-shard gauges, indexed by shard id (empty until
     /// [`with_shards`](Self::with_shards)).
     pub shards: Vec<ShardGauges>,
@@ -212,6 +220,10 @@ impl ServeMetrics {
     }
 
     /// Copies every counter and histogram.
+    ///
+    /// `queue_lock_acquisitions` lives on the shard queues, not in this
+    /// block; the server fills it in via
+    /// [`StatsSnapshot::with_queue_locks`].
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -223,7 +235,10 @@ impl ServeMetrics {
             classify_requests: self.classify_requests.load(Ordering::Relaxed),
             drains: self.drains.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            queue_lock_acquisitions: 0,
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+            batch_size: self.batch_size.snapshot(),
+            flows_per_batch: self.flows_per_batch.snapshot(),
             shards: self
                 .shards
                 .iter()
@@ -274,8 +289,16 @@ pub struct StatsSnapshot {
     pub drains: u64,
     /// Connections accepted since start.
     pub connections: u64,
+    /// Shard-queue mutex acquisitions, summed over all shard queues.
+    /// Compare against `packets` to see the batch amortization: the
+    /// ratio stays far below one acquisition per packet.
+    pub queue_lock_acquisitions: u64,
     /// Per-stage histograms, indexed by [`Stage`].
     pub stages: [HistogramSnapshot; 4],
+    /// Packets per dispatched batch (bucket index is `log2(size)`).
+    pub batch_size: HistogramSnapshot,
+    /// Distinct flows per dispatched batch.
+    pub flows_per_batch: HistogramSnapshot,
     /// Per-shard gauges, indexed by shard id.
     pub shards: Vec<ShardStats>,
 }
@@ -289,6 +312,14 @@ impl StatsSnapshot {
     #[must_use]
     pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
         &self.stages[stage as usize]
+    }
+
+    /// Fills in the queue-lock counter (summed across shard queues by
+    /// the server, which owns the queues).
+    #[must_use]
+    pub fn with_queue_locks(mut self, acquisitions: u64) -> Self {
+        self.queue_lock_acquisitions = acquisitions;
+        self
     }
 
     /// Total pending flows across all shards.
@@ -315,9 +346,10 @@ impl StatsSnapshot {
         self.shards.iter().map(|s| s.state_pool_size).sum()
     }
 
-    /// Wire encoding: the eight counters, the four histograms, then
-    /// the shard-gauge section (shard count followed by four gauges
-    /// per shard), all as big-endian `u64`.
+    /// Wire encoding: the nine counters, the four stage histograms,
+    /// the two batch-shape histograms, then the shard-gauge section
+    /// (shard count followed by four gauges per shard), all as
+    /// big-endian `u64`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
             self.packets,
@@ -328,11 +360,12 @@ impl StatsSnapshot {
             self.classify_requests,
             self.drains,
             self.connections,
+            self.queue_lock_acquisitions,
         ] {
             out.extend_from_slice(&v.to_be_bytes());
         }
-        for stage in &self.stages {
-            for &bucket in &stage.buckets {
+        for hist in self.stages.iter().chain([&self.batch_size, &self.flows_per_batch]) {
+            for &bucket in &hist.buckets {
                 out.extend_from_slice(&bucket.to_be_bytes());
             }
         }
@@ -361,11 +394,18 @@ impl StatsSnapshot {
             classify_requests: r.u64()?,
             drains: r.u64()?,
             connections: r.u64()?,
+            queue_lock_acquisitions: r.u64()?,
             stages: Default::default(),
+            batch_size: HistogramSnapshot::default(),
+            flows_per_batch: HistogramSnapshot::default(),
             shards: Vec::new(),
         };
-        for stage in &mut snapshot.stages {
-            for bucket in &mut stage.buckets {
+        for hist in snapshot
+            .stages
+            .iter_mut()
+            .chain([&mut snapshot.batch_size, &mut snapshot.flows_per_batch])
+        {
+            for bucket in &mut hist.buckets {
                 *bucket = r.u64()?;
             }
         }
@@ -444,15 +484,21 @@ mod tests {
         ServeMetrics::add(&m.dropped_oldest, 7);
         m.record(Stage::Hash, 250);
         m.record(Stage::BufferFill, 999);
+        m.batch_size.record(64);
+        m.batch_size.record(3);
+        m.flows_per_batch.record(5);
         m.shards[0].set(4, 4 * 2240, 120, 9);
         m.shards[2].set(1, 96, 41, 2);
-        let snapshot = m.snapshot();
+        let snapshot = m.snapshot().with_queue_locks(77);
         let mut body = Vec::new();
         snapshot.encode_into(&mut body);
         let mut reader = crate::proto::FieldReader::new(&body);
         let back = StatsSnapshot::decode(&mut reader).unwrap();
         reader.finish().unwrap();
         assert_eq!(back, snapshot);
+        assert_eq!(back.queue_lock_acquisitions, 77);
+        assert_eq!(back.batch_size.count(), 2);
+        assert_eq!(back.flows_per_batch.count(), 1);
         assert_eq!(back.pending_flows(), 5);
         assert_eq!(back.resident_feature_bytes(), 4 * 2240 + 96);
         assert_eq!(back.state_pool_hits(), 161);

@@ -42,7 +42,7 @@ use iustitia::cdb::FlowId;
 use iustitia::concurrent::shard_index;
 use iustitia::features::FeatureExtractor;
 use iustitia::model::NatureModel;
-use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+use iustitia::pipeline::{BatchPacket, ClassifiedFlow, Iustitia, PipelineConfig, Verdict};
 use iustitia_netsim::{FiveTuple, Packet};
 
 use crate::metrics::{ServeMetrics, Stage};
@@ -110,6 +110,15 @@ struct Shared {
     queues: Vec<BoundedQueue<Job>>,
     stop: AtomicBool,
     next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    /// Full stats snapshot, including the queue-lock counter summed
+    /// across the shard queues (which live outside [`ServeMetrics`]).
+    fn snapshot(&self) -> crate::metrics::StatsSnapshot {
+        let locks = self.queues.iter().map(BoundedQueue::lock_acquisitions).sum();
+        self.metrics.snapshot().with_queue_locks(locks)
+    }
 }
 
 /// A running classification server; dropping it (or calling
@@ -206,7 +215,7 @@ impl Server {
     /// A metrics snapshot, equivalent to the `Stats` request.
     #[must_use]
     pub fn stats(&self) -> crate::metrics::StatsSnapshot {
-        self.shared.metrics.snapshot()
+        self.shared.snapshot()
     }
 
     /// Stops accepting, closes the shard queues, and waits for every
@@ -394,7 +403,7 @@ fn reader_loop(
                     // Account for earlier submits in this batch first, so a
                     // client's own submit→stats ordering is reflected.
                     dispatch(shared, &mut per_shard);
-                    if resp_tx.send(Response::Stats(Box::new(shared.metrics.snapshot()))).is_err() {
+                    if resp_tx.send(Response::Stats(Box::new(shared.snapshot()))).is_err() {
                         break 'conn;
                     }
                 }
@@ -443,8 +452,24 @@ fn dispatch(shared: &Arc<Shared>, per_shard: &mut [Vec<Job>]) {
     }
 }
 
+/// A packet job pulled off the shard queue, awaiting batched dispatch.
+struct PacketJob {
+    packet: Packet,
+    flow: FlowId,
+    conn_id: u64,
+    reply: mpsc::Sender<Response>,
+}
+
 /// One shard worker: owns an [`Iustitia`] pipeline (with its own CDB)
 /// and processes its queue until the server shuts down, then drains.
+///
+/// Each condvar wakeup drains the whole backlog with a single
+/// [`BoundedQueue::pop_all`]. Contiguous stretches of packet jobs form
+/// a *segment*; control jobs (drain barriers, disconnects) flush the
+/// pending segment first, so their ordering guarantees are unchanged.
+/// Segments are grouped by flow ID and dispatched through
+/// [`Iustitia::process_batch`], which resolves each flow's pipeline
+/// state once per same-flow run instead of once per packet.
 fn shard_worker(shared: &Arc<Shared>, shard: usize) {
     let mut config = shared.config.pipeline.clone();
     // Decorrelate per-shard RNG streams, as the offline fleet does.
@@ -453,48 +478,27 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
     let mut pipeline = Iustitia::new((*shared.model).clone(), config);
     let mut routes: HashMap<FlowId, Route> = HashMap::new();
     let mut last_t = 0.0f64;
+    // Reused across segments: pending packet jobs and verdict scratch.
+    let mut segment: Vec<PacketJob> = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
 
     while let Some(batch) = shared.queues[shard].pop_all() {
         for job in batch {
             match job {
                 Job::Packet { packet, flow, conn_id, reply } => {
-                    if packet.timestamp > last_t {
-                        last_t = packet.timestamp;
-                    }
-                    if packet.is_data() {
-                        routes.entry(flow).or_insert_with(|| Route {
-                            tuple: packet.tuple,
-                            conn_id,
-                            reply,
-                        });
-                    }
-                    let closes = packet.flags.closes_flow();
-                    let t0 = Instant::now();
-                    let verdict = pipeline.process_packet(&packet);
-                    let nanos = t0.elapsed().as_nanos() as u64;
-                    match verdict {
-                        Verdict::Hit(_) => {
-                            shared.metrics.record(Stage::CdbLookup, nanos);
-                            ServeMetrics::add(&shared.metrics.hits, 1);
-                            // Flow already classified; no verdict owed.
-                            routes.remove(&flow);
-                        }
-                        Verdict::Buffering => {
-                            shared.metrics.record(Stage::BufferFill, nanos);
-                        }
-                        Verdict::Classified(_) => {
-                            shared.metrics.record(Stage::Classify, nanos);
-                        }
-                        Verdict::Ignored => {}
-                    }
-                    emit_verdicts(&mut pipeline, &mut routes, shared, None);
-                    if closes {
-                        // Flow state is gone (partial leftovers were
-                        // classified and emitted above, if any).
-                        routes.remove(&flow);
-                    }
+                    segment.push(PacketJob { packet, flow, conn_id, reply });
                 }
                 Job::Drain { conn_id, ack } => {
+                    // Barrier: everything submitted before the drain is
+                    // dispatched before the sweep.
+                    process_segment(
+                        &mut pipeline,
+                        &mut routes,
+                        shared,
+                        &mut last_t,
+                        &mut segment,
+                        &mut verdicts,
+                    );
                     pipeline.sweep_idle(last_t + idle_timeout + 1.0);
                     let flushed = emit_verdicts(&mut pipeline, &mut routes, shared, Some(conn_id));
                     // Refresh gauges before acking so a Stats request
@@ -508,10 +512,29 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                     let _ = ack.send(flushed);
                 }
                 Job::Disconnect { conn_id } => {
+                    // Flush first: packets this connection submitted
+                    // before going away still get processed, and their
+                    // routes must exist to be forgotten here.
+                    process_segment(
+                        &mut pipeline,
+                        &mut routes,
+                        shared,
+                        &mut last_t,
+                        &mut segment,
+                        &mut verdicts,
+                    );
                     routes.retain(|_, route| route.conn_id != conn_id);
                 }
             }
         }
+        process_segment(
+            &mut pipeline,
+            &mut routes,
+            shared,
+            &mut last_t,
+            &mut segment,
+            &mut verdicts,
+        );
         // Refresh this shard's gauges once per drained batch: cheap
         // (a few relaxed stores) and fresh enough for a Stats poll.
         shared.metrics.shards[shard].set(
@@ -534,6 +557,195 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
     );
 }
 
+/// Dispatches one segment (a contiguous stretch of packet jobs from a
+/// drained batch) through the pipeline's batch path.
+///
+/// The segment is stable-sorted by flow ID: same-flow packets become
+/// adjacent while each flow keeps its arrival order, so
+/// [`Iustitia::process_batch`] resolves every flow's state once per
+/// run. Cross-flow order within one drained segment is a scheduling
+/// detail — concurrent connections already interleave arbitrarily in
+/// the queue — and the batch path is bit-identical to per-packet
+/// dispatch on whatever order is chosen.
+fn process_segment(
+    pipeline: &mut Iustitia,
+    routes: &mut HashMap<FlowId, Route>,
+    shared: &Arc<Shared>,
+    last_t: &mut f64,
+    segment: &mut Vec<PacketJob>,
+    verdicts: &mut Vec<Verdict>,
+) {
+    if segment.is_empty() {
+        return;
+    }
+    for job in segment.iter() {
+        if job.packet.timestamp > *last_t {
+            *last_t = job.packet.timestamp;
+        }
+    }
+    let mut order: Vec<usize> = (0..segment.len()).collect();
+    order.sort_by(|&a, &b| segment[a].flow.cmp(&segment[b].flow));
+    let grouped: Vec<&PacketJob> = order.iter().map(|&i| &segment[i]).collect();
+    let flows =
+        grouped.iter().zip(grouped.iter().skip(1)).filter(|(a, b)| a.flow != b.flow).count() + 1;
+    shared.metrics.batch_size.record(grouped.len() as u64);
+    shared.metrics.flows_per_batch.record(flows as u64);
+
+    // Split the grouped segment the same way process_batch does: runs
+    // of same-flow data packets go through the batch path; closes and
+    // non-data packets are dispatched singly with the original
+    // per-packet bookkeeping (they can tear down flow state, which
+    // interacts with verdict routing).
+    let mut rest: &[&PacketJob] = &grouped;
+    while let Some((first, tail)) = rest.split_first() {
+        if !first.packet.is_data() || first.packet.flags.closes_flow() {
+            process_single(pipeline, routes, shared, first);
+            rest = tail;
+            continue;
+        }
+        let run_len = 1 + tail
+            .iter()
+            .take_while(|j| {
+                j.flow == first.flow && j.packet.is_data() && !j.packet.flags.closes_flow()
+            })
+            .count();
+        let (run, remainder) = rest.split_at(run_len);
+        process_flow_run(pipeline, routes, shared, run, verdicts);
+        rest = remainder;
+    }
+    segment.clear();
+}
+
+/// Dispatches one packet with the original per-packet bookkeeping
+/// (route insertion, stage attribution, verdict emission, route
+/// teardown on close).
+fn process_single(
+    pipeline: &mut Iustitia,
+    routes: &mut HashMap<FlowId, Route>,
+    shared: &Arc<Shared>,
+    job: &PacketJob,
+) {
+    if job.packet.is_data() {
+        routes.entry(job.flow).or_insert_with(|| Route {
+            tuple: job.packet.tuple,
+            conn_id: job.conn_id,
+            reply: job.reply.clone(),
+        });
+    }
+    let closes = job.packet.flags.closes_flow();
+    let t0 = Instant::now();
+    let verdict = pipeline.process_packet(&job.packet);
+    let nanos = t0.elapsed().as_nanos() as u64;
+    match verdict {
+        Verdict::Hit(_) => {
+            shared.metrics.record(Stage::CdbLookup, nanos);
+            ServeMetrics::add(&shared.metrics.hits, 1);
+            // Flow already classified; no verdict owed.
+            routes.remove(&job.flow);
+        }
+        Verdict::Buffering => {
+            shared.metrics.record(Stage::BufferFill, nanos);
+        }
+        Verdict::Classified(_) => {
+            shared.metrics.record(Stage::Classify, nanos);
+        }
+        Verdict::Ignored => {}
+    }
+    emit_verdicts(pipeline, routes, shared, None);
+    if closes {
+        // Flow state is gone (partial leftovers were classified and
+        // emitted above, if any).
+        routes.remove(&job.flow);
+    }
+}
+
+/// Dispatches a run of same-flow data packets through
+/// [`Iustitia::process_batch`], then replays the per-packet route
+/// bookkeeping against the returned verdicts.
+///
+/// Log entries for *other* flows (opportunistic idle sweeps firing
+/// mid-run) are delivered up front: their routes are untouched while
+/// this run executes, so the route each would have seen under
+/// per-packet dispatch is the route it sees here. Entries for the
+/// run's own flow are delivered positionally at its `Classified`
+/// verdicts, which is where per-packet dispatch would have emitted
+/// them relative to the route insert/remove sequence.
+fn process_flow_run(
+    pipeline: &mut Iustitia,
+    routes: &mut HashMap<FlowId, Route>,
+    shared: &Arc<Shared>,
+    run: &[&PacketJob],
+    verdicts: &mut Vec<Verdict>,
+) {
+    let flow = run[0].flow;
+    let items: Vec<BatchPacket<'_>> =
+        run.iter().map(|j| BatchPacket { flow: j.flow, packet: &j.packet }).collect();
+    let t0 = Instant::now();
+    pipeline.process_batch(&items, verdicts);
+    let nanos = t0.elapsed().as_nanos() as u64;
+    // Attribute the mean per-packet cost to the stage that terminated
+    // each packet, mirroring the per-packet path's accounting.
+    let per_packet = nanos / items.len() as u64;
+
+    let log = pipeline.take_log();
+    if !log.is_empty() {
+        ServeMetrics::add(&shared.metrics.flows_classified, log.len() as u64);
+    }
+    let mut own: Vec<ClassifiedFlow> = Vec::new();
+    for entry in log {
+        if entry.id == flow {
+            own.push(entry);
+        } else {
+            deliver(routes, &entry);
+        }
+    }
+    let mut own = own.into_iter();
+
+    for (job, verdict) in run.iter().zip(verdicts.iter()) {
+        if job.packet.is_data() && !routes.contains_key(&flow) {
+            routes.insert(
+                flow,
+                Route { tuple: job.packet.tuple, conn_id: job.conn_id, reply: job.reply.clone() },
+            );
+        }
+        match verdict {
+            Verdict::Hit(_) => {
+                shared.metrics.record(Stage::CdbLookup, per_packet);
+                ServeMetrics::add(&shared.metrics.hits, 1);
+                routes.remove(&flow);
+            }
+            Verdict::Buffering => shared.metrics.record(Stage::BufferFill, per_packet),
+            Verdict::Classified(_) => {
+                shared.metrics.record(Stage::Classify, per_packet);
+                if let Some(entry) = own.next() {
+                    deliver(routes, &entry);
+                }
+            }
+            Verdict::Ignored => {}
+        }
+    }
+    // A flow swept idle mid-run (evicted by its own sweep-due packet,
+    // then re-buffered) logs an extra entry with no Classified verdict;
+    // deliver any such leftovers to the flow's current route.
+    for entry in own {
+        deliver(routes, &entry);
+    }
+}
+
+/// Sends one classification to the connection that owns the flow,
+/// consuming its route (each route delivers exactly one verdict).
+fn deliver(routes: &mut HashMap<FlowId, Route>, flow: &ClassifiedFlow) {
+    if let Some(route) = routes.remove(&flow.id) {
+        let _ = route.reply.send(Response::FlowVerdict(FlowVerdict {
+            tuple: route.tuple,
+            label: flow.label,
+            packets: flow.packets,
+            buffered_bytes: flow.buffered_bytes as u32,
+            fill_time: flow.fill_time,
+        }));
+    }
+}
+
 /// Delivers every newly logged classification to the connection that
 /// owns the flow. Returns how many belonged to `count_conn`.
 fn emit_verdicts(
@@ -549,18 +761,12 @@ fn emit_verdicts(
     let mut matched = 0u32;
     ServeMetrics::add(&shared.metrics.flows_classified, log.len() as u64);
     for flow in log {
-        if let Some(route) = routes.remove(&flow.id) {
+        if let Some(route) = routes.get(&flow.id) {
             if count_conn == Some(route.conn_id) {
                 matched += 1;
             }
-            let _ = route.reply.send(Response::FlowVerdict(FlowVerdict {
-                tuple: route.tuple,
-                label: flow.label,
-                packets: flow.packets,
-                buffered_bytes: flow.buffered_bytes as u32,
-                fill_time: flow.fill_time,
-            }));
         }
+        deliver(routes, &flow);
     }
     matched
 }

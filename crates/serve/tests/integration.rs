@@ -252,6 +252,59 @@ fn reject_busy_accounting_balances() {
     server.shutdown();
 }
 
+/// Batch amortization regression test: a burst of N packets must cost
+/// far fewer than N shard-queue lock acquisitions. Readers push whole
+/// batches under one lock and the worker drains everything per wakeup,
+/// so the counter stays an order of magnitude below the packet count;
+/// a lock-per-packet regression on either side would blow past N.
+#[test]
+fn burst_takes_far_fewer_lock_acquisitions_than_packets() {
+    let mut config = server_config();
+    config.shards = 1;
+    let server = Server::start("127.0.0.1:0", trained_model(), config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let n = 2048u64;
+    for i in 0..n {
+        let packet = Packet {
+            timestamp: i as f64 * 1e-4,
+            tuple: FiveTuple::udp(
+                Ipv4Addr::new(172, 20, 0, 1),
+                7000 + (i % 64) as u16,
+                Ipv4Addr::new(172, 20, 0, 2),
+                4433,
+            ),
+            flags: TcpFlags::empty(),
+            payload: vec![0x33; 4],
+        };
+        client.submit_packet(&packet).unwrap();
+    }
+    client.flush().unwrap();
+    client.drain().unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.packets, n, "ample queue admits the whole burst");
+    assert!(stats.queue_lock_acquisitions > 0, "the counter must be wired up");
+    assert!(
+        stats.queue_lock_acquisitions < n / 4,
+        "burst of {} packets cost {} lock acquisitions; batching should amortize \
+         to roughly n / batch_limit",
+        n,
+        stats.queue_lock_acquisitions
+    );
+
+    // The batch-dispatch stage records its shape per segment.
+    assert!(stats.batch_size.count() > 0, "batched dispatch must record batch sizes");
+    assert_eq!(
+        stats.batch_size.count(),
+        stats.flows_per_batch.count(),
+        "each dispatched segment records both histograms"
+    );
+
+    client.close().unwrap();
+    server.shutdown();
+}
+
 /// One-shot ClassifyBuffer bypasses flow state and matches a local
 /// model run bit-for-bit (exact entropy features are deterministic).
 #[test]
