@@ -8,26 +8,37 @@
 //!
 //! Run: `cargo run --release -p iustitia-bench --bin serve_loadgen`
 //!
-//! `--sweep-batch` runs the batch-limit sweep (1, 8, 32, 128, 512)
-//! instead: before any timing it asserts that the pipeline's batch
-//! path is bit-identical to per-packet dispatch on the generated
-//! trace, then measures loadgen throughput at each reader batch limit
-//! and prints a JSON document (captured into
-//! `results/BENCH_batch.json`) on stdout.
+//! Modes (mutually exclusive):
+//! - `--sweep-batch` — batch-limit sweep (1, 8, 32, 128, 512): asserts
+//!   the pipeline's batch path is bit-identical to per-packet dispatch,
+//!   then measures throughput at each reader batch limit and prints a
+//!   JSON document (captured into `results/BENCH_batch.json`).
+//! - `--connections N` — many-socket scenario: N concurrent sockets,
+//!   one small flow each, measuring per-connection submit-to-verdict
+//!   latency client-side plus the server's accept-to-verdict histogram.
+//!   Prints a JSON document (captured into `results/BENCH_epoll.json`).
+//! - `--pcap FILE` — replay a capture file through the single-client
+//!   path instead of a generated trace.
+//! - `--write-pcap FILE` — export the generated trace as a classic
+//!   pcap (LINKTYPE_RAW) and exit.
 //!
 //! Environment knobs:
 //! - `IUSTITIA_BENCH_SCALE` — scales flow count (default 1.0).
 //! - `SERVE_SHARDS` — shard worker count (default 4).
 
-use std::time::Instant;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use iustitia::features::{FeatureMode, TrainingMethod};
 use iustitia::model::{train_from_corpus, NatureModel};
 use iustitia::pipeline::{BatchPacket, Iustitia, PipelineConfig, Verdict};
 use iustitia_bench::{paper_cart, prefix_corpus, scaled};
 use iustitia_entropy::FeatureWidths;
-use iustitia_netsim::{ContentMode, Packet, TraceConfig, TraceGenerator};
-use iustitia_serve::{Client, ClientEvent, Server, ServerConfig, Stage};
+use iustitia_netsim::{ContentMode, FiveTuple, Packet, TcpFlags, TraceConfig, TraceGenerator};
+use iustitia_serve::{
+    Client, ClientEvent, FrameAssembler, Request, Response, Server, ServerConfig, Stage,
+};
 
 /// Feeds the trace through two freshly built pipelines — one per
 /// packet, one through `process_batch` over flow-grouped segments (the
@@ -138,41 +149,185 @@ fn sweep_batch(model: &NatureModel, packets: &[Packet], shards: usize) {
     println!("}}");
 }
 
-fn main() {
-    let sweep = std::env::args().any(|a| a == "--sweep-batch");
-    let shards: usize =
-        std::env::var("SERVE_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
-    let n_flows = scaled(2000);
+/// Client-side state for one socket in the many-connections scenario.
+struct ConnProbe {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    submitted: Instant,
+    verdict_us: Option<u64>,
+    dead: bool,
+}
 
-    eprintln!("training model (CART, 32-byte prefixes)...");
-    let corpus = prefix_corpus(33, 80, 4096);
-    let widths = FeatureWidths::svm_selected();
-    let model = train_from_corpus(
-        &corpus,
-        &widths,
-        TrainingMethod::Prefix { b: 32 },
-        FeatureMode::Exact,
-        &paper_cart(),
-        33,
-    )
-    .expect("balanced corpus");
-
-    eprintln!("generating {n_flows}-flow trace...");
-    let mut trace = TraceConfig::small_test(42);
-    trace.n_flows = n_flows;
-    trace.duration = 30.0;
-    trace.content = ContentMode::Realistic;
-    let packets: Vec<Packet> = TraceGenerator::new(trace).collect();
-
-    if sweep {
-        sweep_batch(&model, &packets, shards);
-        return;
+/// Exact quantile of a sorted latency sample.
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
     }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
 
+/// The two 16-byte-payload packets that complete one probe flow
+/// (headline buffer target b = 32).
+fn probe_frames(index: usize) -> Vec<u8> {
+    let tuple = FiveTuple::udp(
+        std::net::Ipv4Addr::new(10, (index >> 16) as u8, (index >> 8) as u8, index as u8),
+        1024 + (index % 50_000) as u16,
+        std::net::Ipv4Addr::new(10, 99, 99, 99),
+        9999,
+    );
+    let mut bytes = Vec::with_capacity(160);
+    for seq in 0..2u8 {
+        let packet = Packet {
+            timestamp: f64::from(seq) * 1e-3,
+            tuple,
+            flags: TcpFlags::empty(),
+            payload: vec![0x40 + seq; 16],
+        };
+        let (t, body) = Request::SubmitPacket(packet).encode().expect("encode");
+        iustitia_serve::proto::write_frame(&mut bytes, t, body.as_slice()).expect("frame");
+    }
+    bytes
+}
+
+/// The many-socket scenario: `n_conns` concurrent sockets, one small
+/// flow each, submit-to-verdict latency per connection. Prints a JSON
+/// document on stdout (captured into `results/BENCH_epoll.json`).
+fn many_connections(model: &NatureModel, shards: usize, n_conns: usize) {
+    let mut config = ServerConfig::new(PipelineConfig::headline(33));
+    config.shards = shards;
+    config.queue_capacity = 1 << 15; // never reject: lost verdicts must mean lost, not busy
+    let server = Server::start("127.0.0.1:0", model.clone(), config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    eprintln!("connecting {n_conns} sockets...");
+    let wall_start = Instant::now();
+    let mut probes: Vec<ConnProbe> = Vec::with_capacity(n_conns);
+    for _ in 0..n_conns {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        probes.push(ConnProbe {
+            stream,
+            asm: FrameAssembler::new(),
+            submitted: wall_start,
+            verdict_us: None,
+            dead: false,
+        });
+    }
+    let connect_wall = wall_start.elapsed().as_secs_f64();
+    eprintln!("connected in {connect_wall:.3} s; submitting one flow per socket...");
+
+    let submit_start = Instant::now();
+    for (i, probe) in probes.iter_mut().enumerate() {
+        let frames = probe_frames(i);
+        probe.submitted = Instant::now();
+        probe.stream.write_all(&frames).expect("submit");
+        probe.stream.set_nonblocking(true).expect("nonblocking");
+    }
+    let submit_wall = submit_start.elapsed().as_secs_f64();
+
+    // Sweep all sockets until every verdict arrived (or a generous
+    // deadline passes and the shortfall is reported as lost).
+    let mut remaining = probes.len();
+    let mut busy_seen = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut scratch = vec![0u8; 4096];
+    while remaining > 0 && Instant::now() < deadline {
+        let mut progressed = false;
+        for probe in probes.iter_mut() {
+            if probe.verdict_us.is_some() || probe.dead {
+                continue;
+            }
+            loop {
+                match probe.asm.fill_from(&mut probe.stream, &mut scratch) {
+                    Ok(0) => {
+                        probe.dead = true;
+                        remaining -= 1;
+                        break;
+                    }
+                    Ok(_) => {
+                        progressed = true;
+                        while let Ok(Some((t, body))) = probe.asm.next_frame() {
+                            match Response::decode(t, &body) {
+                                Ok(Response::FlowVerdict(_)) => {
+                                    probe.verdict_us =
+                                        Some(probe.submitted.elapsed().as_micros() as u64);
+                                    remaining -= 1;
+                                }
+                                Ok(Response::Busy(_)) => busy_seen += 1,
+                                _ => {}
+                            }
+                        }
+                        if probe.verdict_us.is_some() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        probe.dead = true;
+                        remaining -= 1;
+                        break;
+                    }
+                }
+            }
+        }
+        if !progressed && remaining > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let total_wall = wall_start.elapsed().as_secs_f64();
+
+    // Server-side view while the probe sockets are still open.
+    let mut control = Client::connect(addr).expect("control connect");
+    let stats = control.stats().expect("stats");
+    control.close().expect("close");
+
+    let mut latencies: Vec<u64> = probes.iter().filter_map(|p| p.verdict_us).collect();
+    latencies.sort_unstable();
+    let verdicts = latencies.len();
+    let lost = n_conns - verdicts;
+
+    drop(probes);
+    server.shutdown();
+
+    eprintln!(
+        "{verdicts}/{n_conns} verdicts ({lost} lost, {busy_seen} busy), total {total_wall:.3} s"
+    );
+    println!("{{");
+    println!("  \"benchmark\": \"serve loadgen many-connections (one small flow per socket)\",");
+    println!("  \"connections\": {n_conns},");
+    println!("  \"shards\": {shards},");
+    println!("  \"packets_per_conn\": 2,");
+    println!("  \"connect_wall_s\": {connect_wall:.4},");
+    println!("  \"submit_wall_s\": {submit_wall:.4},");
+    println!("  \"total_wall_s\": {total_wall:.4},");
+    println!("  \"verdicts\": {verdicts},");
+    println!("  \"lost_verdicts\": {lost},");
+    println!("  \"busy_rejects\": {busy_seen},");
+    println!("  \"client_submit_to_verdict_us\": {{");
+    println!("    \"p50\": {},", quantile_us(&latencies, 0.50));
+    println!("    \"p90\": {},", quantile_us(&latencies, 0.90));
+    println!("    \"p99\": {},", quantile_us(&latencies, 0.99));
+    println!("    \"max\": {}", latencies.last().copied().unwrap_or(0));
+    println!("  }},");
+    println!("  \"server\": {{");
+    println!("    \"connections_accepted\": {},", stats.connections);
+    println!("    \"open_connections\": {},", stats.open_connections);
+    println!("    \"reassembly_buffer_bytes\": {},", stats.reassembly_buffer_bytes);
+    println!("    \"accept_to_verdict_ns_p50\": {},", stats.accept_to_verdict.p50().unwrap_or(0));
+    println!("    \"accept_to_verdict_ns_p99\": {},", stats.accept_to_verdict.p99().unwrap_or(0));
+    println!("    \"accept_to_verdict_samples\": {}", stats.accept_to_verdict.count());
+    println!("  }}");
+    println!("}}");
+}
+
+/// Streams `packets` through a single blocking client and prints the
+/// human-readable report (the default mode, also used for `--pcap`).
+fn stream_single_client(model: &NatureModel, packets: &[Packet], shards: usize) {
     let mut config = ServerConfig::new(PipelineConfig::headline(33));
     config.shards = shards;
     config.queue_capacity = 1 << 14;
-    let server = Server::start("127.0.0.1:0", model, config).expect("bind loopback");
+    let server = Server::start("127.0.0.1:0", model.clone(), config).expect("bind loopback");
     let addr = server.local_addr();
 
     let mut client = Client::connect(addr).expect("connect");
@@ -237,6 +392,12 @@ fn main() {
         stats.state_pool_hits(),
         stats.state_pool_size()
     );
+    println!(
+        "accept→verdict:   p50 {} ns, p99 {} ns over {} verdicts",
+        stats.accept_to_verdict.p50().unwrap_or(0),
+        stats.accept_to_verdict.p99().unwrap_or(0),
+        stats.accept_to_verdict.count()
+    );
     println!("stage latency (server-side ns):");
     println!("  {:<12} {:>9}  {:>8}  {:>8}", "stage", "n", "p50", "p99");
     for stage in Stage::ALL {
@@ -252,4 +413,87 @@ fn main() {
 
     client.close().expect("close");
     server.shutdown();
+}
+
+fn generated_trace(n_flows: usize) -> Vec<Packet> {
+    eprintln!("generating {n_flows}-flow trace...");
+    let mut trace = TraceConfig::small_test(42);
+    trace.n_flows = n_flows;
+    trace.duration = 30.0;
+    trace.content = ContentMode::Realistic;
+    TraceGenerator::new(trace).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sweep = false;
+    let mut connections: Option<usize> = None;
+    let mut pcap_in: Option<String> = None;
+    let mut pcap_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sweep-batch" => sweep = true,
+            "--connections" => {
+                let v = it.next().expect("--connections needs a count");
+                connections = Some(v.parse().expect("--connections takes an integer"));
+            }
+            "--pcap" => pcap_in = Some(it.next().expect("--pcap needs a path").clone()),
+            "--write-pcap" => {
+                pcap_out = Some(it.next().expect("--write-pcap needs a path").clone());
+            }
+            other => panic!("unknown flag {other} (try --sweep-batch, --connections N, --pcap FILE, --write-pcap FILE)"),
+        }
+    }
+
+    let shards: usize =
+        std::env::var("SERVE_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let n_flows = scaled(2000);
+
+    if let Some(path) = pcap_out {
+        let packets = generated_trace(n_flows);
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create pcap"));
+        iustitia_netsim::write_pcap(&mut file, &packets).expect("write pcap");
+        file.flush().expect("flush pcap");
+        eprintln!("wrote {} packets to {path}", packets.len());
+        return;
+    }
+
+    eprintln!("training model (CART, 32-byte prefixes)...");
+    let corpus = prefix_corpus(33, 80, 4096);
+    let widths = FeatureWidths::svm_selected();
+    let model = train_from_corpus(
+        &corpus,
+        &widths,
+        TrainingMethod::Prefix { b: 32 },
+        FeatureMode::Exact,
+        &paper_cart(),
+        33,
+    )
+    .expect("balanced corpus");
+
+    if let Some(n_conns) = connections {
+        many_connections(&model, shards, n_conns);
+        return;
+    }
+
+    let packets = if let Some(path) = pcap_in {
+        let mut file = std::io::BufReader::new(std::fs::File::open(&path).expect("open pcap"));
+        let trace = iustitia_netsim::read_pcap(&mut file).expect("parse pcap");
+        eprintln!(
+            "replaying {} packets from {path} ({} records skipped)",
+            trace.packets.len(),
+            trace.skipped
+        );
+        trace.packets
+    } else {
+        generated_trace(n_flows)
+    };
+
+    if sweep {
+        sweep_batch(&model, &packets, shards);
+        return;
+    }
+
+    stream_single_client(&model, &packets, shards);
 }

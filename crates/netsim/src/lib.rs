@@ -27,7 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod packet;
+pub mod pcap;
 pub mod trace;
 
 pub use packet::{FiveTuple, Packet, Protocol, TcpFlags};
+pub use pcap::{read_pcap, write_pcap, PcapError, PcapTrace};
 pub use trace::{ContentMode, TraceConfig, TraceGenerator, TraceStats};

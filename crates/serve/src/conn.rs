@@ -1,0 +1,383 @@
+//! Per-connection byte-level state machines for the event-driven
+//! frontend: incremental frame reassembly and buffered non-blocking
+//! writes.
+//!
+//! A blocking reader can simply call [`read_frame`](crate::proto::read_frame)
+//! and let the socket park the thread mid-frame. A readiness-based
+//! reactor cannot: a connection's bytes arrive in arbitrary slices —
+//! possibly one byte at a time, possibly splitting the 4-byte length
+//! prefix — and the reactor must bank whatever arrived and move on to
+//! the next ready socket. [`FrameAssembler`] is that bank: it holds the
+//! undecoded tail of the stream and yields complete `(type, body)`
+//! frames as they materialize, applying *exactly* the validation rules
+//! of `read_frame` (zero-length frames are malformed, length prefixes
+//! above [`MAX_FRAME`](crate::proto::MAX_FRAME) are rejected as soon as
+//! the prefix itself is readable — before any payload is buffered — and
+//! EOF mid-frame is a typed [`ProtoError::Truncated`]). The equivalence
+//! is pinned by the vendored-proptest suite in
+//! `crates/serve/tests/reassembly_properties.rs`.
+//!
+//! [`WriteBuffer`] is the mirror image for the write half: responses
+//! are framed into a connection-local buffer and drained opportunistically;
+//! when the socket signals `EWOULDBLOCK` the leftover stays put and the
+//! reactor re-arms write interest for that connection only.
+
+use std::io::{Read, Write};
+
+use crate::proto::{write_frame, ProtoError, MAX_FRAME};
+
+/// Compact the reassembly buffer once this many consumed bytes
+/// accumulate at its front (keeps the buffer from creeping while
+/// avoiding a memmove per frame).
+const COMPACT_AT: usize = 16 * 1024;
+
+/// Incremental reassembly of length-prefixed frames from a
+/// non-blocking byte stream.
+///
+/// Feed arbitrary slices with [`extend`](Self::extend) (or straight
+/// from a socket with [`fill_from`](Self::fill_from)) and pull complete
+/// frames with [`next_frame`](Self::next_frame).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    #[must_use]
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Banks `bytes` at the end of the unprocessed tail.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads once from `r` (expected non-blocking) into the bank.
+    /// Returns the byte count (`Ok(0)` is EOF); `WouldBlock` and
+    /// `Interrupted` surface as ordinary errors for the caller to
+    /// classify.
+    ///
+    /// # Errors
+    ///
+    /// Any transport error from `r`, including `WouldBlock`.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R, scratch: &mut [u8]) -> std::io::Result<usize> {
+        let n = r.read(scratch)?;
+        self.extend(scratch.get(..n).unwrap_or(&[]));
+        Ok(n)
+    }
+
+    /// Bytes currently banked and not yet consumed by a decoded frame.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// Whether the stream sits at a clean frame boundary (an EOF here
+    /// is a graceful close, anywhere else it is truncation).
+    #[must_use]
+    pub fn at_frame_boundary(&self) -> bool {
+        self.buffered_bytes() == 0
+    }
+
+    /// The typed error an EOF at the current position implies, mirroring
+    /// [`read_frame`](crate::proto::read_frame): `None` at a frame
+    /// boundary, [`ProtoError::Truncated`] mid-prefix or mid-frame.
+    #[must_use]
+    pub fn eof_error(&self) -> Option<ProtoError> {
+        let avail = self.buffered_bytes();
+        if avail == 0 {
+            return None;
+        }
+        if avail < 4 {
+            return Some(ProtoError::Truncated { expected: 4, got: avail });
+        }
+        let len = self.peek_len().unwrap_or(0);
+        Some(ProtoError::Truncated { expected: len, got: avail.saturating_sub(4) })
+    }
+
+    /// The frame length the banked prefix claims, if 4 bytes are in.
+    fn peek_len(&self) -> Option<usize> {
+        let rest = self.buf.get(self.start..).unwrap_or(&[]);
+        match *rest {
+            [a, b, c, d, ..] => Some(u32::from_be_bytes([a, b, c, d]) as usize),
+            _ => None,
+        }
+    }
+
+    /// Yields the next complete frame as `(type_byte, body)`, or
+    /// `Ok(None)` when more bytes are needed.
+    ///
+    /// Validation order matches `read_frame`: the length prefix is
+    /// checked the moment its 4 bytes are available — a hostile
+    /// `len > MAX_FRAME` is rejected *before* any payload byte is
+    /// banked for it, and a zero-length frame is malformed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::FrameTooLarge`] and [`ProtoError::Malformed`] as
+    /// described; the assembler should be discarded after an error.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, ProtoError> {
+        let Some(len) = self.peek_len() else { return Ok(None) };
+        if len == 0 {
+            return Err(ProtoError::Malformed("zero-length frame".into()));
+        }
+        if len > MAX_FRAME {
+            return Err(ProtoError::FrameTooLarge { len });
+        }
+        let total = len.saturating_add(4);
+        let rest = self.buf.get(self.start..).unwrap_or(&[]);
+        let Some(frame) = rest.get(4..total) else { return Ok(None) };
+        let Some((&type_byte, body)) = frame.split_first() else {
+            return Err(ProtoError::Malformed("zero-length frame".into()));
+        };
+        let body = body.to_vec();
+        self.start = self.start.saturating_add(total);
+        self.compact();
+        Ok(Some((type_byte, body)))
+    }
+
+    /// Drops consumed front bytes once they pass the compaction
+    /// threshold (or the buffer emptied, which is free).
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_AT {
+            let len = self.buf.len();
+            // start <= len is a struct invariant (start only advances
+            // past banked bytes), so the copy range is always valid.
+            // lint: allow(L008) — start <= len invariant, range valid
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(len - self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Buffered frames awaiting a writable socket.
+///
+/// Frames are encoded straight into one flat buffer; `flush_to` drains
+/// as much as the peer will take and leaves the rest for the next
+/// writability event.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl WriteBuffer {
+    /// An empty write buffer.
+    #[must_use]
+    pub fn new() -> WriteBuffer {
+        WriteBuffer::default()
+    }
+
+    /// Appends one frame (`type_byte` + `body`) to the pending bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::FrameTooLarge`] if the frame exceeds the protocol
+    /// cap (nothing is appended in that case).
+    pub fn push_frame(&mut self, type_byte: u8, body: &[u8]) -> Result<(), ProtoError> {
+        write_frame(&mut self.buf, type_byte, body)
+    }
+
+    /// Bytes still awaiting the wire.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// Whether everything has been flushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Writes as much pending data as `w` accepts right now. Returns
+    /// `Ok(true)` when the buffer fully drained, `Ok(false)` when the
+    /// peer would block (write interest should be re-armed).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors other than `WouldBlock`/`Interrupted`; a
+    /// zero-byte write is reported as `WriteZero`.
+    pub fn flush_to<W: Write>(&mut self, w: &mut W) -> std::io::Result<bool> {
+        while self.start < self.buf.len() {
+            let pending = self.buf.get(self.start..).unwrap_or(&[]);
+            match w.write(pending) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.start = self.start.saturating_add(n),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{read_frame, Request};
+
+    fn frame_bytes(frames: &[(u8, Vec<u8>)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (t, body) in frames {
+            write_frame(&mut out, *t, body).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn whole_frames_come_back_out() {
+        let frames = vec![(0x03, vec![]), (0x02, vec![1, 2, 3])];
+        let mut asm = FrameAssembler::new();
+        asm.extend(&frame_bytes(&frames));
+        assert_eq!(asm.next_frame().unwrap(), Some((0x03, vec![])));
+        assert_eq!(asm.next_frame().unwrap(), Some((0x02, vec![1, 2, 3])));
+        assert_eq!(asm.next_frame().unwrap(), None);
+        assert!(asm.at_frame_boundary());
+        assert!(asm.eof_error().is_none());
+    }
+
+    #[test]
+    fn one_byte_feeds_split_the_length_prefix() {
+        let (t, body) = Request::ClassifyBuffer(vec![7; 9]).encode().unwrap();
+        let bytes = frame_bytes(&[(t, body.clone())]);
+        let mut asm = FrameAssembler::new();
+        for (i, b) in bytes.iter().enumerate() {
+            assert!(!asm.at_frame_boundary() || i == 0 || i == bytes.len());
+            asm.extend(std::slice::from_ref(b));
+            if i + 1 < bytes.len() {
+                assert_eq!(asm.next_frame().unwrap(), None, "frame complete early at byte {i}");
+            }
+        }
+        assert_eq!(asm.next_frame().unwrap(), Some((t, body)));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_payload_arrives() {
+        let mut asm = FrameAssembler::new();
+        // Only the hostile prefix, not a single payload byte.
+        asm.extend(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        assert!(matches!(
+            asm.next_frame(),
+            Err(ProtoError::FrameTooLarge { len }) if len == MAX_FRAME + 1
+        ));
+        assert_eq!(asm.buffered_bytes(), 4, "nothing was banked for the bogus frame");
+    }
+
+    #[test]
+    fn zero_length_frame_is_malformed() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&0u32.to_be_bytes());
+        assert!(matches!(asm.next_frame(), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn eof_error_mirrors_read_frame() {
+        // Mid-prefix.
+        let mut asm = FrameAssembler::new();
+        asm.extend(&[0, 0]);
+        assert!(matches!(asm.eof_error(), Some(ProtoError::Truncated { expected: 4, got: 2 })));
+
+        // Mid-frame: same expectation read_frame reports for the
+        // identical byte stream.
+        let (t, body) = Request::ClassifyBuffer(vec![1; 100]).encode().unwrap();
+        let mut bytes = frame_bytes(&[(t, body)]);
+        bytes.truncate(bytes.len() - 10);
+        let mut asm = FrameAssembler::new();
+        asm.extend(&bytes);
+        assert_eq!(asm.next_frame().unwrap(), None);
+        let Some(ProtoError::Truncated { expected, got }) = asm.eof_error() else {
+            panic!("expected truncation");
+        };
+        let mut cursor = std::io::Cursor::new(bytes);
+        let Err(ProtoError::Truncated { expected: re, got: rg }) = read_frame(&mut cursor) else {
+            panic!("read_frame should report truncation");
+        };
+        assert_eq!((expected, got), (re, rg));
+    }
+
+    #[test]
+    fn compaction_preserves_the_stream() {
+        let mut asm = FrameAssembler::new();
+        let frames: Vec<(u8, Vec<u8>)> = (0..200).map(|i| (0x02, vec![i as u8; 200])).collect();
+        let bytes = frame_bytes(&frames);
+        let mut decoded = Vec::new();
+        for chunk in bytes.chunks(333) {
+            asm.extend(chunk);
+            while let Some(frame) = asm.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn write_buffer_drains_across_partial_writes() {
+        /// Accepts at most `cap` bytes per write, then blocks once.
+        struct Dribble {
+            out: Vec<u8>,
+            cap: usize,
+            block_next: bool,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.block_next {
+                    self.block_next = false;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                let n = buf.len().min(self.cap);
+                self.out.extend_from_slice(&buf[..n]);
+                self.block_next = true;
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut wb = WriteBuffer::new();
+        wb.push_frame(0x85, &7u32.to_be_bytes()).unwrap();
+        wb.push_frame(0x83, &[2]).unwrap();
+        let expect = {
+            let mut v = Vec::new();
+            write_frame(&mut v, 0x85, &7u32.to_be_bytes()).unwrap();
+            write_frame(&mut v, 0x83, &[2]).unwrap();
+            v
+        };
+        let mut sink = Dribble { out: Vec::new(), cap: 3, block_next: false };
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if wb.flush_to(&mut sink).unwrap() {
+                break;
+            }
+        }
+        assert!(rounds > 1, "the dribbling sink must force re-arms");
+        assert_eq!(sink.out, expect);
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn write_buffer_rejects_oversized_frames_without_buffering() {
+        let mut wb = WriteBuffer::new();
+        let body = vec![0u8; MAX_FRAME];
+        assert!(wb.push_frame(0x81, &body).is_err());
+        assert!(wb.is_empty(), "rejected frame left no partial bytes behind");
+    }
+}

@@ -51,16 +51,20 @@
 //! server.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod metrics;
 pub mod proto;
 pub mod queue;
+pub mod reactor;
 pub mod server;
+pub mod sys;
 
 pub use client::{Client, ClientError, ClientEvent};
+pub use conn::{FrameAssembler, WriteBuffer};
 pub use metrics::{
     HistogramSnapshot, LatencyHistogram, ServeMetrics, ShardGauges, ShardStats, Stage,
     StatsSnapshot,

@@ -187,8 +187,20 @@ pub struct ServeMetrics {
     pub drains: AtomicU64,
     /// Connections accepted since start.
     pub connections: AtomicU64,
+    /// UDP datagrams ingested by the reactor's datagram adapter.
+    pub udp_datagrams: AtomicU64,
+    /// Gauge: connections currently registered with the reactor
+    /// (TCP sockets plus live UDP pseudo-peers).
+    pub open_connections: AtomicU64,
+    /// Gauge: bytes parked in per-connection reassembly buffers
+    /// (partial frames awaiting more reads), summed over connections.
+    pub reassembly_buffer_bytes: AtomicU64,
     /// Per-stage latency histograms, indexed by [`Stage`].
     pub stages: [LatencyHistogram; 4],
+    /// Accept-to-verdict latency: time from a connection's accept (or
+    /// a UDP peer's first datagram) to each flow verdict written back
+    /// on it, in nanoseconds.
+    pub accept_to_verdict: LatencyHistogram,
     /// Packets per batch dispatched into a shard pipeline (the
     /// power-of-two buckets hold batch sizes, not nanoseconds). A
     /// healthy batching path shows mass well above bucket 0.
@@ -235,8 +247,12 @@ impl ServeMetrics {
             classify_requests: self.classify_requests.load(Ordering::Relaxed),
             drains: self.drains.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            udp_datagrams: self.udp_datagrams.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            reassembly_buffer_bytes: self.reassembly_buffer_bytes.load(Ordering::Relaxed),
             queue_lock_acquisitions: 0,
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+            accept_to_verdict: self.accept_to_verdict.snapshot(),
             batch_size: self.batch_size.snapshot(),
             flows_per_batch: self.flows_per_batch.snapshot(),
             shards: self
@@ -289,12 +305,20 @@ pub struct StatsSnapshot {
     pub drains: u64,
     /// Connections accepted since start.
     pub connections: u64,
+    /// UDP datagrams ingested by the reactor's datagram adapter.
+    pub udp_datagrams: u64,
+    /// Gauge: connections currently registered with the reactor.
+    pub open_connections: u64,
+    /// Gauge: bytes parked in per-connection reassembly buffers.
+    pub reassembly_buffer_bytes: u64,
     /// Shard-queue mutex acquisitions, summed over all shard queues.
     /// Compare against `packets` to see the batch amortization: the
     /// ratio stays far below one acquisition per packet.
     pub queue_lock_acquisitions: u64,
     /// Per-stage histograms, indexed by [`Stage`].
     pub stages: [HistogramSnapshot; 4],
+    /// Accept-to-verdict latency per flow verdict, in nanoseconds.
+    pub accept_to_verdict: HistogramSnapshot,
     /// Packets per dispatched batch (bucket index is `log2(size)`).
     pub batch_size: HistogramSnapshot,
     /// Distinct flows per dispatched batch.
@@ -346,10 +370,11 @@ impl StatsSnapshot {
         self.shards.iter().map(|s| s.state_pool_size).sum()
     }
 
-    /// Wire encoding: the nine counters, the four stage histograms,
-    /// the two batch-shape histograms, then the shard-gauge section
-    /// (shard count followed by four gauges per shard), all as
-    /// big-endian `u64`.
+    /// Wire encoding: the twelve counters/gauges, the four stage
+    /// histograms, the accept-to-verdict histogram, the two
+    /// batch-shape histograms, then the shard-gauge section (shard
+    /// count followed by four gauges per shard), all as big-endian
+    /// `u64`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
             self.packets,
@@ -360,11 +385,18 @@ impl StatsSnapshot {
             self.classify_requests,
             self.drains,
             self.connections,
+            self.udp_datagrams,
+            self.open_connections,
+            self.reassembly_buffer_bytes,
             self.queue_lock_acquisitions,
         ] {
             out.extend_from_slice(&v.to_be_bytes());
         }
-        for hist in self.stages.iter().chain([&self.batch_size, &self.flows_per_batch]) {
+        for hist in self.stages.iter().chain([
+            &self.accept_to_verdict,
+            &self.batch_size,
+            &self.flows_per_batch,
+        ]) {
             for &bucket in &hist.buckets {
                 out.extend_from_slice(&bucket.to_be_bytes());
             }
@@ -394,17 +426,21 @@ impl StatsSnapshot {
             classify_requests: r.u64()?,
             drains: r.u64()?,
             connections: r.u64()?,
+            udp_datagrams: r.u64()?,
+            open_connections: r.u64()?,
+            reassembly_buffer_bytes: r.u64()?,
             queue_lock_acquisitions: r.u64()?,
             stages: Default::default(),
+            accept_to_verdict: HistogramSnapshot::default(),
             batch_size: HistogramSnapshot::default(),
             flows_per_batch: HistogramSnapshot::default(),
             shards: Vec::new(),
         };
-        for hist in snapshot
-            .stages
-            .iter_mut()
-            .chain([&mut snapshot.batch_size, &mut snapshot.flows_per_batch])
-        {
+        for hist in snapshot.stages.iter_mut().chain([
+            &mut snapshot.accept_to_verdict,
+            &mut snapshot.batch_size,
+            &mut snapshot.flows_per_batch,
+        ]) {
             for bucket in &mut hist.buckets {
                 *bucket = r.u64()?;
             }
@@ -482,8 +518,12 @@ mod tests {
         let m = ServeMetrics::with_shards(3);
         ServeMetrics::add(&m.packets, 12345);
         ServeMetrics::add(&m.dropped_oldest, 7);
+        ServeMetrics::add(&m.udp_datagrams, 31);
+        m.open_connections.store(1000, Ordering::Relaxed);
+        m.reassembly_buffer_bytes.store(4096, Ordering::Relaxed);
         m.record(Stage::Hash, 250);
         m.record(Stage::BufferFill, 999);
+        m.accept_to_verdict.record(1_500_000);
         m.batch_size.record(64);
         m.batch_size.record(3);
         m.flows_per_batch.record(5);
@@ -497,6 +537,10 @@ mod tests {
         reader.finish().unwrap();
         assert_eq!(back, snapshot);
         assert_eq!(back.queue_lock_acquisitions, 77);
+        assert_eq!(back.udp_datagrams, 31);
+        assert_eq!(back.open_connections, 1000);
+        assert_eq!(back.reassembly_buffer_bytes, 4096);
+        assert_eq!(back.accept_to_verdict.count(), 1);
         assert_eq!(back.batch_size.count(), 2);
         assert_eq!(back.flows_per_batch.count(), 1);
         assert_eq!(back.pending_flows(), 5);

@@ -3,53 +3,56 @@
 //! # Architecture
 //!
 //! ```text
-//!                      ┌────────────┐   per-shard bounded queues
-//!  client ── TCP ───►  │ reader thd │ ──┬──► [queue 0] ─► worker 0 (Iustitia + CDB)
-//!                      │  (batches) │   ├──► [queue 1] ─► worker 1 (Iustitia + CDB)
-//!  client ◄── TCP ───  │ writer thd │   ├──► [queue 2] ─► worker 2 (Iustitia + CDB)
-//!                      └────────────┘   └──► [queue 3] ─► worker 3 (Iustitia + CDB)
+//!  clients ── TCP ──┐   ┌───────────┐   per-shard bounded queues
+//!  clients ── TCP ──┼─► │  reactor  │ ──┬──► [queue 0] ─► worker 0 (Iustitia + CDB)
+//!      ...          │   │  (epoll,  │   ├──► [queue 1] ─► worker 1 (Iustitia + CDB)
+//!  peers ─── UDP ───┘   │ 1 thread) │   ├──► [queue 2] ─► worker 2 (Iustitia + CDB)
+//!  clients ◄────────────│  outbox   │   └──► [queue 3] ─► worker 3 (Iustitia + CDB)
+//!                       └───────────┘          (verdicts fan back via the outbox)
 //! ```
 //!
-//! Each accepted connection gets a *reader* thread (decodes frames,
-//! computes flow IDs, batches packets per shard) and a *writer* thread
-//! (serializes responses from an internal channel). Flow-affine work is
-//! routed by [`shard_index`] — the same partitioning as the offline
+//! A single [`Reactor`] thread owns every socket: it accepts
+//! connections, reassembles frames from nonblocking reads, computes
+//! flow IDs, and batches packets per shard. Flow-affine work is routed
+//! by [`shard_index`](iustitia::concurrent::shard_index) — the same
+//! partitioning as the offline
 //! [`ShardedIustitia`](iustitia::concurrent::ShardedIustitia) fleet —
 //! to one of `N` *shard workers*, each owning an independent
 //! [`Iustitia`] pipeline and CDB, so no classification state is ever
 //! shared and the packet path takes no locks beyond its own shard
-//! queue.
+//! queue. Workers push responses into the reactor's outbox and wake
+//! its eventfd; the reactor serializes them onto the owning socket.
 //!
 //! Backpressure is per shard: bounded ingress queues with a
-//! configurable [`AdmissionPolicy`]. Reader threads batch every frame
-//! already buffered on the socket (up to [`ServerConfig::batch_limit`])
-//! and push each shard's share under a single lock acquisition.
+//! configurable [`AdmissionPolicy`]. The reactor batches every frame
+//! already buffered on a socket (up to [`ServerConfig::batch_limit`])
+//! and pushes each shard's share under a single lock acquisition —
+//! exactly the dispatch the old per-connection reader threads
+//! performed, minus the threads.
 //!
-//! Shutdown is graceful: closing the queues lets every worker drain its
-//! backlog, classify all in-flight flows from the bytes they have
-//! buffered, and emit final verdicts before exiting. The `Drain`
+//! Shutdown is graceful and has two phases: *stop* closes the listener
+//! and the queues, letting every worker drain its backlog, classify
+//! all in-flight flows from the bytes they have buffered, and emit
+//! final verdicts; *finish* then flushes those verdicts to
+//! still-connected clients before the reactor exits. The `Drain`
 //! request offers the same barrier per connection at runtime.
 
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use iustitia::cdb::FlowId;
-use iustitia::concurrent::shard_index;
-use iustitia::features::FeatureExtractor;
 use iustitia::model::NatureModel;
 use iustitia::pipeline::{BatchPacket, ClassifiedFlow, Iustitia, PipelineConfig, Verdict};
 use iustitia_netsim::{FiveTuple, Packet};
 
 use crate::metrics::{ServeMetrics, Stage};
-use crate::proto::{
-    has_buffered_input, read_frame, write_frame, FlowVerdict, ProtoError, Request, Response,
-};
+use crate::proto::{FlowVerdict, Response};
 use crate::queue::{AdmissionPolicy, BoundedQueue};
+use crate::reactor::{FanInGate, Outbox, Reactor, ReplySink};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -60,8 +63,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// What to do when a shard queue is full.
     pub admission: AdmissionPolicy,
-    /// Maximum frames a reader decodes per batch before dispatching.
+    /// Maximum frames the reactor decodes per connection batch before
+    /// dispatching to the shards.
     pub batch_limit: usize,
+    /// Also bind a UDP socket on the same port and serve one-frame
+    /// datagrams through the reactor.
+    pub udp: bool,
     /// Pipeline configuration replicated into every shard (each shard
     /// gets a decorrelated RNG seed).
     pub pipeline: PipelineConfig,
@@ -69,7 +76,7 @@ pub struct ServerConfig {
 
 impl ServerConfig {
     /// Defaults: 4 shards, 1024-packet queues, `RejectBusy`, 64-frame
-    /// batches.
+    /// batches, UDP enabled.
     #[must_use]
     pub fn new(pipeline: PipelineConfig) -> Self {
         ServerConfig {
@@ -77,45 +84,70 @@ impl ServerConfig {
             queue_capacity: 1024,
             admission: AdmissionPolicy::default(),
             batch_limit: 64,
+            udp: true,
             pipeline,
         }
     }
 }
 
 /// Work item on a shard queue.
-enum Job {
-    /// One packet to classify, with the reply channel of the
-    /// connection that submitted it.
-    Packet { packet: Packet, flow: FlowId, conn_id: u64, reply: mpsc::Sender<Response> },
-    /// Barrier: classify all in-flight flows now; ack with the number
-    /// of flushed flows that belonged to `conn_id`.
-    Drain { conn_id: u64, ack: mpsc::Sender<u32> },
-    /// The connection went away: forget its verdict routes (dropping
-    /// its reply senders, which lets its writer thread exit).
-    Disconnect { conn_id: u64 },
+pub(crate) enum Job {
+    /// One packet to classify, with the reply sink of the connection
+    /// that submitted it.
+    Packet {
+        /// The packet itself.
+        packet: Packet,
+        /// Its flow id (computed on the reactor thread).
+        flow: FlowId,
+        /// The submitting connection.
+        conn_id: u64,
+        /// Where its flow's verdict must be delivered.
+        reply: ReplySink,
+    },
+    /// Barrier: classify all in-flight flows now; the last shard's ack
+    /// replies `DrainComplete` through the gate.
+    Drain {
+        /// The draining connection.
+        conn_id: u64,
+        /// Fan-in gate counting one ack per shard.
+        gate: Arc<FanInGate>,
+    },
+    /// The connection went away: forget its verdict routes. The last
+    /// shard's ack lets the reactor close the socket.
+    Disconnect {
+        /// The departed connection.
+        conn_id: u64,
+        /// Fan-in gate counting one ack per shard.
+        gate: Arc<FanInGate>,
+    },
 }
 
 /// Where a pending flow's verdict must be delivered.
 struct Route {
     tuple: FiveTuple,
     conn_id: u64,
-    reply: mpsc::Sender<Response>,
+    reply: ReplySink,
 }
 
 /// State shared by every thread of one server.
-struct Shared {
-    config: ServerConfig,
-    model: Arc<NatureModel>,
-    metrics: ServeMetrics,
-    queues: Vec<BoundedQueue<Job>>,
-    stop: AtomicBool,
-    next_conn_id: AtomicU64,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) model: Arc<NatureModel>,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) queues: Vec<BoundedQueue<Job>>,
+    /// Phase 1 of shutdown: stop accepting connections.
+    pub(crate) stop: AtomicBool,
+    /// Phase 2 of shutdown: workers have drained; flush and exit.
+    pub(crate) finish: AtomicBool,
+    pub(crate) next_conn_id: AtomicU64,
+    /// The worker→reactor mailbox (also carries the wakeup eventfd).
+    pub(crate) outbox: Arc<Outbox>,
 }
 
 impl Shared {
     /// Full stats snapshot, including the queue-lock counter summed
     /// across the shard queues (which live outside [`ServeMetrics`]).
-    fn snapshot(&self) -> crate::metrics::StatsSnapshot {
+    pub(crate) fn snapshot(&self) -> crate::metrics::StatsSnapshot {
         let locks = self.queues.iter().map(BoundedQueue::lock_acquisitions).sum();
         self.metrics.snapshot().with_queue_locks(locks)
     }
@@ -125,17 +157,20 @@ impl Shared {
 /// [`shutdown`](Server::shutdown)) drains and joins all threads.
 pub struct Server {
     addr: SocketAddr,
+    udp_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` and starts accepting connections.
+    /// Binds `addr` (TCP, plus UDP on the same port when
+    /// `config.udp`) and starts serving.
     ///
     /// # Errors
     ///
-    /// Returns any socket error from binding the listener.
+    /// Returns any socket error from binding the listener or setting
+    /// up the reactor's epoll instance and wakeup eventfd.
     ///
     /// # Panics
     ///
@@ -148,19 +183,31 @@ impl Server {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.batch_limit > 0, "batch limit must be positive");
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // UDP shares the port number (distinct protocol namespace); a
+        // bind failure degrades to TCP-only rather than failing start.
+        let udp_socket = if config.udp {
+            UdpSocket::bind(addr).ok().filter(|s| s.set_nonblocking(true).is_ok())
+        } else {
+            None
+        };
+        let udp_addr = udp_socket.as_ref().and_then(|s| s.local_addr().ok());
 
         let queues = (0..config.shards)
             .map(|_| BoundedQueue::new(config.queue_capacity, config.admission))
             .collect();
         let metrics = ServeMetrics::with_shards(config.shards);
+        let outbox = Arc::new(Outbox::new()?);
         let shared = Arc::new(Shared {
             config,
             model: Arc::new(model),
             metrics,
             queues,
             stop: AtomicBool::new(false),
+            finish: AtomicBool::new(false),
             next_conn_id: AtomicU64::new(0),
+            outbox,
         });
 
         let mut worker_handles = Vec::with_capacity(shared.config.shards);
@@ -178,16 +225,15 @@ impl Server {
                 }
             }
         }
-        let accept_result = match spawn_error {
+        let reactor_result = match spawn_error {
             Some(e) => Err(e),
-            None => {
-                let shared = Arc::clone(&shared);
+            None => Reactor::new(listener, udp_socket, Arc::clone(&shared)).and_then(|reactor| {
                 std::thread::Builder::new()
-                    .name("iustitia-accept".into())
-                    .spawn(move || accept_loop(&listener, &shared))
-            }
+                    .name("iustitia-reactor".into())
+                    .spawn(move || reactor.run())
+            }),
         };
-        let accept_handle = match accept_result {
+        let reactor_handle = match reactor_result {
             Ok(handle) => handle,
             Err(e) => {
                 // Unwind the partial start: close the queues so any
@@ -203,13 +249,19 @@ impl Server {
             }
         };
 
-        Ok(Server { addr, shared, accept_handle: Some(accept_handle), worker_handles })
+        Ok(Server { addr, udp_addr, shared, reactor_handle: Some(reactor_handle), worker_handles })
     }
 
-    /// The bound address (useful with port 0).
+    /// The bound TCP address (useful with port 0).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound UDP address, when the datagram adapter is enabled.
+    #[must_use]
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.udp_addr
     }
 
     /// A metrics snapshot, equivalent to the `Stats` request.
@@ -218,24 +270,31 @@ impl Server {
         self.shared.snapshot()
     }
 
-    /// Stops accepting, closes the shard queues, and waits for every
+    /// Stops accepting, closes the shard queues, waits for every
     /// worker to drain its backlog, classify in-flight flows, and emit
-    /// final verdicts to still-connected clients.
+    /// final verdicts, then flushes those verdicts to still-connected
+    /// clients before tearing the reactor down.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
+        // Phase 1: no new connections, no new work. The eventfd wake
+        // replaces the old hack of connecting a throwaway TCP socket
+        // to the listener just to unblock a blocking accept.
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
+        self.shared.outbox.wake();
         for queue in &self.shared.queues {
             queue.close();
         }
         for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Phase 2: workers have emitted every verdict into the outbox;
+        // let the reactor flush them to the sockets and exit.
+        self.shared.finish.store(true, Ordering::SeqCst);
+        self.shared.outbox.wake();
+        if let Some(handle) = self.reactor_handle.take() {
             let _ = handle.join();
         }
     }
@@ -247,217 +306,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        ServeMetrics::add(&shared.metrics.connections, 1);
-        let _ =
-            std::thread::Builder::new().name(format!("iustitia-conn-{conn_id}")).spawn(move || {
-                let _ = handle_connection(stream, &shared, conn_id);
-            });
-    }
-}
-
-/// Serializes responses from the connection's internal channel onto the
-/// socket, flushing whenever the channel momentarily runs dry.
-fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Response>) {
-    let mut writer = BufWriter::new(stream);
-    while let Ok(response) = rx.recv() {
-        if !write_response(&mut writer, &response) {
-            return;
-        }
-        loop {
-            match rx.try_recv() {
-                Ok(next) => {
-                    if !write_response(&mut writer, &next) {
-                        return;
-                    }
-                }
-                Err(mpsc::TryRecvError::Empty) => break,
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    let _ = writer.flush();
-                    return;
-                }
-            }
-        }
-        if writer.flush().is_err() {
-            return;
-        }
-    }
-    let _ = writer.flush();
-}
-
-/// Encodes and writes one response frame; returns `false` when the
-/// connection should be torn down. An unencodable response (a server
-/// bug, not a peer failure) degrades to a protocol `Error` frame so the
-/// client learns something went wrong instead of losing a reply.
-fn write_response<W: Write>(writer: &mut W, response: &Response) -> bool {
-    let encoded = match response.encode() {
-        Ok(frame) => Ok(frame),
-        Err(e) => Response::Error(format!("unencodable response: {e}")).encode(),
-    };
-    match encoded {
-        Ok((t, body)) => write_frame(writer, t, &body).is_ok(),
-        Err(_) => false,
-    }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    shared: &Arc<Shared>,
-    conn_id: u64,
-) -> Result<(), ProtoError> {
-    stream.set_nodelay(true)?;
-    let write_half = stream.try_clone()?;
-    let (resp_tx, resp_rx) = mpsc::channel::<Response>();
-    let writer_handle = std::thread::Builder::new()
-        .name(format!("iustitia-conn-{conn_id}-w"))
-        .spawn(move || writer_loop(write_half, &resp_rx))?;
-
-    let result = reader_loop(&stream, shared, conn_id, &resp_tx);
-    match &result {
-        // Tell the peer why its connection is going away — unless the
-        // transport itself failed, in which case nothing can be sent.
-        Err(
-            e @ (ProtoError::Malformed(_)
-            | ProtoError::FrameTooLarge { .. }
-            | ProtoError::Truncated { .. }),
-        ) => {
-            let _ = resp_tx.send(Response::Error(e.to_string()));
-        }
-        Ok(()) | Err(ProtoError::Io(_)) => {}
-    }
-    // Drop every reply sender the shards still hold for this
-    // connection, so the writer's channel can disconnect. (During
-    // server shutdown the queues are closed and workers drop their
-    // routes wholesale instead.)
-    for queue in &shared.queues {
-        queue.push_control(Job::Disconnect { conn_id });
-    }
-    drop(resp_tx); // writer drains remaining responses, then exits
-    let _ = writer_handle.join();
-    result
-}
-
-fn reader_loop(
-    stream: &TcpStream,
-    shared: &Arc<Shared>,
-    conn_id: u64,
-    resp_tx: &mpsc::Sender<Response>,
-) -> Result<(), ProtoError> {
-    let config = &shared.config;
-    let pipeline_config = &config.pipeline;
-    // One-shot ClassifyBuffer requests are served directly on the
-    // reader thread with a connection-local extractor.
-    let mut extractor = FeatureExtractor::new(
-        pipeline_config.widths.clone(),
-        pipeline_config.mode.clone(),
-        pipeline_config.seed ^ conn_id,
-    );
-    let mut reader = BufReader::new(stream);
-    // Reused per batch: jobs grouped by destination shard.
-    let mut per_shard: Vec<Vec<Job>> = (0..config.shards).map(|_| Vec::new()).collect();
-
-    'conn: loop {
-        let Some((type_byte, body)) = read_frame(&mut reader)? else {
-            break 'conn; // clean EOF
-        };
-        let mut batch = vec![Request::decode(type_byte, &body)?];
-        while batch.len() < config.batch_limit && has_buffered_input(&reader) {
-            match read_frame(&mut reader)? {
-                Some((t, b)) => batch.push(Request::decode(t, &b)?),
-                None => break,
-            }
-        }
-
-        for request in batch {
-            match request {
-                Request::SubmitPacket(packet) => {
-                    let t0 = Instant::now();
-                    let flow = FlowId::of_tuple(&packet.tuple);
-                    shared.metrics.record(Stage::Hash, t0.elapsed().as_nanos() as u64);
-                    let shard = shard_index(&flow, config.shards);
-                    per_shard[shard].push(Job::Packet {
-                        packet,
-                        flow,
-                        conn_id,
-                        reply: resp_tx.clone(),
-                    });
-                }
-                Request::ClassifyBuffer(data) => {
-                    let t0 = Instant::now();
-                    let prefix = &data[..data.len().min(pipeline_config.buffer_size)];
-                    let label = shared.model.predict(&extractor.extract(prefix));
-                    shared.metrics.record(Stage::Classify, t0.elapsed().as_nanos() as u64);
-                    ServeMetrics::add(&shared.metrics.classify_requests, 1);
-                    if resp_tx.send(Response::ClassifyResult(label)).is_err() {
-                        break 'conn;
-                    }
-                }
-                Request::Stats => {
-                    // Account for earlier submits in this batch first, so a
-                    // client's own submit→stats ordering is reflected.
-                    dispatch(shared, &mut per_shard);
-                    if resp_tx.send(Response::Stats(Box::new(shared.snapshot()))).is_err() {
-                        break 'conn;
-                    }
-                }
-                Request::Drain => {
-                    // Barrier semantics: everything submitted before the
-                    // drain must reach the shards before the drain job.
-                    dispatch(shared, &mut per_shard);
-                    let (ack_tx, ack_rx) = mpsc::channel::<u32>();
-                    for queue in &shared.queues {
-                        queue.push_control(Job::Drain { conn_id, ack: ack_tx.clone() });
-                    }
-                    drop(ack_tx);
-                    let flushed: u32 = ack_rx.iter().sum();
-                    ServeMetrics::add(&shared.metrics.drains, 1);
-                    if resp_tx.send(Response::DrainComplete(flushed)).is_err() {
-                        break 'conn;
-                    }
-                }
-            }
-        }
-        dispatch(shared, &mut per_shard);
-    }
-    dispatch(shared, &mut per_shard);
-    Ok(())
-}
-
-/// Pushes each shard's pending jobs under one lock acquisition and
-/// applies the admission outcome: `Busy` frames for rejected packets,
-/// drop counters for evictions.
-fn dispatch(shared: &Arc<Shared>, per_shard: &mut [Vec<Job>]) {
-    for (shard, jobs) in per_shard.iter_mut().enumerate() {
-        if jobs.is_empty() {
-            continue;
-        }
-        let submitted = jobs.len() as u64;
-        let outcome = shared.queues[shard].push_batch(jobs.drain(..));
-        let rejected = outcome.rejected.len() as u64;
-        ServeMetrics::add(&shared.metrics.packets, submitted - rejected);
-        ServeMetrics::add(&shared.metrics.busy_rejects, rejected);
-        ServeMetrics::add(&shared.metrics.dropped_oldest, outcome.dropped.len() as u64);
-        for job in outcome.rejected {
-            if let Job::Packet { packet, reply, .. } = job {
-                let _ = reply.send(Response::Busy(packet.tuple));
-            }
-        }
-    }
-}
-
 /// A packet job pulled off the shard queue, awaiting batched dispatch.
 struct PacketJob {
     packet: Packet,
     flow: FlowId,
     conn_id: u64,
-    reply: mpsc::Sender<Response>,
+    reply: ReplySink,
 }
 
 /// One shard worker: owns an [`Iustitia`] pipeline (with its own CDB)
@@ -488,7 +342,7 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                 Job::Packet { packet, flow, conn_id, reply } => {
                     segment.push(PacketJob { packet, flow, conn_id, reply });
                 }
-                Job::Drain { conn_id, ack } => {
+                Job::Drain { conn_id, gate } => {
                     // Barrier: everything submitted before the drain is
                     // dispatched before the sweep.
                     process_segment(
@@ -509,9 +363,9 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                         pipeline.state_pool_hits(),
                         pipeline.state_pool_size() as u64,
                     );
-                    let _ = ack.send(flushed);
+                    gate.ack(flushed);
                 }
-                Job::Disconnect { conn_id } => {
+                Job::Disconnect { conn_id, gate } => {
                     // Flush first: packets this connection submitted
                     // before going away still get processed, and their
                     // routes must exist to be forgotten here.
@@ -524,6 +378,7 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                         &mut verdicts,
                     );
                     routes.retain(|_, route| route.conn_id != conn_id);
+                    gate.ack(0);
                 }
             }
         }
@@ -736,7 +591,7 @@ fn process_flow_run(
 /// consuming its route (each route delivers exactly one verdict).
 fn deliver(routes: &mut HashMap<FlowId, Route>, flow: &ClassifiedFlow) {
     if let Some(route) = routes.remove(&flow.id) {
-        let _ = route.reply.send(Response::FlowVerdict(FlowVerdict {
+        route.reply.send(Response::FlowVerdict(FlowVerdict {
             tuple: route.tuple,
             label: flow.label,
             packets: flow.packets,

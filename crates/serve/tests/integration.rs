@@ -353,6 +353,153 @@ fn malformed_frame_yields_error_response() {
     server.shutdown();
 }
 
+/// Shutdown regression: the reactor is unblocked by its wakeup
+/// eventfd, not by the old hack of dialing a throwaway TCP connection
+/// to its own listener. An idle server must shut down promptly, with
+/// zero connections ever accepted, and leave the port closed.
+#[test]
+fn shutdown_completes_without_self_connection() {
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+    let addr = server.local_addr();
+
+    // Nothing ever connected — and nothing may connect during
+    // shutdown either (the stop phase closes the listener before the
+    // reactor exits, so a self-connect would deadlock, not help).
+    assert_eq!(server.stats().connections, 0);
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("shutdown must complete without a self-connection to unblock accept");
+
+    let refused = std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(2));
+    assert!(refused.is_err(), "listener must be gone after shutdown");
+}
+
+/// Many-connections smoke: one reactor serves hundreds of sockets
+/// concurrently — every probe's flow classifies, nothing is lost, and
+/// the accept-to-verdict histogram sees every verdict.
+#[test]
+fn many_connections_smoke() {
+    use iustitia_serve::proto::{read_frame, write_frame, Request, Response};
+
+    const CONNS: usize = 256;
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+
+    // Phase 1: every probe connects and submits one 2-packet flow
+    // (2 × 16 bytes fills the b = 32 buffer) before anyone reads, so
+    // all sockets are genuinely concurrent.
+    let mut probes = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let tuple = FiveTuple::udp(
+            Ipv4Addr::new(10, 1, (i / 256) as u8, (i % 256) as u8),
+            40_000 + i as u16,
+            Ipv4Addr::new(10, 99, 99, 99),
+            9999,
+        );
+        probes.push((stream, tuple));
+    }
+    for (stream, tuple) in &mut probes {
+        for k in 0..2u8 {
+            let packet = Packet {
+                timestamp: 0.01 * f64::from(k),
+                tuple: *tuple,
+                flags: TcpFlags::empty(),
+                payload: vec![0xC3 ^ k; 16],
+            };
+            let (t, body) = Request::SubmitPacket(packet).encode().unwrap();
+            write_frame(stream, t, &body).unwrap();
+        }
+    }
+
+    // Phase 2: every probe gets exactly its own verdict back.
+    for (stream, tuple) in &mut probes {
+        stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        let (type_byte, body) = read_frame(stream).unwrap().expect("a verdict frame");
+        match Response::decode(type_byte, &body).unwrap() {
+            Response::FlowVerdict(v) => assert_eq!(v.tuple, *tuple, "verdict routed to its owner"),
+            other => panic!("expected a verdict, got {other:?}"),
+        }
+    }
+
+    let mut control = Client::connect(server.local_addr()).unwrap();
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.connections, CONNS as u64 + 1, "every probe (and this client) accepted");
+    assert_eq!(stats.packets, 2 * CONNS as u64, "no packet lost across {CONNS} sockets");
+    assert_eq!(stats.busy_rejects, 0);
+    assert!(
+        stats.accept_to_verdict.count() >= CONNS as u64,
+        "accept-to-verdict latency recorded per verdict: {}",
+        stats.accept_to_verdict.count()
+    );
+    assert!(
+        stats.open_connections >= 1 && stats.open_connections <= CONNS as u64 + 1,
+        "open-connection gauge in range: {}",
+        stats.open_connections
+    );
+
+    drop(probes);
+    control.close().unwrap();
+    server.shutdown();
+}
+
+/// The UDP adapter end to end: one-frame datagrams carry the same
+/// requests as the stream transport, and verdicts come back as
+/// datagrams to the submitting peer.
+#[test]
+fn udp_datagram_ingest_yields_verdict() {
+    use iustitia_serve::proto::{Request, Response};
+    use std::io::Cursor;
+
+    let server = Server::start("127.0.0.1:0", trained_model(), server_config()).unwrap();
+    let server_udp = server.udp_addr().expect("UDP adapter enabled by default");
+
+    let socket = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+    socket.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let tuple = FiveTuple::udp(Ipv4Addr::new(10, 7, 7, 7), 7777, Ipv4Addr::new(10, 8, 8, 8), 8888);
+    for k in 0..2u8 {
+        let packet = Packet {
+            timestamp: 0.05 * f64::from(k),
+            tuple,
+            flags: TcpFlags::empty(),
+            payload: vec![0x5A ^ k; 16], // 2 × 16 = 32 ≥ b
+        };
+        let (t, body) = Request::SubmitPacket(packet).encode().unwrap();
+        let mut datagram = Vec::new();
+        iustitia_serve::proto::write_frame(&mut datagram, t, &body).unwrap();
+        socket.send_to(&datagram, server_udp).unwrap();
+    }
+
+    let mut buf = vec![0u8; 64 * 1024];
+    let (n, from) = socket.recv_from(&mut buf).expect("a verdict datagram");
+    assert_eq!(from, server_udp);
+    let mut cursor = Cursor::new(&buf[..n]);
+    let (type_byte, body) =
+        iustitia_serve::proto::read_frame(&mut cursor).unwrap().expect("one frame per datagram");
+    match Response::decode(type_byte, &body).unwrap() {
+        Response::FlowVerdict(v) => {
+            assert_eq!(v.tuple, tuple);
+            assert_eq!(v.packets, 2, "32 bytes arrive with the second datagram");
+        }
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+
+    // The datagram path shows up in stats, queried over TCP.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.udp_datagrams, 2);
+    assert_eq!(stats.packets, 2);
+    client.close().unwrap();
+    server.shutdown();
+}
+
 /// UDP flows work exactly like TCP flows (no flags, no close).
 #[test]
 fn udp_flow_classifies_on_full_buffer() {

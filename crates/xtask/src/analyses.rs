@@ -101,6 +101,7 @@ const KB: &[(&str, Effect)] = &[
     ("ilog2", PANICS),  // panics on zero
     // Allocating calls.
     ("push", ALLOCS),
+    ("push_back", ALLOCS),
     ("with_capacity", ALLOCS),
     ("resize", ALLOCS),
     ("into_boxed_slice", ALLOCS), // may shrink-reallocate
@@ -167,8 +168,12 @@ const KB: &[(&str, Effect)] = &[
     ("chunks_exact", CLEAN), // chunk size is a non-zero constant at every call site
     ("chunks_exact_mut", CLEAN),
     ("remainder", CLEAN),
-    ("windows", CLEAN), // window size is a non-zero constant at every call site
-    ("pop", CLEAN),     // Vec::pop returns Option
+    ("windows", CLEAN),   // window size is a non-zero constant at every call site
+    ("pop", CLEAN),       // Vec::pop returns Option
+    ("truncate", CLEAN),  // no-op when longer than len
+    ("pop_front", CLEAN), // VecDeque::pop_front returns Option
+    ("fetch_add", CLEAN), // atomic RMW wraps, never panics
+    ("cast", CLEAN),      // pointer type cast, pure
     ("retain", CLEAN),
     ("entry", CLEAN), // the Entry itself; inserting through it is or_insert/or_default
     ("into_mut", CLEAN),
