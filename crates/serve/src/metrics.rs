@@ -331,6 +331,14 @@ pub struct StatsSnapshot {
 /// (guards allocation against a corrupt length word).
 const MAX_WIRE_SHARDS: u64 = 65_536;
 
+/// Version word leading the stats wire encoding. Bumped whenever
+/// fields are added, removed, or reordered, so a client and server
+/// from different sides of a format change fail the decode loudly
+/// instead of silently misreading shifted words. Version 2 added the
+/// `udp_datagrams`/`open_connections`/`reassembly_buffer_bytes`
+/// gauges and the accept-to-verdict histogram.
+const STATS_WIRE_VERSION: u64 = 2;
+
 impl StatsSnapshot {
     /// Histogram for one stage.
     #[must_use]
@@ -370,13 +378,14 @@ impl StatsSnapshot {
         self.shards.iter().map(|s| s.state_pool_size).sum()
     }
 
-    /// Wire encoding: the twelve counters/gauges, the four stage
-    /// histograms, the accept-to-verdict histogram, the two
-    /// batch-shape histograms, then the shard-gauge section (shard
-    /// count followed by four gauges per shard), all as big-endian
-    /// `u64`.
+    /// Wire encoding: the [`STATS_WIRE_VERSION`] word, the twelve
+    /// counters/gauges, the four stage histograms, the
+    /// accept-to-verdict histogram, the two batch-shape histograms,
+    /// then the shard-gauge section (shard count followed by four
+    /// gauges per shard), all as big-endian `u64`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
+            STATS_WIRE_VERSION,
             self.packets,
             self.hits,
             self.flows_classified,
@@ -414,9 +423,16 @@ impl StatsSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtoError::Malformed`] if the body is truncated or
-    /// declares an implausible shard count.
+    /// Returns [`ProtoError::Malformed`] if the body is truncated,
+    /// carries an unknown format version, or declares an implausible
+    /// shard count.
     pub(crate) fn decode(r: &mut crate::proto::FieldReader<'_>) -> Result<Self, ProtoError> {
+        let version = r.u64()?;
+        if version != STATS_WIRE_VERSION {
+            return Err(ProtoError::Malformed(format!(
+                "stats snapshot version {version}, this build speaks {STATS_WIRE_VERSION}"
+            )));
+        }
         let mut snapshot = StatsSnapshot {
             packets: r.u64()?,
             hits: r.u64()?,
@@ -559,6 +575,18 @@ mod tests {
         let back = StatsSnapshot::decode(&mut reader).unwrap();
         reader.finish().unwrap();
         assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_version() {
+        let mut body = Vec::new();
+        StatsSnapshot::default().encode_into(&mut body);
+        // A peer from the other side of a format change: same payload,
+        // different leading version word.
+        body[..8].copy_from_slice(&(STATS_WIRE_VERSION + 1).to_be_bytes());
+        let mut reader = crate::proto::FieldReader::new(&body);
+        let err = StatsSnapshot::decode(&mut reader).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
     }
 
     #[test]

@@ -81,8 +81,17 @@ const READ_BUDGET: usize = 1 << 20;
 /// readers before force-closing.
 const FLUSH_GRACE: Duration = Duration::from_secs(5);
 
-/// Cap on distinct UDP peers holding verdict routes.
-const MAX_UDP_PEERS: usize = 65_536;
+/// How long the listener stays parked after a persistent accept
+/// failure (fd exhaustion and kin) before the reactor retries.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// A UDP peer silent for this long is eligible for eviction when the
+/// peer table is under cap pressure.
+const UDP_PEER_IDLE: Duration = Duration::from_secs(60);
+
+/// Consecutive `epoll_wait` failures tolerated before the reactor
+/// declares itself wedged and exits.
+const MAX_WAIT_ERRORS: u32 = 8;
 
 /// A message from the shard workers (or a fan-in gate) to the reactor.
 pub(crate) enum OutMsg {
@@ -260,6 +269,9 @@ struct Conn {
 struct UdpPeer {
     addr: SocketAddr,
     first_seen: Instant,
+    /// Refreshed on every datagram; drives idle/LRU eviction when the
+    /// peer table hits its cap.
+    last_seen: Instant,
 }
 
 /// Whose request is being handled (determines where direct replies
@@ -293,6 +305,11 @@ pub(crate) struct Reactor {
     out_scratch: Vec<OutMsg>,
     scratch: Vec<u8>,
     reassembly_bytes: u64,
+    /// Set after a persistent accept failure: the listener is
+    /// deregistered from epoll until this instant so the reactor keeps
+    /// servicing (and closing) existing connections instead of
+    /// spinning on an accept that cannot succeed.
+    accept_pause: Option<Instant>,
 }
 
 impl Reactor {
@@ -334,6 +351,7 @@ impl Reactor {
             out_scratch: Vec::new(),
             scratch: vec![0u8; 64 * 1024],
             reassembly_bytes: 0,
+            accept_pause: None,
         })
     }
 
@@ -343,16 +361,45 @@ impl Reactor {
     pub(crate) fn run(mut self) {
         let mut events = vec![EpollEvent::default(); 1024];
         let mut finish_deadline: Option<Instant> = None;
+        let mut wait_errors = 0u32;
 
         loop {
-            let timeout_ms = match finish_deadline {
+            if self.accept_pause.is_some_and(|resume_at| Instant::now() >= resume_at) {
+                self.resume_accept();
+            }
+            let deadline = match (finish_deadline, self.accept_pause) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let timeout_ms = match deadline {
                 None => -1,
                 Some(deadline) => {
                     let left = deadline.saturating_duration_since(Instant::now());
                     i32::try_from(left.as_millis().min(100)).unwrap_or(100)
                 }
             };
-            let n = self.epoll.wait(&mut events, timeout_ms).unwrap_or(0);
+            let n = match self.epoll.wait(&mut events, timeout_ms) {
+                Ok(n) => {
+                    wait_errors = 0;
+                    n
+                }
+                // A failing epoll_wait must not become a hot loop:
+                // back off, and if it keeps failing (EBADF/EINVAL —
+                // the epoll fd itself is broken) the reactor is
+                // unrecoverable, so exit instead of spinning forever.
+                Err(e) => {
+                    wait_errors += 1;
+                    if wait_errors >= MAX_WAIT_ERRORS {
+                        // lint: allow(L004) — the reactor thread is dying and can no longer serve Stats; stderr is the only channel left
+                        eprintln!(
+                            "iustitia-reactor: epoll_wait failed {wait_errors} times, exiting: {e}"
+                        );
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    0
+                }
+            };
 
             // Connections first, accepts last: a slot freed by a close
             // in this batch is never reused while the batch still
@@ -381,6 +428,7 @@ impl Reactor {
                 if let Some(listener) = self.listener.take() {
                     let _ = self.epoll.delete(listener.as_raw_fd());
                 }
+                self.accept_pause = None;
             }
             if self.shared.finish.load(Ordering::SeqCst) {
                 let deadline = *finish_deadline.get_or_insert_with(|| Instant::now() + FLUSH_GRACE);
@@ -395,16 +443,49 @@ impl Reactor {
     // ---- accept path ----------------------------------------------
 
     fn accept_ready(&mut self) {
+        if self.accept_pause.is_some() {
+            return;
+        }
         loop {
             let Some(listener) = &self.listener else { return };
             match listener.accept() {
                 Ok((stream, _)) => self.register_conn(stream),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                // Transient per-connection accept failures (ECONNABORTED
-                // etc.): skip this one, keep accepting.
-                Err(_) => {}
+                // Transient per-connection failures: that one
+                // connection is gone, keep accepting the rest.
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted
+                        || e.kind() == io::ErrorKind::ConnectionAborted => {}
+                // EMFILE/ENFILE and other persistent failures leave the
+                // pending connection queued, so retrying immediately
+                // can never make progress — and only this thread can
+                // close fds to relieve the pressure. Park the listener
+                // and get back to epoll_wait.
+                Err(_) => {
+                    self.pause_accept();
+                    return;
+                }
             }
+        }
+    }
+
+    /// Deregisters the listener for [`ACCEPT_BACKOFF`] after a
+    /// persistent accept failure; without this, level-triggered epoll
+    /// would re-report the listener every iteration and the loop would
+    /// spin on a failing `accept`.
+    fn pause_accept(&mut self) {
+        let Some(listener) = &self.listener else { return };
+        let _ = self.epoll.delete(listener.as_raw_fd());
+        self.accept_pause = Some(Instant::now() + ACCEPT_BACKOFF);
+    }
+
+    /// Re-registers the listener once the accept backoff expires. If
+    /// the re-add itself fails, the backoff is extended and retried.
+    fn resume_accept(&mut self) {
+        self.accept_pause = None;
+        let Some(listener) = &self.listener else { return };
+        if self.epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN).is_err() {
+            self.accept_pause = Some(Instant::now() + ACCEPT_BACKOFF);
         }
     }
 
@@ -891,19 +972,66 @@ impl Reactor {
             }
         };
         let conn_id = match self.udp_peers.get(&addr) {
-            Some(&id) => id,
+            Some(&id) => {
+                if let Some(peer) = self.udp_by_id.get_mut(&id) {
+                    peer.last_seen = Instant::now();
+                }
+                id
+            }
             None => {
-                if self.udp_by_id.len() >= MAX_UDP_PEERS {
+                if self.udp_by_id.len() >= self.shared.config.max_udp_peers {
+                    self.evict_udp_peers();
+                }
+                if self.udp_by_id.len() >= self.shared.config.max_udp_peers {
+                    // Only possible with a zero cap (UDP effectively
+                    // disabled by configuration).
                     self.udp_send(addr, &Response::Error("too many UDP peers".into()));
                     return;
                 }
                 let id = self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                let now = Instant::now();
                 self.udp_peers.insert(addr, id);
-                self.udp_by_id.insert(id, UdpPeer { addr, first_seen: Instant::now() });
+                self.udp_by_id.insert(id, UdpPeer { addr, first_seen: now, last_seen: now });
                 id
             }
         };
         self.handle_request(&Origin::Udp(conn_id), request);
+    }
+
+    /// Makes room in the peer table: drops every peer idle for
+    /// [`UDP_PEER_IDLE`], or failing that the single least-recently-seen
+    /// peer, so a new peer can always register — a stream of spoofed
+    /// source addresses recycles table slots instead of permanently
+    /// exhausting them.
+    fn evict_udp_peers(&mut self) {
+        let now = Instant::now();
+        let mut evict: Vec<u64> = self
+            .udp_by_id
+            .iter()
+            .filter(|(_, peer)| now.duration_since(peer.last_seen) >= UDP_PEER_IDLE)
+            .map(|(&id, _)| id)
+            .collect();
+        if evict.is_empty() {
+            evict.extend(self.udp_by_id.iter().min_by_key(|(_, peer)| peer.last_seen).map(|(&id, _)| id));
+        }
+        for id in evict {
+            self.forget_udp_peer(id);
+        }
+    }
+
+    /// Removes one UDP pseudo-connection and pushes its `Disconnect`
+    /// through the shards, so verdict routes it still holds are
+    /// forgotten exactly as a closed TCP connection's are.
+    fn forget_udp_peer(&mut self, conn_id: u64) {
+        let Some(peer) = self.udp_by_id.remove(&conn_id) else { return };
+        self.udp_peers.remove(&peer.addr);
+        let gate =
+            FanInGate::disconnect(conn_id, self.shared.queues.len(), Arc::clone(&self.outbox));
+        for queue in &self.shared.queues {
+            if !queue.push_control(Job::Disconnect { conn_id, gate: Arc::clone(&gate) }) {
+                gate.ack(0);
+            }
+        }
     }
 
     /// Encodes a response as a single datagram; on `EWOULDBLOCK` the

@@ -69,6 +69,11 @@ pub struct ServerConfig {
     /// Also bind a UDP socket on the same port and serve one-frame
     /// datagrams through the reactor.
     pub udp: bool,
+    /// Cap on distinct UDP peers holding verdict routes at once. Under
+    /// cap pressure the reactor evicts idle peers (least-recently-seen
+    /// first) rather than rejecting new ones, so a burst of spoofed
+    /// source addresses cannot permanently wedge the datagram adapter.
+    pub max_udp_peers: usize,
     /// Pipeline configuration replicated into every shard (each shard
     /// gets a decorrelated RNG seed).
     pub pipeline: PipelineConfig,
@@ -76,7 +81,7 @@ pub struct ServerConfig {
 
 impl ServerConfig {
     /// Defaults: 4 shards, 1024-packet queues, `RejectBusy`, 64-frame
-    /// batches, UDP enabled.
+    /// batches, UDP enabled with a 65 536-peer table.
     #[must_use]
     pub fn new(pipeline: PipelineConfig) -> Self {
         ServerConfig {
@@ -85,6 +90,7 @@ impl ServerConfig {
             admission: AdmissionPolicy::default(),
             batch_limit: 64,
             udp: true,
+            max_udp_peers: 65_536,
             pipeline,
         }
     }

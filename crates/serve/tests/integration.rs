@@ -500,6 +500,67 @@ fn udp_datagram_ingest_yields_verdict() {
     server.shutdown();
 }
 
+/// A stream of distinct UDP source addresses beyond the peer-table cap
+/// must recycle table slots (LRU eviction), not permanently reject new
+/// peers: every peer still gets its verdict.
+#[test]
+fn udp_peer_table_evicts_instead_of_wedging() {
+    use iustitia_serve::proto::{Request, Response};
+    use std::io::Cursor;
+
+    let mut config = server_config();
+    config.max_udp_peers = 2;
+    let server = Server::start("127.0.0.1:0", trained_model(), config).unwrap();
+    let server_udp = server.udp_addr().expect("UDP adapter enabled by default");
+
+    let peers = 5u8;
+    for p in 0..peers {
+        let socket = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        socket.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let tuple = FiveTuple::udp(
+            Ipv4Addr::new(10, 9, 9, p),
+            6000 + u16::from(p),
+            Ipv4Addr::new(10, 8, 8, 8),
+            8888,
+        );
+        for k in 0..2u8 {
+            let packet = Packet {
+                timestamp: 0.05 * f64::from(k),
+                tuple,
+                flags: TcpFlags::empty(),
+                payload: vec![(0x30 + p) ^ k; 16], // 2 × 16 = 32 ≥ b
+            };
+            let (t, body) = Request::SubmitPacket(packet).encode().unwrap();
+            let mut datagram = Vec::new();
+            iustitia_serve::proto::write_frame(&mut datagram, t, &body).unwrap();
+            socket.send_to(&datagram, server_udp).unwrap();
+        }
+        let mut buf = vec![0u8; 64 * 1024];
+        let (n, _) = socket
+            .recv_from(&mut buf)
+            .unwrap_or_else(|e| panic!("peer {p} of {peers} got no reply (cap 2): {e}"));
+        let mut cursor = Cursor::new(&buf[..n]);
+        let (type_byte, body) =
+            iustitia_serve::proto::read_frame(&mut cursor).unwrap().expect("one frame per reply");
+        match Response::decode(type_byte, &body).unwrap() {
+            Response::FlowVerdict(v) => assert_eq!(v.tuple, tuple),
+            other => panic!("peer {p} expected a verdict, got {other:?}"),
+        }
+    }
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.udp_datagrams, u64::from(peers) * 2);
+    assert_eq!(stats.packets, u64::from(peers) * 2, "no datagram was rejected");
+    assert!(
+        stats.open_connections <= 3,
+        "gauge counts at most the TCP probe plus 2 live peers, got {}",
+        stats.open_connections
+    );
+    client.close().unwrap();
+    server.shutdown();
+}
+
 /// UDP flows work exactly like TCP flows (no flags, no close).
 #[test]
 fn udp_flow_classifies_on_full_buffer() {
