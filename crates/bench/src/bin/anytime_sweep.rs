@@ -1,0 +1,182 @@
+//! Anytime early-exit calibration sweep: accuracy vs mean
+//! bytes-to-verdict across the emission-threshold grid, against the
+//! fixed-`b` baseline, plus an end-to-end pipeline replay comparing
+//! throughput with the calibrated threshold on and off.
+//!
+//! Run: `cargo run --release -p iustitia-bench --bin anytime_sweep`
+//! (captured into `results/BENCH_anytime.json`).
+//!
+//! Flags:
+//! - `--smoke` — tiny corpus and trace, for CI: exercises the full
+//!   code path in a few seconds and asserts the JSON invariants, but
+//!   the numbers are not meaningful at that scale.
+
+use std::time::Instant;
+
+use iustitia::features::FeatureMode;
+use iustitia::model::{train_anytime_from_corpus, AnytimeTrainReport, ANYTIME_THRESHOLD_DISABLED};
+use iustitia::pipeline::{AnytimeConfig, Iustitia, PipelineConfig};
+use iustitia_bench::{paper_cart, scaled};
+use iustitia_corpus::CorpusBuilder;
+use iustitia_entropy::FeatureWidths;
+use iustitia_netsim::{ContentMode, Packet, TraceConfig, TraceGenerator};
+
+/// One timed pass of the trace through a fresh pipeline. Returns
+/// (wall seconds, verdicts, early exits, mean bytes at verdict).
+fn replay(report: &AnytimeTrainReport, b: usize, packets: &[Packet], anytime: bool) -> Replay {
+    let mut config =
+        PipelineConfig { buffer_size: b, battery: true, ..PipelineConfig::headline(33) };
+    if anytime {
+        config.anytime = Some(AnytimeConfig::calibrated(&report.anytime.confidence));
+    }
+    let mut pipeline = Iustitia::new(report.model.clone(), config);
+    if anytime {
+        pipeline = pipeline.with_anytime(report.anytime.clone());
+    }
+    let start = Instant::now();
+    for packet in packets {
+        pipeline.process_packet(packet);
+    }
+    pipeline.sweep_idle(f64::INFINITY);
+    let wall_s = start.elapsed().as_secs_f64();
+    let log = pipeline.take_log();
+    let verdicts = log.len();
+    let bytes: u64 = log.iter().map(|f| f.buffered_bytes as u64).sum();
+    Replay {
+        wall_s,
+        verdicts,
+        early_exits: pipeline.early_exit_verdicts(),
+        mean_bytes_at_verdict: bytes as f64 / verdicts.max(1) as f64,
+    }
+}
+
+struct Replay {
+    wall_s: f64,
+    verdicts: usize,
+    early_exits: u64,
+    mean_bytes_at_verdict: f64,
+}
+
+fn replay_json(name: &str, r: &Replay, packets: usize, trailing_comma: bool) {
+    println!("    \"{name}\": {{");
+    println!("      \"wall_s\": {:.4},", r.wall_s);
+    println!("      \"pkts_per_s\": {:.0},", packets as f64 / r.wall_s);
+    println!("      \"verdicts\": {},", r.verdicts);
+    println!("      \"early_exit_verdicts\": {},", r.early_exits);
+    println!("      \"mean_bytes_at_verdict\": {:.1}", r.mean_bytes_at_verdict);
+    println!("    }}{}", if trailing_comma { "," } else { "" });
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // The size range brackets the buffer: most files can fill it (the
+    // fixed-`b` rule pays the full `b` for them) but a short tail
+    // cannot, mirroring the mixed transfer sizes of the paper's pool.
+    let (per_class, min_size, max_size, b, n_flows) =
+        if smoke { (12, 512, 2048, 512, 150) } else { (160, 1024, 16384, 4096, scaled(1500)) };
+
+    eprintln!("training anytime model (CART, b={b}, {per_class} files/class)...");
+    let corpus =
+        CorpusBuilder::new(33).files_per_class(per_class).size_range(min_size, max_size).build();
+    let report = train_anytime_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        b,
+        FeatureMode::Exact,
+        &paper_cart(),
+        33,
+        true,
+        0.01,
+    )
+    .expect("balanced corpus");
+
+    let threshold = report.anytime.confidence.threshold();
+    let calibrated = report.curve.iter().find(|p| p.threshold == threshold).copied();
+
+    eprintln!("generating {n_flows}-flow trace for the pipeline replay...");
+    let mut trace = TraceConfig::small_test(42);
+    trace.n_flows = n_flows;
+    trace.duration = 20.0;
+    trace.mean_data_packets = 24.0;
+    trace.content = ContentMode::Realistic;
+    trace.content_budget = 2 * b;
+    let packets: Vec<Packet> = TraceGenerator::new(trace).collect();
+
+    eprintln!("replaying {} packets (fixed-b, then anytime)...", packets.len());
+    let fixed = replay(&report, b, &packets, false);
+    let any = replay(&report, b, &packets, true);
+
+    println!("{{");
+    println!("  \"benchmark\": \"anytime early-exit sweep (accuracy vs mean bytes-to-verdict)\",");
+    println!("  \"smoke\": {smoke},");
+    println!("  \"corpus\": {{\"seed\": 33, \"files_per_class\": {per_class}, \"size_range\": [{min_size}, {max_size}]}},");
+    println!("  \"buffer_size\": {b},");
+    println!("  \"accuracy_floor\": 0.01,");
+    println!("  \"fixed_b_baseline\": {{");
+    println!("    \"accuracy\": {:.4},", report.full_accuracy);
+    println!("    \"mean_bytes_to_verdict\": {:.1}", report.full_mean_bytes);
+    println!("  }},");
+    if let Some(p) = calibrated {
+        let floors: Vec<String> =
+            report.anytime.confidence.class_floor().iter().map(|f| f.to_string()).collect();
+        let trusted = report.anytime.confidence.trusted_bytes();
+        println!("  \"calibrated_threshold\": {threshold},");
+        println!("  \"exit_policy\": {{");
+        println!("    \"class_floor_bytes\": [{}],", floors.join(", "));
+        if trusted == u64::MAX {
+            println!("    \"trusted_bytes\": null");
+        } else {
+            println!("    \"trusted_bytes\": {trusted}");
+        }
+        println!("  }},");
+        println!("  \"calibrated\": {{");
+        println!("    \"accuracy\": {:.4},", p.accuracy);
+        println!("    \"mean_bytes_to_verdict\": {:.1},", p.mean_bytes_to_verdict);
+        println!("    \"early_fraction\": {:.4},", p.early_fraction);
+        println!(
+            "    \"bytes_reduction_factor\": {:.2}",
+            report.full_mean_bytes / p.mean_bytes_to_verdict
+        );
+        println!("  }},");
+    } else {
+        assert_eq!(
+            threshold, ANYTIME_THRESHOLD_DISABLED,
+            "threshold off the grid must be the disabled sentinel"
+        );
+        println!("  \"calibrated_threshold\": null,");
+        println!("  \"calibrated\": null,");
+    }
+    println!("  \"curve\": [");
+    let rows: Vec<String> = report
+        .curve
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threshold\": {}, \"accuracy\": {:.4}, \
+                 \"mean_bytes_to_verdict\": {:.1}, \"early_fraction\": {:.4}}}",
+                p.threshold, p.accuracy, p.mean_bytes_to_verdict, p.early_fraction
+            )
+        })
+        .collect();
+    println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"pipeline_replay\": {{");
+    println!("    \"packets\": {},", packets.len());
+    replay_json("fixed_b", &fixed, packets.len(), true);
+    replay_json("anytime", &any, packets.len(), false);
+    println!("  }}");
+    println!("}}");
+
+    // Invariants every run (including --smoke) must satisfy: anytime
+    // never loses verdicts, and when the calibration found a usable
+    // threshold the replay must actually exit early.
+    assert_eq!(fixed.verdicts, any.verdicts, "anytime must not lose verdicts");
+    assert_eq!(fixed.early_exits, 0, "fixed-b path must never exit early");
+    if calibrated.is_some() {
+        assert!(any.early_exits > 0, "calibrated threshold should fire on the replay trace");
+        assert!(
+            any.mean_bytes_at_verdict < fixed.mean_bytes_at_verdict,
+            "early exits must reduce mean bytes at verdict"
+        );
+    }
+}

@@ -17,6 +17,11 @@
 //!   one small flow each, measuring per-connection submit-to-verdict
 //!   latency client-side plus the server's accept-to-verdict histogram.
 //!   Prints a JSON document (captured into `results/BENCH_epoll.json`).
+//! - `--flow-churn` — anytime early-exit scenario: larger flows against
+//!   a `b = 2048` buffer, streamed twice through the server with the
+//!   calibrated anytime threshold off then on, comparing throughput,
+//!   early-exit counts, and bytes-at-verdict (captured into the
+//!   `flow_churn` section of `results/BENCH_anytime.json`).
 //! - `--pcap FILE` — replay a capture file through the single-client
 //!   path instead of a generated trace.
 //! - `--write-pcap FILE` — export the generated trace as a classic
@@ -31,9 +36,12 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia::model::{train_from_corpus, NatureModel};
-use iustitia::pipeline::{BatchPacket, Iustitia, PipelineConfig, Verdict};
+use iustitia::model::{
+    train_anytime_from_corpus, train_from_corpus, AnytimeTrainReport, NatureModel,
+};
+use iustitia::pipeline::{AnytimeConfig, BatchPacket, Iustitia, PipelineConfig, Verdict};
 use iustitia_bench::{paper_cart, prefix_corpus, scaled};
+use iustitia_corpus::CorpusBuilder;
 use iustitia_entropy::FeatureWidths;
 use iustitia_netsim::{ContentMode, FiveTuple, Packet, TcpFlags, TraceConfig, TraceGenerator};
 use iustitia_serve::{
@@ -145,6 +153,132 @@ fn sweep_batch(model: &NatureModel, packets: &[Packet], shards: usize) {
     println!("  \"reps_per_cell\": {reps},");
     println!("  \"runs\": [");
     println!("{}", runs.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}
+
+/// One timed pass of the flow-churn trace with the anytime threshold
+/// on or off. Returns (throughput pkt/s, final stats).
+fn churn_run(
+    report: &AnytimeTrainReport,
+    b: usize,
+    packets: &[Packet],
+    shards: usize,
+    anytime: bool,
+) -> (f64, iustitia_serve::StatsSnapshot) {
+    let mut pc = PipelineConfig { buffer_size: b, battery: true, ..PipelineConfig::headline(33) };
+    if anytime {
+        pc.anytime = Some(AnytimeConfig::calibrated(&report.anytime.confidence));
+    }
+    let mut config = ServerConfig::new(pc);
+    config.shards = shards;
+    config.queue_capacity = 1 << 14;
+    if anytime {
+        config.anytime = Some(report.anytime.clone());
+    }
+    let server = Server::start("127.0.0.1:0", report.model.clone(), config).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let start = Instant::now();
+    for packet in packets {
+        client.submit_packet(packet).expect("submit");
+        if client.poll_events().iter().any(|e| matches!(e, ClientEvent::Busy(_))) {
+            panic!("queues sized to never reject");
+        }
+    }
+    client.flush().expect("flush");
+    client.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = client.stats().expect("stats");
+    client.close().expect("close");
+    server.shutdown();
+    (packets.len() as f64 / elapsed, stats)
+}
+
+/// The anytime early-exit scenario: a trace of larger flows against a
+/// `b = 2048` buffer, streamed through the server with the calibrated
+/// anytime threshold off then on. The fixed-`b` baseline pays the full
+/// buffer fill per flow; the anytime run converts the tail of each
+/// flow's buffer fill into CDB hits. Prints a JSON document on stdout.
+fn flow_churn(shards: usize) {
+    let b = 2048usize;
+    eprintln!("training anytime model (CART, b={b}, 96 files/class)...");
+    let corpus = CorpusBuilder::new(33).files_per_class(96).size_range(1024, 16384).build();
+    let report = train_anytime_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        b,
+        FeatureMode::Exact,
+        &paper_cart(),
+        33,
+        true,
+        0.01,
+    )
+    .expect("balanced corpus");
+    let threshold = report.anytime.confidence.threshold();
+    eprintln!("calibrated threshold: {threshold}");
+
+    let n_flows = scaled(1500);
+    eprintln!("generating {n_flows}-flow churn trace...");
+    let mut trace = TraceConfig::small_test(42);
+    trace.n_flows = n_flows;
+    trace.duration = 20.0;
+    trace.mean_data_packets = 24.0;
+    trace.content = ContentMode::Realistic;
+    trace.content_budget = 4096;
+    let packets: Vec<Packet> = TraceGenerator::new(trace).collect();
+    eprintln!("streaming {} packets, threshold off then on ({} reps each)...", packets.len(), 3);
+
+    let reps = 3;
+    let mut cells = Vec::new();
+    for anytime in [false, true] {
+        let mut throughputs = Vec::new();
+        let mut last_stats = None;
+        for _ in 0..reps {
+            let (tput, stats) = churn_run(&report, b, &packets, shards, anytime);
+            throughputs.push(tput);
+            last_stats = Some(stats);
+        }
+        throughputs.sort_by(f64::total_cmp);
+        let median = throughputs[reps / 2];
+        let stats = last_stats.expect("at least one rep");
+        let name = if anytime { "anytime" } else { "fixed_b" };
+        eprintln!(
+            "{name:<8} median {median:>9.0} pkt/s (early exits {}, bytes@verdict p50 {}B)",
+            stats.early_exit_verdicts(),
+            stats.bytes_at_verdict.p50().unwrap_or(0),
+        );
+        cells.push((name, median, stats));
+    }
+
+    let baseline = cells[0].1;
+    println!("{{");
+    println!("  \"benchmark\": \"serve loadgen flow churn (anytime early exit vs fixed-b)\",");
+    println!("  \"shards\": {shards},");
+    println!("  \"buffer_size\": {b},");
+    println!("  \"calibrated_threshold\": {threshold},");
+    println!("  \"packets\": {},", packets.len());
+    println!("  \"flows\": {n_flows},");
+    println!("  \"reps_per_cell\": {reps},");
+    println!("  \"runs\": [");
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|(name, median, stats)| {
+            format!(
+                "    {{\"mode\": \"{name}\", \"median_pkts_per_s\": {median:.0}, \
+                 \"speedup_vs_fixed_b\": {:.3}, \"flows_classified\": {}, \
+                 \"early_exit_verdicts\": {}, \"bytes_at_verdict_p50\": {}, \
+                 \"bytes_at_verdict_p99\": {}, \"cdb_hits\": {}}}",
+                median / baseline,
+                stats.flows_classified,
+                stats.early_exit_verdicts(),
+                stats.bytes_at_verdict.p50().unwrap_or(0),
+                stats.bytes_at_verdict.p99().unwrap_or(0),
+                stats.hits,
+            )
+        })
+        .collect();
+    println!("{}", rows.join(",\n"));
     println!("  ]");
     println!("}}");
 }
@@ -427,6 +561,7 @@ fn generated_trace(n_flows: usize) -> Vec<Packet> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sweep = false;
+    let mut churn = false;
     let mut connections: Option<usize> = None;
     let mut pcap_in: Option<String> = None;
     let mut pcap_out: Option<String> = None;
@@ -434,6 +569,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--sweep-batch" => sweep = true,
+            "--flow-churn" => churn = true,
             "--connections" => {
                 let v = it.next().expect("--connections needs a count");
                 connections = Some(v.parse().expect("--connections takes an integer"));
@@ -442,7 +578,7 @@ fn main() {
             "--write-pcap" => {
                 pcap_out = Some(it.next().expect("--write-pcap needs a path").clone());
             }
-            other => panic!("unknown flag {other} (try --sweep-batch, --connections N, --pcap FILE, --write-pcap FILE)"),
+            other => panic!("unknown flag {other} (try --sweep-batch, --flow-churn, --connections N, --pcap FILE, --write-pcap FILE)"),
         }
     }
 
@@ -456,6 +592,11 @@ fn main() {
         iustitia_netsim::write_pcap(&mut file, &packets).expect("write pcap");
         file.flush().expect("flush pcap");
         eprintln!("wrote {} packets to {path}", packets.len());
+        return;
+    }
+
+    if churn {
+        flow_churn(shards);
         return;
     }
 

@@ -246,6 +246,28 @@ impl FlowFeatureState {
         }
     }
 
+    /// As [`finish_into`](Self::finish_into), additionally threading
+    /// `means_scratch` through the estimated sketches' per-finish
+    /// median buffers, so even estimated-mode callers are
+    /// allocation-free once warm — the anytime probe finishes a partial
+    /// vector on every probed packet and must never allocate.
+    /// Bit-identical to [`finish`](Self::finish).
+    pub fn finish_into_with(
+        &self,
+        out: &mut Vec<f64>,
+        counts_scratch: &mut Vec<u64>,
+        means_scratch: &mut Vec<f64>,
+    ) {
+        match &self.inner {
+            FlowStateInner::Exact(v) => v.finish_entropies_into(out, counts_scratch),
+            FlowStateInner::Estimated(e) => e.finish_into_with(out, counts_scratch, means_scratch),
+        }
+        if let Some(battery) = &self.battery {
+            // lint: allow(L009) — reused scratch: capacity persists across flows after warm-up
+            out.extend_from_slice(&battery.finish());
+        }
+    }
+
     /// Total payload bytes fed so far.
     pub fn total_bytes(&self) -> u64 {
         match &self.inner {

@@ -26,8 +26,9 @@ use iustitia_netsim::Packet;
 
 use crate::cdb::{CdbConfig, ClassificationDatabase, FlowId};
 use crate::features::{FeatureExtractor, FeatureMode, FlowFeatureState};
-use crate::model::{CompiledNatureModel, NatureModel};
+use crate::model::{AnytimeModel, CompiledNatureModel, NatureModel};
 use iustitia_entropy::FeatureWidths;
+use iustitia_ml::ConfidenceModel;
 
 /// How application-layer headers are handled before classification
 /// (§4.3 and the §4.6 padding defense).
@@ -69,6 +70,44 @@ impl HeaderPolicy {
     }
 }
 
+/// Anytime early-exit policy: when present (and an
+/// [`AnytimeModel`] is attached via
+/// [`Iustitia::with_anytime`]), the pipeline probes each buffering
+/// flow's partial feature vector after qualifying packets and emits a
+/// verdict as soon as the confidence score clears `threshold` —
+/// instead of always waiting for `b` bytes. The `fed >= b` rule stays
+/// as the fallback cap, so flows that never look confident classify
+/// exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnytimeConfig {
+    /// Emission threshold on the combined confidence score (scores are
+    /// clamped to `[0, 1]`, so
+    /// [`ANYTIME_THRESHOLD_DISABLED`](crate::model::ANYTIME_THRESHOLD_DISABLED)
+    /// keeps probes running but never firing).
+    pub threshold: f64,
+    /// Do not probe before this many classification-window bytes have
+    /// been fed (below the first centroid stage the score would be an
+    /// extrapolation).
+    pub min_bytes: usize,
+    /// Minimum newly fed bytes between consecutive probes of one flow,
+    /// bounding probe cost on flows of tiny packets.
+    pub probe_stride: usize,
+}
+
+impl AnytimeConfig {
+    /// An operating point taken from a calibrated model: its threshold,
+    /// probing from the first fitted centroid stage, with a default
+    /// 64-byte stride (each probe re-finishes the feature vector, so
+    /// the stride is the knob trading verdict latency for probe cost).
+    pub fn calibrated(confidence: &ConfidenceModel) -> Self {
+        AnytimeConfig {
+            threshold: confidence.threshold(),
+            min_bytes: confidence.min_stage_bytes() as usize,
+            probe_stride: 64,
+        }
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PipelineConfig {
@@ -93,6 +132,9 @@ pub struct PipelineConfig {
     /// compressed-vs-encrypted discriminator; must match the trained
     /// model's feature set).
     pub battery: bool,
+    /// Anytime early-exit policy; `None` (the default) reproduces the
+    /// fixed-`b` pipeline bit for bit — no probes run at all.
+    pub anytime: Option<AnytimeConfig>,
 }
 
 impl PipelineConfig {
@@ -109,6 +151,7 @@ impl PipelineConfig {
             idle_timeout: 5.0,
             seed,
             battery: false,
+            anytime: None,
         }
     }
 }
@@ -162,6 +205,9 @@ pub struct ClassifiedFlow {
     pub fill_time: f64,
     /// Bytes that were in the buffer when classified.
     pub buffered_bytes: usize,
+    /// Whether an anytime probe emitted this verdict before the
+    /// fixed-`b` buffer filled.
+    pub early_exit: bool,
 }
 
 /// Where a pending flow is in its lifecycle.
@@ -185,6 +231,13 @@ enum FlowStage {
         fed: usize,
         /// Header/skip bytes still to discard before feeding.
         skip_remaining: usize,
+        /// `fed` as of the last anytime probe (0 before any probe);
+        /// gates the probe stride. Stays 0 when anytime is off.
+        probed: usize,
+        /// Label the previous anytime probe predicted, if any: the
+        /// patience rule only emits a verdict when two consecutive
+        /// probes agree. Stays `None` when anytime is off.
+        last_probe: Option<FileClass>,
     },
 }
 
@@ -293,6 +346,21 @@ pub struct Iustitia {
     /// [`process_packet`](Self::process_packet) wrapper, so the wrapper
     /// stays allocation-free once warm.
     verdict_scratch: Vec<Verdict>,
+    /// Calibrated anytime model (confidence stages plus per-stage
+    /// nature models); probes only run when both this and
+    /// [`PipelineConfig::anytime`] are present.
+    anytime_model: Option<AnytimeModel>,
+    /// The anytime model's per-stage nature models in compiled form,
+    /// ascending in bytes (compiled once when the model is attached).
+    /// Probes predict with the stage fitted nearest below the bytes
+    /// fed — the full-`b` model is near chance on small prefixes.
+    anytime_compiled: Vec<(u64, CompiledNatureModel)>,
+    /// Verdicts emitted by anytime probes before the buffer filled.
+    early_exits: u64,
+    /// Scratch for the estimated sketches' per-finish median buffers,
+    /// so anytime probes never allocate (see
+    /// `FlowFeatureState::finish_into_with`).
+    means_scratch: Vec<f64>,
 }
 
 /// Upper bound on pooled [`FlowFeatureState`]s, so a burst of
@@ -328,7 +396,22 @@ impl Iustitia {
             feature_scratch: Vec::new(),
             counts_scratch: Vec::new(),
             verdict_scratch: Vec::new(),
+            anytime_model: None,
+            anytime_compiled: Vec::new(),
+            early_exits: 0,
+            means_scratch: Vec::new(),
         }
+    }
+
+    /// Attaches a calibrated anytime model (confidence stages plus
+    /// per-stage nature models), compiling the stage models once.
+    /// Probes only run when [`PipelineConfig::anytime`] is also set;
+    /// attaching a model without it changes nothing.
+    pub fn with_anytime(mut self, anytime: AnytimeModel) -> Self {
+        self.anytime_compiled =
+            anytime.stage_models().iter().map(|s| (s.bytes, s.model.compile())).collect();
+        self.anytime_model = Some(anytime);
+        self
     }
 
     /// Takes a feature state from the free list (resetting it) or
@@ -355,6 +438,52 @@ impl Iustitia {
         if self.pool.len() < MAX_POOLED_STATES {
             self.pool.push(state);
         }
+    }
+
+    /// Probes one buffering flow's partial feature vector: finish it
+    /// into scratch, predict with margin using the stage model fitted
+    /// nearest below `fed`, score against the centroid stages, and
+    /// return the label when the score clears `threshold` AND the
+    /// previous probe of this flow predicted the same label (the
+    /// patience rule: two consecutive agreeing probes, so a single
+    /// unstable early prediction can never classify the flow). A free
+    /// function over disjoint fields so the flow-table entry borrow can
+    /// stay live at the call sites (like
+    /// [`acquire_state`](Self::acquire_state)); allocation-free once
+    /// the scratch buffers are warm.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_anytime(
+        confidence: &ConfidenceModel,
+        threshold: f64,
+        stages: &mut [(u64, CompiledNatureModel)],
+        features: &FlowFeatureState,
+        fed: usize,
+        last_probe: &mut Option<FileClass>,
+        feature_scratch: &mut Vec<f64>,
+        counts_scratch: &mut Vec<u64>,
+        means_scratch: &mut Vec<f64>,
+    ) -> Option<FileClass> {
+        // The stage fitted nearest below `fed` bytes (the first when
+        // `fed` undershoots them all), mirroring the centroid stage
+        // selection inside `ConfidenceModel::score`.
+        let mut idx = 0;
+        for (i, (bytes, _)) in stages.iter().enumerate() {
+            if *bytes <= fed as u64 {
+                idx = i;
+            } else {
+                break;
+            }
+        }
+        let (_, stage) = stages.get_mut(idx)?;
+        features.finish_into_with(feature_scratch, counts_scratch, means_scratch);
+        let (label, margin) = stage.try_predict_with_margin(feature_scratch).ok()?;
+        let agreed = *last_probe == Some(label);
+        *last_probe = Some(label);
+        if !agreed {
+            return None;
+        }
+        let score = confidence.score(feature_scratch, fed as u64, label.index(), margin);
+        (score >= threshold).then_some(label)
     }
 
     /// The configuration in use.
@@ -403,6 +532,12 @@ impl Iustitia {
         self.pool.len()
     }
 
+    /// Number of verdicts emitted by anytime probes before the
+    /// fixed-`b` buffer filled (0 whenever anytime is off).
+    pub fn early_exit_verdicts(&self) -> u64 {
+        self.early_exits
+    }
+
     /// Drains the per-flow classification log (each entry carries the
     /// `c` and `τ_b` quantities of the delay analysis).
     pub fn take_log(&mut self) -> Vec<ClassifiedFlow> {
@@ -425,6 +560,11 @@ impl Iustitia {
     pub fn process_packet(&mut self, packet: &Packet) -> Verdict {
         let mut verdicts = std::mem::take(&mut self.verdict_scratch);
         self.process_batch(&[BatchPacket::new(packet)], &mut verdicts);
+        // `process_batch` pushes exactly one verdict per input packet,
+        // so a batch of one always yields exactly one; the
+        // `unwrap_or` fallback below is unreachable and exists only to
+        // keep this hot path free of a panicking branch.
+        debug_assert_eq!(verdicts.len(), 1, "batch-of-one must yield exactly one verdict");
         let verdict = verdicts.pop().unwrap_or(Verdict::Ignored);
         self.verdict_scratch = verdicts;
         verdict
@@ -492,6 +632,7 @@ impl Iustitia {
         let b = self.config.buffer_size;
         let capacity = self.buffer_capacity();
         let policy = self.config.header_policy;
+        let anytime = self.config.anytime;
         let mut rest = run;
         while let Some((first, tail)) = rest.split_first() {
             let now = first.packet.timestamp;
@@ -551,6 +692,7 @@ impl Iustitia {
             // so the per-packet lookups elided here would all miss with
             // zero side effects.
             let mut classify_at: Option<f64> = None;
+            let mut early_at: Option<(f64, FileClass)> = None;
             let mut staging = false;
             {
                 let (buf, mut created) = match self.buffers.entry(flow) {
@@ -576,6 +718,8 @@ impl Iustitia {
                                     ),
                                     fed: 0,
                                     skip_remaining,
+                                    probed: 0,
+                                    last_probe: None,
                                 }
                             }
                         };
@@ -617,7 +761,9 @@ impl Iustitia {
                     // lint: allow(L008) — slice end is min'd with payload.len()
                     let intake = &p.packet.payload[..room.min(p.packet.payload.len())];
                     buf.seen += intake.len();
-                    if let FlowStage::Streaming { features, fed, skip_remaining } = &mut buf.stage {
+                    if let FlowStage::Streaming { features, fed, skip_remaining, .. } =
+                        &mut buf.stage
+                    {
                         Self::feed_streaming(features, fed, skip_remaining, intake, b);
                     }
                     self.resident = self.resident - before + buf.resident_bytes();
@@ -629,6 +775,34 @@ impl Iustitia {
                     if full {
                         classify_at = Some(t);
                         break;
+                    }
+                    // Anytime probe: same per-packet cadence as the
+                    // canonical path, so batch verdicts stay bit-identical
+                    // to per-packet processing.
+                    if let Some(any) = anytime {
+                        if let (
+                            Some(am),
+                            FlowStage::Streaming { features, fed, probed, last_probe, .. },
+                        ) = (&self.anytime_model, &mut buf.stage)
+                        {
+                            if *fed >= any.min_bytes && *fed - *probed >= any.probe_stride {
+                                *probed = *fed;
+                                if let Some(label) = Self::probe_anytime(
+                                    &am.confidence,
+                                    any.threshold,
+                                    &mut self.anytime_compiled,
+                                    features,
+                                    *fed,
+                                    last_probe,
+                                    &mut self.feature_scratch,
+                                    &mut self.counts_scratch,
+                                    &mut self.means_scratch,
+                                ) {
+                                    early_at = Some((t, label));
+                                    break;
+                                }
+                            }
+                        }
                     }
                     // lint: allow(L009) — within the capacity reserved by process_batch
                     verdicts.push(Verdict::Buffering);
@@ -648,6 +822,10 @@ impl Iustitia {
                 };
                 // lint: allow(L009) — within the capacity reserved by process_batch
                 verdicts.push(verdict);
+            } else if let Some((t, label)) = early_at {
+                self.classify_early(flow, t, label);
+                // lint: allow(L009) — within the capacity reserved by process_batch
+                verdicts.push(Verdict::Classified(label));
             }
         }
     }
@@ -717,6 +895,8 @@ impl Iustitia {
                             ),
                             fed: 0,
                             skip_remaining,
+                            probed: 0,
+                            last_probe: None,
                         }
                     }
                 };
@@ -780,10 +960,16 @@ impl Iustitia {
                     } else {
                         skip_remaining -= staged.len();
                     }
-                    buf.stage = FlowStage::Streaming { features, fed, skip_remaining };
+                    buf.stage = FlowStage::Streaming {
+                        features,
+                        fed,
+                        skip_remaining,
+                        probed: 0,
+                        last_probe: None,
+                    };
                 }
             }
-            FlowStage::Streaming { features, fed, skip_remaining } => {
+            FlowStage::Streaming { features, fed, skip_remaining, .. } => {
                 Self::feed_streaming(features, fed, skip_remaining, intake, b);
             }
         }
@@ -799,13 +985,37 @@ impl Iustitia {
             FlowStage::Streaming { fed, .. } => *fed >= b || buf.seen >= capacity,
         };
         if full {
-            match self.classify_flow(id, now) {
+            return match self.classify_flow(id, now) {
                 Some(label) => Verdict::Classified(label),
                 None => Verdict::Ignored,
-            }
-        } else {
-            Verdict::Buffering
+            };
         }
+        // Anytime probe: a confident partial vector classifies the flow
+        // now instead of waiting for the `fed >= b` cap above.
+        if let Some(any) = self.config.anytime {
+            if let (Some(am), FlowStage::Streaming { features, fed, probed, last_probe, .. }) =
+                (&self.anytime_model, &mut buf.stage)
+            {
+                if *fed >= any.min_bytes && *fed - *probed >= any.probe_stride {
+                    *probed = *fed;
+                    if let Some(label) = Self::probe_anytime(
+                        &am.confidence,
+                        any.threshold,
+                        &mut self.anytime_compiled,
+                        features,
+                        *fed,
+                        last_probe,
+                        &mut self.feature_scratch,
+                        &mut self.counts_scratch,
+                        &mut self.means_scratch,
+                    ) {
+                        self.classify_early(id, now, label);
+                        return Verdict::Classified(label);
+                    }
+                }
+            }
+        }
+        Verdict::Buffering
     }
 
     /// Discards `skip_remaining` leading bytes of `chunk`, then feeds
@@ -904,17 +1114,60 @@ impl Iustitia {
             Ok(label) => label,
             Err(_) => return None,
         };
-        self.cdb.insert(id, label, now);
-        // lint: allow(L008) — forwarded has FileClass::ALL.len() slots; label.index() is always in range
-        self.queues.forwarded[label.index()] += buf.packets as u64;
-        self.log.push(ClassifiedFlow {
-            id,
-            label,
-            packets: buf.packets,
-            fill_time: buf.last_ts - buf.first_ts,
-            buffered_bytes: buf.seen,
-        });
+        self.commit_verdict(
+            ClassifiedFlow {
+                id,
+                label,
+                packets: buf.packets,
+                fill_time: buf.last_ts - buf.first_ts,
+                buffered_bytes: buf.seen,
+                early_exit: false,
+            },
+            now,
+        );
         Some(label)
+    }
+
+    /// Evicts one buffering flow with a probe-rendered verdict — the
+    /// anytime analogue of [`classify_flow`](Self::classify_flow). The
+    /// label was already predicted from the partial vector, so only
+    /// eviction and bookkeeping remain.
+    fn classify_early(&mut self, id: FlowId, now: f64, label: FileClass) {
+        // Callers only probe flows they hold a live buffer for, but the
+        // defensive miss path keeps this total.
+        // lint: allow(L008) — HashMap::remove returns Option; the None arm returns
+        let buf = match self.buffers.remove(&id) {
+            Some(buf) => buf,
+            None => return,
+        };
+        self.resident -= buf.resident_bytes();
+        if let FlowStage::Streaming { features, .. } = buf.stage {
+            self.recycle_state(features);
+        }
+        self.commit_verdict(
+            ClassifiedFlow {
+                id,
+                label,
+                packets: buf.packets,
+                fill_time: buf.last_ts - buf.first_ts,
+                buffered_bytes: buf.seen,
+                early_exit: true,
+            },
+            now,
+        );
+    }
+
+    /// Records a rendered verdict: CDB insert, queue accounting, early
+    /// exit counting, log entry (the shared tail of the full-buffer and
+    /// anytime-early paths).
+    fn commit_verdict(&mut self, flow: ClassifiedFlow, now: f64) {
+        self.cdb.insert(flow.id, flow.label, now);
+        // lint: allow(L008) — forwarded has FileClass::ALL.len() slots; label.index() is always in range
+        self.queues.forwarded[flow.label.index()] += flow.packets as u64;
+        if flow.early_exit {
+            self.early_exits += 1;
+        }
+        self.log.push(flow);
     }
 
     /// Applies the header policy to a still-staged prefix, yielding the
@@ -1378,5 +1631,137 @@ mod tests {
         assert_eq!(ius.pending_flows(), 0, "the flow is still evicted");
         assert_eq!(ius.cdb().len(), 0, "no verdict is cached");
         assert!(ius.take_log().is_empty());
+    }
+
+    /// A one-stage anytime model over the headline extractor's feature
+    /// width. Its centroids don't matter for these tests: with
+    /// threshold 0.0 every probe clears the score bar, so the patience
+    /// rule alone decides (the second consecutive agreeing probe
+    /// fires), and with
+    /// [`ANYTIME_THRESHOLD_DISABLED`](crate::model::ANYTIME_THRESHOLD_DISABLED)
+    /// none ever does.
+    fn toy_anytime() -> AnytimeModel {
+        let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 1);
+        let mut ds =
+            iustitia_ml::Dataset::new(fx.extract(&text_payload(64)).len(), FileClass::names());
+        // All four classes must be covered for training, and they must
+        // be separable enough that consecutive probes of one payload
+        // agree (the patience rule needs stable labels): binary is a
+        // constant byte, compressed a short repeating cycle.
+        for i in 0..8 {
+            ds.push(fx.extract(&text_payload(64 + i)), FileClass::Text.index());
+            ds.push(fx.extract(&encrypted_payload(64 + i)), FileClass::Encrypted.index());
+            ds.push(fx.extract(&vec![0x7f; 64 + i]), FileClass::Binary.index());
+            let cycle: Vec<u8> = (0..64 + i).map(|j| (j % 7) as u8).collect();
+            ds.push(fx.extract(&cycle), FileClass::Compressed.index());
+        }
+        let stage_model = NatureModel::train(&ds, &crate::model::ModelKind::paper_cart())
+            .expect("two-class toy dataset");
+        AnytimeModel::new(
+            ConfidenceModel::fit(&[(16, &ds)], 0.0),
+            vec![crate::model::AnytimeStageModel { bytes: 16, model: stage_model }],
+        )
+    }
+
+    #[test]
+    fn anytime_probe_classifies_before_buffer_fills() {
+        let config = PipelineConfig {
+            buffer_size: 2048,
+            anytime: Some(AnytimeConfig { threshold: 0.0, min_bytes: 16, probe_stride: 1 }),
+            ..PipelineConfig::headline(9)
+        };
+        let mut ius = Iustitia::new(toy_model(), config).with_anytime(toy_anytime());
+        // First probe only arms the patience rule; the second
+        // consecutive agreeing probe renders the verdict. A constant
+        // payload keeps both probes' labels stable (its feature vector
+        // is degenerate at any prefix length).
+        let payload = vec![0x7f; 64];
+        let first = ius.process_packet(&data_packet(1, 0.0, &payload[..32]));
+        assert_eq!(first, Verdict::Buffering, "one probe never fires alone");
+        let verdict = ius.process_packet(&data_packet(1, 0.01, &payload[32..]));
+        assert!(matches!(verdict, Verdict::Classified(_)), "fires at 64 of 2048 B: {verdict:?}");
+        assert_eq!(ius.early_exit_verdicts(), 1);
+        assert_eq!(ius.pending_flows(), 0);
+        let log = ius.take_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].early_exit);
+        assert_eq!(log[0].buffered_bytes, 64, "verdict from 64 bytes, not b");
+        // The early label went into the CDB like any other verdict.
+        let next = ius.process_packet(&data_packet(1, 0.1, &encrypted_payload(32)));
+        assert!(matches!(next, Verdict::Hit(_)), "{next:?}");
+    }
+
+    /// With the disabled sentinel the probes run (stride bookkeeping
+    /// and all) but can never fire, so the pipeline is observably
+    /// identical to one with no anytime machinery at all.
+    #[test]
+    fn disabled_threshold_never_fires_and_matches_fixed_b() {
+        let model = trained_model(256);
+        let disabled = AnytimeConfig {
+            threshold: crate::model::ANYTIME_THRESHOLD_DISABLED,
+            min_bytes: 16,
+            probe_stride: 1,
+        };
+        let mut plain = Iustitia::new(
+            model.clone(),
+            PipelineConfig { buffer_size: 256, ..PipelineConfig::headline(10) },
+        );
+        let mut probed = Iustitia::new(
+            model,
+            PipelineConfig {
+                buffer_size: 256,
+                anytime: Some(disabled),
+                ..PipelineConfig::headline(10)
+            },
+        )
+        .with_anytime(toy_anytime());
+        for port in 1..6u16 {
+            let payload = if port % 2 == 0 { encrypted_payload(512) } else { text_payload(512) };
+            for (i, chunk) in payload.chunks(96).enumerate() {
+                let p = data_packet(port, i as f64 * 0.01, chunk);
+                assert_eq!(plain.process_packet(&p), probed.process_packet(&p));
+            }
+        }
+        assert_eq!(probed.early_exit_verdicts(), 0);
+        assert_eq!(plain.take_log(), probed.take_log());
+        assert_eq!(plain.queues(), probed.queues());
+        assert_eq!(plain.cdb().len(), probed.cdb().len());
+    }
+
+    /// Early exits fire at the same packet — and record the same
+    /// bytes-at-verdict — whether the flow arrives as one batch or as
+    /// single packets.
+    #[test]
+    fn batch_early_exit_matches_per_packet() {
+        let model = toy_model();
+        let config = PipelineConfig {
+            buffer_size: 2048,
+            anytime: Some(AnytimeConfig { threshold: 0.0, min_bytes: 16, probe_stride: 1 }),
+            ..PipelineConfig::headline(11)
+        };
+        let mut seq = Iustitia::new(model.clone(), config.clone()).with_anytime(toy_anytime());
+        let mut bat = Iustitia::new(model, config).with_anytime(toy_anytime());
+        let payload = encrypted_payload(40);
+        let packets: Vec<Packet> = payload
+            .chunks(8)
+            .enumerate()
+            .map(|(i, c)| data_packet(7, i as f64 * 0.001, c))
+            .collect();
+        let expected: Vec<Verdict> = packets.iter().map(|p| seq.process_packet(p)).collect();
+        let items: Vec<BatchPacket<'_>> = packets.iter().map(BatchPacket::new).collect();
+        let mut verdicts = Vec::new();
+        bat.process_batch(&items, &mut verdicts);
+        assert_eq!(verdicts, expected);
+        // 8 B is below min_bytes — no probe; the second packet (fed =
+        // 16) probes and arms the patience rule; the third's agreeing
+        // probe fires; the rest hit the CDB.
+        assert!(matches!(expected[0], Verdict::Buffering), "{expected:?}");
+        assert!(matches!(expected[1], Verdict::Buffering), "{expected:?}");
+        assert!(matches!(expected[2], Verdict::Classified(_)), "{expected:?}");
+        assert!(matches!(expected[3], Verdict::Hit(_)), "{expected:?}");
+        assert_eq!(seq.take_log(), bat.take_log());
+        assert_eq!(seq.early_exit_verdicts(), 1);
+        assert_eq!(bat.early_exit_verdicts(), 1);
+        assert_eq!(seq.queues(), bat.queues());
     }
 }

@@ -16,8 +16,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia::model::{train_from_corpus_battery, ModelKind};
-use iustitia::pipeline::{Iustitia, PipelineConfig, Verdict};
+use iustitia::model::{train_anytime_from_corpus, train_from_corpus_battery, ModelKind};
+use iustitia::pipeline::{AnytimeConfig, Iustitia, PipelineConfig, Verdict};
 use iustitia_entropy::FeatureWidths;
 use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
 use std::net::Ipv4Addr;
@@ -129,5 +129,81 @@ fn recycled_flow_packets_allocate_nothing_through_classification() {
         during, 0,
         "a steady-state recycled flow must not allocate from first packet \
          through classification (saw {during} allocator calls across 4 packets)"
+    );
+
+    // ── Anytime phase ────────────────────────────────────────────────
+    // The probe path must hold the same guarantee: both the probe that
+    // only arms the patience rule (first packet) and the one that fires
+    // the early verdict re-finish the feature vector into owned scratch,
+    // predict through a compiled stage model, and score against the
+    // centroid stages — none of which may touch the allocator.
+    let report = train_anytime_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        2048,
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        33,
+        true,
+        0.01,
+    )
+    .expect("balanced corpus");
+    let mut anytime = report.anytime.clone();
+    // Pure raw-score gating with an always-pass threshold: every packet
+    // runs the full probe (stage predict + centroid score), and the
+    // first two consecutive agreeing probes fire the verdict.
+    anytime.confidence.set_exit_policy(Vec::new(), u64::MAX);
+    anytime.confidence.set_threshold(0.0);
+    let mut config = PipelineConfig::headline(33);
+    config.buffer_size = 2048;
+    config.battery = true;
+    config.anytime = Some(AnytimeConfig::calibrated(&anytime.confidence));
+    let mut pipeline = Iustitia::new(report.model.clone(), config).with_anytime(anytime);
+
+    // Drives one flow to its verdict, returning how many packets it took.
+    fn classify(pipeline: &mut Iustitia, port: u16, t0: f64, payload: &[u8]) -> usize {
+        for seq in 0..4 {
+            let verdict =
+                pipeline.process_packet(&data_packet(port, t0 + seq as f64 * 0.001, payload));
+            if matches!(verdict, Verdict::Classified(_)) {
+                return seq + 1;
+            }
+        }
+        unreachable!("the fourth packet fills the 2048-byte window");
+    }
+
+    let mut t = 100.0;
+    for port in 1u16..=9 {
+        classify(&mut pipeline, port, t, &payload);
+        t += 0.01;
+    }
+    assert!(pipeline.state_pool_hits() >= 8, "warm-up flows must recycle state");
+    assert!(pipeline.early_exit_verdicts() > 0, "warm-up probes must fire early");
+
+    let hits_before = pipeline.state_pool_hits();
+    let exits_before = pipeline.early_exit_verdicts();
+    // Pre-built packets: the measured window must contain only pipeline
+    // work, and an early exit is expected before the fourth packet.
+    let probe_packets: Vec<Packet> =
+        (0..4).map(|seq| data_packet(100, t + 1.0 + seq as f64 * 0.001, &payload)).collect();
+    let before = alloc_calls();
+    let mut packets_used = 0;
+    for packet in &probe_packets {
+        packets_used += 1;
+        if matches!(pipeline.process_packet(packet), Verdict::Classified(_)) {
+            break;
+        }
+    }
+    let during = alloc_calls() - before;
+    assert_eq!(pipeline.state_pool_hits(), hits_before + 1, "measured flow must be a pool hit");
+    assert!(
+        pipeline.early_exit_verdicts() > exits_before,
+        "the measured verdict must come from a probe, not the fed >= b fallback"
+    );
+    assert!(packets_used < 4, "early exit must beat the fixed-b window");
+    assert_eq!(
+        during, 0,
+        "a recycled flow probed to an early verdict must not allocate \
+         (saw {during} allocator calls across {packets_used} packets)"
     );
 }

@@ -2,12 +2,16 @@
 
 use iustitia::cdb::{CdbConfig, ClassificationDatabase, FlowId};
 use iustitia::features::{FeatureExtractor, FeatureMode};
-use iustitia::model::{ModelKind, NatureModel};
-use iustitia::pipeline::{BatchPacket, HeaderPolicy, Iustitia, PipelineConfig, Verdict};
+use iustitia::model::{
+    AnytimeModel, AnytimeStageModel, ModelKind, NatureModel, ANYTIME_THRESHOLD_DISABLED,
+};
+use iustitia::pipeline::{
+    AnytimeConfig, BatchPacket, HeaderPolicy, Iustitia, PipelineConfig, Verdict,
+};
 use iustitia::sha1::sha1;
 use iustitia_corpus::FileClass;
 use iustitia_entropy::FeatureWidths;
-use iustitia_ml::Dataset;
+use iustitia_ml::{ConfidenceModel, Dataset};
 use iustitia_netsim::{FiveTuple, Packet, TcpFlags};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -57,6 +61,46 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
             }
             Packet { timestamp: t, tuple, flags, payload }
         })
+}
+
+/// A four-class anytime model fitted at two probe stages over payloads
+/// shaped like the hot-flow packet space, with the extractor's battery
+/// setting matched to the pipeline under test (a width mismatch would
+/// zero every score and the property would never exercise an exit).
+fn anytime_fixture(battery: bool) -> AnytimeModel {
+    let mut fx = FeatureExtractor::new(FeatureWidths::svm_selected(), FeatureMode::Exact, 1)
+        .with_battery(battery);
+    let stage = |fx: &mut FeatureExtractor, bytes: usize| {
+        let mut ds = Dataset::new(fx.extract(&[0u8; 4]).len(), FileClass::names());
+        let mut lcg: u32 = 0x2545_f491;
+        for i in 0..6 {
+            let n = bytes + i;
+            let text: Vec<u8> = (0..n).map(|j| b'a' + (j % 13) as u8).collect();
+            ds.push(fx.extract(&text), FileClass::Text.index());
+            ds.push(fx.extract(&vec![0x7f; n]), FileClass::Binary.index());
+            let noise: Vec<u8> = (0..n)
+                .map(|_| {
+                    lcg = lcg.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    (lcg >> 24) as u8
+                })
+                .collect();
+            ds.push(fx.extract(&noise), FileClass::Encrypted.index());
+            let cycle: Vec<u8> = (0..n).map(|j| (j % 7) as u8).collect();
+            ds.push(fx.extract(&cycle), FileClass::Compressed.index());
+        }
+        ds
+    };
+    let (ds16, ds48) = (stage(&mut fx, 16), stage(&mut fx, 48));
+    let model_for = |ds: &Dataset| {
+        NatureModel::train(ds, &ModelKind::paper_cart()).expect("every class present")
+    };
+    AnytimeModel::new(
+        ConfidenceModel::fit(&[(16, &ds16), (48, &ds48)], 0.0),
+        vec![
+            AnytimeStageModel { bytes: 16, model: model_for(&ds16) },
+            AnytimeStageModel { bytes: 48, model: model_for(&ds48) },
+        ],
+    )
 }
 
 /// Packets drawn from a tiny flow space (4 ports, one source), so
@@ -184,6 +228,57 @@ proptest! {
         let got = run_batched(&mut batched, &packets, &cuts);
 
         prop_assert_eq!(got, expected, "verdict sequences must be bit-identical");
+        prop_assert_eq!(batched.queues(), per_packet.queues());
+        prop_assert_eq!(batched.pending_flows(), per_packet.pending_flows());
+        prop_assert_eq!(batched.resident_feature_bytes(), per_packet.resident_feature_bytes());
+        prop_assert_eq!(batched.cdb().len(), per_packet.cdb().len());
+        prop_assert_eq!(batched.cdb().stats(), per_packet.cdb().stats());
+        prop_assert_eq!(batched.state_pool_hits(), per_packet.state_pool_hits());
+        prop_assert_eq!(batched.state_pool_size(), per_packet.state_pool_size());
+        prop_assert_eq!(batched.take_log(), per_packet.take_log());
+    }
+
+    /// The anytime extension of the batch invariant: with probes armed
+    /// — live thresholds that fire mid-run, the disabled sentinel that
+    /// probes but never fires, random strides and floors — any random
+    /// packetization must stay bit-identical to per-packet dispatch,
+    /// including which verdicts exited early.
+    #[test]
+    fn process_batch_with_anytime_probes_is_bit_identical(
+        packets in proptest::collection::vec(arb_hot_flow_packet(), 0..60),
+        cuts in proptest::collection::vec(1usize..16, 0..12),
+        battery in any::<bool>(),
+        threshold_sel in 0u8..3,
+        probe_stride in 1usize..32,
+        min_bytes in 0usize..48,
+    ) {
+        // 0.0 fires on any two agreeing probes (maximal early-exit
+        // traffic), 0.6 fires selectively, the sentinel never fires.
+        let threshold = match threshold_sel {
+            0 => 0.0,
+            1 => 0.6,
+            _ => ANYTIME_THRESHOLD_DISABLED,
+        };
+        let config = PipelineConfig {
+            battery,
+            buffer_size: 96,
+            anytime: Some(AnytimeConfig { threshold, min_bytes, probe_stride }),
+            idle_timeout: 5.0,
+            ..PipelineConfig::headline(21)
+        };
+        let anytime = anytime_fixture(battery);
+        let mut per_packet =
+            Iustitia::new(any_model(), config.clone()).with_anytime(anytime.clone());
+        let mut batched = Iustitia::new(any_model(), config).with_anytime(anytime);
+
+        let expected: Vec<Verdict> = packets.iter().map(|p| per_packet.process_packet(p)).collect();
+        let got = run_batched(&mut batched, &packets, &cuts);
+
+        prop_assert_eq!(got, expected, "verdict sequences must be bit-identical");
+        prop_assert_eq!(batched.early_exit_verdicts(), per_packet.early_exit_verdicts());
+        if threshold == ANYTIME_THRESHOLD_DISABLED {
+            prop_assert_eq!(per_packet.early_exit_verdicts(), 0, "the sentinel must never fire");
+        }
         prop_assert_eq!(batched.queues(), per_packet.queues());
         prop_assert_eq!(batched.pending_flows(), per_packet.pending_flows());
         prop_assert_eq!(batched.resident_feature_bytes(), per_packet.resident_feature_bytes());

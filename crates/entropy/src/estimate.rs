@@ -491,13 +491,22 @@ impl IncrementalSketch {
     /// unbiased values `m·(r·log r − (r−1)·log(r−1))`, group averages,
     /// then the median of groups (steps 4–6 of §4.4.1).
     fn estimate_sk(&self) -> f64 {
+        // lint: allow(L009) — owned-scratch convenience path; the anytime probe threads pooled scratch via estimate_sk_with
+        let mut group_means = Vec::with_capacity(self.groups);
+        self.estimate_sk_with(&mut group_means)
+    }
+
+    /// As [`estimate_sk`](Self::estimate_sk), reusing `group_means`
+    /// (cleared first) for the median buffer so steady-state callers —
+    /// the pipeline's mid-flow anytime probes — allocate nothing once
+    /// the scratch has grown to `groups` capacity. Bit-identical.
+    fn estimate_sk_with(&self, group_means: &mut Vec<f64>) -> f64 {
         let m = self.windows;
         if m <= 1 {
             return 0.0;
         }
         let mf = m as f64;
-        // lint: allow(L009) — classification epilogue: runs once per flow decision, not per packet
-        let mut group_means = Vec::with_capacity(self.groups);
+        group_means.clear();
         for g in 0..self.groups {
             let mut sum = 0.0;
             // lint: allow(L008) — g < groups, so the slice ends at most at n = groups*z
@@ -508,10 +517,10 @@ impl IncrementalSketch {
                     sum += mf * (rf * rf.log2() - (rf - 1.0) * (rf - 1.0).log2());
                 }
             }
-            // lint: allow(L009) — classification epilogue: group_means holds `groups` entries
+            // lint: allow(L009) — pooled scratch: grows to `groups` entries once, then reused allocation-free
             group_means.push(sum / self.z as f64);
         }
-        // lint: allow(L009) — classification epilogue: sorts `groups` elements once per decision
+        // lint: allow(L009) — stable sort of `groups` elements; scratch-backed callers amortize its buffer too
         group_means.sort_by(f64::total_cmp);
         let med = if group_means.len() % 2 == 1 {
             // lint: allow(L008) — group_means is non-empty (groups >= 1) and len/2 is in-bounds
@@ -532,6 +541,18 @@ impl IncrementalSketch {
         }
         let mf = m as f64;
         let bits = mf.log2() - self.estimate_sk() / mf;
+        (bits / (BITS_PER_BYTE * self.k as f64)).clamp(0.0, 1.0)
+    }
+
+    /// As [`estimate_hk`](Self::estimate_hk), threading `group_means`
+    /// scratch through the `S_k` median step. Bit-identical.
+    fn estimate_hk_with(&self, group_means: &mut Vec<f64>) -> f64 {
+        let m = self.windows;
+        if m <= 1 {
+            return 0.0;
+        }
+        let mf = m as f64;
+        let bits = mf.log2() - self.estimate_sk_with(group_means) / mf;
         (bits / (BITS_PER_BYTE * self.k as f64)).clamp(0.0, 1.0)
     }
 }
@@ -613,8 +634,9 @@ impl IncrementalEstimator {
     /// Bit-identical to [`finish`](Self::finish).
     ///
     /// Note the sketch slots still build one small `group_means` vector
-    /// per finish (`estimate_sk`'s median step, §4.4.1 step 6) — only
-    /// the exact-histogram path is allocation-free.
+    /// per finish (`estimate_sk`'s median step, §4.4.1 step 6); use
+    /// [`finish_into_with`](Self::finish_into_with) to pool that buffer
+    /// too and make the whole finish allocation-free in steady state.
     pub fn finish_into(&self, out: &mut Vec<f64>, counts_scratch: &mut Vec<u64>) {
         out.clear();
         out.extend(self.slots.iter().map(|slot| match slot {
@@ -623,6 +645,30 @@ impl IncrementalEstimator {
             }
             WidthSlot::Sketch(sketch) => sketch.estimate_hk(),
         }));
+    }
+
+    /// As [`finish_into`](Self::finish_into), additionally reusing
+    /// `means_scratch` for every sketch slot's group-means median step,
+    /// so repeated finishes — the anytime probe runs one per probed
+    /// packet — allocate nothing once all scratch has grown.
+    /// Bit-identical to [`finish`](Self::finish).
+    pub fn finish_into_with(
+        &self,
+        out: &mut Vec<f64>,
+        counts_scratch: &mut Vec<u64>,
+        means_scratch: &mut Vec<f64>,
+    ) {
+        out.clear();
+        for slot in &self.slots {
+            let h = match slot {
+                WidthSlot::Exact(hist) => {
+                    crate::vector::entropy_of_histogram_with(hist, counts_scratch)
+                }
+                WidthSlot::Sketch(sketch) => sketch.estimate_hk_with(means_scratch),
+            };
+            // lint: allow(L009) — pooled output vector: grows to widths.len() once, then reused
+            out.push(h);
+        }
     }
 }
 
@@ -808,6 +854,29 @@ mod tests {
             }
             assert_eq!(session.finish(), one_shot, "chunk_len={chunk_len}");
         }
+    }
+
+    #[test]
+    fn scratch_threaded_finish_matches_owned_finish() {
+        // finish_into_with (the anytime probe's zero-alloc path) must be
+        // bit-identical to finish()/finish_into(), mid-flow and at the end,
+        // with dirty reused scratch.
+        let data = pseudo_random(2048, 23);
+        let widths = FeatureWidths::svm_selected();
+        let cfg = EstimatorConfig::svm_optimal();
+        let est = StreamingEntropyEstimator::with_seed(cfg, 9);
+        let mut session = est.begin_incremental(&widths, data.len());
+        let mut out = Vec::new();
+        let mut counts = vec![7u64; 3];
+        let mut means = vec![0.25f64; 5];
+        for chunk in data.chunks(113) {
+            session.update(chunk);
+            session.finish_into_with(&mut out, &mut counts, &mut means);
+            assert_eq!(out, session.finish(), "mid-flow probe after {}B", session.total_bytes());
+        }
+        let mut plain = Vec::new();
+        session.finish_into(&mut plain, &mut counts);
+        assert_eq!(out, plain);
     }
 
     #[test]

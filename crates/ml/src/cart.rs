@@ -57,6 +57,17 @@ impl Node {
         self.counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
     }
 
+    /// Fraction of training samples at this node that belong to its
+    /// majority class — the leaf-purity margin used by the anytime
+    /// classifier. Empty nodes count as fully pure.
+    pub(crate) fn purity(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        self.counts.iter().max().copied().unwrap_or(0) as f64 / total as f64
+    }
+
     fn total(&self) -> u32 {
         self.counts.iter().sum()
     }

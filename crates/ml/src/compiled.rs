@@ -42,8 +42,9 @@ use crate::{Classifier, DimensionMismatch};
 /// the class label).
 const LEAF: u32 = u32::MAX;
 
-/// One flattened tree node. Leaves store their label in `left` and
-/// `LEAF` in `feature`.
+/// One flattened tree node. Leaves store their label in `left`, `LEAF`
+/// in `feature`, and repurpose `threshold` (never compared on leaves)
+/// for the training purity of the leaf — the anytime margin.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct FlatNode {
     threshold: f64,
@@ -114,6 +115,39 @@ impl CompiledTree {
         }
     }
 
+    /// Predicts the class index together with a confidence margin in
+    /// `[0, 1]` — the training purity of the leaf that fired (fraction
+    /// of that leaf's training samples in its majority class). The walk
+    /// and the returned label are bit-identical to
+    /// [`try_predict`](CompiledTree::try_predict).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the width the tree was trained on.
+    pub fn try_predict_with_margin(
+        &self,
+        features: &[f64],
+    ) -> Result<(usize, f64), DimensionMismatch> {
+        if features.len() != self.n_features {
+            return Err(DimensionMismatch { expected: self.n_features, got: features.len() });
+        }
+        let mut at = 0usize;
+        loop {
+            // lint: allow(L008) — child indices are validated against nodes.len() when the tree is flattened
+            let node = &self.nodes[at];
+            if node.feature == LEAF {
+                return Ok((node.left as usize, node.threshold));
+            }
+            // lint: allow(L008) — node.feature < n_features, checked against features.len() on entry
+            at = if features[node.feature as usize] <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
     /// Number of flattened nodes.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -150,8 +184,10 @@ fn flatten(tree: &DecisionTree, arena_idx: usize, out: &mut Vec<FlatNode>) -> u3
     let node = &tree.arena()[arena_idx];
     match node.kind {
         NodeKind::Leaf => {
+            // Leaves never consult `threshold` during a walk, so the slot
+            // carries the leaf's training purity for `try_predict_with_margin`.
             out.push(FlatNode {
-                threshold: 0.0,
+                threshold: node.purity(),
                 feature: LEAF,
                 left: node.majority() as u32,
                 right: 0,
@@ -409,6 +445,41 @@ impl CompiledDag {
         Ok(lo)
     }
 
+    /// Predicts the class index together with a confidence margin in
+    /// `[0, 1]`: the smallest absolute pairwise decision value `m` met
+    /// along the DAG path, squashed as `m / (1 + m)` — a near-tie
+    /// anywhere on the path drives the margin toward zero. The label is
+    /// bit-identical to [`try_predict`](CompiledDag::try_predict): both
+    /// branch on the same decision values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_predict_with_margin(
+        &mut self,
+        features: &[f64],
+    ) -> Result<(usize, f64), DimensionMismatch> {
+        self.packed.check(features)?;
+        self.packed.begin_predict();
+        let mut lo = 0usize;
+        let mut hi = self.packed.n_classes - 1;
+        let mut min_abs = f64::INFINITY;
+        while lo != hi {
+            let rank = self.packed.pair_index(lo, hi);
+            let f = self.packed.decision(rank, features);
+            min_abs = min_abs.min(f.abs());
+            if f >= 0.0 {
+                hi -= 1;
+            } else {
+                lo += 1;
+            }
+        }
+        // A single-class model walks no edges; treat it as fully confident.
+        let margin = if min_abs.is_finite() { min_abs / (1.0 + min_abs) } else { 1.0 };
+        Ok((lo, margin))
+    }
+
     /// Predicts the class index.
     ///
     /// # Panics
@@ -489,6 +560,29 @@ impl CompiledVote {
         // max_by_key keeps the *last* maximum — the exact tie-break of
         // `OneVsOneVote::predict`.
         Ok(self.votes.iter().enumerate().max_by_key(|&(_, &v)| v).map(|(i, _)| i).unwrap_or(0))
+    }
+
+    /// Predicts the class index together with a confidence margin in
+    /// `[0, 1]`: the vote spread `(best − runner-up) / (n_classes − 1)`
+    /// of the one-vs-one tally. A unanimous winner scores 1, a tie
+    /// scores 0. The label is bit-identical to
+    /// [`try_predict`](CompiledVote::try_predict), which computes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatch`] when `features.len()` differs from
+    /// the trained width.
+    pub fn try_predict_with_margin(
+        &mut self,
+        features: &[f64],
+    ) -> Result<(usize, f64), DimensionMismatch> {
+        let label = self.try_predict(features)?;
+        let best = self.votes.get(label).copied().unwrap_or(0);
+        let runner_up =
+            self.votes.iter().enumerate().filter(|&(i, _)| i != label).map(|(_, &v)| v).max();
+        let denom = self.packed.n_classes.saturating_sub(1).max(1);
+        let spread = best.saturating_sub(runner_up.unwrap_or(0));
+        Ok((label, spread as f64 / denom as f64))
     }
 
     /// Predicts the class index.
@@ -633,6 +727,49 @@ mod tests {
         );
         let mut vote = CompiledVote::compile(&OneVsOneVote::fit(&ds, &params));
         assert_eq!(vote.try_predict(&[]), Err(DimensionMismatch { expected: 2, got: 0 }));
+    }
+
+    #[test]
+    fn margins_agree_with_plain_predictions_and_stay_in_unit_range() {
+        let ds = three_blobs(50);
+        let tree = CompiledTree::compile(&DecisionTree::fit(&ds, &CartParams::default()));
+        let params =
+            SvmParams { c: 10.0, kernel: Kernel::Rbf { gamma: 5.0 }, ..Default::default() };
+        let mut dag = CompiledDag::compile(&DagSvm::fit(&ds, &params));
+        let mut vote = CompiledVote::compile(&OneVsOneVote::fit(&ds, &params));
+        for probe in probe_grid() {
+            let (tl, tm) = tree.try_predict_with_margin(&probe).unwrap();
+            assert_eq!(tl, tree.try_predict(&probe).unwrap(), "tree label {probe:?}");
+            assert!((0.0..=1.0).contains(&tm), "tree margin {tm}");
+            let (dl, dm) = dag.try_predict_with_margin(&probe).unwrap();
+            assert_eq!(dl, dag.try_predict(&probe).unwrap(), "dag label {probe:?}");
+            assert!((0.0..=1.0).contains(&dm), "dag margin {dm}");
+            let (vl, vm) = vote.try_predict_with_margin(&probe).unwrap();
+            assert_eq!(vl, vote.try_predict(&probe).unwrap(), "vote label {probe:?}");
+            assert!((0.0..=1.0).contains(&vm), "vote margin {vm}");
+        }
+    }
+
+    #[test]
+    fn leaf_purity_margin_is_one_on_separable_data() {
+        let mut ds = Dataset::new(1, vec!["no".into(), "yes".into()]);
+        for i in 0..20 {
+            ds.push(vec![i as f64], usize::from(i >= 10));
+        }
+        let fast = CompiledTree::compile(&DecisionTree::fit(&ds, &CartParams::default()));
+        let (label, margin) = fast.try_predict_with_margin(&[3.0]).unwrap();
+        assert_eq!(label, 0);
+        assert_eq!(margin, 1.0, "fully separable data grows pure leaves");
+    }
+
+    #[test]
+    fn margin_errors_match_plain_errors() {
+        let ds = three_blobs(30);
+        let tree = CompiledTree::compile(&DecisionTree::fit(&ds, &CartParams::default()));
+        assert_eq!(
+            tree.try_predict_with_margin(&[0.5]),
+            Err(DimensionMismatch { expected: 2, got: 1 })
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod cart;
 pub mod compiled;
+pub mod confidence;
 pub mod crossval;
 pub mod dataset;
 pub mod feature_select;
@@ -48,6 +49,7 @@ pub mod svm;
 
 pub use cart::{CartParams, DecisionTree};
 pub use compiled::{CompiledDag, CompiledTree, CompiledVote};
+pub use confidence::{CentroidStage, ConfidenceModel};
 pub use crossval::{cross_validate, cross_validate_with, CrossValReport};
 pub use dataset::Dataset;
 pub use metrics::ConfusionMatrix;

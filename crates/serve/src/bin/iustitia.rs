@@ -324,7 +324,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         eprintln!(
             "packets={} hits={} flows={} busy={} dropped={} conns={} open={} udp={} \
              classify_p50={}ns accept_to_verdict_p50={}ns pending={} resident={}B \
-             reassembly={}B pool_hits={} pool_size={} batch_p50={} queue_locks={}",
+             reassembly={}B pool_hits={} pool_size={} batch_p50={} queue_locks={} \
+             early_exit={} verdict_bytes_p50={}B",
             s.packets,
             s.hits,
             s.flows_classified,
@@ -342,6 +343,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             s.state_pool_size(),
             s.batch_size.p50().unwrap_or(0),
             s.queue_lock_acquisitions,
+            s.early_exit_verdicts(),
+            s.bytes_at_verdict.p50().unwrap_or(0),
         );
     }
 }
@@ -405,6 +408,13 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
         stats.batch_size.p50().unwrap_or(0),
         stats.flows_per_batch.p50().unwrap_or(0),
         stats.queue_lock_acquisitions,
+    );
+    println!(
+        "bytes at verdict: p50 {}B p99 {}B over {} verdicts ({} anytime early exits)",
+        stats.bytes_at_verdict.p50().unwrap_or(0),
+        stats.bytes_at_verdict.p99().unwrap_or(0),
+        stats.bytes_at_verdict.count(),
+        stats.early_exit_verdicts(),
     );
     println!("stage latency (server-side, approximate ns):");
     for stage in Stage::ALL {

@@ -156,15 +156,20 @@ pub struct ShardGauges {
     /// Feature states currently parked on the shard pipeline's free
     /// list.
     pub state_pool_size: AtomicU64,
+    /// Verdicts this shard's pipeline emitted from an anytime probe
+    /// before the fixed-`b` buffer filled (mirrors
+    /// `Iustitia::early_exit_verdicts`; stays 0 with anytime off).
+    pub early_exit_verdicts: AtomicU64,
 }
 
 impl ShardGauges {
     /// Stores all gauge levels (Relaxed; the values are advisory).
-    pub fn set(&self, pending: u64, resident: u64, pool_hits: u64, pool_size: u64) {
+    pub fn set(&self, pending: u64, resident: u64, pool_hits: u64, pool_size: u64, early: u64) {
         self.pending_flows.store(pending, Ordering::Relaxed);
         self.resident_feature_bytes.store(resident, Ordering::Relaxed);
         self.state_pool_hits.store(pool_hits, Ordering::Relaxed);
         self.state_pool_size.store(pool_size, Ordering::Relaxed);
+        self.early_exit_verdicts.store(early, Ordering::Relaxed);
     }
 }
 
@@ -209,6 +214,12 @@ pub struct ServeMetrics {
     /// [`batch_size`](Self::batch_size) this shows the amortization
     /// ratio: packets-per-flow-group per batch.
     pub flows_per_batch: LatencyHistogram,
+    /// Buffered bytes at the moment each flow got its verdict (the
+    /// power-of-two buckets hold byte counts, not nanoseconds). With
+    /// anytime early exit enabled the mass sits below `b`; without it
+    /// every full-buffer verdict lands at `b` and only idle/close
+    /// leftovers fall short.
+    pub bytes_at_verdict: LatencyHistogram,
     /// Per-shard gauges, indexed by shard id (empty until
     /// [`with_shards`](Self::with_shards)).
     pub shards: Vec<ShardGauges>,
@@ -255,6 +266,7 @@ impl ServeMetrics {
             accept_to_verdict: self.accept_to_verdict.snapshot(),
             batch_size: self.batch_size.snapshot(),
             flows_per_batch: self.flows_per_batch.snapshot(),
+            bytes_at_verdict: self.bytes_at_verdict.snapshot(),
             shards: self
                 .shards
                 .iter()
@@ -263,6 +275,7 @@ impl ServeMetrics {
                     resident_feature_bytes: g.resident_feature_bytes.load(Ordering::Relaxed),
                     state_pool_hits: g.state_pool_hits.load(Ordering::Relaxed),
                     state_pool_size: g.state_pool_size.load(Ordering::Relaxed),
+                    early_exit_verdicts: g.early_exit_verdicts.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -283,6 +296,9 @@ pub struct ShardStats {
     /// Feature states currently parked on the shard pipeline's free
     /// list.
     pub state_pool_size: u64,
+    /// Verdicts this shard emitted from an anytime probe before the
+    /// fixed-`b` buffer filled.
+    pub early_exit_verdicts: u64,
 }
 
 /// Point-in-time copy of all server metrics, as returned by the
@@ -323,6 +339,9 @@ pub struct StatsSnapshot {
     pub batch_size: HistogramSnapshot,
     /// Distinct flows per dispatched batch.
     pub flows_per_batch: HistogramSnapshot,
+    /// Buffered bytes at the moment of each flow verdict (bucket index
+    /// is `log2(bytes)`).
+    pub bytes_at_verdict: HistogramSnapshot,
     /// Per-shard gauges, indexed by shard id.
     pub shards: Vec<ShardStats>,
 }
@@ -336,8 +355,9 @@ const MAX_WIRE_SHARDS: u64 = 65_536;
 /// from different sides of a format change fail the decode loudly
 /// instead of silently misreading shifted words. Version 2 added the
 /// `udp_datagrams`/`open_connections`/`reassembly_buffer_bytes`
-/// gauges and the accept-to-verdict histogram.
-const STATS_WIRE_VERSION: u64 = 2;
+/// gauges and the accept-to-verdict histogram. Version 3 added the
+/// bytes-at-verdict histogram and the per-shard early-exit gauge.
+const STATS_WIRE_VERSION: u64 = 3;
 
 impl StatsSnapshot {
     /// Histogram for one stage.
@@ -378,11 +398,18 @@ impl StatsSnapshot {
         self.shards.iter().map(|s| s.state_pool_size).sum()
     }
 
+    /// Total anytime early-exit verdicts across all shards.
+    #[must_use]
+    pub fn early_exit_verdicts(&self) -> u64 {
+        self.shards.iter().map(|s| s.early_exit_verdicts).sum()
+    }
+
     /// Wire encoding: the [`STATS_WIRE_VERSION`] word, the twelve
     /// counters/gauges, the four stage histograms, the
     /// accept-to-verdict histogram, the two batch-shape histograms,
-    /// then the shard-gauge section (shard count followed by four
-    /// gauges per shard), all as big-endian `u64`.
+    /// the bytes-at-verdict histogram, then the shard-gauge section
+    /// (shard count followed by five gauges per shard), all as
+    /// big-endian `u64`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [
             STATS_WIRE_VERSION,
@@ -405,6 +432,7 @@ impl StatsSnapshot {
             &self.accept_to_verdict,
             &self.batch_size,
             &self.flows_per_batch,
+            &self.bytes_at_verdict,
         ]) {
             for &bucket in &hist.buckets {
                 out.extend_from_slice(&bucket.to_be_bytes());
@@ -416,6 +444,7 @@ impl StatsSnapshot {
             out.extend_from_slice(&shard.resident_feature_bytes.to_be_bytes());
             out.extend_from_slice(&shard.state_pool_hits.to_be_bytes());
             out.extend_from_slice(&shard.state_pool_size.to_be_bytes());
+            out.extend_from_slice(&shard.early_exit_verdicts.to_be_bytes());
         }
     }
 
@@ -450,12 +479,14 @@ impl StatsSnapshot {
             accept_to_verdict: HistogramSnapshot::default(),
             batch_size: HistogramSnapshot::default(),
             flows_per_batch: HistogramSnapshot::default(),
+            bytes_at_verdict: HistogramSnapshot::default(),
             shards: Vec::new(),
         };
         for hist in snapshot.stages.iter_mut().chain([
             &mut snapshot.accept_to_verdict,
             &mut snapshot.batch_size,
             &mut snapshot.flows_per_batch,
+            &mut snapshot.bytes_at_verdict,
         ]) {
             for bucket in &mut hist.buckets {
                 *bucket = r.u64()?;
@@ -472,6 +503,7 @@ impl StatsSnapshot {
                 resident_feature_bytes: r.u64()?,
                 state_pool_hits: r.u64()?,
                 state_pool_size: r.u64()?,
+                early_exit_verdicts: r.u64()?,
             });
         }
         Ok(snapshot)
@@ -543,8 +575,10 @@ mod tests {
         m.batch_size.record(64);
         m.batch_size.record(3);
         m.flows_per_batch.record(5);
-        m.shards[0].set(4, 4 * 2240, 120, 9);
-        m.shards[2].set(1, 96, 41, 2);
+        m.bytes_at_verdict.record(512);
+        m.bytes_at_verdict.record(32);
+        m.shards[0].set(4, 4 * 2240, 120, 9, 17);
+        m.shards[2].set(1, 96, 41, 2, 5);
         let snapshot = m.snapshot().with_queue_locks(77);
         let mut body = Vec::new();
         snapshot.encode_into(&mut body);
@@ -563,6 +597,8 @@ mod tests {
         assert_eq!(back.resident_feature_bytes(), 4 * 2240 + 96);
         assert_eq!(back.state_pool_hits(), 161);
         assert_eq!(back.state_pool_size(), 11);
+        assert_eq!(back.bytes_at_verdict.count(), 2);
+        assert_eq!(back.early_exit_verdicts(), 22);
     }
 
     #[test]

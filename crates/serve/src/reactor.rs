@@ -1012,7 +1012,9 @@ impl Reactor {
             .map(|(&id, _)| id)
             .collect();
         if evict.is_empty() {
-            evict.extend(self.udp_by_id.iter().min_by_key(|(_, peer)| peer.last_seen).map(|(&id, _)| id));
+            evict.extend(
+                self.udp_by_id.iter().min_by_key(|(_, peer)| peer.last_seen).map(|(&id, _)| id),
+            );
         }
         for id in evict {
             self.forget_udp_peer(id);

@@ -45,6 +45,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use iustitia::cdb::FlowId;
+use iustitia::model::AnytimeModel;
 use iustitia::model::NatureModel;
 use iustitia::pipeline::{BatchPacket, ClassifiedFlow, Iustitia, PipelineConfig, Verdict};
 use iustitia_netsim::{FiveTuple, Packet};
@@ -77,6 +78,11 @@ pub struct ServerConfig {
     /// Pipeline configuration replicated into every shard (each shard
     /// gets a decorrelated RNG seed).
     pub pipeline: PipelineConfig,
+    /// Calibrated anytime model (confidence scorer plus per-stage
+    /// classifiers), attached to every shard pipeline. Early-exit
+    /// probes only run when [`PipelineConfig::anytime`] is also set on
+    /// `pipeline`.
+    pub anytime: Option<AnytimeModel>,
 }
 
 impl ServerConfig {
@@ -92,6 +98,7 @@ impl ServerConfig {
             udp: true,
             max_udp_peers: 65_536,
             pipeline,
+            anytime: None,
         }
     }
 }
@@ -336,6 +343,9 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
     config.seed = config.seed.wrapping_add(shard as u64);
     let idle_timeout = config.idle_timeout;
     let mut pipeline = Iustitia::new((*shared.model).clone(), config);
+    if let Some(anytime) = &shared.config.anytime {
+        pipeline = pipeline.with_anytime(anytime.clone());
+    }
     let mut routes: HashMap<FlowId, Route> = HashMap::new();
     let mut last_t = 0.0f64;
     // Reused across segments: pending packet jobs and verdict scratch.
@@ -368,6 +378,7 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
                         pipeline.resident_feature_bytes() as u64,
                         pipeline.state_pool_hits(),
                         pipeline.state_pool_size() as u64,
+                        pipeline.early_exit_verdicts(),
                     );
                     gate.ack(flushed);
                 }
@@ -403,6 +414,7 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
             pipeline.resident_feature_bytes() as u64,
             pipeline.state_pool_hits(),
             pipeline.state_pool_size() as u64,
+            pipeline.early_exit_verdicts(),
         );
     }
 
@@ -415,6 +427,7 @@ fn shard_worker(shared: &Arc<Shared>, shard: usize) {
         0,
         pipeline.state_pool_hits(),
         pipeline.state_pool_size() as u64,
+        pipeline.early_exit_verdicts(),
     );
 }
 
@@ -554,6 +567,7 @@ fn process_flow_run(
     }
     let mut own: Vec<ClassifiedFlow> = Vec::new();
     for entry in log {
+        shared.metrics.bytes_at_verdict.record(entry.buffered_bytes as u64);
         if entry.id == flow {
             own.push(entry);
         } else {
@@ -622,6 +636,7 @@ fn emit_verdicts(
     let mut matched = 0u32;
     ServeMetrics::add(&shared.metrics.flows_classified, log.len() as u64);
     for flow in log {
+        shared.metrics.bytes_at_verdict.record(flow.buffered_bytes as u64);
         if let Some(route) = routes.get(&flow.id) {
             if count_conn == Some(route.conn_id) {
                 matched += 1;

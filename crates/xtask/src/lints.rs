@@ -499,7 +499,7 @@ fn l005_metrics_drift(rel_path: &str, lexed: &Lexed) -> Vec<Violation> {
         return out;
     }
     for field in &counters {
-        if !field.type_text.contains("AtomicU64") {
+        if !field.type_text.contains("AtomicU64") && !field.type_text.contains("LatencyHistogram") {
             continue;
         }
         if !snapshot.iter().any(|s| s.name == field.name) {
@@ -508,7 +508,7 @@ fn l005_metrics_drift(rel_path: &str, lexed: &Lexed) -> Vec<Violation> {
                 line: field.line,
                 lint: "L005",
                 message: format!(
-                    "counter `{}` is declared in ServeMetrics but missing from StatsSnapshot; \
+                    "metric `{}` is declared in ServeMetrics but missing from StatsSnapshot; \
                      metric drift",
                     field.name
                 ),
@@ -547,6 +547,29 @@ fn l005_metrics_drift(rel_path: &str, lexed: &Lexed) -> Vec<Violation> {
             message: "ShardGauges and ShardStats must be declared together (one is missing)"
                 .to_string(),
         }),
+    }
+    // The anytime probe's observability is part of the stats wire
+    // contract: the mirrored-field checks above only catch drift
+    // between fields that still exist, so the two early-exit metrics
+    // are additionally pinned by name — deleting or renaming either
+    // side fails here instead of silently dropping the telemetry.
+    for (name, pairs) in [
+        ("bytes_at_verdict", [("ServeMetrics", &counters), ("StatsSnapshot", &snapshot)]),
+        ("early_exit_verdicts", [("ShardGauges", &gauges), ("ShardStats", &shard_stats)]),
+    ] {
+        for (struct_name, fields) in pairs {
+            if !fields.is_empty() && !fields.iter().any(|f| f.name == name) {
+                out.push(Violation {
+                    file: rel_path.to_string(),
+                    line: 1,
+                    lint: "L005",
+                    message: format!(
+                        "anytime early-exit metric `{name}` must stay declared in \
+                         {struct_name}; it is pinned by the stats wire contract"
+                    ),
+                });
+            }
+        }
     }
     out
 }
@@ -866,10 +889,12 @@ pub struct ServeMetrics {
     pub packets: AtomicU64,
     pub orphan_counter: AtomicU64,
     pub stages: [LatencyHistogram; 4],
+    pub bytes_at_verdict: LatencyHistogram,
 }
 pub struct StatsSnapshot {
     pub packets: u64,
     pub stages: [HistogramSnapshot; 4],
+    pub bytes_at_verdict: HistogramSnapshot,
 }
 "#;
         let v = check_file(METRICS, src);
@@ -885,10 +910,12 @@ pub struct ServeMetrics {
     /// Doc.
     pub packets: AtomicU64,
     pub hits: AtomicU64,
+    pub bytes_at_verdict: LatencyHistogram,
 }
 pub struct StatsSnapshot {
     pub packets: u64,
     pub hits: u64,
+    pub bytes_at_verdict: HistogramSnapshot,
 }
 "#;
         assert!(check_file(METRICS, src).is_empty());
@@ -903,14 +930,16 @@ pub struct StatsSnapshot {
     #[test]
     fn l005_shard_gauges_must_mirror_shard_stats() {
         let src = r#"
-pub struct ServeMetrics { pub packets: AtomicU64 }
-pub struct StatsSnapshot { pub packets: u64 }
+pub struct ServeMetrics { pub packets: AtomicU64, pub bytes_at_verdict: LatencyHistogram }
+pub struct StatsSnapshot { pub packets: u64, pub bytes_at_verdict: HistogramSnapshot }
 pub struct ShardGauges {
     pub pending_flows: AtomicU64,
     pub orphan_gauge: AtomicU64,
+    pub early_exit_verdicts: AtomicU64,
 }
 pub struct ShardStats {
     pub pending_flows: u64,
+    pub early_exit_verdicts: u64,
 }
 "#;
         let v = check_file(METRICS, src);
@@ -921,9 +950,9 @@ pub struct ShardStats {
     #[test]
     fn l005_lone_shard_struct_is_flagged() {
         let src = r#"
-pub struct ServeMetrics { pub packets: AtomicU64 }
-pub struct StatsSnapshot { pub packets: u64 }
-pub struct ShardGauges { pub pending_flows: AtomicU64 }
+pub struct ServeMetrics { pub packets: AtomicU64, pub bytes_at_verdict: LatencyHistogram }
+pub struct StatsSnapshot { pub packets: u64, pub bytes_at_verdict: HistogramSnapshot }
+pub struct ShardGauges { pub pending_flows: AtomicU64, pub early_exit_verdicts: AtomicU64 }
 "#;
         let v = check_file(METRICS, src);
         assert_eq!(lints_of(&v), vec!["L005"]);
@@ -933,8 +962,8 @@ pub struct ShardGauges { pub pending_flows: AtomicU64 }
     #[test]
     fn l005_absent_shard_pair_is_fine() {
         let src = r#"
-pub struct ServeMetrics { pub packets: AtomicU64 }
-pub struct StatsSnapshot { pub packets: u64 }
+pub struct ServeMetrics { pub packets: AtomicU64, pub bytes_at_verdict: LatencyHistogram }
+pub struct StatsSnapshot { pub packets: u64, pub bytes_at_verdict: HistogramSnapshot }
 "#;
         assert!(check_file(METRICS, src).is_empty());
     }
@@ -965,21 +994,56 @@ mod tests {
     fn l005_covers_pool_gauges() {
         // The flow-state pool gauges drift like any other gauge pair.
         let src = r#"
-pub struct ServeMetrics { pub packets: AtomicU64 }
-pub struct StatsSnapshot { pub packets: u64 }
+pub struct ServeMetrics { pub packets: AtomicU64, pub bytes_at_verdict: LatencyHistogram }
+pub struct StatsSnapshot { pub packets: u64, pub bytes_at_verdict: HistogramSnapshot }
 pub struct ShardGauges {
     pub pending_flows: AtomicU64,
     pub state_pool_hits: AtomicU64,
     pub state_pool_size: AtomicU64,
+    pub early_exit_verdicts: AtomicU64,
 }
 pub struct ShardStats {
     pub pending_flows: u64,
     pub state_pool_hits: u64,
+    pub early_exit_verdicts: u64,
 }
 "#;
         let v = check_file(METRICS, src);
         assert_eq!(lints_of(&v), vec!["L005"]);
         assert!(v[0].message.contains("state_pool_size"));
+    }
+
+    #[test]
+    fn l005_pins_anytime_early_exit_metrics() {
+        // Removing both sides of an anytime metric would pass the
+        // mirror checks; the pin-by-name catches it.
+        let src = r#"
+pub struct ServeMetrics { pub packets: AtomicU64 }
+pub struct StatsSnapshot { pub packets: u64 }
+pub struct ShardGauges { pub pending_flows: AtomicU64 }
+pub struct ShardStats { pub pending_flows: u64 }
+"#;
+        let v = check_file(METRICS, src);
+        assert_eq!(lints_of(&v), vec!["L005", "L005", "L005", "L005"]);
+        assert!(v[0].message.contains("bytes_at_verdict"));
+        assert!(v[2].message.contains("early_exit_verdicts"));
+    }
+
+    #[test]
+    fn l005_mirrors_latency_histograms_like_counters() {
+        let src = r#"
+pub struct ServeMetrics {
+    pub packets: AtomicU64,
+    pub bytes_at_verdict: LatencyHistogram,
+}
+pub struct StatsSnapshot {
+    pub packets: u64,
+}
+"#;
+        let v = check_file(METRICS, src);
+        assert_eq!(lints_of(&v), vec!["L005", "L005"]);
+        assert!(v.iter().all(|v| v.message.contains("bytes_at_verdict")));
+        assert!(v.iter().any(|v| v.message.contains("missing from StatsSnapshot")));
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //! screens but fail randomness tests).
 
 use iustitia::features::{FeatureMode, TrainingMethod};
-use iustitia::model::{train_from_corpus, train_from_corpus_battery, ModelKind};
-use iustitia::pipeline::{Iustitia, PipelineConfig};
+use iustitia::model::{
+    train_anytime_from_corpus, train_from_corpus, train_from_corpus_battery, ModelKind,
+    ANYTIME_THRESHOLD_DISABLED,
+};
+use iustitia::pipeline::{AnytimeConfig, Iustitia, PipelineConfig};
 use iustitia_corpus::FileClass;
 use iustitia_entropy::{EstimatorConfig, FeatureWidths};
 use iustitia_netsim::trace::{ContentMode, TraceConfig, TraceGenerator};
@@ -29,6 +32,15 @@ use iustitia_netsim::Packet;
 /// Runs the fixed-seed pipeline and tallies truth × label counts
 /// (classes indexed text, binary, encrypted, compressed).
 fn confusion(mode: FeatureMode, b: usize, battery: bool) -> [[u64; 4]; 4] {
+    confusion_with(mode, b, battery, false)
+}
+
+fn confusion_with(
+    mode: FeatureMode,
+    b: usize,
+    battery: bool,
+    anytime_disabled: bool,
+) -> [[u64; 4]; 4] {
     let corpus =
         iustitia_corpus::CorpusBuilder::new(33).files_per_class(80).size_range(1024, 4096).build();
     let train = if battery { train_from_corpus_battery } else { train_from_corpus };
@@ -45,7 +57,30 @@ fn confusion(mode: FeatureMode, b: usize, battery: bool) -> [[u64; 4]; 4] {
     config.buffer_size = b;
     config.mode = mode;
     config.battery = battery;
-    let mut pipeline = Iustitia::new(model, config);
+    let mut pipeline = if anytime_disabled {
+        // Attach a fully trained anytime model but pin the threshold to
+        // the disabled sentinel: probes run on every stride boundary yet
+        // can never fire, so every verdict must still come from the
+        // `fed >= b` rule — bit-identical to the plain pipeline.
+        let report = train_anytime_from_corpus(
+            &corpus,
+            &FeatureWidths::svm_selected(),
+            b,
+            FeatureMode::Exact,
+            &ModelKind::paper_cart(),
+            33,
+            battery,
+            0.01,
+        )
+        .expect("balanced corpus");
+        let mut probe = AnytimeConfig::calibrated(&report.anytime.confidence);
+        probe.threshold = ANYTIME_THRESHOLD_DISABLED;
+        probe.probe_stride = 32; // probe aggressively to stress the identity
+        config.anytime = Some(probe);
+        Iustitia::new(model, config).with_anytime(report.anytime)
+    } else {
+        Iustitia::new(model, config)
+    };
 
     let mut trace_config = TraceConfig::small_test(42);
     trace_config.n_flows = 400;
@@ -57,6 +92,11 @@ fn confusion(mode: FeatureMode, b: usize, battery: bool) -> [[u64; 4]; 4] {
         pipeline.process_packet(packet);
     }
     pipeline.sweep_idle(f64::INFINITY);
+    assert_eq!(
+        pipeline.early_exit_verdicts(),
+        0,
+        "a disabled threshold (or no anytime model) must never exit early"
+    );
 
     let truth = generator.ground_truth();
     let mut matrix = [[0u64; 4]; 4];
@@ -103,6 +143,70 @@ fn estimated_mode_b1024_confusion_matrix_is_frozen() {
         confusion(FeatureMode::Estimated(EstimatorConfig::svm_optimal()), 1024, false),
         [[82, 20, 0, 0], [0, 81, 5, 23], [0, 16, 68, 6], [0, 29, 3, 67]],
     );
+}
+
+/// The anytime tentpole's compatibility contract: a pipeline carrying
+/// a fully trained anytime model whose threshold is the disabled
+/// sentinel probes on every stride boundary but fires on none of them,
+/// so its confusion matrix is bit-identical to the plain pipeline's
+/// frozen matrix above.
+#[test]
+fn anytime_disabled_matches_frozen_battery_b2048_matrix() {
+    assert_eq!(
+        confusion_with(FeatureMode::Exact, 2048, true, true),
+        [[78, 24, 0, 0], [4, 96, 6, 3], [0, 8, 82, 0], [0, 20, 1, 78]],
+    );
+}
+
+/// The calibration itself is deterministic: fixed corpus and seed must
+/// reproduce the exact accuracy-vs-mean-bytes operating points. Any
+/// drift means the split, the per-stage models, the patience replay,
+/// or the exit-policy search changed.
+#[test]
+fn anytime_curve_operating_points_are_frozen() {
+    let corpus =
+        iustitia_corpus::CorpusBuilder::new(33).files_per_class(40).size_range(1024, 4096).build();
+    let report = train_anytime_from_corpus(
+        &corpus,
+        &FeatureWidths::svm_selected(),
+        1024,
+        FeatureMode::Exact,
+        &ModelKind::paper_cart(),
+        33,
+        true,
+        0.01,
+    )
+    .expect("balanced corpus");
+
+    let point = |t: f64| {
+        report
+            .curve
+            .iter()
+            .find(|p| p.threshold == t)
+            .unwrap_or_else(|| panic!("threshold {t} must be on the grid"))
+    };
+    assert_eq!(report.full_accuracy, 0.95, "fixed-b baseline accuracy drifted");
+    assert_eq!(report.full_mean_bytes, 1024.0, "every held-out file fills b=1024");
+
+    let frozen = [(0.05, 0.95, 438.4), (0.5, 0.95, 556.8), (0.9, 0.95, 588.8)];
+    for (t, accuracy, mean_bytes) in frozen {
+        let p = point(t);
+        assert_eq!(
+            (p.threshold, p.accuracy, p.mean_bytes_to_verdict),
+            (t, accuracy, mean_bytes),
+            "curve drifted at threshold {t}: accuracy {}, mean bytes {}",
+            p.accuracy,
+            p.mean_bytes_to_verdict,
+        );
+    }
+
+    // The joint exit-policy search lands on the same operating point as
+    // the full-scale sweep: the cheapest threshold on the grid, with
+    // byte floors on the two high-entropy classes and the trusted mark
+    // at the stage whose model matches full-b accuracy.
+    assert_eq!(report.anytime.confidence.threshold(), 0.05);
+    assert_eq!(report.anytime.confidence.class_floor(), [0, 0, 512, 512]);
+    assert_eq!(report.anytime.confidence.trusted_bytes(), 512);
 }
 
 #[test]
